@@ -1,0 +1,183 @@
+(* The benchmark harness.
+
+   Two parts, per the repository contract:
+
+   1. Bechamel micro-benchmarks of the engine's hot primitives — one
+      [Test.make] per primitive (message codec, GF(2^8) arithmetic,
+      Gaussian decoding, buffers, event queue, a full simulated switch
+      hop).
+
+   2. The paper harness: regenerates every table and figure of the
+      evaluation (Fig. 5 through Fig. 19 plus Table 3), printing the
+      same rows/series the paper reports.
+
+   Usage: dune exec bench/main.exe            (both parts)
+          dune exec bench/main.exe -- micro   (micro-benchmarks only)
+          dune exec bench/main.exe -- paper   (experiments only)
+          dune exec bench/main.exe -- quick   (everything, smaller sizes) *)
+
+open Bechamel
+open Toolkit
+
+module Msg = Iov_msg.Message
+module Codec = Iov_msg.Codec
+module NI = Iov_msg.Node_id
+module Gf = Iov_gf256.Gf256
+module Linear = Iov_gf256.Linear
+module Cqueue = Iov_core.Cqueue
+module Heap = Iov_dsim.Heap
+
+(* ------------------------------------------------------------------ *)
+(* Micro-benchmarks                                                    *)
+
+let sample_msg =
+  Msg.data ~origin:(NI.synthetic 1) ~app:1 ~seq:42 (Bytes.make 5120 'x')
+
+let sample_wire = Codec.encode sample_msg
+
+let bench_codec_encode =
+  Test.make ~name:"codec/encode-5KB" (Staged.stage (fun () ->
+      ignore (Codec.encode sample_msg)))
+
+let bench_codec_decode =
+  Test.make ~name:"codec/decode-5KB" (Staged.stage (fun () ->
+      ignore (Codec.decode sample_wire)))
+
+let bench_gf_mul =
+  Test.make ~name:"gf256/mul" (Staged.stage (fun () ->
+      ignore (Gf.mul 173 92)))
+
+let gf_vec_a = Bytes.make 5120 'a'
+let gf_vec_acc = Bytes.make 5120 'b'
+
+let bench_gf_axpy =
+  Test.make ~name:"gf256/axpy-5KB" (Staged.stage (fun () ->
+      Gf.axpy ~acc:gf_vec_acc ~coeff:7 gf_vec_a))
+
+let decode_input =
+  let sources = Array.init 4 (fun i -> Bytes.make 1024 (Char.chr (65 + i))) in
+  List.init 4 (fun i ->
+      let coeffs = Array.init 4 (fun j -> Gf.pow (i + 2) j) in
+      Linear.encode ~coeffs sources)
+
+let bench_linear_decode =
+  Test.make ~name:"linear/decode-4x1KB" (Staged.stage (fun () ->
+      ignore (Linear.decode decode_input)))
+
+let bench_cqueue =
+  Test.make ~name:"cqueue/push-pop"
+    (Staged.stage
+       (let q = Cqueue.create ~capacity:64 in
+        fun () ->
+          ignore (Cqueue.push q 1);
+          ignore (Cqueue.pop q)))
+
+let bench_heap =
+  Test.make ~name:"heap/push-pop"
+    (Staged.stage
+       (let h = Heap.create () in
+        let seq = ref 0 in
+        fun () ->
+          incr seq;
+          Heap.push h ~time:(float_of_int (!seq land 1023)) ~seq:!seq ();
+          ignore (Heap.pop h)))
+
+(* a full simulated second of a 3-node chain: source, switch, sink *)
+let bench_switch_hop =
+  Test.make ~name:"engine/3-node-chain-1s"
+    (Staged.stage (fun () ->
+         let net = Iov_core.Network.create () in
+         let src =
+           Iov_algos.Source.create ~payload_size:1024 ~app:1
+             ~dests:[ NI.synthetic 2 ] ()
+         in
+         ignore
+           (Iov_core.Network.add_node net ~id:(NI.synthetic 1)
+              (Iov_algos.Source.algorithm src));
+         let f = Iov_algos.Flood.create () in
+         Iov_algos.Flood.set_route f ~app:1
+           ~upstreams:[ NI.synthetic 1 ]
+           ~downstreams:[ NI.synthetic 3 ] ();
+         ignore
+           (Iov_core.Network.add_node net ~id:(NI.synthetic 2)
+              (Iov_algos.Flood.algorithm f));
+         ignore
+           (Iov_core.Network.add_node net ~id:(NI.synthetic 3)
+              Iov_core.Algorithm.null);
+         Iov_core.Network.run net ~until:1.))
+
+let micro_tests =
+  [
+    bench_codec_encode;
+    bench_codec_decode;
+    bench_gf_mul;
+    bench_gf_axpy;
+    bench_linear_decode;
+    bench_cqueue;
+    bench_heap;
+    bench_switch_hop;
+  ]
+
+let run_micro () =
+  print_endline "== micro-benchmarks (Bechamel) ==";
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let grouped = Test.make_grouped ~name:"iov" micro_tests in
+  let raw = Benchmark.all cfg instances grouped in
+  let results =
+    Analyze.all
+      (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+      Instance.monotonic_clock raw
+  in
+  let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
+  List.iter
+    (fun (name, result) ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> Printf.printf "  %-32s %12.1f ns/run\n" name est
+      | Some _ | None -> Printf.printf "  %-32s (no estimate)\n" name)
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) rows);
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* The paper harness                                                   *)
+
+let run_paper ~quick =
+  print_endline "== paper experiments: every table and figure ==";
+  print_newline ();
+  let fig5_sizes =
+    if quick then [ 2; 3; 4; 8; 16 ] else Iov_exp.Fig5.default_sizes
+  in
+  ignore (Iov_exp.Fig5.run ~sizes:fig5_sizes ());
+  ignore (Iov_exp.Fig6.run ());
+  ignore (Iov_exp.Fig7.run ());
+  ignore (Iov_exp.Fig8.run ());
+  ignore (Iov_exp.Fig9.run ());
+  ignore (Iov_exp.Fig11.run ~n:(if quick then 30 else 81) ());
+  ignore (Iov_exp.Fig12.run ());
+  ignore (Iov_exp.Fig14.run ());
+  ignore (Iov_exp.Fig16.run ());
+  let fig17_sizes =
+    if quick then [ 5; 20; 40 ] else Iov_exp.Fig17.default_sizes
+  in
+  ignore (Iov_exp.Fig17.run ~sizes:fig17_sizes ());
+  ignore (Iov_exp.Fig18.run ());
+  let fig19_sizes =
+    if quick then [ 5; 15; 30 ] else Iov_exp.Fig19.default_sizes
+  in
+  ignore (Iov_exp.Fig19.run ~sizes:fig19_sizes ());
+  (* beyond the paper's figures: the Section-3.1 robustness study and
+     the design-choice ablations *)
+  ignore (Iov_exp.Robustness.run ~n:(if quick then 12 else 20) ());
+  Iov_exp.Ablations.run_all ()
+
+let () =
+  let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  match mode with
+  | "micro" -> run_micro ()
+  | "paper" -> run_paper ~quick:false
+  | "quick" ->
+    run_micro ();
+    run_paper ~quick:true
+  | "all" | _ ->
+    run_micro ();
+    run_paper ~quick:false

@@ -1,0 +1,104 @@
+(* The iOverlay experiment driver: run any paper table/figure
+   reproduction by id, or all of them. *)
+
+let experiments :
+    (string * string * (quick:bool -> unit)) list =
+  [
+    ( "fig5",
+      "raw engine switching performance on a chain of virtual nodes",
+      fun ~quick ->
+        let sizes = if quick then [ 2; 3; 4; 8 ] else Iov_exp.Fig5.default_sizes in
+        ignore (Iov_exp.Fig5.run ~sizes ()) );
+    ( "fig6",
+      "engine correctness: emulation, back pressure, terminations",
+      fun ~quick:_ -> ignore (Iov_exp.Fig6.run ()) );
+    ( "fig7",
+      "bottleneck behaviour with large (10000-message) buffers",
+      fun ~quick:_ -> ignore (Iov_exp.Fig7.run ()) );
+    ( "fig8",
+      "network coding in GF(2^8) at node D",
+      fun ~quick:_ -> ignore (Iov_exp.Fig8.run ()) );
+    ( "fig9",
+      "tree construction + Table 3 on the 5-node session",
+      fun ~quick:_ -> ignore (Iov_exp.Fig9.run ()) );
+    ( "fig11",
+      "tree construction on 81 wide-area nodes",
+      fun ~quick ->
+        ignore (Iov_exp.Fig11.run ~n:(if quick then 30 else 81) ()) );
+    ( "fig12",
+      "10-node and 81-node ns-aware topologies (Figs. 12-13)",
+      fun ~quick:_ -> ignore (Iov_exp.Fig12.run ()) );
+    ( "fig14",
+      "a federated complex service + per-node stats (Figs. 14-15)",
+      fun ~quick:_ -> ignore (Iov_exp.Fig14.run ()) );
+    ( "fig16",
+      "sAware overhead over time (30-node service overlay)",
+      fun ~quick:_ -> ignore (Iov_exp.Fig16.run ()) );
+    ( "fig17",
+      "control overhead vs network size",
+      fun ~quick ->
+        let sizes = if quick then [ 5; 20; 40 ] else Iov_exp.Fig17.default_sizes in
+        ignore (Iov_exp.Fig17.run ~sizes ()) );
+    ( "fig18",
+      "per-node overhead under heavy federation load",
+      fun ~quick:_ -> ignore (Iov_exp.Fig18.run ()) );
+    ( "fig19",
+      "end-to-end bandwidth: sFlow vs fixed vs random",
+      fun ~quick ->
+        let sizes = if quick then [ 5; 10; 20 ] else Iov_exp.Fig19.default_sizes in
+        ignore (Iov_exp.Fig19.run ~sizes ()) );
+    ( "robustness",
+      "failure injection + availability recovery (Section 3.1)",
+      fun ~quick ->
+        ignore (Iov_exp.Robustness.run ~n:(if quick then 12 else 20) ()) );
+    ( "ablations",
+      "design-choice sweeps: buffers, pipelining, CPU model",
+      fun ~quick:_ -> Iov_exp.Ablations.run_all () );
+  ]
+
+open Cmdliner
+
+let run_cmd =
+  let id_arg =
+    let doc = "Experiment id (fig5..fig19), or 'all'." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
+  in
+  let quick_arg =
+    let doc = "Smaller workloads for a fast pass." in
+    Arg.(value & flag & info [ "quick" ] ~doc)
+  in
+  let run id quick =
+    let quick_flag = quick in
+    if id = "all" then begin
+      List.iter (fun (_, _, f) -> f ~quick:quick_flag) experiments;
+      `Ok ()
+    end
+    else
+      match List.find_opt (fun (n, _, _) -> n = id) experiments with
+      | Some (_, _, f) ->
+        f ~quick:quick_flag;
+        `Ok ()
+      | None -> `Error (false, "unknown experiment: " ^ id)
+  in
+  let info =
+    Cmd.info "run" ~doc:"Run a paper experiment reproduction by id."
+  in
+  Cmd.v info Term.(ret (const run $ id_arg $ quick_arg))
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (n, doc, _) -> Printf.printf "  %-7s %s\n" n doc)
+      experiments
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the available experiments.")
+    Term.(const run $ const ())
+
+let main =
+  let info =
+    Cmd.info "iover" ~version:"1.0.0"
+      ~doc:"iOverlay (Middleware 2004) reproduction harness."
+  in
+  Cmd.group info [ run_cmd; list_cmd ]
+
+let () = exit (Cmd.eval main)

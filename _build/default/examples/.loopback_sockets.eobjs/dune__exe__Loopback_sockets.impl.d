@@ -1,0 +1,1 @@
+examples/loopback_sockets.ml: Bytes Iov_core Iov_msg Iov_onet List Printf Thread Unix

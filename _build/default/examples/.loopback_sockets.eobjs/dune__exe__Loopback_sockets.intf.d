@@ -1,0 +1,1 @@
+examples/loopback_sockets.mli:

@@ -1,0 +1,1 @@
+examples/content_pubsub.ml: Iov_algos Iov_core Iov_msg List Printf

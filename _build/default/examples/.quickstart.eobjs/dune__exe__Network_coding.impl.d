@@ -1,0 +1,1 @@
+examples/network_coding.ml: Iov_algos Iov_core Iov_topo List Printf

@@ -1,0 +1,1 @@
+examples/observer_monitoring.ml: Filename Iov_algos Iov_core Iov_msg Iov_observer List Printf Sys

@@ -1,0 +1,1 @@
+examples/observer_monitoring.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Iov_algos Iov_core Iov_msg Printf

@@ -1,0 +1,1 @@
+examples/service_federation.ml: Iov_algos Iov_core Iov_exp Iov_msg Iov_observer List Printf String

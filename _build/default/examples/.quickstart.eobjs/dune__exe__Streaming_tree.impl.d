@@ -1,0 +1,1 @@
+examples/streaming_tree.ml: Iov_algos Iov_core Iov_dsim Iov_msg Iov_observer Iov_topo List Printf

@@ -1,0 +1,1 @@
+examples/structured_search.ml: Int Iov_algos Iov_core Iov_dsim Iov_msg Iov_observer List Printf String

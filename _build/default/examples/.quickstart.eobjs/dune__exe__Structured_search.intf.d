@@ -1,0 +1,1 @@
+examples/structured_search.mli:

@@ -1,0 +1,60 @@
+(* Network coding on the butterfly-style overlay of the paper's
+   Fig. 8: node D codes two incoming streams as a + b over GF(2^8);
+   receivers F and G combine the coded stream with a native stream and
+   decode both. Run with and without coding to see the gain. *)
+
+module Network = Iov_core.Network
+module Bwspec = Iov_core.Bwspec
+module Topo = Iov_topo.Topo
+module Coding = Iov_algos.Coding
+
+let app = 1
+let kbps x = x *. 1024.
+
+let () =
+  let topo = Topo.fig8 () in
+  let net = Network.create ~buffer_capacity:500 () in
+  let node = Topo.node topo in
+  let add name alg =
+    let spec = Topo.spec topo name in
+    ignore (Network.add_node net ~bw:spec.Topo.bw ~id:spec.Topo.nid alg)
+  in
+
+  (* A splits its data into streams a (via B) and b (via C) *)
+  let source = Coding.split_source ~app ~dests:[ node "B"; node "C" ] () in
+  add "A" (Iov_algos.Source.algorithm source);
+
+  (* helpers B and C replicate their native stream *)
+  let route name entries coded =
+    let r = Coding.Router.create ~app () in
+    List.iter
+      (fun (i, ds) -> Coding.Router.route_native r ~index:i (List.map node ds))
+      entries;
+    if coded <> [] then Coding.Router.route_coded r (List.map node coded);
+    add name (Coding.Router.algorithm r)
+  in
+  route "B" [ (0, [ "D"; "F" ]) ] [];
+  route "C" [ (1, [ "D"; "G" ]) ] [];
+
+  (* D codes a + b; E relays the coded stream to both receivers *)
+  let coder = Coding.Coder.create ~k:2 ~app ~dests:[ node "E" ] () in
+  add "D" (Coding.Coder.algorithm coder);
+  route "E" [] [ "F"; "G" ];
+  let df = Coding.Decoder_node.create ~k:2 ~app () in
+  let dg = Coding.Decoder_node.create ~k:2 ~app () in
+  add "F" (Coding.Decoder_node.algorithm df);
+  add "G" (Coding.Decoder_node.algorithm dg);
+
+  Network.set_node_bandwidth net (node "D")
+    (Bwspec.make ~up:(kbps 200.) ());
+  Network.run net ~until:20.;
+
+  let rate name = Network.app_rate net (node name) ~app /. 1024. in
+  Printf.printf "receiver throughput with coding: F=%.0f KBps  G=%.0f KBps\n"
+    (rate "F") (rate "G");
+  Printf.printf "generations decoded: F=%d  G=%d (coded packets from D: %d)\n"
+    (Coding.Decoder_node.decoded_generations df)
+    (Coding.Decoder_node.decoded_generations dg)
+    (Coding.Coder.emitted coder);
+  Printf.printf
+    "without coding these receivers reach ~300 KBps (see `iover run fig8`)\n"

@@ -1,0 +1,43 @@
+(* Service federation with sFlow: services disseminate awareness, a
+   diamond-shaped requirement is federated from the source service,
+   and the selected instances carry a live data stream. *)
+
+module Network = Iov_core.Network
+module Sflow = Iov_algos.Sflow
+module Observer = Iov_observer.Observer
+module NI = Iov_msg.Node_id
+
+let app = 99
+
+let requirement =
+  Sflow.Req.make
+    ~edges:[ (1, 2); (1, 3); (2, 4); (3, 4) ]
+    ~source:1 ~sink:4
+
+let () =
+  let b = Iov_exp.Svc.build ~strategy:`Sflow ~n:12 ~types:4 () in
+  let net = b.Iov_exp.Svc.net in
+  Network.run net ~until:20.;
+  (match Iov_exp.Svc.instances_of b 1 with
+  | source :: _ ->
+    Iov_exp.Svc.federate b ~app ~source requirement;
+    Network.run net ~until:40.;
+    print_endline "federated service DAG:";
+    List.iter
+      (fun (nid, flow) ->
+        match Sflow.selected_children flow ~app with
+        | [] -> ()
+        | children ->
+          Printf.printf "  %s (type %s) -> %s\n" (NI.to_string nid)
+            (match Sflow.service_type flow with
+            | Some t -> string_of_int t
+            | None -> "?")
+            (String.concat ", " (List.map NI.to_string children)))
+      b.Iov_exp.Svc.flows;
+    (match Iov_exp.Svc.sink_of b ~app ~source with
+    | Some sink ->
+      Printf.printf "sink %s receives %.0f KBps\n" (NI.to_string sink)
+        (Network.app_rate net sink ~app /. 1024.)
+    | None -> print_endline "no sink selected");
+    Printf.printf "federations completed: %d\n" (Iov_exp.Svc.completed b)
+  | [] -> print_endline "no source instance assigned")

@@ -1,0 +1,65 @@
+(* A streaming multicast session built with the node-stress aware tree
+   algorithm: ten wide-area nodes join one by one, then the source
+   streams constant-rate data down the tree.
+
+   This exercises the public protocol path end to end: observer
+   bootstrap, sQuery dissemination, stress exchange, join handshake,
+   and the data plane. *)
+
+module Network = Iov_core.Network
+module Bwspec = Iov_core.Bwspec
+module Tree = Iov_algos.Tree
+module Observer = Iov_observer.Observer
+module Planetlab = Iov_topo.Planetlab
+module NI = Iov_msg.Node_id
+
+let app = 42
+
+let () =
+  let pl = Planetlab.generate ~seed:5 ~n:10 () in
+  let net = Network.create ~buffer_capacity:200 () in
+  Network.set_latency_fn net (Planetlab.latency pl);
+  let obs = Observer.create ~boot_subset:10 net in
+  let members =
+    List.map
+      (fun nd ->
+        let t =
+          Tree.create ~strategy:Tree.Ns_aware
+            ~last_mile:(Bwspec.last_mile nd.Planetlab.bw)
+            ~app ()
+        in
+        ignore
+          (Network.add_node net ~bw:nd.Planetlab.bw
+             ~observer:(Observer.id obs) ~id:nd.Planetlab.nid
+             (Tree.algorithm t));
+        (nd.Planetlab.nid, t))
+      (Planetlab.nodes pl)
+  in
+  let source = fst (List.hd members) in
+  let sim = Network.sim net in
+  ignore
+    (Iov_dsim.Sim.schedule_at sim ~time:1.0 (fun () ->
+         Observer.deploy_source obs source ~app));
+  List.iteri
+    (fun i (nid, _) ->
+      if i > 0 then
+        ignore
+          (Iov_dsim.Sim.schedule_at sim
+             ~time:(2.0 +. float_of_int i)
+             (fun () -> Observer.join obs nid ~app)))
+    members;
+  Network.run net ~until:60.;
+
+  print_endline "streaming multicast tree (ns-aware):";
+  let rec show indent nid =
+    Printf.printf "%s%s  (recv %.0f KBps)\n" indent (NI.to_string nid)
+      (Network.app_rate net nid ~app /. 1024.);
+    match List.assoc_opt nid members with
+    | Some t -> List.iter (show (indent ^ "  ")) (Tree.children t)
+    | None -> ()
+  in
+  show "" source;
+  let joined =
+    List.length (List.filter (fun (_, t) -> Tree.in_session t) members)
+  in
+  Printf.printf "%d of %d nodes in the session\n" joined (List.length members)

@@ -1,0 +1,1 @@
+lib/algorithms/coding.ml: Array Bytes Char Hashtbl Iov_core Iov_gf256 Iov_msg List Queue Source

@@ -1,0 +1,1 @@
+lib/algorithms/coding.mli: Bytes Iov_core Iov_msg Source

@@ -1,0 +1,1 @@
+lib/algorithms/content.ml: Fun Hashtbl Iov_core Iov_msg List Option

@@ -1,0 +1,1 @@
+lib/algorithms/content.mli: Bytes Iov_core Iov_msg

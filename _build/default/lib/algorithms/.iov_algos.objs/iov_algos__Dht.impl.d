@@ -1,0 +1,1 @@
+lib/algorithms/dht.ml: Array Bytes Char Hashtbl Iov_core Iov_msg List

@@ -1,0 +1,1 @@
+lib/algorithms/dht.mli: Iov_core Iov_msg

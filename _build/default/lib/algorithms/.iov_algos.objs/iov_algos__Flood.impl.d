@@ -1,0 +1,1 @@
+lib/algorithms/flood.ml: Bytes Hashtbl Iov_core Iov_msg List

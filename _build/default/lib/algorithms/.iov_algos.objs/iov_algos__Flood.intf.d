@@ -1,0 +1,1 @@
+lib/algorithms/flood.mli: Iov_core Iov_msg

@@ -1,0 +1,1 @@
+lib/algorithms/merge.ml: Array Bytes Hashtbl Iov_core Iov_msg List Queue

@@ -1,0 +1,1 @@
+lib/algorithms/merge.mli: Bytes Iov_core Iov_msg

@@ -1,0 +1,1 @@
+lib/algorithms/pump.ml: Bytes Iov_core Iov_msg List

@@ -1,0 +1,1 @@
+lib/algorithms/pump.mli: Iov_core Iov_msg

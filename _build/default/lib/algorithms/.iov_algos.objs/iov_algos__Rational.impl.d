@@ -1,0 +1,1 @@
+lib/algorithms/rational.ml: Bytes Iov_core Iov_msg List

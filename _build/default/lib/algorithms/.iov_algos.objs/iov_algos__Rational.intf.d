@@ -1,0 +1,1 @@
+lib/algorithms/rational.mli: Iov_core Iov_msg

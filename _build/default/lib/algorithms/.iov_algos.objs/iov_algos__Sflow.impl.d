@@ -1,0 +1,1 @@
+lib/algorithms/sflow.ml: Array Hashtbl Int Iov_core Iov_msg List Pump Random Stdlib

@@ -1,0 +1,1 @@
+lib/algorithms/sflow.mli: Iov_core Iov_msg

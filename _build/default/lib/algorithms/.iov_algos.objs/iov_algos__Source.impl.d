@@ -1,0 +1,1 @@
+lib/algorithms/source.ml: Bytes Iov_core Iov_msg List

@@ -1,0 +1,1 @@
+lib/algorithms/source.mli: Bytes Iov_core Iov_msg

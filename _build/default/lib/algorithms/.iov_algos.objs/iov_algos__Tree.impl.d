@@ -1,0 +1,1 @@
+lib/algorithms/tree.ml: Array Bytes Hashtbl Iov_core Iov_msg List Random Stdlib

@@ -1,0 +1,1 @@
+lib/algorithms/tree.mli: Iov_core Iov_msg

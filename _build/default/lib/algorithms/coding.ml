@@ -1,0 +1,286 @@
+module Alg = Iov_core.Algorithm
+module Ialg = Iov_core.Ialgorithm
+module Msg = Iov_msg.Message
+module Mt = Iov_msg.Mtype
+module NI = Iov_msg.Node_id
+module Linear = Iov_gf256.Linear
+
+module Frame = struct
+  let native ~k ~index data =
+    if k <= 0 || k > 255 then invalid_arg "Frame.native: k";
+    if index < 0 || index >= k then invalid_arg "Frame.native: index";
+    let out = Bytes.create (3 + Bytes.length data) in
+    Bytes.set out 0 '\000';
+    Bytes.set out 1 (Char.chr k);
+    Bytes.set out 2 (Char.chr index);
+    Bytes.blit data 0 out 3 (Bytes.length data);
+    out
+
+  let coded ~coeffs data =
+    let k = Array.length coeffs in
+    if k <= 0 || k > 255 then invalid_arg "Frame.coded: k";
+    let out = Bytes.create (2 + k + Bytes.length data) in
+    Bytes.set out 0 '\001';
+    Bytes.set out 1 (Char.chr k);
+    Array.iteri
+      (fun i c ->
+        if not (Iov_gf256.Gf256.is_valid c) then invalid_arg "Frame.coded: coeff";
+        Bytes.set out (2 + i) (Char.chr c))
+      coeffs;
+    Bytes.blit data 0 out (2 + k) (Bytes.length data);
+    out
+
+  let parse payload =
+    let len = Bytes.length payload in
+    if len < 2 then None
+    else
+      match Bytes.get payload 0 with
+      | '\000' ->
+        if len < 3 then None
+        else begin
+          let k = Char.code (Bytes.get payload 1) in
+          let index = Char.code (Bytes.get payload 2) in
+          if k = 0 || index >= k then None
+          else Some (`Native (k, index, Bytes.sub payload 3 (len - 3)))
+        end
+      | '\001' ->
+        let k = Char.code (Bytes.get payload 1) in
+        if k = 0 || len < 2 + k then None
+        else begin
+          let coeffs =
+            Array.init k (fun i -> Char.code (Bytes.get payload (2 + i)))
+          in
+          Some (`Coded (coeffs, Bytes.sub payload (2 + k) (len - 2 - k)))
+        end
+      | _ -> None
+
+  let data payload =
+    match parse payload with
+    | Some (`Native (_, _, d)) | Some (`Coded (_, d)) -> Some d
+    | None -> None
+end
+
+let split_source ?(payload_size = 5 * 1024) ~app ~dests () =
+  let k = List.length dests in
+  if k = 0 then invalid_arg "Coding.split_source: no destinations";
+  let make_payload ~dest_index ~seq =
+    (* distinct per-stream content, so decoding is checkable *)
+    let fill = Char.chr (((seq * 31) + dest_index) land 0xff) in
+    Frame.native ~k ~index:dest_index (Bytes.make payload_size fill)
+  in
+  Source.create ~mode:`Split ~payload_size ~make_payload ~app ~dests ()
+
+module Coder = struct
+  type gen = {
+    mutable slots : Bytes.t option array; (* one per stream *)
+    mutable filled : int;
+  }
+
+  type t = {
+    k : int;
+    app : int;
+    coeffs : int array;
+    dests : NI.t list;
+    gens : (int, gen) Hashtbl.t;
+    ready : Msg.t Queue.t; (* coded, waiting for sender-buffer room *)
+    mutable held : int;
+    mutable emitted : int;
+  }
+
+  let create ?coeffs ~k ~app ~dests () =
+    if k <= 0 then invalid_arg "Coder.create: k";
+    let coeffs =
+      match coeffs with Some c -> c | None -> Array.make k 1
+    in
+    if Array.length coeffs <> k then invalid_arg "Coder.create: coeffs width";
+    Array.iter
+      (fun c ->
+        if c = 0 || not (Iov_gf256.Gf256.is_valid c) then
+          invalid_arg "Coder.create: coeffs")
+      coeffs;
+    {
+      k;
+      app;
+      coeffs;
+      dests;
+      gens = Hashtbl.create 64;
+      ready = Queue.create ();
+      held = 0;
+      emitted = 0;
+    }
+
+  let held t = t.held
+    [@@inline]
+
+  let emitted t = t.emitted
+
+  let flush t (ctx : Alg.ctx) =
+    let progress = ref true in
+    while (not (Queue.is_empty t.ready)) && !progress do
+      if List.for_all ctx.can_send t.dests then begin
+        let m = Queue.pop t.ready in
+        List.iter (ctx.send m) t.dests;
+        t.emitted <- t.emitted + 1
+      end
+      else progress := false
+    done
+
+  let complete t ctx (ctx_self : NI.t) g gen_no =
+    let sources =
+      Array.map
+        (function Some b -> b | None -> assert false)
+        g.slots
+    in
+    let combined = Linear.encode ~coeffs:t.coeffs sources in
+    let payload = Frame.coded ~coeffs:combined.Linear.coeffs combined.Linear.payload in
+    let m = Msg.data ~origin:ctx_self ~app:t.app ~seq:gen_no payload in
+    Queue.push m t.ready;
+    Hashtbl.remove t.gens gen_no;
+    t.held <- t.held - t.k;
+    flush t ctx
+
+  let handle t (ctx : Alg.ctx) (m : Msg.t) =
+    match m.Msg.mtype with
+    | Mt.Data when m.app = t.app -> (
+      match Frame.parse m.payload with
+      | Some (`Native (k, index, data)) when k = t.k ->
+        let gen_no = m.seq / t.k in
+        let g =
+          match Hashtbl.find_opt t.gens gen_no with
+          | Some g -> g
+          | None ->
+            let g = { slots = Array.make t.k None; filled = 0 } in
+            Hashtbl.add t.gens gen_no g;
+            g
+        in
+        (match g.slots.(index) with
+        | None ->
+          g.slots.(index) <- Some data;
+          g.filled <- g.filled + 1;
+          t.held <- t.held + 1
+        | Some _ -> () (* duplicate: drop *));
+        if g.filled = t.k then complete t ctx ctx.self g gen_no;
+        Some Alg.Hold
+      | Some (`Native _ | `Coded _) | None ->
+        (* a stream this coder does not code: pass through *)
+        Some (Alg.Forward t.dests))
+    | _ -> None
+
+  let algorithm t =
+    Ialg.make ~name:"coder"
+      ~on_ready:(fun ctx _ -> flush t ctx)
+      (handle t)
+end
+
+module Decoder_node = struct
+  (* Generations older than this far behind the newest are abandoned —
+     they can no longer become decodable in a lossless run and would
+     otherwise leak. *)
+  let horizon = 4096
+
+  type t = {
+    k : int;
+    app : int;
+    decoders : (int, Linear.Decoder.t) Hashtbl.t;
+    mutable newest : int;
+    mutable done_ : int;
+    mutable bytes : int;
+  }
+
+  let create ~k ~app () =
+    if k <= 0 then invalid_arg "Decoder_node.create: k";
+    { k; app; decoders = Hashtbl.create 64; newest = 0; done_ = 0; bytes = 0 }
+
+  let decoded_generations t = t.done_
+  let decoded_bytes t = t.bytes
+  let pending t = Hashtbl.length t.decoders
+
+  let prune t =
+    if Hashtbl.length t.decoders > horizon then begin
+      let cutoff = t.newest - horizon in
+      let stale =
+        Hashtbl.fold
+          (fun g _ acc -> if g < cutoff then g :: acc else acc)
+          t.decoders []
+      in
+      List.iter (Hashtbl.remove t.decoders) stale
+    end
+
+  let add_piece t gen_no piece =
+    let d =
+      match Hashtbl.find_opt t.decoders gen_no with
+      | Some d -> d
+      | None ->
+        let d = Linear.Decoder.create ~k:t.k in
+        Hashtbl.add t.decoders gen_no d;
+        d
+    in
+    ignore (Linear.Decoder.add d piece);
+    if Linear.Decoder.complete d then begin
+      (match Linear.Decoder.get d with
+      | Some packets ->
+        t.done_ <- t.done_ + 1;
+        Array.iter (fun p -> t.bytes <- t.bytes + Bytes.length p) packets
+      | None -> ());
+      Hashtbl.remove t.decoders gen_no
+    end;
+    if gen_no > t.newest then t.newest <- gen_no;
+    prune t
+
+  let handle t (_ctx : Alg.ctx) (m : Msg.t) =
+    match m.Msg.mtype with
+    | Mt.Data when m.app = t.app -> (
+      (match Frame.parse m.payload with
+      | Some (`Native (k, index, data)) when k = t.k ->
+        let coeffs = Array.make t.k 0 in
+        coeffs.(index) <- 1;
+        add_piece t (m.seq / t.k) { Linear.coeffs; payload = data }
+      | Some (`Coded (coeffs, data)) when Array.length coeffs = t.k ->
+        add_piece t m.seq { Linear.coeffs; payload = data }
+      | Some (`Native _ | `Coded _) | None -> ());
+      Some Alg.Consume)
+    | _ -> None
+
+  let algorithm t = Ialg.make ~name:"decoder" (handle t)
+end
+
+module Router = struct
+  type t = {
+    app : int;
+    native : (int, NI.t list) Hashtbl.t;
+    mutable coded : NI.t list;
+  }
+
+  let create ~app () = { app; native = Hashtbl.create 4; coded = [] }
+  let route_native t ~index dests = Hashtbl.replace t.native index dests
+  let route_coded t dests = t.coded <- dests
+
+  let all_dests t =
+    let set =
+      Hashtbl.fold
+        (fun _ ds acc -> List.fold_left (fun s d -> NI.Set.add d s) acc ds)
+        t.native
+        (NI.Set.of_list t.coded)
+    in
+    NI.Set.elements set
+
+  let handle t (_ctx : Alg.ctx) (m : Msg.t) =
+    match m.Msg.mtype with
+    | Mt.Data when m.app = t.app -> (
+      match Frame.parse m.payload with
+      | Some (`Native (_, index, _)) -> (
+        match Hashtbl.find_opt t.native index with
+        | Some [] | None -> Some Alg.Consume
+        | Some dests -> Some (Alg.Forward dests))
+      | Some (`Coded _) -> (
+        match t.coded with
+        | [] -> Some Alg.Consume
+        | dests -> Some (Alg.Forward dests))
+      | None -> (
+        match all_dests t with
+        | [] -> Some Alg.Consume
+        | dests -> Some (Alg.Forward dests)))
+    | _ -> None
+
+  let algorithm t = Ialg.make ~name:"coding-router" (handle t)
+end

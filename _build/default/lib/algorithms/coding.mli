@@ -1,0 +1,93 @@
+(** Network coding on overlay nodes (paper Section 3.2).
+
+    Messages from multiple incoming streams are coded into one stream
+    using linear codes over GF(2^8). A generation consists of one
+    packet from each of [k] source streams sharing a generation
+    number; a coding node uses the engine's hold mechanism to buffer
+    packets until a generation is complete, then emits a single coded
+    packet. Receivers that additionally get one of the native streams
+    recover everything by Gaussian elimination — node D's [a + b]
+    trick of Fig. 8. *)
+
+(** Payload framing for coded applications. A data payload is either a
+    native packet of stream [index] (of [k] streams) or a coded packet
+    carrying its GF(2^8) coefficient vector. *)
+module Frame : sig
+  val native : k:int -> index:int -> Bytes.t -> Bytes.t
+  val coded : coeffs:int array -> Bytes.t -> Bytes.t
+
+  val parse :
+    Bytes.t ->
+    [ `Native of int * int * Bytes.t  (** (k, index, data) *)
+    | `Coded of int array * Bytes.t ]
+    option
+  (** [None] on unframed payloads. *)
+
+  val data : Bytes.t -> Bytes.t option
+  (** The data portion of any framed payload. *)
+end
+
+val split_source :
+  ?payload_size:int ->
+  app:int ->
+  dests:Iov_msg.Node_id.t list ->
+  unit ->
+  Source.t
+(** A back-to-back source that splits its data into [List.length dests]
+    native streams (one per destination), framed for coding. Stream
+    [i]'s generation [g] packet carries sequence number
+    [g * k + i]. *)
+
+(** The coding node: holds one packet per incoming stream per
+    generation, emits the linear combination downstream. *)
+module Coder : sig
+  type t
+
+  val create :
+    ?coeffs:int array ->
+    k:int ->
+    app:int ->
+    dests:Iov_msg.Node_id.t list ->
+    unit ->
+    t
+  (** [coeffs] defaults to all ones — the paper's [a + b].
+      @raise Invalid_argument if [coeffs] has width other than [k] or
+      contains zero (a zero coefficient would lose a stream). *)
+
+  val algorithm : t -> Iov_core.Algorithm.t
+
+  val held : t -> int
+  (** Packets currently held awaiting their generation peers. *)
+
+  val emitted : t -> int
+  (** Coded packets sent downstream so far. *)
+end
+
+(** A receiver that decodes: native packets contribute unit vectors,
+    coded packets their coefficient vectors; complete generations are
+    recovered and counted. *)
+module Decoder_node : sig
+  type t
+
+  val create : k:int -> app:int -> unit -> t
+  val algorithm : t -> Iov_core.Algorithm.t
+
+  val decoded_generations : t -> int
+  val decoded_bytes : t -> int
+  (** Recovered source bytes ([k] packets per generation). *)
+
+  val pending : t -> int
+  (** Generations started but not yet decodable. *)
+end
+
+(** Stream-aware forwarding for helper nodes: native stream [i] goes to
+    the configured route for [i]; coded packets go to the coded route.
+    Unframed data floods to every configured destination. *)
+module Router : sig
+  type t
+
+  val create : app:int -> unit -> t
+  val algorithm : t -> Iov_core.Algorithm.t
+  val route_native : t -> index:int -> Iov_msg.Node_id.t list -> unit
+  val route_coded : t -> Iov_msg.Node_id.t list -> unit
+end

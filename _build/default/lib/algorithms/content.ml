@@ -1,0 +1,242 @@
+module Alg = Iov_core.Algorithm
+module Ialg = Iov_core.Ialgorithm
+module Msg = Iov_msg.Message
+module Mt = Iov_msg.Mtype
+module NI = Iov_msg.Node_id
+module Wire = Iov_msg.Wire
+
+let subscribe_kind = 110
+
+module Event = struct
+  type t = (int * int) list
+
+  let to_payload t =
+    let w = Wire.W.create () in
+    Wire.W.int32 w (List.length t);
+    List.iter
+      (fun (k, v) ->
+        Wire.W.int32 w k;
+        Wire.W.int32 w v)
+      t;
+    Wire.W.contents w
+
+  let of_payload payload =
+    try
+      let r = Wire.R.of_bytes payload in
+      let n = Wire.R.int32 r in
+      if n < 0 || n > 1024 then None
+      else
+        Some
+          (List.init n (fun _ ->
+               let k = Wire.R.int32 r in
+               let v = Wire.R.int32 r in
+               (k, v)))
+    with Wire.Truncated -> None
+
+  let get t k = List.assoc_opt k t
+end
+
+module Predicate = struct
+  type op = Eq | Ne | Lt | Le | Gt | Ge
+
+  type atom = {
+    key : int;
+    op : op;
+    value : int;
+  }
+
+  type t = atom list
+
+  let atom key op value = { key; op; value }
+
+  let op_holds op a b =
+    match op with
+    | Eq -> a = b
+    | Ne -> a <> b
+    | Lt -> a < b
+    | Le -> a <= b
+    | Gt -> a > b
+    | Ge -> a >= b
+
+  let matches t event =
+    List.for_all
+      (fun { key; op; value } ->
+        match Event.get event key with
+        | Some v -> op_holds op v value
+        | None -> false)
+      t
+
+  let op_code = function Eq -> 0 | Ne -> 1 | Lt -> 2 | Le -> 3 | Gt -> 4 | Ge -> 5
+
+  let op_of_code = function
+    | 0 -> Some Eq
+    | 1 -> Some Ne
+    | 2 -> Some Lt
+    | 3 -> Some Le
+    | 4 -> Some Gt
+    | 5 -> Some Ge
+    | _ -> None
+
+  let write w t =
+    Wire.W.int32 w (List.length t);
+    List.iter
+      (fun { key; op; value } ->
+        Wire.W.int32 w key;
+        Wire.W.int32 w (op_code op);
+        Wire.W.int32 w value)
+      t
+
+  let read r =
+    let n = Wire.R.int32 r in
+    if n < 0 || n > 1024 then None
+    else
+      let atoms =
+        List.init n (fun _ ->
+            let key = Wire.R.int32 r in
+            let code = Wire.R.int32 r in
+            let value = Wire.R.int32 r in
+            Option.map (fun op -> { key; op; value }) (op_of_code code))
+      in
+      if List.for_all Option.is_some atoms then
+        Some (List.filter_map Fun.id atoms)
+      else None
+end
+
+module Router = struct
+  type entry = {
+    next_hop : NI.t option; (* None: a local subscription *)
+    predicate : Predicate.t;
+  }
+
+  type t = {
+    app : int;
+    mutable neighbors : NI.t list;
+    table : (int, entry) Hashtbl.t; (* by subscription id *)
+    mutable pending_local : (int * Predicate.t) list;
+    mutable flooded : int list; (* subscription ids already re-flooded *)
+    mutable seen_events : (NI.t * int) list; (* dedup, bounded *)
+    mutable delivered : int;
+    mutable recent : Event.t list;
+    mutable forwarded : int;
+  }
+
+  let create ~app () =
+    {
+      app;
+      neighbors = [];
+      table = Hashtbl.create 16;
+      pending_local = [];
+      flooded = [];
+      seen_events = [];
+      delivered = 0;
+      recent = [];
+      forwarded = 0;
+    }
+
+  let add_neighbor t ni =
+    if not (List.exists (NI.equal ni) t.neighbors) then
+      t.neighbors <- ni :: t.neighbors
+
+  let subscribe t ~id predicate =
+    Hashtbl.replace t.table id { next_hop = None; predicate };
+    t.pending_local <- (id, predicate) :: t.pending_local
+
+  let delivered t = t.delivered
+  let delivered_events t = t.recent
+  let known_subscriptions t = Hashtbl.length t.table
+  let forwarded t = t.forwarded
+  let publish_payload = Event.to_payload
+
+  let sub_message (ctx : Alg.ctx) ~app ~id predicate =
+    let w = Wire.W.create () in
+    Wire.W.int32 w id;
+    Predicate.write w predicate;
+    Msg.control
+      ~mtype:(Mt.Custom subscribe_kind)
+      ~origin:ctx.self ~app (Wire.W.contents w)
+
+  let flood_subscription t (ctx : Alg.ctx) ~id predicate ~except =
+    if not (List.mem id t.flooded) then begin
+      t.flooded <- id :: t.flooded;
+      let m = sub_message ctx ~app:t.app ~id predicate in
+      List.iter
+        (fun n ->
+          match except with
+          | Some e when NI.equal e n -> ()
+          | Some _ | None -> ctx.send (Msg.clone m) n)
+        t.neighbors
+    end
+
+  let flush_pending t ctx =
+    let pending = t.pending_local in
+    t.pending_local <- [];
+    List.iter
+      (fun (id, predicate) ->
+        flood_subscription t ctx ~id predicate ~except:None)
+      pending
+
+  let remember_event t key =
+    t.seen_events <- key :: t.seen_events;
+    if List.length t.seen_events > 2048 then
+      t.seen_events <- List.filteri (fun i _ -> i < 1024) t.seen_events
+
+  let handle_subscribe t (ctx : Alg.ctx) (m : Msg.t) =
+    try
+      let r = Wire.R.of_bytes m.payload in
+      let id = Wire.R.int32 r in
+      match Predicate.read r with
+      | None -> ()
+      | Some predicate ->
+        if not (Hashtbl.mem t.table id) then begin
+          Hashtbl.replace t.table id
+            { next_hop = Some m.origin; predicate };
+          (* propagate to the rest of the overlay, re-originated so
+             each hop records its own reverse path *)
+          flood_subscription t ctx ~id predicate ~except:(Some m.origin)
+        end
+    with Wire.Truncated -> ()
+
+  let handle_event t (m : Msg.t) =
+    match Event.of_payload m.payload with
+    | None -> Alg.Consume
+    | Some event ->
+      let key = (m.Msg.origin, m.Msg.seq) in
+      if List.mem key t.seen_events then Alg.Consume
+      else begin
+        remember_event t key;
+        let dests = ref NI.Set.empty in
+        let matched_local = ref false in
+        Hashtbl.iter
+          (fun _ e ->
+            if Predicate.matches e.predicate event then
+              match e.next_hop with
+              | None -> matched_local := true
+              | Some n -> dests := NI.Set.add n !dests)
+          t.table;
+        if !matched_local then begin
+          t.delivered <- t.delivered + 1;
+          t.recent <- event :: t.recent;
+          if List.length t.recent > 128 then
+            t.recent <- List.filteri (fun i _ -> i < 128) t.recent
+        end;
+        match NI.Set.elements !dests with
+        | [] -> Alg.Consume
+        | dests ->
+          t.forwarded <- t.forwarded + 1;
+          Alg.Forward dests
+      end
+
+  let handle t (ctx : Alg.ctx) (m : Msg.t) =
+    match m.Msg.mtype with
+    | Mt.Data when m.app = t.app -> Some (handle_event t m)
+    | Mt.Custom k when k = subscribe_kind && m.app = t.app ->
+      handle_subscribe t ctx m;
+      Some Alg.Consume
+    | _ -> None
+
+  let algorithm t =
+    Ialg.make ~name:"content-router"
+      ~on_start:(fun ctx -> flush_pending t ctx)
+      ~on_tick:(fun ctx -> flush_pending t ctx)
+      (handle t)
+end

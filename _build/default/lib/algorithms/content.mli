@@ -1,0 +1,73 @@
+(** Content-based networking over iOverlay (paper Section 3.1).
+
+    "In content-based networks, messages are not addressed to any
+    specific node; rather, a node advertises predicates that define
+    messages of interest ... Any algorithm in content-based networks
+    boils down to one that makes decisions on which nodes should a
+    message be forwarded to."
+
+    Events are attribute sets (integer key/value pairs); subscriptions
+    are conjunctions of comparisons over attributes. Routers flood
+    subscriptions through the router overlay, remembering for each
+    subscription the neighbour it arrived from; an event is forwarded
+    towards every direction with a matching subscription and delivered
+    to matching local subscribers. Duplicate events (reconvergent
+    router graphs) are suppressed by a bounded dedup cache. *)
+
+module Event : sig
+  type t = (int * int) list
+  (** attribute key -> value; keys should be distinct *)
+
+  val to_payload : t -> Bytes.t
+  val of_payload : Bytes.t -> t option
+  val get : t -> int -> int option
+end
+
+module Predicate : sig
+  type op = Eq | Ne | Lt | Le | Gt | Ge
+
+  type atom = {
+    key : int;
+    op : op;
+    value : int;
+  }
+
+  type t = atom list
+  (** conjunction; the empty predicate matches everything *)
+
+  val atom : int -> op -> int -> atom
+  val matches : t -> Event.t -> bool
+  (** An atom on an absent attribute does not match. *)
+end
+
+module Router : sig
+  type t
+
+  val create : app:int -> unit -> t
+
+  val algorithm : t -> Iov_core.Algorithm.t
+
+  val add_neighbor : t -> Iov_msg.Node_id.t -> unit
+  (** Wires a router-overlay edge (call before the run, or at runtime —
+      new neighbours learn existing subscriptions on the next tick). *)
+
+  val subscribe : t -> id:int -> Predicate.t -> unit
+  (** Registers a local subscription; it floods through the overlay on
+      the next engine tick (or at node start). Subscription ids must
+      be globally unique. *)
+
+  val publish_payload : Event.t -> Bytes.t
+  (** Payload for a [data] message carrying an event; send it to any
+      router of the overlay. *)
+
+  val delivered : t -> int
+  (** Events delivered to local subscriptions. *)
+
+  val delivered_events : t -> Event.t list
+  (** Most recent first, capped at 128. *)
+
+  val known_subscriptions : t -> int
+  (** Routing-table entries (local + remote). *)
+
+  val forwarded : t -> int
+end

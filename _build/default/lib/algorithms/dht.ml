@@ -1,0 +1,418 @@
+module Alg = Iov_core.Algorithm
+module Ialg = Iov_core.Ialgorithm
+module Msg = Iov_msg.Message
+module Mt = Iov_msg.Mtype
+module NI = Iov_msg.Node_id
+module Wire = Iov_msg.Wire
+
+let ring_bits = 16
+let ring_size = 1 lsl ring_bits
+
+(* protocol message kinds *)
+let k_find = 130
+let k_found = 131
+let k_get_pred = 132
+let k_pred_is = 133
+let k_notify = 134
+let k_put = 135
+let k_get = 136
+let k_got = 137
+
+(* FNV-1a (63-bit arithmetic), folded onto the ring *)
+let fnv bytes =
+  let h = ref 0x0bf29ce484222325 in
+  Bytes.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x100000001b3)
+    bytes;
+  let h = !h land max_int in
+  (h lxor (h lsr 32) lxor (h lsr 16)) land (ring_size - 1)
+
+let ring_id ni = fnv (Bytes.of_string (NI.to_string ni))
+let hash_key key = fnv (Bytes.of_string key)
+
+(* (a, b] on the ring; a = b denotes the full circle *)
+let between x a b =
+  if a = b then true
+  else if a < b then a < x && x <= b
+  else x > a || x <= b
+
+type pending =
+  | Find_cb of (NI.t -> unit)
+  | Get_cb of (string option -> unit)
+
+type t = {
+  stabilize_period : float;
+  mutable self_id : int;
+  mutable succ : NI.t option; (* None until started; Some self when alone *)
+  mutable pred : NI.t option;
+  fingers : NI.t option array;
+  mutable next_finger : int;
+  store : (string, string) Hashtbl.t;
+  pending_tbl : (int, pending) Hashtbl.t;
+  mutable req_counter : int;
+  mutable lookups : int;
+  mutable hops : int;
+  mutable started : bool;
+}
+
+let create ?(stabilize_period = 1.0) () =
+  if stabilize_period <= 0. then invalid_arg "Dht.create: stabilize_period";
+  {
+    stabilize_period;
+    self_id = 0;
+    succ = None;
+    pred = None;
+    fingers = Array.make ring_bits None;
+    next_finger = 0;
+    store = Hashtbl.create 16;
+    pending_tbl = Hashtbl.create 8;
+    req_counter = 0;
+    lookups = 0;
+    hops = 0;
+    started = false;
+  }
+
+let id_of t = t.self_id
+let successor t = t.succ
+let predecessor t = t.pred
+let stored t = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.store []
+let lookups_sent t = t.lookups
+let hops_served t = t.hops
+
+let fresh_req t cb =
+  t.req_counter <- t.req_counter + 1;
+  Hashtbl.replace t.pending_tbl t.req_counter cb;
+  t.req_counter
+
+let send_kind (ctx : Alg.ctx) kind payload dst =
+  ctx.send (Msg.control ~mtype:(Mt.Custom kind) ~origin:ctx.self payload) dst
+
+(* the finger (or successor) with the largest ring id in (self, target) *)
+let closest_preceding t (ctx : Alg.ctx) target =
+  let best = ref None in
+  let consider ni =
+    if not (NI.equal ni ctx.self) then begin
+      let nid = ring_id ni in
+      if between nid t.self_id target && target <> nid then
+        match !best with
+        | Some (_, bid) when between nid t.self_id bid || bid = nid -> ()
+        | Some _ | None -> best := Some (ni, nid)
+    end
+  in
+  Array.iter (function Some ni -> consider ni | None -> ()) t.fingers;
+  (match t.succ with Some s -> consider s | None -> ());
+  match !best with
+  | Some (ni, _) -> Some ni
+  | None -> t.succ
+
+(* Answer or forward a find-successor query for [target]; the reply
+   (kind [k_found], carrying [req]) goes straight to [reply_to]. *)
+let rec route_find t (ctx : Alg.ctx) ~target ~req ~reply_to =
+  t.hops <- t.hops + 1;
+  match t.succ with
+  | None -> ()
+  | Some succ ->
+    let succ_id = ring_id succ in
+    if NI.equal succ ctx.self || between target t.self_id succ_id then begin
+      let w = Wire.W.create () in
+      Wire.W.int32 w req;
+      Wire.W.node w succ;
+      send_kind ctx k_found (Wire.W.contents w) reply_to
+    end
+    else begin
+      match closest_preceding t ctx target with
+      | Some next when not (NI.equal next ctx.self) ->
+        let w = Wire.W.create () in
+        Wire.W.int32 w target;
+        Wire.W.int32 w req;
+        Wire.W.node w reply_to;
+        send_kind ctx k_find (Wire.W.contents w) next
+      | Some _ | None ->
+        (* degenerate: answer with our successor *)
+        let w = Wire.W.create () in
+        Wire.W.int32 w req;
+        Wire.W.node w succ;
+        send_kind ctx k_found (Wire.W.contents w) reply_to
+    end
+
+and find_successor t (ctx : Alg.ctx) target cb =
+  t.lookups <- t.lookups + 1;
+  let req = fresh_req t (Find_cb cb) in
+  route_find t ctx ~target ~req ~reply_to:ctx.self
+
+(* am I responsible for [h]? *)
+let responsible t h =
+  match t.pred with
+  | None -> true (* alone, or predecessor unknown: accept *)
+  | Some p -> between h (ring_id p) t.self_id
+
+(* hand off any keys a (new) predecessor now owns *)
+let shed_keys t (ctx : Alg.ctx) =
+  match t.pred with
+  | None -> ()
+  | Some p ->
+    let moving =
+      Hashtbl.fold
+        (fun k v acc -> if responsible t (hash_key k) then acc else (k, v) :: acc)
+        t.store []
+    in
+    List.iter
+      (fun (k, v) ->
+        Hashtbl.remove t.store k;
+        let w = Wire.W.create () in
+        Wire.W.string w k;
+        Wire.W.string w v;
+        send_kind ctx k_put (Wire.W.contents w) p)
+      moving
+
+(* route a put/get one step: store/answer locally when responsible,
+   otherwise forward toward the key *)
+let route_put t ctx ~key ~value =
+  let h = hash_key key in
+  if responsible t h then Hashtbl.replace t.store key value
+  else begin
+    let next =
+      match closest_preceding t ctx h with
+      | Some n when not (NI.equal n ctx.self) -> Some n
+      | Some _ | None -> t.succ
+    in
+    match next with
+    | Some n when not (NI.equal n ctx.self) ->
+      let w = Wire.W.create () in
+      Wire.W.string w key;
+      Wire.W.string w value;
+      send_kind ctx k_put (Wire.W.contents w) n
+    | Some _ | None -> Hashtbl.replace t.store key value
+  end
+
+let route_get t ctx ~key ~req ~reply_to =
+  let h = hash_key key in
+  if responsible t h then begin
+    let w = Wire.W.create () in
+    Wire.W.int32 w req;
+    (match Hashtbl.find_opt t.store key with
+    | Some v ->
+      Wire.W.int32 w 1;
+      Wire.W.string w v
+    | None -> Wire.W.int32 w 0);
+    send_kind ctx k_got (Wire.W.contents w) reply_to
+  end
+  else begin
+    let next =
+      match closest_preceding t ctx h with
+      | Some n when not (NI.equal n ctx.self) -> Some n
+      | Some _ | None -> t.succ
+    in
+    match next with
+    | Some n when not (NI.equal n ctx.self) ->
+      let w = Wire.W.create () in
+      Wire.W.string w key;
+      Wire.W.int32 w req;
+      Wire.W.node w reply_to;
+      send_kind ctx k_get (Wire.W.contents w) n
+    | Some _ | None ->
+      let w = Wire.W.create () in
+      Wire.W.int32 w req;
+      Wire.W.int32 w 0;
+      send_kind ctx k_got (Wire.W.contents w) reply_to
+  end
+
+let put t ctx ~key value = route_put t ctx ~key ~value
+
+let get t ctx ~key cb =
+  let req = fresh_req t (Get_cb cb) in
+  route_get t ctx ~key ~req ~reply_to:ctx.Alg.self
+
+(* ------------------------------------------------------------------ *)
+(* Ring maintenance                                                    *)
+
+(* join: ask any existing member for our successor. Retried from the
+   tick while we still stand alone — the bootstrap reply carrying the
+   first known hosts arrives after node start. *)
+let try_join t (ctx : Alg.ctx) =
+  let standalone =
+    match t.succ with Some s -> NI.equal s ctx.self | None -> true
+  in
+  if standalone && t.pred = None then
+    match ctx.known_hosts () with
+    | [] -> ()
+    | anchor :: _ ->
+      t.lookups <- t.lookups + 1;
+      let req =
+        fresh_req t
+          (Find_cb
+             (fun s -> if not (NI.equal s ctx.self) then t.succ <- Some s))
+      in
+      let w = Wire.W.create () in
+      Wire.W.int32 w t.self_id;
+      Wire.W.int32 w req;
+      Wire.W.node w ctx.self;
+      send_kind ctx k_find (Wire.W.contents w) anchor
+
+let start t (ctx : Alg.ctx) =
+  if not t.started then begin
+    t.started <- true;
+    t.self_id <- ring_id ctx.self;
+    t.succ <- Some ctx.self;
+    try_join t ctx
+  end
+
+let stabilize t (ctx : Alg.ctx) =
+  match t.succ with
+  | Some succ when not (NI.equal succ ctx.self) ->
+    send_kind ctx k_get_pred Bytes.empty succ
+  | Some _ | None -> (
+    (* alone: adopt the predecessor as successor if one appeared *)
+    match t.pred with
+    | Some p when not (NI.equal p ctx.self) -> t.succ <- Some p
+    | Some _ | None -> ())
+
+let notify_succ t (ctx : Alg.ctx) =
+  match t.succ with
+  | Some succ when not (NI.equal succ ctx.self) ->
+    send_kind ctx k_notify Bytes.empty succ
+  | Some _ | None -> ()
+
+let fix_one_finger t (ctx : Alg.ctx) =
+  let k = t.next_finger in
+  t.next_finger <- (t.next_finger + 1) mod ring_bits;
+  let target = (t.self_id + (1 lsl k)) land (ring_size - 1) in
+  find_successor t ctx target (fun s -> t.fingers.(k) <- Some s)
+
+(* ------------------------------------------------------------------ *)
+
+let handle t (ctx : Alg.ctx) (m : Msg.t) =
+  let r () = Wire.R.of_bytes m.Msg.payload in
+  match m.Msg.mtype with
+  | Mt.Boot_reply ->
+    (* record the hosts (base-class behaviour), then join through one *)
+    ignore (Ialg.default ctx m);
+    if t.started then try_join t ctx;
+    Some Alg.Consume
+  | Mt.Custom k when k = k_find -> (
+    (try
+       let rd = r () in
+       let target = Wire.R.int32 rd in
+       let req = Wire.R.int32 rd in
+       let reply_to = Wire.R.node rd in
+       route_find t ctx ~target ~req ~reply_to
+     with Wire.Truncated -> ());
+    Some Alg.Consume)
+  | Mt.Custom k when k = k_found -> (
+    (try
+       let rd = r () in
+       let req = Wire.R.int32 rd in
+       let node = Wire.R.node rd in
+       ctx.add_known_host node;
+       match Hashtbl.find_opt t.pending_tbl req with
+       | Some (Find_cb cb) ->
+         Hashtbl.remove t.pending_tbl req;
+         cb node
+       | Some (Get_cb _) | None -> ()
+     with Wire.Truncated -> ());
+    Some Alg.Consume)
+  | Mt.Custom k when k = k_get_pred ->
+    (let w = Wire.W.create () in
+     (match t.pred with
+     | Some p ->
+       Wire.W.int32 w 1;
+       Wire.W.node w p
+     | None -> Wire.W.int32 w 0);
+     send_kind ctx k_pred_is (Wire.W.contents w) m.origin);
+    Some Alg.Consume
+  | Mt.Custom k when k = k_pred_is -> (
+    (try
+       let rd = r () in
+       if Wire.R.int32 rd = 1 then begin
+         let x = Wire.R.node rd in
+         match t.succ with
+         | Some succ
+           when (not (NI.equal x ctx.self))
+                && between (ring_id x) t.self_id (ring_id succ)
+                && not (NI.equal x succ) ->
+           t.succ <- Some x
+         | Some _ | None -> ()
+       end;
+       notify_succ t ctx
+     with Wire.Truncated -> ());
+    Some Alg.Consume)
+  | Mt.Custom k when k = k_notify ->
+    (let cand = m.origin in
+     (match t.pred with
+     | None -> t.pred <- Some cand
+     | Some p
+       when between (ring_id cand) (ring_id p) t.self_id
+            && not (NI.equal cand ctx.self) ->
+       t.pred <- Some cand
+     | Some _ -> ());
+     shed_keys t ctx);
+    Some Alg.Consume
+  | Mt.Custom k when k = k_put -> (
+    (try
+       let rd = r () in
+       let key = Wire.R.string rd in
+       let value = Wire.R.string rd in
+       route_put t ctx ~key ~value
+     with Wire.Truncated -> ());
+    Some Alg.Consume)
+  | Mt.Custom k when k = k_get -> (
+    (try
+       let rd = r () in
+       let key = Wire.R.string rd in
+       let req = Wire.R.int32 rd in
+       let reply_to = Wire.R.node rd in
+       route_get t ctx ~key ~req ~reply_to
+     with Wire.Truncated -> ());
+    Some Alg.Consume)
+  | Mt.Custom k when k = k_got -> (
+    (try
+       let rd = r () in
+       let req = Wire.R.int32 rd in
+       let has = Wire.R.int32 rd in
+       let value = if has = 1 then Some (Wire.R.string rd) else None in
+       match Hashtbl.find_opt t.pending_tbl req with
+       | Some (Get_cb cb) ->
+         Hashtbl.remove t.pending_tbl req;
+         cb value
+       | Some (Find_cb _) | None -> ()
+     with Wire.Truncated -> ());
+    Some Alg.Consume)
+  | Mt.Link_failed ->
+    (let peer = m.origin in
+     (match t.succ with
+     | Some s when NI.equal s peer ->
+       (* fall back to a live finger, else stand alone *)
+       let alt =
+         Array.fold_left
+           (fun acc f ->
+             match (acc, f) with
+             | None, Some ni when not (NI.equal ni peer) -> Some ni
+             | _ -> acc)
+           None t.fingers
+       in
+       t.succ <- (match alt with Some a -> Some a | None -> Some ctx.self)
+     | Some _ | None -> ());
+     (match t.pred with
+     | Some p when NI.equal p peer -> t.pred <- None
+     | Some _ | None -> ());
+     Array.iteri
+       (fun i f ->
+         match f with
+         | Some ni when NI.equal ni peer -> t.fingers.(i) <- None
+         | Some _ | None -> ())
+       t.fingers);
+    Some Alg.Consume
+  | _ -> None
+
+let algorithm t =
+  Ialg.make ~name:"dht"
+    ~on_start:(fun ctx -> start t ctx)
+    ~on_tick:(fun ctx ->
+      if t.started then begin
+        try_join t ctx;
+        stabilize t ctx;
+        fix_one_finger t ctx
+      end)
+    (handle t)

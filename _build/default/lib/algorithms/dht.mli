@@ -1,0 +1,61 @@
+(** A Chord-style structured search protocol on iOverlay.
+
+    The paper's opening motivation lists "structured search protocols
+    such as Pastry and Chord" among the overlay applications whose
+    supporting infrastructure iOverlay eliminates; this module
+    demonstrates the claim by implementing a Chord-like distributed
+    hash table purely against the algorithm interface: consistent
+    hashing on a 2^16 ring, successor/predecessor stabilization,
+    finger tables fixed lazily, and greedy key routing.
+
+    All protocol traffic is control-path messages ([Custom] kinds);
+    node failures surface through [LinkFailed]/stabilization and heal
+    the ring. The implementation favours clarity over Chord's full
+    concurrency story — joins should be spaced a stabilization period
+    apart, as in the original paper's evaluation. *)
+
+val ring_bits : int
+(** 16: identifiers live in [0, 65535]. *)
+
+val ring_id : Iov_msg.Node_id.t -> int
+(** The deterministic ring position of a node. *)
+
+val hash_key : string -> int
+(** The ring position of a key. *)
+
+val between : int -> int -> int -> bool
+(** [between x a b]: does [x] lie in the half-open ring interval
+    (a, b]? (With [a = b] the interval is the whole ring.) *)
+
+type t
+
+val create : ?stabilize_period:float -> unit -> t
+(** [stabilize_period] (seconds, default 1.0) paces stabilization and
+    finger maintenance, via the engine tick. *)
+
+val algorithm : t -> Iov_core.Algorithm.t
+(** The node bootstraps from its KnownHosts: with none, it starts a
+    fresh ring; otherwise it joins through any known host. *)
+
+val put : t -> Iov_core.Algorithm.ctx -> key:string -> string -> unit
+(** Routes the binding to the key's successor. *)
+
+val get :
+  t -> Iov_core.Algorithm.ctx -> key:string ->
+  (string option -> unit) -> unit
+(** Routes a lookup; the callback fires with the value (or [None])
+    when the reply returns. *)
+
+(** {1 Inspection} *)
+
+val id_of : t -> int
+(** This node's ring id (0 until started). *)
+
+val successor : t -> Iov_msg.Node_id.t option
+val predecessor : t -> Iov_msg.Node_id.t option
+val stored : t -> (string * string) list
+(** Key/value pairs this node is responsible for. *)
+
+val lookups_sent : t -> int
+val hops_served : t -> int
+(** find-successor steps this node answered or forwarded. *)

@@ -1,0 +1,83 @@
+module Alg = Iov_core.Algorithm
+module Ialg = Iov_core.Ialgorithm
+module Msg = Iov_msg.Message
+module Mt = Iov_msg.Mtype
+module NI = Iov_msg.Node_id
+
+type route = {
+  mutable ups : NI.Set.t;
+  mutable downs : NI.t list;
+}
+
+type t = {
+  routes : (int, route) Hashtbl.t;
+  mutable torn_down : int list;
+}
+
+let create () = { routes = Hashtbl.create 4; torn_down = [] }
+
+let set_route t ~app ?(upstreams = []) ~downstreams () =
+  Hashtbl.replace t.routes app
+    { ups = NI.Set.of_list upstreams; downs = downstreams }
+
+let clear_route t ~app = Hashtbl.remove t.routes app
+
+let downstreams t ~app =
+  match Hashtbl.find_opt t.routes app with Some r -> r.downs | None -> []
+
+let upstreams t ~app =
+  match Hashtbl.find_opt t.routes app with
+  | Some r -> NI.Set.elements r.ups
+  | None -> []
+
+let apps t = Hashtbl.fold (fun app _ acc -> app :: acc) t.routes []
+let broken_sources t = t.torn_down
+
+(* The application's last upstream vanished: clear the entry and let
+   the downstreams know their source is broken. *)
+let tear_down t (ctx : Alg.ctx) app (r : route) =
+  t.torn_down <- app :: t.torn_down;
+  Hashtbl.remove t.routes app;
+  List.iter
+    (fun d ->
+      ctx.send (Msg.control ~mtype:Mt.Broken_source ~origin:ctx.self ~app Bytes.empty) d)
+    r.downs
+
+let drop_upstream t ctx peer app r =
+  if NI.Set.mem peer r.ups then begin
+    r.ups <- NI.Set.remove peer r.ups;
+    if NI.Set.is_empty r.ups then tear_down t ctx app r
+  end
+
+let handle t (ctx : Alg.ctx) (m : Msg.t) =
+  match m.mtype with
+  | Mt.Data -> (
+    match Hashtbl.find_opt t.routes m.app with
+    | Some { downs = _ :: _ as downs; _ } -> Some (Alg.Forward downs)
+    | Some { downs = []; _ } | None -> Some Alg.Consume)
+  | Mt.Broken_source ->
+    (match Hashtbl.find_opt t.routes m.app with
+    | Some r -> drop_upstream t ctx m.origin m.app r
+    | None -> ());
+    Some Alg.Consume
+  | Mt.Link_failed ->
+    (* an engine notification; params = (1, _) marks an outgoing link *)
+    let outgoing = match Msg.params m with Some (1, _) -> true | _ -> false in
+    let peer = m.origin in
+    if outgoing then
+      Hashtbl.iter
+        (fun _ r -> r.downs <- List.filter (fun d -> not (NI.equal d peer)) r.downs)
+        t.routes
+    else begin
+      let affected =
+        Hashtbl.fold
+          (fun app r acc ->
+            if NI.Set.mem peer r.ups then (app, r) :: acc else acc)
+          t.routes []
+      in
+      List.iter (fun (app, r) -> drop_upstream t ctx peer app r) affected
+    end;
+    Some Alg.Consume
+  | _ -> None
+
+let algorithm t = Ialg.make ~name:"flood" (handle t)

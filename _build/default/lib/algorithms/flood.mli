@@ -1,0 +1,37 @@
+(** Copy-forward multicast — the paper's "simple algorithm that
+    identical copies of the messages are sent to all downstream
+    nodes".
+
+    Each node instance holds a per-application routing entry: the set
+    of upstream nodes it expects traffic from and the downstream nodes
+    it copies data to. Data for an application with no entry (or an
+    empty downstream set) is consumed locally — the node is a pure
+    receiver.
+
+    Failure semantics implement the paper's Domino Effect: when every
+    upstream of an application is gone (a [LinkFailed] engine
+    notification or a [BrokenSource] from above), the node clears the
+    entry and propagates [BrokenSource] to its downstreams. *)
+
+type t
+
+val create : unit -> t
+
+val algorithm : t -> Iov_core.Algorithm.t
+
+val set_route :
+  t -> app:int -> ?upstreams:Iov_msg.Node_id.t list ->
+  downstreams:Iov_msg.Node_id.t list -> unit -> unit
+(** Installs or replaces the routing entry for [app]. *)
+
+val clear_route : t -> app:int -> unit
+
+val downstreams : t -> app:int -> Iov_msg.Node_id.t list
+val upstreams : t -> app:int -> Iov_msg.Node_id.t list
+
+val apps : t -> int list
+(** Applications with a live entry. *)
+
+val broken_sources : t -> int list
+(** Applications torn down by the Domino Effect so far (most recent
+    first). *)

@@ -1,0 +1,99 @@
+module Alg = Iov_core.Algorithm
+module Ialg = Iov_core.Ialgorithm
+module Msg = Iov_msg.Message
+module Mt = Iov_msg.Mtype
+module NI = Iov_msg.Node_id
+module Wire = Iov_msg.Wire
+
+let combine parts =
+  let w = Wire.W.create () in
+  Wire.W.int32 w (List.length parts);
+  List.iter (fun p -> Wire.W.string w (Bytes.to_string p)) parts;
+  Wire.W.contents w
+
+let split payload =
+  try
+    let r = Wire.R.of_bytes payload in
+    let n = Wire.R.int32 r in
+    if n < 0 || n > 4096 then None
+    else Some (List.init n (fun _ -> Bytes.of_string (Wire.R.string r)))
+  with Wire.Truncated -> None
+
+type gen = {
+  slots : Bytes.t option array;
+  mutable filled : int;
+}
+
+type t = {
+  k : int;
+  app : int;
+  dests : NI.t list;
+  gens : (int, gen) Hashtbl.t;
+  ready : Msg.t Queue.t;
+  mutable held : int;
+  mutable emitted : int;
+}
+
+let create ~k ~app ~dests () =
+  if k <= 0 then invalid_arg "Merge.create: k";
+  {
+    k;
+    app;
+    dests;
+    gens = Hashtbl.create 64;
+    ready = Queue.create ();
+    held = 0;
+    emitted = 0;
+  }
+
+let held t = t.held
+let emitted t = t.emitted
+
+let flush t (ctx : Alg.ctx) =
+  let progress = ref true in
+  while (not (Queue.is_empty t.ready)) && !progress do
+    if List.for_all ctx.can_send t.dests then begin
+      let m = Queue.pop t.ready in
+      List.iter (ctx.send m) t.dests;
+      t.emitted <- t.emitted + 1
+    end
+    else progress := false
+  done
+
+let handle t (ctx : Alg.ctx) (m : Msg.t) =
+  match m.Msg.mtype with
+  | Mt.Data when m.app = t.app ->
+    let gen_no = m.seq / t.k in
+    let index = m.seq mod t.k in
+    let g =
+      match Hashtbl.find_opt t.gens gen_no with
+      | Some g -> g
+      | None ->
+        let g = { slots = Array.make t.k None; filled = 0 } in
+        Hashtbl.add t.gens gen_no g;
+        g
+    in
+    (match g.slots.(index) with
+    | None ->
+      g.slots.(index) <- Some m.payload;
+      g.filled <- g.filled + 1;
+      t.held <- t.held + 1
+    | Some _ -> ());
+    if g.filled = t.k then begin
+      let parts =
+        Array.to_list
+          (Array.map (function Some b -> b | None -> assert false) g.slots)
+      in
+      Hashtbl.remove t.gens gen_no;
+      t.held <- t.held - t.k;
+      let out =
+        Msg.data ~origin:ctx.self ~app:t.app ~seq:gen_no (combine parts)
+      in
+      Queue.push out t.ready;
+      flush t ctx
+    end;
+    Some Alg.Hold
+  | _ -> None
+
+let algorithm t =
+  Ialg.make ~name:"merge" ~on_ready:(fun ctx _ -> flush t ctx) (handle t)

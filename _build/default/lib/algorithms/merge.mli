@@ -1,0 +1,30 @@
+(** Message merging at overlay nodes — the paper's other use of the
+    hold mechanism ("we have successfully implemented algorithms that
+    perform overlay multicast with merging or network coding").
+
+    A merge node holds one message per upstream stream per generation
+    (like the coder) and emits a single combined message whose payload
+    is the concatenation of the inputs in stream order, each segment
+    length-prefixed. Receivers split the merged payload back into the
+    original parts. Useful for aggregation trees: k small upstream
+    reports leave as one downstream message, paying one header instead
+    of k. *)
+
+val combine : Bytes.t list -> Bytes.t
+(** Length-prefixed concatenation. *)
+
+val split : Bytes.t -> Bytes.t list option
+(** Inverse of {!combine}; [None] on malformed input. *)
+
+type t
+
+val create : k:int -> app:int -> dests:Iov_msg.Node_id.t list -> unit -> t
+(** Merges [k] upstream streams. Generation [g] consists of the
+    messages with sequence numbers [g*k .. g*k+k-1], one per stream
+    index (the {!Coding.Frame}-free convention: stream index =
+    [seq mod k]). *)
+
+val algorithm : t -> Iov_core.Algorithm.t
+
+val held : t -> int
+val emitted : t -> int

@@ -1,0 +1,56 @@
+module Alg = Iov_core.Algorithm
+module Msg = Iov_msg.Message
+module NI = Iov_msg.Node_id
+
+type dest = { dst : NI.t; mutable cursor : int }
+
+type t = {
+  app : int;
+  payload_size : int;
+  mutable dlist : dest list;
+  mutable running : bool;
+  mutable total : int;
+}
+
+let create ~app ?(payload_size = 5 * 1024) () =
+  if payload_size <= 0 then invalid_arg "Pump.create: payload_size";
+  { app; payload_size; dlist = []; running = false; total = 0 }
+
+let running t = t.running
+let sent t = t.total
+let dests t = List.map (fun d -> d.dst) t.dlist
+
+let generate_for t (ctx : Alg.ctx) d =
+  while t.running && ctx.can_send d.dst do
+    let m =
+      Msg.data ~origin:ctx.self ~app:t.app ~seq:d.cursor
+        (Bytes.make t.payload_size 'x')
+    in
+    ctx.send m d.dst;
+    d.cursor <- d.cursor + 1;
+    t.total <- t.total + 1
+  done
+
+let start t ctx =
+  if not t.running then begin
+    t.running <- true;
+    List.iter (generate_for t ctx) t.dlist
+  end
+
+let stop t = t.running <- false
+
+let add_dest t ctx dst =
+  if not (List.exists (fun d -> NI.equal d.dst dst) t.dlist) then begin
+    let d = { dst; cursor = 0 } in
+    t.dlist <- t.dlist @ [ d ];
+    if t.running then generate_for t ctx d
+  end
+
+let remove_dest t dst =
+  t.dlist <- List.filter (fun d -> not (NI.equal d.dst dst)) t.dlist
+
+let on_ready t ctx peer =
+  if t.running then
+    match List.find_opt (fun d -> NI.equal d.dst peer) t.dlist with
+    | Some d -> generate_for t ctx d
+    | None -> ()

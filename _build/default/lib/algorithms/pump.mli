@@ -1,0 +1,25 @@
+(** Back-to-back data generation towards a dynamic set of
+    destinations, paced per-connection by the engine's back pressure.
+    Shared by algorithms that embed a data source (trees, service
+    federation). *)
+
+type t
+
+val create : app:int -> ?payload_size:int -> unit -> t
+(** Default payload size: the paper's 5 KB. *)
+
+val start : t -> Iov_core.Algorithm.ctx -> unit
+val stop : t -> unit
+val running : t -> bool
+
+val add_dest : t -> Iov_core.Algorithm.ctx -> Iov_msg.Node_id.t -> unit
+(** New destinations begin at sequence 0; generation starts
+    immediately if the pump is running. *)
+
+val remove_dest : t -> Iov_msg.Node_id.t -> unit
+val dests : t -> Iov_msg.Node_id.t list
+
+val on_ready : t -> Iov_core.Algorithm.ctx -> Iov_msg.Node_id.t -> unit
+(** Wire into the algorithm's [on_ready]. *)
+
+val sent : t -> int

@@ -1,0 +1,136 @@
+module Alg = Iov_core.Algorithm
+module Ialg = Iov_core.Ialgorithm
+module Msg = Iov_msg.Message
+module Mt = Iov_msg.Mtype
+module NI = Iov_msg.Node_id
+
+let refusal_kind = 120
+
+type policy = {
+  relay_budget : float;
+  altruism : float;
+  max_children : int;
+}
+
+let default_policy =
+  { relay_budget = 50. *. 1024.; altruism = 1.0; max_children = 4 }
+
+type t = {
+  policy : policy;
+  app : int;
+  mutable kids : NI.t list; (* admission order, oldest first *)
+  mutable n_accepted : int;
+  mutable n_rejected : int;
+  mutable n_shed : int;
+}
+
+let create ?(policy = default_policy) ~app () =
+  if policy.relay_budget < 0. || policy.altruism < 0. then
+    invalid_arg "Rational.create: policy";
+  if policy.max_children < 0 then invalid_arg "Rational.create: max_children";
+  { policy; app; kids = []; n_accepted = 0; n_rejected = 0; n_shed = 0 }
+
+let children t = t.kids
+let accepted t = t.n_accepted
+let rejected t = t.n_rejected
+let shed t = t.n_shed
+
+let forwarded_rate t (ctx : Alg.ctx) =
+  List.fold_left (fun acc c -> acc +. ctx.down_throughput c) 0. t.kids
+
+let received_rate (ctx : Alg.ctx) =
+  List.fold_left
+    (fun acc u -> acc +. ctx.up_throughput u)
+    0. (ctx.upstreams ())
+
+(* The local calculation behind admission: would one more child keep
+   contribution within budget plus tolerated altruism? The marginal
+   cost of a child is (approximately) one more copy of the received
+   stream. *)
+let admits t ctx =
+  List.length t.kids < t.policy.max_children
+  &&
+  let recv = received_rate ctx in
+  let next_contribution = forwarded_rate t ctx +. recv in
+  next_contribution
+  <= t.policy.relay_budget +. ((1. +. t.policy.altruism) *. recv)
+
+let drop_child t child =
+  t.kids <- List.filter (fun c -> not (NI.equal c child)) t.kids
+
+let shed_child t (ctx : Alg.ctx) =
+  match t.kids with
+  | [] -> ()
+  | oldest :: rest ->
+    (* newest-admitted children are shed first: earlier commitments
+       are honoured longest *)
+    let newest = List.fold_left (fun _ c -> c) oldest rest in
+    ctx.send
+      (Msg.control ~mtype:Mt.Broken_source ~origin:ctx.self ~app:t.app
+         Bytes.empty)
+      newest;
+    drop_child t newest;
+    t.n_shed <- t.n_shed + 1
+
+(* Shedding tolerates a 10% margin over the admission threshold:
+   measured window rates fluctuate, and an admitted child should not
+   be dropped over measurement noise. *)
+let enforce t ctx =
+  let recv = received_rate ctx in
+  if
+    t.kids <> []
+    && forwarded_rate t ctx
+       > 1.1 *. (t.policy.relay_budget +. ((1. +. t.policy.altruism) *. recv))
+  then shed_child t ctx
+
+let handle t (ctx : Alg.ctx) (m : Msg.t) =
+  match m.Msg.mtype with
+  | Mt.Data when m.app = t.app -> (
+    match t.kids with
+    | [] -> Some Alg.Consume
+    | kids -> Some (Alg.Forward kids))
+  | Mt.S_query when m.app = t.app ->
+    let joiner = m.origin in
+    if List.exists (NI.equal joiner) t.kids then
+      (* idempotent re-ack *)
+      ctx.send
+        (Msg.control ~mtype:Mt.S_query_ack ~origin:ctx.self ~app:t.app
+           Bytes.empty)
+        joiner
+    else if admits t ctx then begin
+      t.kids <- t.kids @ [ joiner ];
+      t.n_accepted <- t.n_accepted + 1;
+      ctx.send
+        (Msg.control ~mtype:Mt.S_query_ack ~origin:ctx.self ~app:t.app
+           Bytes.empty)
+        joiner
+    end
+    else begin
+      t.n_rejected <- t.n_rejected + 1;
+      ctx.send
+        (Msg.with_params ~mtype:(Mt.Custom refusal_kind) ~origin:ctx.self
+           ~app:t.app 0 0)
+        joiner
+    end;
+    Some Alg.Consume
+  | Mt.Broken_source when m.app = t.app ->
+    (* upstream broke: release the children *)
+    List.iter
+      (fun c ->
+        ctx.send
+          (Msg.control ~mtype:Mt.Broken_source ~origin:ctx.self ~app:t.app
+             Bytes.empty)
+          c)
+      t.kids;
+    t.kids <- [];
+    Some Alg.Consume
+  | Mt.Link_failed ->
+    drop_child t m.origin;
+    Some Alg.Consume
+  | Mt.S_leave when m.app = t.app ->
+    drop_child t m.origin;
+    Some Alg.Consume
+  | _ -> None
+
+let algorithm t =
+  Ialg.make ~name:"rational" ~on_tick:(fun ctx -> enforce t ctx) (handle t)

@@ -1,0 +1,50 @@
+(** Load balancing, rationality and self-interests (paper
+    Section 3.1).
+
+    "Nodes may not be able to relay messages, accept new child nodes
+    in a topology, or give precedence to certain traffic flows, due to
+    the lack of incentives. iOverlay naturally supports such
+    algorithms that seek to engineer and exchange incentives across
+    nodes."
+
+    This algorithm wraps a dissemination relay with a rational policy:
+    the node contributes relay bandwidth only up to a budget, earns
+    credit from upstream payments piggybacked on traffic, and declines
+    join requests (or sheds existing children) once its contribution
+    outweighs its earnings by more than a tolerance. Join admission is
+    the paper's "elaborate local calculation to determine whether ...
+    a new join request should be acknowledged". *)
+
+type policy = {
+  relay_budget : float;
+      (** bytes/second the node volunteers for free *)
+  altruism : float;
+      (** extra forwarded-to-received ratio tolerated beyond 1.0;
+          e.g. 0.5 accepts forwarding 1.5x what it receives *)
+  max_children : int;
+}
+
+val default_policy : policy
+(** 50 KBps budget, altruism 1.0, at most 4 children. *)
+
+type t
+
+val create : ?policy:policy -> app:int -> unit -> t
+
+val algorithm : t -> Iov_core.Algorithm.t
+(** Handles [sQuery] join requests with admission control: accepted
+    joiners become children served with data; rejected joiners get a
+    [Custom] refusal and must try elsewhere. Data for [app] is relayed
+    to accepted children while the rational constraint holds; when
+    contribution exceeds tolerance the least-recent child is shed
+    (with [BrokenSource]). *)
+
+val children : t -> Iov_msg.Node_id.t list
+val accepted : t -> int
+val rejected : t -> int
+val shed : t -> int
+(** Children dropped after admission because contribution ran over
+    budget. *)
+
+val refusal_kind : int
+(** The [Custom] control type carrying refusals. *)

@@ -1,0 +1,441 @@
+module Alg = Iov_core.Algorithm
+module Ialg = Iov_core.Ialgorithm
+module Msg = Iov_msg.Message
+module Mt = Iov_msg.Mtype
+module NI = Iov_msg.Node_id
+module Wire = Iov_msg.Wire
+
+let fed_ack_kind = 103
+
+module Req = struct
+  type t = {
+    edges : (int * int) list;
+    source : int;
+    sink : int;
+  }
+
+  let consumers t ty =
+    List.filter_map (fun (a, b) -> if a = ty then Some b else None) t.edges
+
+  let types t =
+    List.sort_uniq Int.compare
+      (List.concat_map (fun (a, b) -> [ a; b ]) t.edges)
+
+  let make ~edges ~source ~sink =
+    if edges = [] then invalid_arg "Req.make: no edges";
+    let t = { edges; source; sink } in
+    if consumers t sink <> [] then invalid_arg "Req.make: sink has consumers";
+    let tys = types t in
+    (* acyclicity: DFS with three colors over every type *)
+    let color = Hashtbl.create 8 in
+    let rec visit ty =
+      match Hashtbl.find_opt color ty with
+      | Some `Done -> ()
+      | Some `Active -> invalid_arg "Req.make: cycle"
+      | None ->
+        Hashtbl.replace color ty `Active;
+        List.iter visit (consumers t ty);
+        Hashtbl.replace color ty `Done
+    in
+    List.iter visit tys;
+    (* reachability from the source *)
+    let reachable = Hashtbl.create 8 in
+    let rec reach ty =
+      if not (Hashtbl.mem reachable ty) then begin
+        Hashtbl.replace reachable ty ();
+        List.iter reach (consumers t ty)
+      end
+    in
+    reach source;
+    List.iter
+      (fun ty ->
+        if not (Hashtbl.mem reachable ty) then
+          invalid_arg "Req.make: type unreachable from source")
+      tys;
+    if not (Hashtbl.mem reachable sink) then
+      invalid_arg "Req.make: sink unreachable";
+    t
+
+  let linear tys =
+    match tys with
+    | a :: (_ :: _ as rest) ->
+      let rec pair x = function
+        | [] -> []
+        | y :: tl -> (x, y) :: pair y tl
+      in
+      let last = List.nth tys (List.length tys - 1) in
+      make ~edges:(pair a rest) ~source:a ~sink:last
+    | [ _ ] | [] -> invalid_arg "Req.linear: need at least two stages"
+
+  let to_payload t w =
+    Wire.W.int32 w t.source;
+    Wire.W.int32 w t.sink;
+    Wire.W.int32 w (List.length t.edges);
+    List.iter
+      (fun (a, b) ->
+        Wire.W.int32 w a;
+        Wire.W.int32 w b)
+      t.edges
+
+  let of_payload r =
+    let source = Wire.R.int32 r in
+    let sink = Wire.R.int32 r in
+    let n = Wire.R.int32 r in
+    if n <= 0 then raise Wire.Truncated;
+    let edges =
+      List.init n (fun _ ->
+          let a = Wire.R.int32 r in
+          let b = Wire.R.int32 r in
+          (a, b))
+    in
+    { edges; source; sink }
+end
+
+type strategy = [ `Sflow | `Fixed | `Random ]
+
+let strategy_name = function
+  | `Sflow -> "sFlow"
+  | `Fixed -> "fixed"
+  | `Random -> "random"
+
+type session = {
+  requester : NI.t option; (* None: this node is the federation source *)
+  req : Req.t;
+  mutable children : NI.t list;
+  mutable awaiting : int; (* children acks outstanding *)
+  mutable acked : bool; (* ack already sent upstream *)
+  mutable extra_requesters : NI.t list;
+      (* reconvergent DAG branches that selected this same instance
+         while federation was still in progress *)
+  pump : Pump.t;
+}
+
+type t = {
+  strategy : strategy;
+  advertised_bw : float;
+  aware_fanout : int;
+  aware_ttl : int;
+  deploy_data : bool;
+  mutable announced_to : NI.Set.t;
+  mutable stype : int option;
+  dir : (int, (NI.t * float) list ref) Hashtbl.t;
+  mutable aware_seen : NI.Set.t;
+  sessions : (int, session) Hashtbl.t;
+  mutable completed : int;
+  mutable failures : int;
+}
+
+let create ~strategy ?(advertised_bw = 100. *. 1024.) ?(aware_fanout = 2)
+    ?(aware_ttl = 16) ?(deploy_data = true) () =
+  if advertised_bw <= 0. then invalid_arg "Sflow.create: advertised_bw";
+  {
+    strategy;
+    advertised_bw;
+    aware_fanout;
+    aware_ttl;
+    deploy_data;
+    announced_to = NI.Set.empty;
+    stype = None;
+    dir = Hashtbl.create 8;
+    aware_seen = NI.Set.empty;
+    sessions = Hashtbl.create 8;
+    completed = 0;
+    failures = 0;
+  }
+
+let service_type t = t.stype
+
+let directory t =
+  Hashtbl.fold (fun ty l acc -> (ty, List.map fst !l) :: acc) t.dir []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let selected_children t ~app =
+  match Hashtbl.find_opt t.sessions app with
+  | Some s -> s.children
+  | None -> []
+
+let sessions_completed t = t.completed
+let federation_failures t = t.failures
+
+(* ------------------------------------------------------------------ *)
+(* Awareness                                                           *)
+
+let record_instance t ~ty ~inst ~bw =
+  let l =
+    match Hashtbl.find_opt t.dir ty with
+    | Some l -> l
+    | None ->
+      let l = ref [] in
+      Hashtbl.add t.dir ty l;
+      l
+  in
+  if not (List.exists (fun (i, _) -> NI.equal i inst) !l) then
+    l := (inst, bw) :: !l
+
+let aware_payload ~inst ~ty ~bw ~ttl =
+  let w = Wire.W.create () in
+  Wire.W.node w inst;
+  Wire.W.int32 w ty;
+  Wire.W.float w bw;
+  Wire.W.int32 w ttl;
+  Wire.W.contents w
+
+let parse_aware payload =
+  try
+    let r = Wire.R.of_bytes payload in
+    let inst = Wire.R.node r in
+    let ty = Wire.R.int32 r in
+    let bw = Wire.R.float r in
+    let ttl = Wire.R.int32 r in
+    Some (inst, ty, bw, ttl)
+  with Wire.Truncated -> None
+
+let pick_random rng k l =
+  let a = Array.of_list l in
+  let n = Array.length a in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list (Array.sub a 0 (Stdlib.min k n))
+
+let send_aware (ctx : Alg.ctx) ~inst ~ty ~bw ~ttl targets =
+  let m =
+    Msg.control ~mtype:Mt.S_aware ~origin:ctx.self
+      (aware_payload ~inst ~ty ~bw ~ttl)
+  in
+  List.iter (fun h -> ctx.send (Msg.clone m) h) targets
+
+(* Announce to every known host not yet notified. Called at assignment
+   and again on each engine tick, so awareness spreads to hosts learned
+   later — and the per-interval overhead decays once everyone knows us
+   (the Fig. 16 behaviour). *)
+let announce_self t (ctx : Alg.ctx) ty =
+  let hosts =
+    List.filter
+      (fun h ->
+        (not (NI.equal h ctx.self)) && not (NI.Set.mem h t.announced_to))
+      (ctx.known_hosts ())
+  in
+  t.announced_to <-
+    List.fold_left (fun s h -> NI.Set.add h s) t.announced_to hosts;
+  send_aware ctx ~inst:ctx.self ~ty ~bw:t.advertised_bw ~ttl:t.aware_ttl
+    hosts
+
+let handle_aware t (ctx : Alg.ctx) payload =
+  match parse_aware payload with
+  | None -> ()
+  | Some (inst, ty, bw, ttl) ->
+    if NI.equal inst ctx.self then ()
+    else if NI.Set.mem inst t.aware_seen && ttl < t.aware_ttl then ()
+    else begin
+      let first_time = not (NI.Set.mem inst t.aware_seen) in
+      t.aware_seen <- NI.Set.add inst t.aware_seen;
+      record_instance t ~ty ~inst ~bw;
+      ctx.add_known_host inst;
+      if first_time && ttl > 0 then
+        match t.stype with
+        | Some _ ->
+          (* a service node relays awareness to the service instances
+             it knows about *)
+          let peers =
+            Hashtbl.fold
+              (fun _ l acc -> List.map fst !l @ acc)
+              t.dir []
+            |> List.filter (fun p ->
+                   not (NI.equal p inst || NI.equal p ctx.self))
+            |> List.sort_uniq NI.compare
+          in
+          send_aware ctx ~inst ~ty ~bw ~ttl:(ttl - 1)
+            (pick_random ctx.rng t.aware_fanout peers)
+        | None ->
+          (* plain overlay nodes gossip it onwards *)
+          let hosts =
+            List.filter
+              (fun h -> not (NI.equal h ctx.self || NI.equal h inst))
+              (ctx.known_hosts ())
+          in
+          send_aware ctx ~inst ~ty ~bw ~ttl:(ttl - 1)
+            (pick_random ctx.rng t.aware_fanout hosts)
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Federation                                                          *)
+
+let send_ack (ctx : Alg.ctx) ~app requester =
+  ctx.send (Msg.with_params ~mtype:(Mt.Custom fed_ack_kind) ~origin:ctx.self ~app 0 0)
+    requester
+
+let complete_session t (s : session) (ctx : Alg.ctx) ~app =
+  if not s.acked then begin
+    s.acked <- true;
+    List.iter (fun up -> send_ack ctx ~app up) s.extra_requesters;
+    s.extra_requesters <- [];
+    match s.requester with
+    | Some up -> send_ack ctx ~app up
+    | None ->
+      (* this node originated the federation: deploy the data streams *)
+      t.completed <- t.completed + 1;
+      if t.deploy_data then begin
+        List.iter (fun c -> Pump.add_dest s.pump ctx c) s.children;
+        Pump.start s.pump ctx
+      end
+  end
+
+let forward_federate (ctx : Alg.ctx) ~app req child =
+  let w = Wire.W.create () in
+  Req.to_payload req w;
+  let m =
+    Msg.control ~mtype:Mt.S_federate ~origin:ctx.self ~app (Wire.W.contents w)
+  in
+  ctx.send m child
+
+(* Select one instance of [ty]; calls [k] with the choice (or [None]
+   when no candidate is known). Selection may be asynchronous: the
+   sFlow strategy measures each candidate first. *)
+let select t (ctx : Alg.ctx) ty k =
+  let candidates =
+    match Hashtbl.find_opt t.dir ty with
+    | Some l -> List.filter (fun (i, _) -> not (NI.equal i ctx.self)) !l
+    | None -> []
+  in
+  match candidates with
+  | [] ->
+    t.failures <- t.failures + 1;
+    k None
+  | [ (only, _) ] -> k (Some only)
+  | _ -> (
+    match t.strategy with
+    | `Random ->
+      let n = List.length candidates in
+      k (Some (fst (List.nth candidates (Random.State.int ctx.rng n))))
+    | `Fixed ->
+      (* highest advertised static capacity *)
+      let best =
+        List.fold_left
+          (fun (bi, bb) (i, b) -> if b > bb then (i, b) else (bi, bb))
+          (List.hd candidates) (List.tl candidates)
+      in
+      k (Some (fst best))
+    | `Sflow ->
+      (* measure point-to-point available bandwidth to each candidate
+         and pick the most bandwidth-efficient one *)
+      let pending = ref (List.length candidates) in
+      let best = ref None in
+      List.iter
+        (fun (i, _) ->
+          ctx.measure i (fun ~bandwidth ~latency:_ ->
+              (match !best with
+              | Some (_, bb) when bb >= bandwidth -> ()
+              | Some _ | None -> best := Some (i, bandwidth));
+              decr pending;
+              if !pending = 0 then
+                k (match !best with Some (i, _) -> Some i | None -> None)))
+        candidates)
+
+let handle_federate t (ctx : Alg.ctx) (m : Msg.t) =
+  let app = m.Msg.app in
+  match Hashtbl.find_opt t.sessions app with
+  | Some s ->
+    (* a reconvergent branch selected this instance too: acknowledge
+       now if done, or once our own subtree completes *)
+    if s.acked then send_ack ctx ~app m.origin
+    else s.extra_requesters <- m.origin :: s.extra_requesters
+  | None -> (
+    match
+      (try Some (Req.of_payload (Wire.R.of_bytes m.payload))
+       with Wire.Truncated -> None)
+    with
+    | None -> ()
+    | Some req ->
+      let from_observer =
+        match ctx.observer with
+        | Some o -> NI.equal m.origin o
+        | None -> false
+      in
+      let requester = if from_observer then None else Some m.origin in
+      let s =
+        {
+          requester;
+          req;
+          children = [];
+          awaiting = 0;
+          acked = false;
+          extra_requesters = [];
+          pump = Pump.create ~app ();
+        }
+      in
+      Hashtbl.add t.sessions app s;
+      let my_ty = match t.stype with Some ty -> ty | None -> req.Req.source in
+      let consumer_tys = Req.consumers req my_ty in
+      if consumer_tys = [] then complete_session t s ctx ~app
+      else begin
+        s.awaiting <- List.length consumer_tys;
+        List.iter
+          (fun ty ->
+            select t ctx ty (fun choice ->
+                (match choice with
+                | Some child ->
+                  s.children <- s.children @ [ child ];
+                  forward_federate ctx ~app req child
+                | None ->
+                  (* unsatisfiable edge: skip it *)
+                  s.awaiting <- s.awaiting - 1;
+                  if s.awaiting = 0 && s.children = [] then
+                    complete_session t s ctx ~app);
+                ()))
+          consumer_tys
+      end)
+
+let handle_fed_ack t (ctx : Alg.ctx) (m : Msg.t) =
+  match Hashtbl.find_opt t.sessions m.Msg.app with
+  | None -> ()
+  | Some s ->
+    s.awaiting <- s.awaiting - 1;
+    if s.awaiting <= 0 then complete_session t s ctx ~app:m.Msg.app
+
+(* ------------------------------------------------------------------ *)
+
+let handle t (ctx : Alg.ctx) (m : Msg.t) =
+  match m.Msg.mtype with
+  | Mt.Data -> (
+    match Hashtbl.find_opt t.sessions m.app with
+    | Some { children = _ :: _ as children; _ } ->
+      Some (Alg.Forward children)
+    | Some { children = []; _ } | None -> Some Alg.Consume)
+  | Mt.S_assign ->
+    (match Msg.params m with
+    | Some (ty, _) ->
+      t.stype <- Some ty;
+      record_instance t ~ty ~inst:ctx.self ~bw:t.advertised_bw;
+      announce_self t ctx ty
+    | None -> ());
+    Some Alg.Consume
+  | Mt.S_aware ->
+    handle_aware t ctx m.payload;
+    Some Alg.Consume
+  | Mt.S_federate ->
+    handle_federate t ctx m;
+    Some Alg.Consume
+  | Mt.Custom k when k = fed_ack_kind ->
+    handle_fed_ack t ctx m;
+    Some Alg.Consume
+  | Mt.S_terminate ->
+    (match Hashtbl.find_opt t.sessions m.app with
+    | Some s -> Pump.stop s.pump
+    | None -> ());
+    Some Alg.Consume
+  | _ -> None
+
+let algorithm t =
+  Ialg.make
+    ~name:("sflow-" ^ strategy_name t.strategy)
+    ~on_tick:(fun ctx ->
+      match t.stype with
+      | Some ty -> announce_self t ctx ty
+      | None -> ())
+    ~on_ready:(fun ctx peer ->
+      Hashtbl.iter (fun _ s -> Pump.on_ready s.pump ctx peer) t.sessions)
+    (handle t)

@@ -1,0 +1,90 @@
+(** sFlow — service federation in service overlay networks (paper
+    Section 3.4).
+
+    A service overlay consists of nodes hosting instances of primitive
+    services (typed by small integers). A complex service is specified
+    as a {!Req.t}: a directed acyclic graph of service types with a
+    designated source and sink. Federation selects one instance per
+    requirement edge and deploys an actual data stream through the
+    selected services.
+
+    Protocol (paper message vocabulary):
+    - [sAssign] (observer): a node becomes an instance of a type and
+      disseminates its existence via [sAware] through known hosts;
+      service nodes relay awareness to the up/downstream neighbours of
+      the new service in the service graph.
+    - [sFederate]: carries the requirement; each service applies a
+      local selection rule for every outgoing requirement edge and
+      forwards the message to the chosen instances until the sink type
+      is reached; acknowledgements travel back up and the source then
+      deploys the data streams.
+
+    Selection strategies: [`Sflow] measures point-to-point available
+    bandwidth to every candidate (the engine's measurement utility)
+    and picks the most bandwidth-efficient one; [`Fixed] always picks
+    the candidate with the highest advertised (static) capacity;
+    [`Random] picks uniformly. *)
+
+(** Service requirements: DAGs of service types. *)
+module Req : sig
+  type t = {
+    edges : (int * int) list;  (** producer type -> consumer type *)
+    source : int;
+    sink : int;
+  }
+
+  val make : edges:(int * int) list -> source:int -> sink:int -> t
+  (** Validates shape: every edge endpoint reachable from [source],
+      [sink] has no outgoing edge, and the graph is acyclic.
+      @raise Invalid_argument otherwise. *)
+
+  val linear : int list -> t
+  (** [linear [t1; ...; tn]] is the chain requirement t1 -> ... -> tn.
+      @raise Invalid_argument on fewer than two stages. *)
+
+  val consumers : t -> int -> int list
+  val types : t -> int list
+  val to_payload : t -> Iov_msg.Wire.W.t -> unit
+  val of_payload : Iov_msg.Wire.R.t -> t
+end
+
+type strategy = [ `Sflow | `Fixed | `Random ]
+
+val strategy_name : strategy -> string
+
+type t
+
+val create :
+  strategy:strategy ->
+  ?advertised_bw:float ->
+  ?aware_fanout:int ->
+  ?aware_ttl:int ->
+  ?deploy_data:bool ->
+  unit ->
+  t
+(** One instance per overlay node. [advertised_bw] is the static
+    capacity announced in [sAware] (used by the [`Fixed] strategy);
+    default 100 KBps. Nodes without an assigned service still relay
+    [sAware] gossip. [deploy_data] (default true) controls whether a
+    completed federation deploys the actual data streams — the
+    control-overhead experiments turn it off. *)
+
+val algorithm : t -> Iov_core.Algorithm.t
+
+(** {1 Inspection} *)
+
+val service_type : t -> int option
+(** The hosted service type, once assigned. *)
+
+val directory : t -> (int * Iov_msg.Node_id.t list) list
+(** Known instances per service type. *)
+
+val selected_children : t -> app:int -> Iov_msg.Node_id.t list
+(** Downstream instances selected for a federation session. *)
+
+val sessions_completed : t -> int
+(** Federations for which this node (as source) received the full
+    acknowledgement chain and deployed data. *)
+
+val federation_failures : t -> int
+(** Requirement edges for which no candidate instance was known. *)

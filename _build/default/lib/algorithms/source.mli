@@ -1,0 +1,56 @@
+(** Application data sources.
+
+    A source produces the data portion of application-layer messages.
+    Two pacing modes mirror the paper's workloads:
+
+    - [`Backtoback] — "sends back-to-back traffic ... as fast as
+      possible": fresh messages are generated whenever a destination's
+      sender buffer has room, so each connection is paced
+      independently by the engine's back pressure and emulated
+      bandwidth — the behaviour of a per-connection TCP sender. A slow
+      destination lags on its own stream without throttling the
+      others; global throttling emerges (with small buffers) from the
+      switches' blocking fanout, exactly as in the paper's Fig. 6(b)
+      versus Fig. 7(a).
+    - [`Rate r] — constant-bit-rate at [r] bytes/second (timer-driven),
+      for streaming-like workloads.
+
+    In [`Copy] mode every destination receives the same logical stream
+    (sequence numbers 0, 1, 2, ...). In [`Split] mode the stream is
+    striped across destinations — destination [i] of [n] receives
+    generations [i, i+n, ...] — which is node A's behaviour in the
+    network-coding study ("A splits its data into two streams").
+
+    The source answers the observer's [sDeploy] / [sTerminate]
+    commands; with [~auto:true] (default) it starts at node start. *)
+
+type t
+
+val create :
+  ?auto:bool ->
+  ?pacing:[ `Backtoback | `Rate of float ] ->
+  ?mode:[ `Copy | `Split ] ->
+  ?payload_size:int ->
+  ?make_payload:(dest_index:int -> seq:int -> Bytes.t) ->
+  app:int ->
+  dests:Iov_msg.Node_id.t list ->
+  unit ->
+  t
+(** Defaults: [auto = true], [pacing = `Backtoback], [mode = `Copy],
+    [payload_size = 5 * 1024] (the paper's 5 KB messages).
+    [make_payload] overrides payload construction (used by the
+    network-coding source to frame packets). *)
+
+val algorithm : t -> Iov_core.Algorithm.t
+
+val sent : t -> int
+(** Messages generated so far (all destinations). *)
+
+val deployed : t -> bool
+
+val set_dests : t -> Iov_msg.Node_id.t list -> unit
+(** Replaces the destination set (e.g. as a tree gains receivers);
+    new destinations start from sequence 0 of their stream. *)
+
+val add_dest : t -> Iov_msg.Node_id.t -> unit
+val stop : t -> unit

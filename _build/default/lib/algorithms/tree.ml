@@ -1,0 +1,398 @@
+module Alg = Iov_core.Algorithm
+module Ialg = Iov_core.Ialgorithm
+module Msg = Iov_msg.Message
+module Mt = Iov_msg.Mtype
+module NI = Iov_msg.Node_id
+module Wire = Iov_msg.Wire
+
+type strategy = Unicast | Random | Ns_aware
+
+let strategy_name = function
+  | Unicast -> "unicast"
+  | Random -> "random"
+  | Ns_aware -> "ns-aware"
+
+(* protocol-internal custom control types *)
+let stress_kind = 100
+
+type t = {
+  strategy : strategy;
+  last_mile : float;
+  app : int;
+  payload_size : int;
+  fanout : int;
+  ttl : int;
+  rejoin : bool;
+  mutable rejoins : int;
+  mutable want_membership : bool;
+  mutable in_session : bool;
+  mutable is_source : bool;
+  mutable parent : NI.t option;
+  mutable children : NI.t list;
+  mutable source : NI.t option;
+  mutable joined_attempt : int; (* the attempt that succeeded, -1 if none *)
+  mutable attempt : int;
+  mutable seen : (NI.t * int) list; (* relayed queries, for dedup *)
+  mutable relayed : int;
+  neighbor_stress : (NI.t, float) Hashtbl.t;
+  mutable cursors : (NI.t * int ref) list; (* per-child source cursors *)
+  mutable generating : bool;
+}
+
+let create ~strategy ~last_mile ~app ?(payload_size = 5 * 1024) ?(fanout = 2)
+    ?(ttl = 32) ?(rejoin = false) () =
+  if last_mile <= 0. then invalid_arg "Tree.create: last_mile";
+  if fanout <= 0 then invalid_arg "Tree.create: fanout";
+  if ttl <= 0 then invalid_arg "Tree.create: ttl";
+  {
+    strategy;
+    last_mile;
+    app;
+    payload_size;
+    fanout;
+    ttl;
+    rejoin;
+    rejoins = 0;
+    want_membership = false;
+    in_session = false;
+    is_source = false;
+    parent = None;
+    children = [];
+    source = None;
+    joined_attempt = -1;
+    attempt = 0;
+    seen = [];
+    relayed = 0;
+    neighbor_stress = Hashtbl.create 8;
+    cursors = [];
+    generating = false;
+  }
+
+let in_session t = t.in_session
+let is_source t = t.is_source
+let parent t = t.parent
+let children t = t.children
+let session_source t = t.source
+let queries_relayed t = t.relayed
+let rejoins t = t.rejoins
+
+let degree t =
+  List.length t.children + match t.parent with Some _ -> 1 | None -> 0
+
+let stress t =
+  float_of_int (degree t) /. (t.last_mile /. (100. *. 1024.))
+
+(* ------------------------------------------------------------------ *)
+(* Source data generation (back-to-back, per-child pacing)             *)
+
+let generate_for t (ctx : Alg.ctx) child cursor =
+  while t.generating && ctx.can_send child do
+    let payload = Bytes.make t.payload_size 'x' in
+    let m = Msg.data ~origin:ctx.self ~app:t.app ~seq:!cursor payload in
+    ctx.send m child;
+    incr cursor
+  done
+
+let generate_all t ctx =
+  List.iter (fun (child, cursor) -> generate_for t ctx child cursor) t.cursors
+
+let add_child t (ctx : Alg.ctx) child =
+  if not (List.exists (NI.equal child) t.children) then begin
+    t.children <- t.children @ [ child ];
+    if t.is_source then begin
+      let cursor = ref 0 in
+      t.cursors <- t.cursors @ [ (child, cursor) ];
+      if t.generating then generate_for t ctx child cursor
+    end
+  end
+
+let remove_child t child =
+  t.children <- List.filter (fun c -> not (NI.equal c child)) t.children;
+  t.cursors <- List.filter (fun (c, _) -> not (NI.equal c child)) t.cursors;
+  Hashtbl.remove t.neighbor_stress child
+
+(* ------------------------------------------------------------------ *)
+(* Join protocol messages                                              *)
+
+let query_payload ~joiner ~attempt ~ttl =
+  let w = Wire.W.create () in
+  Wire.W.node w joiner;
+  Wire.W.int32 w attempt;
+  Wire.W.int32 w ttl;
+  Wire.W.contents w
+
+let parse_query payload =
+  try
+    let r = Wire.R.of_bytes payload in
+    let joiner = Wire.R.node r in
+    let attempt = Wire.R.int32 r in
+    let ttl = Wire.R.int32 r in
+    Some (joiner, attempt, ttl)
+  with Wire.Truncated -> None
+
+let send_query t (ctx : Alg.ctx) ~joiner ~attempt ~ttl dst =
+  let m =
+    Msg.control ~mtype:Mt.S_query ~origin:ctx.self ~app:t.app
+      (query_payload ~joiner ~attempt ~ttl)
+  in
+  ctx.send m dst
+
+let send_ack t (ctx : Alg.ctx) ~joiner ~attempt =
+  let w = Wire.W.create () in
+  Wire.W.int32 w attempt;
+  let m =
+    Msg.control ~mtype:Mt.S_query_ack ~origin:ctx.self ~app:t.app
+      (Wire.W.contents w)
+  in
+  ctx.send m joiner
+
+(* pick up to [k] distinct random elements *)
+let pick_random rng k l =
+  let a = Array.of_list l in
+  let n = Array.length a in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list (Array.sub a 0 (Stdlib.min k n))
+
+let rec start_join t (ctx : Alg.ctx) =
+  if not t.in_session then begin
+    t.attempt <- t.attempt + 1;
+    let hosts =
+      List.filter (fun h -> not (NI.equal h ctx.self)) (ctx.known_hosts ())
+    in
+    (* unicast and ns-aware anchor one query at the announced source;
+       random stays unbiased — the first member reached by gossip must
+       be uniform for the randomized trees to look like the paper's *)
+    let targets =
+      match (t.strategy, t.source) with
+      | (Unicast | Ns_aware), Some s ->
+        s
+        :: pick_random ctx.rng (t.fanout - 1)
+             (List.filter (fun h -> not (NI.equal h s)) hosts)
+      | Random, _ | _, None -> pick_random ctx.rng t.fanout hosts
+    in
+    List.iter
+      (fun h ->
+        send_query t ctx ~joiner:ctx.self ~attempt:t.attempt ~ttl:t.ttl h)
+      targets;
+    (* retry while unanswered *)
+    if t.attempt < 12 then
+      ctx.set_timer 2.0 (fun () -> if not t.in_session then start_join t ctx)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Member-side query handling, per strategy                            *)
+
+let neighbor_stress_of t peer =
+  match Hashtbl.find_opt t.neighbor_stress peer with
+  | Some s -> s
+  | None -> infinity
+
+let min_stress_neighbor t =
+  let candidates =
+    (match t.parent with Some p -> [ p ] | None -> []) @ t.children
+  in
+  List.fold_left
+    (fun acc peer ->
+      let s = neighbor_stress_of t peer in
+      match acc with
+      | Some (_, best) when best <= s -> acc
+      | _ -> Some (peer, s))
+    None candidates
+
+let member_handle_query t (ctx : Alg.ctx) ~joiner ~attempt ~ttl =
+  match t.strategy with
+  | Unicast ->
+    if t.is_source then send_ack t ctx ~joiner ~attempt
+    else begin
+      (* forward straight to the data source of the session *)
+      let dst =
+        match t.source with
+        | Some s -> Some s
+        | None -> t.parent (* towards the root *)
+      in
+      match dst with
+      | Some d when ttl > 0 ->
+        t.relayed <- t.relayed + 1;
+        send_query t ctx ~joiner ~attempt ~ttl:(ttl - 1) d
+      | Some _ | None -> ()
+    end
+  | Random -> send_ack t ctx ~joiner ~attempt
+  | Ns_aware -> (
+    let mine = stress t in
+    match min_stress_neighbor t with
+    | Some (peer, s) when s < mine && ttl > 0 ->
+      t.relayed <- t.relayed + 1;
+      send_query t ctx ~joiner ~attempt ~ttl:(ttl - 1) peer
+    | Some _ | None -> send_ack t ctx ~joiner ~attempt)
+
+let nonmember_relay_query t (ctx : Alg.ctx) ~joiner ~attempt ~ttl =
+  if ttl > 0 && not (List.mem (joiner, attempt) t.seen) then begin
+    t.seen <- (joiner, attempt) :: t.seen;
+    if List.length t.seen > 512 then
+      t.seen <- List.filteri (fun i _ -> i < 256) t.seen;
+    let hosts =
+      List.filter
+        (fun h -> not (NI.equal h ctx.self || NI.equal h joiner))
+        (ctx.known_hosts ())
+    in
+    let targets = pick_random ctx.rng t.fanout hosts in
+    List.iter
+      (fun h ->
+        t.relayed <- t.relayed + 1;
+        send_query t ctx ~joiner ~attempt ~ttl:(ttl - 1) h)
+      targets
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Stress exchange                                                     *)
+
+let send_stress t (ctx : Alg.ctx) =
+  let peers =
+    (match t.parent with Some p -> [ p ] | None -> []) @ t.children
+  in
+  if peers <> [] then begin
+    let w = Wire.W.create () in
+    Wire.W.float w (stress t);
+    let m =
+      Msg.control
+        ~mtype:(Mt.Custom stress_kind)
+        ~origin:ctx.self ~app:t.app (Wire.W.contents w)
+    in
+    List.iter (fun p -> ctx.send (Msg.clone m) p) peers
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Failure handling: the subtree below a broken parent dissolves; with
+   [rejoin] each orphan independently re-enters the session after a
+   short randomized backoff. *)
+
+let dissolve t (ctx : Alg.ctx) =
+  if t.in_session && not t.is_source then begin
+    List.iter
+      (fun c ->
+        ctx.send
+          (Msg.control ~mtype:Mt.Broken_source ~origin:ctx.self ~app:t.app
+             Bytes.empty)
+          c)
+      t.children;
+    t.in_session <- false;
+    t.parent <- None;
+    t.children <- [];
+    t.joined_attempt <- -1;
+    Hashtbl.reset t.neighbor_stress;
+    if t.rejoin && t.want_membership then begin
+      t.rejoins <- t.rejoins + 1;
+      t.attempt <- 0 (* a fresh retry budget for the rejoin round *);
+      let backoff = 0.5 +. Random.State.float ctx.rng 1.0 in
+      ctx.set_timer backoff (fun () ->
+          if (not t.in_session) && t.want_membership then start_join t ctx)
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The message handler                                                 *)
+
+let handle t (ctx : Alg.ctx) (m : Msg.t) =
+  let from_observer =
+    match ctx.observer with
+    | Some o -> NI.equal m.Msg.origin o
+    | None -> false
+  in
+  match m.Msg.mtype with
+  | Mt.Data when m.app = t.app -> (
+    (* data messages carry the original sender: learn the source even
+       if the announcement missed us *)
+    if t.source = None then t.source <- Some m.origin;
+    match t.children with
+    | [] -> Some Alg.Consume
+    | children -> Some (Alg.Forward children))
+  | Mt.S_deploy when m.app = t.app ->
+    t.is_source <- true;
+    t.in_session <- true;
+    t.source <- Some ctx.self;
+    t.generating <- true;
+    (* make the session known: announce to every known host *)
+    let ann =
+      Msg.control ~mtype:Mt.S_announce ~origin:ctx.self ~app:t.app Bytes.empty
+    in
+    ignore (Ialg.disseminate ctx ann (ctx.known_hosts ()));
+    generate_all t ctx;
+    Some Alg.Consume
+  | Mt.S_terminate when m.app = t.app ->
+    t.generating <- false;
+    Some Alg.Consume
+  | Mt.S_announce when m.app = t.app ->
+    t.source <- Some m.origin;
+    ctx.add_known_host m.origin;
+    Some Alg.Consume
+  | Mt.S_join when m.app = t.app && from_observer ->
+    t.want_membership <- true;
+    start_join t ctx;
+    Some Alg.Consume
+  | Mt.S_join when m.app = t.app ->
+    (* a joiner confirmed: it is now our child *)
+    if t.in_session then add_child t ctx m.origin;
+    Some Alg.Consume
+  | Mt.S_leave when m.app = t.app ->
+    t.want_membership <- false;
+    dissolve t ctx;
+    Some Alg.Consume
+  | Mt.S_query when m.app = t.app -> (
+    match parse_query m.payload with
+    | Some (joiner, attempt, ttl) ->
+      if NI.equal joiner ctx.self then () (* own query came back *)
+      else if t.in_session then
+        member_handle_query t ctx ~joiner ~attempt ~ttl
+      else nonmember_relay_query t ctx ~joiner ~attempt ~ttl;
+      Some Alg.Consume
+    | None -> Some Alg.Consume)
+  | Mt.S_query_ack when m.app = t.app ->
+    (let attempt =
+       try Wire.R.int32 (Wire.R.of_bytes m.payload) with Wire.Truncated -> -1
+     in
+     if (not t.in_session) && attempt = t.attempt then begin
+       (* first acknowledgement wins *)
+       t.in_session <- true;
+       t.joined_attempt <- attempt;
+       t.parent <- Some m.origin;
+       ctx.send
+         (Msg.control ~mtype:Mt.S_join ~origin:ctx.self ~app:t.app Bytes.empty)
+         m.origin
+     end);
+    Some Alg.Consume
+  | Mt.Custom k when k = stress_kind && m.app = t.app ->
+    (try
+       let s = Wire.R.float (Wire.R.of_bytes m.payload) in
+       Hashtbl.replace t.neighbor_stress m.origin s
+     with Wire.Truncated -> ());
+    Some Alg.Consume
+  | Mt.Broken_source when m.app = t.app ->
+    (match t.parent with
+    | Some p when NI.equal p m.origin -> dissolve t ctx
+    | Some _ | None -> remove_child t m.origin);
+    Some Alg.Consume
+  | Mt.Link_failed -> (
+    let peer = m.origin in
+    match t.parent with
+    | Some p when NI.equal p peer ->
+      dissolve t ctx;
+      Some Alg.Consume
+    | Some _ | None ->
+      if List.exists (NI.equal peer) t.children then remove_child t peer;
+      Some Alg.Consume)
+  | _ -> None
+
+let algorithm t =
+  Ialg.make ~name:(strategy_name t.strategy)
+    ~on_tick:(fun ctx -> if t.in_session then send_stress t ctx)
+    ~on_ready:(fun ctx peer ->
+      if t.is_source && t.generating then
+        match List.find_opt (fun (c, _) -> NI.equal c peer) t.cursors with
+        | Some (child, cursor) -> generate_for t ctx child cursor
+        | None -> ())
+    (handle t)

@@ -1,0 +1,72 @@
+(** Construction of data dissemination trees (paper Section 3.3).
+
+    Three join strategies build a single-source multicast tree for an
+    application session:
+
+    - [Unicast] (all-unicast): any tree member receiving a join query
+      forwards it to the session source, so every receiver becomes a
+      direct child of the source.
+    - [Random] (randomized): the first tree member reached by the
+      query immediately acknowledges; the joiner attaches to whoever
+      answers first.
+    - [Ns_aware] (node-stress aware): the member compares its own node
+      stress — degree divided by last-mile bandwidth — with its parent
+      and children, recursively forwarding the query towards the
+      minimum-stress neighbour, which acknowledges.
+
+    The protocol uses the paper's message vocabulary: the observer
+    deploys the source ([sDeploy]) and instructs nodes to join
+    ([sJoin]); joiners disseminate [sQuery] through known hosts;
+    members answer [sQueryAck]; the joiner confirms to its chosen
+    parent ([sJoin] node-to-node); members exchange stress updates
+    periodically. The source streams back-to-back data down the tree;
+    every member forwards data to its children. *)
+
+type strategy = Unicast | Random | Ns_aware
+
+val strategy_name : strategy -> string
+
+type t
+
+val create :
+  strategy:strategy ->
+  last_mile:float ->
+  app:int ->
+  ?payload_size:int ->
+  ?fanout:int ->
+  ?ttl:int ->
+  ?rejoin:bool ->
+  unit ->
+  t
+(** [last_mile] is the node's own last-mile bandwidth in bytes/second
+    (used for stress accounting — the paper expresses stress in
+    1/100-KBps units, see {!stress}). [fanout] (default 2) is the
+    dissemination branching of join queries, [ttl] (default 32) their
+    relay budget. With [rejoin] (default false), a member orphaned by
+    an upstream failure re-enters the session after a randomized
+    backoff — the fault-tolerance behaviour the paper's Section 3.1
+    proposes evaluating. *)
+
+val algorithm : t -> Iov_core.Algorithm.t
+
+(** {1 Inspection} *)
+
+val in_session : t -> bool
+val is_source : t -> bool
+val parent : t -> Iov_msg.Node_id.t option
+val children : t -> Iov_msg.Node_id.t list
+
+val degree : t -> int
+(** Tree degree: children plus one if a parent exists. *)
+
+val stress : t -> float
+(** Node stress in the paper's unit: degree / (last-mile bandwidth in
+    100-KBps units). *)
+
+val session_source : t -> Iov_msg.Node_id.t option
+(** The source learned from [sAnnounce], if any. *)
+
+val queries_relayed : t -> int
+
+val rejoins : t -> int
+(** Times this node re-entered the session after a failure. *)

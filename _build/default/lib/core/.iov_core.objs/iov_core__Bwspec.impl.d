@@ -1,0 +1,1 @@
+lib/core/bwspec.ml: Float Format Fun List Printf String

@@ -1,0 +1,1 @@
+lib/core/bwspec.mli: Format

@@ -1,0 +1,1 @@
+lib/core/cqueue.ml: Array List

@@ -1,0 +1,1 @@
+lib/core/ialgorithm.ml: Algorithm Iov_msg List Random

@@ -1,0 +1,1 @@
+lib/core/ialgorithm.mli: Algorithm Iov_msg

@@ -1,0 +1,1 @@
+lib/core/network.ml: Algorithm Bwspec Bytes Cqueue Float Hashtbl Iov_dsim Iov_msg Iov_stats List Logs Queue Random Stdlib

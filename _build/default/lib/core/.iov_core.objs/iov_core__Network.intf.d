@@ -1,0 +1,1 @@
+lib/core/network.mli: Algorithm Bwspec Iov_dsim Iov_msg Random

@@ -1,0 +1,40 @@
+type verdict =
+  | Consume
+  | Forward of Iov_msg.Node_id.t list
+  | Hold
+
+type ctx = {
+  self : Iov_msg.Node_id.t;
+  now : unit -> float;
+  send : Iov_msg.Message.t -> Iov_msg.Node_id.t -> unit;
+  can_send : Iov_msg.Node_id.t -> bool;
+  known_hosts : unit -> Iov_msg.Node_id.t list;
+  add_known_host : Iov_msg.Node_id.t -> unit;
+  upstreams : unit -> Iov_msg.Node_id.t list;
+  downstreams : unit -> Iov_msg.Node_id.t list;
+  up_throughput : Iov_msg.Node_id.t -> float;
+  down_throughput : Iov_msg.Node_id.t -> float;
+  measure :
+    Iov_msg.Node_id.t -> (bandwidth:float -> latency:float -> unit) -> unit;
+  rng : Random.State.t;
+  trace : string -> unit;
+  set_timer : float -> (unit -> unit) -> unit;
+  observer : Iov_msg.Node_id.t option;
+}
+
+type t = {
+  name : string;
+  process : ctx -> Iov_msg.Message.t -> verdict;
+  on_ready : ctx -> Iov_msg.Node_id.t -> unit;
+  on_tick : ctx -> unit;
+  on_start : ctx -> unit;
+}
+
+let nop2 _ _ = ()
+let nop1 _ = ()
+
+let make ?(on_ready = nop2) ?(on_tick = nop1) ?(on_start = nop1) ~name process
+    =
+  { name; process; on_ready; on_tick; on_start }
+
+let null = make ~name:"null" (fun _ _ -> Consume)

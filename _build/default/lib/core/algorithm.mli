@@ -1,0 +1,83 @@
+(** The interface between iOverlay and application-specific algorithms
+    (paper Section 2.3).
+
+    An algorithm is a message handler: the engine calls {!t.process}
+    for every message (incoming data, control from the observer,
+    notifications produced by the engine), and the algorithm reacts —
+    possibly calling the engine back through the {!ctx} it was given.
+    Everything runs in the (simulated) engine thread, so algorithms
+    need no thread-safe data structures.
+
+    The verdict returned for a [data] message drives the switch:
+    - [Consume] — the message is processed locally and dropped;
+    - [Forward dests] — the engine forwards the message to every
+      destination, retrying destinations whose sender buffers are full
+      (the paper's remaining-senders mechanism); the incoming link is
+      head-of-line blocked until all copies are placed;
+    - [Hold] — the algorithm takes ownership and buffers the message,
+      to merge or code it with messages from other upstreams later
+      (paper's n-to-m mapping support).
+
+    Verdicts on control messages are ignored. *)
+
+type verdict =
+  | Consume
+  | Forward of Iov_msg.Node_id.t list
+  | Hold
+
+(** The engine services an algorithm may invoke. Beyond [send] — the
+    only function the paper requires developers to know — the context
+    exposes read-only introspection and the measurement utilities the
+    engine implements (Section 2.2, "Measurement of QoS metrics"). *)
+type ctx = {
+  self : Iov_msg.Node_id.t;
+  now : unit -> float;
+  send : Iov_msg.Message.t -> Iov_msg.Node_id.t -> unit;
+      (** Send a message to a peer, creating a persistent connection on
+          demand. Never fails from the algorithm's point of view; all
+          abnormal outcomes surface later as engine notifications. *)
+  can_send : Iov_msg.Node_id.t -> bool;
+      (** True when an immediate [send] of a data message would not
+          queue behind a full sender buffer — the pacing hint used by
+          back-to-back sources. *)
+  known_hosts : unit -> Iov_msg.Node_id.t list;
+  add_known_host : Iov_msg.Node_id.t -> unit;
+  upstreams : unit -> Iov_msg.Node_id.t list;
+  downstreams : unit -> Iov_msg.Node_id.t list;
+  up_throughput : Iov_msg.Node_id.t -> float;
+      (** Measured bytes/second from an upstream (0. if unknown). *)
+  down_throughput : Iov_msg.Node_id.t -> float;
+  measure : Iov_msg.Node_id.t -> (bandwidth:float -> latency:float -> unit) -> unit;
+      (** Asynchronously estimate available bandwidth and latency to
+          any overlay node; the callback fires after a probe
+          round-trip. *)
+  rng : Random.State.t;
+  trace : string -> unit;
+      (** Emit a [trace] record to the observer's log. *)
+  set_timer : float -> (unit -> unit) -> unit;
+      (** One-shot timer, in seconds. *)
+  observer : Iov_msg.Node_id.t option;
+}
+
+type t = {
+  name : string;
+  process : ctx -> Iov_msg.Message.t -> verdict;
+  on_ready : ctx -> Iov_msg.Node_id.t -> unit;
+      (** Space became available toward the given downstream. *)
+  on_tick : ctx -> unit;
+      (** Fired once per engine report period. *)
+  on_start : ctx -> unit;
+      (** Fired when the node boots (after bootstrap, if any). *)
+}
+
+val make :
+  ?on_ready:(ctx -> Iov_msg.Node_id.t -> unit) ->
+  ?on_tick:(ctx -> unit) ->
+  ?on_start:(ctx -> unit) ->
+  name:string ->
+  (ctx -> Iov_msg.Message.t -> verdict) ->
+  t
+(** Omitted callbacks default to no-ops. *)
+
+val null : t
+(** Consumes everything; the engine's "simple testing algorithm". *)

@@ -1,0 +1,25 @@
+type t = { total : float; up : float; down : float }
+
+let check name v = if v <= 0. then invalid_arg ("Bwspec: " ^ name)
+
+let make ?(total = infinity) ?(up = infinity) ?(down = infinity) () =
+  check "total" total;
+  check "up" up;
+  check "down" down;
+  { total; up; down }
+
+let unconstrained = make ()
+let total_only r = make ~total:r ()
+let symmetric r = make ~up:r ~down:r ()
+let asymmetric ~up ~down = make ~up ~down ()
+
+let last_mile t = Float.min t.total (Float.min t.up t.down)
+
+let pp fmt t =
+  let dim name v =
+    if v = infinity then None else Some (Printf.sprintf "%s=%.0fB/s" name v)
+  in
+  let dims = List.filter_map Fun.id [ dim "total" t.total; dim "up" t.up; dim "down" t.down ] in
+  match dims with
+  | [] -> Format.pp_print_string fmt "<unconstrained>"
+  | _ -> Format.pp_print_string fmt (String.concat "," dims)

@@ -1,0 +1,31 @@
+(** Bandwidth-emulation specifications (paper Section 2.2, "Emulation
+    of bandwidth availability").
+
+    iOverlay emulates three categories: per-node total bandwidth,
+    separate per-node incoming/outgoing bandwidth (asymmetric nodes
+    such as DSL), and per-link bandwidth. Values are in bytes/second;
+    [infinity] leaves a dimension unconstrained. *)
+
+type t = {
+  total : float;  (** total incoming + outgoing budget *)
+  up : float;  (** outgoing ("uplink" / last-mile upload) budget *)
+  down : float;  (** incoming budget *)
+}
+
+val unconstrained : t
+
+val make : ?total:float -> ?up:float -> ?down:float -> unit -> t
+(** Missing dimensions default to [infinity].
+    @raise Invalid_argument if any value is [<= 0]. *)
+
+val total_only : float -> t
+val symmetric : float -> t
+(** [symmetric r] caps up and down independently at [r]. *)
+
+val asymmetric : up:float -> down:float -> t
+
+val last_mile : t -> float
+(** The effective last-mile bandwidth used for node-stress accounting:
+    the minimum finite dimension, or [infinity] when unconstrained. *)
+
+val pp : Format.formatter -> t -> unit

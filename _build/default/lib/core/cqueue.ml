@@ -1,0 +1,56 @@
+type 'a t = {
+  arr : 'a option array;
+  cap : int;
+  mutable head : int; (* index of the next element to pop *)
+  mutable len : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Cqueue.create: capacity";
+  { arr = Array.make capacity None; cap = capacity; head = 0; len = 0 }
+
+let capacity t = t.cap
+let length t = t.len
+let is_empty t = t.len = 0
+let is_full t = t.len = t.cap
+let available t = t.cap - t.len
+
+let push t x =
+  if is_full t then false
+  else begin
+    let tail = (t.head + t.len) mod t.cap in
+    t.arr.(tail) <- Some x;
+    t.len <- t.len + 1;
+    true
+  end
+
+let peek t = if t.len = 0 then None else t.arr.(t.head)
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let x = t.arr.(t.head) in
+    t.arr.(t.head) <- None;
+    t.head <- (t.head + 1) mod t.cap;
+    t.len <- t.len - 1;
+    x
+  end
+
+let drop t = ignore (pop t)
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    match t.arr.((t.head + i) mod t.cap) with
+    | Some x -> f x
+    | None -> assert false
+  done
+
+let clear t =
+  Array.fill t.arr 0 t.cap None;
+  t.head <- 0;
+  t.len <- 0
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun x -> acc := x :: !acc) t;
+  List.rev !acc

@@ -1,0 +1,33 @@
+(** Bounded circular queues — the paper's shared buffers between
+    receiver/sender threads and the engine.
+
+    This is the single-threaded variant used inside the simulator;
+    [Iov_onet.Squeue] wraps the same structure with a mutex/condition
+    pair for the real-sockets runtime. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument if [capacity <= 0]. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val is_full : 'a t -> bool
+val available : 'a t -> int
+
+val push : 'a t -> 'a -> bool
+(** [push t x] appends [x]; [false] (and no change) when full. *)
+
+val pop : 'a t -> 'a option
+val peek : 'a t -> 'a option
+
+val drop : 'a t -> unit
+(** Removes the head; no-op when empty. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Front-to-back, without consuming. *)
+
+val clear : 'a t -> unit
+
+val to_list : 'a t -> 'a list

@@ -1,0 +1,42 @@
+module Msg = Iov_msg.Message
+module Mt = Iov_msg.Mtype
+module Wire = Iov_msg.Wire
+
+let default (ctx : Algorithm.ctx) (m : Msg.t) =
+  (match m.mtype with
+  | Mt.Boot_reply -> (
+    (* record the initial set of nodes in KnownHosts *)
+    try
+      let r = Wire.R.of_bytes m.payload in
+      List.iter ctx.add_known_host (Wire.R.nodes r)
+    with Wire.Truncated -> ())
+  | Mt.S_announce ->
+    (* a session announcement makes the source a known host *)
+    ctx.add_known_host m.origin
+  | Mt.Data | Mt.Boot | Mt.Request | Mt.Status | Mt.Trace | Mt.S_deploy
+  | Mt.S_terminate | Mt.Broken_source | Mt.Up_throughput | Mt.Down_throughput
+  | Mt.Link_failed | Mt.S_query | Mt.S_query_ack | Mt.S_join | Mt.S_leave
+  | Mt.S_aware | Mt.S_federate | Mt.S_assign | Mt.Set_bandwidth
+  | Mt.Terminate_node | Mt.Custom _ ->
+    ());
+  Algorithm.Consume
+
+let make ?on_ready ?on_tick ?on_start ~name handler =
+  let process ctx m =
+    match handler ctx m with Some v -> v | None -> default ctx m
+  in
+  Algorithm.make ?on_ready ?on_tick ?on_start ~name process
+
+let disseminate (ctx : Algorithm.ctx) ?(p = 1.0) m hosts =
+  if p < 0. || p > 1. then invalid_arg "Ialgorithm.disseminate: p";
+  let sent = ref 0 in
+  List.iter
+    (fun h ->
+      if p >= 1.0 || Random.State.float ctx.rng 1.0 < p then begin
+        ctx.send (Msg.clone m) h;
+        incr sent
+      end)
+    hosts;
+  !sent
+
+let reply (ctx : Algorithm.ctx) ~to_ m = ctx.send m to_.Msg.origin

@@ -1,0 +1,36 @@
+(** Basic elements of algorithms — the paper's [iAlgorithm] base class.
+
+    Application-specific algorithms are built on top of a library of
+    defaults: a message handler covering the known observer/engine
+    types, a [KnownHosts] record (maintained through the context), and
+    a probabilistic [disseminate] utility resembling gossip. Concrete
+    algorithms handle the types they care about and fall back on
+    {!default} for the rest — the paper's [iAlgorithm::process(m)]
+    default clause. *)
+
+val default : Algorithm.ctx -> Iov_msg.Message.t -> Algorithm.verdict
+(** The default handler: records hosts from [bootReply], accepts
+    engine reports, and consumes everything else — including [data],
+    so an algorithm that wants traffic to flow must handle [data]
+    itself (the only type an algorithm is required to handle). *)
+
+val make :
+  ?on_ready:(Algorithm.ctx -> Iov_msg.Node_id.t -> unit) ->
+  ?on_tick:(Algorithm.ctx -> unit) ->
+  ?on_start:(Algorithm.ctx -> unit) ->
+  name:string ->
+  (Algorithm.ctx -> Iov_msg.Message.t -> Algorithm.verdict option) ->
+  Algorithm.t
+(** [make ~name handler] wires [handler] in front of {!default}:
+    returning [None] defers to the base class. *)
+
+val disseminate :
+  Algorithm.ctx -> ?p:float -> Iov_msg.Message.t -> Iov_msg.Node_id.t list ->
+  int
+(** [disseminate ctx ~p m hosts] sends a clone of [m] to each host
+    independently with probability [p] (default 1.0) — the paper's
+    gossip-style utility. Returns the number of copies sent.
+    @raise Invalid_argument if [p] is outside [0, 1]. *)
+
+val reply : Algorithm.ctx -> to_:Iov_msg.Message.t -> Iov_msg.Message.t -> unit
+(** Send a message back to the origin of [to_]. *)

@@ -1,0 +1,75 @@
+type 'a entry = { time : float; seq : int; value : 'a }
+
+type 'a t = {
+  mutable arr : 'a entry option array;
+  mutable len : int;
+}
+
+let create () = { arr = Array.make 16 None; len = 0 }
+
+let size t = t.len
+let is_empty t = t.len = 0
+
+let less a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let get t i =
+  match t.arr.(i) with
+  | Some e -> e
+  | None -> assert false
+
+let grow t =
+  let arr = Array.make (2 * Array.length t.arr) None in
+  Array.blit t.arr 0 arr 0 t.len;
+  t.arr <- arr
+
+let push t ~time ~seq value =
+  if t.len = Array.length t.arr then grow t;
+  let e = { time; seq; value } in
+  (* sift up *)
+  let i = ref t.len in
+  t.len <- t.len + 1;
+  t.arr.(!i) <- Some e;
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if less e (get t parent) then begin
+      t.arr.(!i) <- t.arr.(parent);
+      t.arr.(parent) <- Some e;
+      i := parent
+    end
+    else continue := false
+  done
+
+let peek t =
+  if t.len = 0 then None
+  else
+    let e = get t 0 in
+    Some (e.time, e.seq, e.value)
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let top = get t 0 in
+    t.len <- t.len - 1;
+    let last = get t t.len in
+    t.arr.(t.len) <- None;
+    if t.len > 0 then begin
+      t.arr.(0) <- Some last;
+      (* sift down *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < t.len && less (get t l) (get t !smallest) then smallest := l;
+        if r < t.len && less (get t r) (get t !smallest) then smallest := r;
+        if !smallest <> !i then begin
+          t.arr.(!i) <- t.arr.(!smallest);
+          t.arr.(!smallest) <- Some last;
+          i := !smallest
+        end
+        else continue := false
+      done
+    end;
+    Some (top.time, top.seq, top.value)
+  end

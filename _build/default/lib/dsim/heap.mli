@@ -1,0 +1,19 @@
+(** A minimal binary min-heap, keyed by [(float, int)] pairs.
+
+    Used as the simulator event queue: the float is the firing time and
+    the int a monotonically increasing sequence number, so events with
+    equal times pop in insertion order (deterministic replay). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> time:float -> seq:int -> 'a -> unit
+
+val pop : 'a t -> (float * int * 'a) option
+(** Removes and returns the minimum element, or [None] when empty. *)
+
+val peek : 'a t -> (float * int * 'a) option

@@ -1,0 +1,39 @@
+type t = {
+  mutable rate : float;
+  mutable free_at : float;
+}
+
+let create ~rate =
+  if rate <= 0. then invalid_arg "Rsrc.create: rate must be positive";
+  { rate; free_at = 0. }
+
+let unconstrained () = create ~rate:infinity
+
+let rate t = t.rate
+
+let set_rate t r =
+  if r <= 0. then invalid_arg "Rsrc.set_rate: rate must be positive";
+  t.rate <- r
+
+let is_unconstrained t = t.rate = infinity
+
+let free_at t = t.free_at
+
+let reserve t ~now ~cost =
+  if t.rate = infinity then (now, now)
+  else begin
+    let start = Float.max now t.free_at in
+    let finish = start +. (cost /. t.rate) in
+    t.free_at <- finish;
+    (start, finish)
+  end
+
+let reserve_from t ~start ~cost =
+  if t.rate = infinity then start
+  else begin
+    let finish = start +. (cost /. t.rate) in
+    t.free_at <- Float.max t.free_at finish;
+    finish
+  end
+
+let release_until t time = if t.free_at > time then t.free_at <- time

@@ -1,0 +1,49 @@
+(** Serializing rate servers, the building block of iOverlay's
+    bandwidth and CPU emulation.
+
+    A rate server models a capacity constraint (a per-link bandwidth
+    cap, a node's uplink budget, a shared CPU). Work of [bytes] (or any
+    cost unit) passes through the server at [rate] units/second,
+    strictly one reservation at a time. Two traffic flows contending
+    for the same server therefore alternate and each observes half the
+    rate — which is exactly how the paper's emulated per-node caps
+    split across active links (Fig. 6(a)). *)
+
+type t
+
+val create : rate:float -> t
+(** [create ~rate] with [rate] in units/second; [infinity] means
+    unconstrained. @raise Invalid_argument if [rate <= 0]. *)
+
+val unconstrained : unit -> t
+(** Shorthand for [create ~rate:infinity]. *)
+
+val rate : t -> float
+
+val set_rate : t -> float -> unit
+(** Changes the rate for subsequent reservations. Used when the
+    observer adjusts emulated bandwidth at runtime.
+    @raise Invalid_argument if the new rate is [<= 0]. *)
+
+val is_unconstrained : t -> bool
+
+val free_at : t -> float
+(** The time at which the server becomes idle (0. initially). *)
+
+val reserve : t -> now:float -> cost:float -> float * float
+(** [reserve t ~now ~cost] books [cost] units through the server,
+    starting no earlier than [now] nor before pending reservations
+    complete. Returns [(start, finish)] and advances the server's
+    [free_at] to [finish]. Unconstrained servers return
+    [(now, now)] and book nothing. *)
+
+val reserve_from : t -> start:float -> cost:float -> float
+(** [reserve_from t ~start ~cost] books [cost] units beginning exactly
+    at [start] (which must be [>= free_at t]) and returns the finish
+    time. Used when several servers must be reserved over a common
+    window: first compute the common start with {!free_at}, then book
+    each. *)
+
+val release_until : t -> float -> unit
+(** [release_until t time] rolls the server's [free_at] back to at most
+    [time]; used to cancel a reservation when a transmission aborts. *)

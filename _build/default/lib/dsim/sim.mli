@@ -1,0 +1,48 @@
+(** The discrete-event simulator driving every iOverlay experiment.
+
+    The simulator owns a virtual clock and an event queue. All overlay
+    nodes, links, the observer and workload generators schedule
+    closures; [run] executes them in time order. Determinism: events at
+    equal times fire in scheduling order, and all randomness flows from
+    the seeded {!rng}. *)
+
+type t
+
+type handle
+(** A cancellable reference to a scheduled event. *)
+
+val create : ?seed:int -> unit -> t
+(** [create ?seed ()] — the default seed is 42. *)
+
+val now : t -> float
+(** Current virtual time, in seconds. *)
+
+val rng : t -> Random.State.t
+
+val schedule : t -> delay:float -> (unit -> unit) -> handle
+(** [schedule t ~delay f] fires [f] at [now t +. delay].
+    @raise Invalid_argument if [delay] is negative or not finite. *)
+
+val schedule_at : t -> time:float -> (unit -> unit) -> handle
+(** [schedule_at t ~time f] fires [f] at absolute [time >= now t]. *)
+
+val cancel : t -> handle -> unit
+(** Cancelling an already-fired or already-cancelled event is a no-op. *)
+
+val cancelled : handle -> bool
+
+val every : t -> period:float -> ?jitter:float -> (unit -> unit) -> handle
+(** [every t ~period f] fires [f] every [period] seconds (first firing
+    after one period). With [~jitter:j], each interval is drawn
+    uniformly from [[period - j, period + j]]. Cancel the returned
+    handle to stop the recurrence. *)
+
+val run : ?until:float -> ?max_events:int -> t -> unit
+(** Executes events until the queue drains, [until] (exclusive of later
+    events) is reached, or [max_events] have fired. When stopped by
+    [until], the clock is advanced to [until]. *)
+
+val pending : t -> int
+(** Number of events still queued (including cancelled stubs). *)
+
+val events_fired : t -> int

@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Fig5 Harness Iov_algos Iov_core Iov_msg Iov_stats Iov_topo List

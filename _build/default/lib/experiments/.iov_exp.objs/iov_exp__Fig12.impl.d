@@ -1,0 +1,1 @@
+lib/experiments/fig12.ml: Buffer Iov_algos Iov_core Iov_dsim Iov_msg Iov_observer Iov_topo List Printf Stdlib

@@ -1,0 +1,1 @@
+lib/experiments/fig14.ml: Float Iov_algos Iov_core Iov_dsim Iov_msg Iov_stats List Printf String Svc

@@ -1,0 +1,1 @@
+lib/experiments/fig16.ml: Iov_core Iov_dsim List Printf Svc

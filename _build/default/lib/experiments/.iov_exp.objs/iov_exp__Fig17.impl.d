@@ -1,0 +1,1 @@
+lib/experiments/fig17.ml: Array Iov_algos Iov_core Iov_dsim Iov_stats List Printf Svc

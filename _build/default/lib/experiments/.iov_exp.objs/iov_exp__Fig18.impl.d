@@ -1,0 +1,1 @@
+lib/experiments/fig18.ml: Array Int Iov_algos Iov_core Iov_dsim Iov_msg Iov_stats List Printf Stdlib Svc

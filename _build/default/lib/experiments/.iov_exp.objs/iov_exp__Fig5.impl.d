@@ -1,0 +1,1 @@
+lib/experiments/fig5.ml: Iov_algos Iov_core Iov_msg Iov_stats Iov_topo List Printf

@@ -1,0 +1,1 @@
+lib/experiments/fig6.ml: Harness Iov_core Iov_topo List Printf

@@ -1,0 +1,1 @@
+lib/experiments/fig7.ml: Harness Iov_core Iov_topo List Printf

@@ -1,0 +1,1 @@
+lib/experiments/fig8.ml: Harness Iov_algos Iov_core Iov_topo List Printf

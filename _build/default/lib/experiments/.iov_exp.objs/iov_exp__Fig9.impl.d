@@ -1,0 +1,1 @@
+lib/experiments/fig9.ml: Harness Iov_algos Iov_core Iov_dsim Iov_msg Iov_observer Iov_stats Iov_topo List Option Printf

@@ -1,0 +1,1 @@
+lib/experiments/harness.ml: Iov_algos Iov_core Iov_stats Iov_topo List Printf

@@ -1,0 +1,1 @@
+lib/experiments/harness.mli: Iov_algos Iov_core Iov_topo

@@ -1,0 +1,1 @@
+lib/experiments/robustness.ml: Float Hashtbl Iov_algos Iov_core Iov_dsim Iov_msg Iov_observer Iov_topo List Printf Stdlib

@@ -1,0 +1,1 @@
+lib/experiments/svc.mli: Iov_algos Iov_core Iov_msg Iov_observer Iov_topo

@@ -1,0 +1,143 @@
+module Network = Iov_core.Network
+module Bwspec = Iov_core.Bwspec
+module Topo = Iov_topo.Topo
+module Table = Iov_stats.Table
+module NI = Iov_msg.Node_id
+
+let kbps = Harness.kbps
+
+(* ------------------------------------------------------------------ *)
+
+type buffer_row = {
+  capacity : int;
+  upstream_rate : float;
+  bottleneck_rate : float;
+}
+
+let buffer_sweep ?(quiet = false) ?(capacities = [ 5; 50; 500; 10000 ]) () =
+  let one capacity =
+    let topo = Topo.fig6 () in
+    let f =
+      Harness.build_flood ~buffer_capacity:capacity ~topo ~source:"A" ()
+    in
+    Network.set_node_bandwidth f.Harness.net (Topo.node topo "D")
+      (Bwspec.make ~up:(kbps 30.) ());
+    Network.run f.Harness.net ~until:30.;
+    {
+      capacity;
+      upstream_rate = Harness.edge_rate f "A" "B";
+      bottleneck_rate = Harness.edge_rate f "D" "E";
+    }
+  in
+  let rows = List.map one capacities in
+  if not quiet then begin
+    print_endline
+      "== ablation: buffer capacity vs back-pressure reach (D uplink 30 KBps) ==";
+    Table.print
+      ~header:[ "buffer (msgs)"; "A->B KBps"; "D->E KBps" ]
+      (List.map
+         (fun r ->
+           [
+             string_of_int r.capacity;
+             Table.f1 (r.upstream_rate /. 1024.);
+             Table.f1 (r.bottleneck_rate /. 1024.);
+           ])
+         rows);
+    print_newline ()
+  end;
+  rows
+
+(* ------------------------------------------------------------------ *)
+
+type pipeline_row = {
+  depth : int;
+  throughput : float;
+}
+
+let pipeline_sweep ?(quiet = false) ?(depths = [ 1; 2; 4; 8; 16 ]) () =
+  let one depth =
+    let net =
+      Network.create ~pipeline_depth:depth ~default_latency:0.1
+        ~buffer_capacity:100 ()
+    in
+    let app = 1 in
+    let src =
+      Iov_algos.Source.create ~app ~dests:[ NI.synthetic 2 ] ()
+    in
+    ignore
+      (Network.add_node net
+         ~bw:(Bwspec.make ~up:(kbps 200.) ())
+         ~id:(NI.synthetic 1)
+         (Iov_algos.Source.algorithm src));
+    ignore (Network.add_node net ~id:(NI.synthetic 2) Iov_core.Algorithm.null);
+    Network.run net ~until:20.;
+    {
+      depth;
+      throughput =
+        Network.link_throughput net ~src:(NI.synthetic 1)
+          ~dst:(NI.synthetic 2);
+    }
+  in
+  let rows = List.map one depths in
+  if not quiet then begin
+    print_endline
+      "== ablation: pipeline depth across a 100 ms link (cap 200 KBps) ==";
+    Table.print
+      ~header:[ "in-flight msgs"; "throughput KBps" ]
+      (List.map
+         (fun r ->
+           [ string_of_int r.depth; Table.f1 (r.throughput /. 1024.) ])
+         rows);
+    print_newline ()
+  end;
+  rows
+
+(* ------------------------------------------------------------------ *)
+
+type cpu_row = {
+  modelled : bool;
+  total_bandwidth : float;
+}
+
+(* the calibrated 8-node point from Fig. 5 *)
+let fig5_total_at_8 () =
+  match (Fig5.run ~quiet:true ~sizes:[ 8 ] ~measure_for:2. ()).Fig5.rows with
+  | [ row ] -> row.Fig5.total
+  | _ -> 0.
+
+(* the same chain with the CPU left unconstrained: only the (tiny)
+   default link latency paces it, so it switches at simulated wire
+   speed *)
+let unconstrained_total_at_8 () =
+  let topo = Topo.chain ~n:8 in
+  let f = Harness.build_flood ~buffer_capacity:10 ~topo ~source:"n1" () in
+  Network.run f.Harness.net ~until:5.;
+  let sink = Topo.node topo "n8" in
+  Network.app_rate f.Harness.net sink ~app:f.Harness.app *. 7.
+
+let cpu_model ?(quiet = false) () =
+  let rows =
+    [
+      { modelled = false; total_bandwidth = unconstrained_total_at_8 () };
+      { modelled = true; total_bandwidth = fig5_total_at_8 () };
+    ]
+  in
+  if not quiet then begin
+    print_endline "== ablation: shared-CPU model on an 8-node chain ==";
+    Table.print
+      ~header:[ "CPU model"; "total bandwidth (MBps)" ]
+      (List.map
+         (fun r ->
+           [
+             (if r.modelled then "calibrated" else "off");
+             Table.fmb r.total_bandwidth;
+           ])
+         rows);
+    print_newline ()
+  end;
+  rows
+
+let run_all ?quiet () =
+  ignore (buffer_sweep ?quiet ());
+  ignore (pipeline_sweep ?quiet ());
+  ignore (cpu_model ?quiet ())

@@ -1,0 +1,36 @@
+(** Ablations of the design choices DESIGN.md calls out.
+
+    Not paper figures: each sweep isolates one engine mechanism and
+    shows the behaviour it buys. *)
+
+type buffer_row = {
+  capacity : int;
+  upstream_rate : float;
+      (** A->B throughput under the Fig. 6(b) bottleneck, bytes/s *)
+  bottleneck_rate : float;  (** D->E throughput *)
+}
+
+val buffer_sweep : ?quiet:bool -> ?capacities:int list -> unit -> buffer_row list
+(** The back-pressure crossover: with small buffers the D bottleneck
+    throttles the whole graph (upstream ≈ 15 KBps); with large buffers
+    it stays local (upstream ≈ 200 KBps). *)
+
+type pipeline_row = {
+  depth : int;
+  throughput : float;  (** bytes/s across a 100 ms-latency link *)
+}
+
+val pipeline_sweep : ?quiet:bool -> ?depths:int list -> unit -> pipeline_row list
+(** Why transmissions pipeline: a 200 KBps link with 100 ms one-way
+    latency collapses to ~ message-per-RTT without pipelining. *)
+
+type cpu_row = {
+  modelled : bool;
+  total_bandwidth : float;  (** 8-node chain, bytes/s *)
+}
+
+val cpu_model : ?quiet:bool -> unit -> cpu_row list
+(** The shared-CPU model is what produces Fig. 5's decline: without
+    it, an 8-node chain switches at (simulated) wire speed. *)
+
+val run_all : ?quiet:bool -> unit -> unit

@@ -1,0 +1,136 @@
+module Network = Iov_core.Network
+module Bwspec = Iov_core.Bwspec
+module Tree = Iov_algos.Tree
+module Observer = Iov_observer.Observer
+module Planetlab = Iov_topo.Planetlab
+module Descr = Iov_stats.Descr
+module NI = Iov_msg.Node_id
+
+type algo_result = {
+  strategy : Tree.strategy;
+  joined : int;
+  throughputs : float list;
+  stress_cdf : (float * float) list;
+  mean_throughput : float;
+  median_stress : float;
+}
+
+type result = {
+  n : int;
+  unicast : algo_result;
+  random : algo_result;
+  ns_aware : algo_result;
+}
+
+let app = 11
+
+(* Build the wide-area overlay, deploy the source, join everyone at
+   one-second intervals, let traffic converge, then measure. *)
+let run_algo ~n ~seed strategy =
+  let pl = Planetlab.generate ~seed ~n () in
+  let net = Network.create ~seed ~buffer_capacity:10000 () in
+  Network.set_latency_fn net (Planetlab.latency pl);
+  let obs = Observer.create ~boot_subset:10 net in
+  let nds = Planetlab.nodes pl in
+  let source_nd = List.hd nds in
+  let trees =
+    List.mapi
+      (fun i nd ->
+        let bw =
+          if i = 0 then Bwspec.total_only (100. *. 1024.)
+          else nd.Planetlab.bw
+        in
+        let t =
+          Tree.create ~strategy ~last_mile:(Bwspec.last_mile bw) ~app ()
+        in
+        ignore
+          (Network.add_node net ~bw ~observer:(Observer.id obs)
+             ~id:nd.Planetlab.nid (Tree.algorithm t));
+        (nd.Planetlab.nid, t))
+      nds
+  in
+  let sim = Network.sim net in
+  let at time f = ignore (Iov_dsim.Sim.schedule_at sim ~time f) in
+  at 1.0 (fun () -> Observer.deploy_source obs source_nd.Planetlab.nid ~app);
+  List.iteri
+    (fun i (nid, _) ->
+      if not (NI.equal nid source_nd.Planetlab.nid) then
+        at (2.0 +. float_of_int i) (fun () -> Observer.join obs nid ~app))
+    trees;
+  let join_horizon = 2.0 +. float_of_int n +. 20. in
+  Network.run net ~until:join_horizon;
+  (* measure end-to-end throughput as delivered bytes over a 30 s
+     window, immune to per-window quantization at low rates *)
+  let baseline =
+    List.map (fun (nid, _) -> (nid, Network.app_bytes net nid ~app)) trees
+  in
+  let window = 30. in
+  Network.run net ~until:(join_horizon +. window);
+
+  let receivers =
+    List.filter
+      (fun (nid, t) ->
+        Tree.in_session t && not (NI.equal nid source_nd.Planetlab.nid))
+      trees
+  in
+  let throughputs =
+    List.map
+      (fun (nid, _) ->
+        let before = List.assoc nid baseline in
+        float_of_int (Network.app_bytes net nid ~app - before) /. window)
+      receivers
+    |> List.sort (fun a b -> Float.compare b a)
+  in
+  let stresses =
+    List.filter_map
+      (fun (_, t) -> if Tree.in_session t then Some (Tree.stress t) else None)
+      trees
+  in
+  let cdf = Descr.Cdf.of_list stresses in
+  {
+    strategy;
+    joined = List.length receivers;
+    throughputs;
+    stress_cdf = Descr.Cdf.points cdf;
+    mean_throughput =
+      (if throughputs = [] then 0.
+       else (Descr.summarize throughputs).Descr.mean);
+    median_stress =
+      (if stresses = [] then 0. else Descr.percentile stresses 0.5);
+  }
+
+let print_algo a =
+  Printf.printf
+    "-- %s: %d receivers joined, mean throughput %.1f KBps, median stress %.2f --\n"
+    (Tree.strategy_name a.strategy)
+    a.joined
+    (a.mean_throughput /. 1024.)
+    a.median_stress;
+  let deciles =
+    List.filteri
+      (fun i _ -> i mod (Stdlib.max 1 (List.length a.throughputs / 10)) = 0)
+      a.throughputs
+  in
+  Printf.printf "   throughput deciles (KBps):";
+  List.iter (fun x -> Printf.printf " %.0f" (x /. 1024.)) deciles;
+  print_newline ();
+  Printf.printf "   stress CDF:";
+  let step = Stdlib.max 1 (List.length a.stress_cdf / 8) in
+  List.iteri
+    (fun i (x, fr) ->
+      if i mod step = 0 then Printf.printf " (%.1f, %.2f)" x fr)
+    a.stress_cdf;
+  print_newline ()
+
+let run ?(quiet = false) ?(n = 81) ?(seed = 11) () =
+  let unicast = run_algo ~n ~seed Tree.Unicast in
+  let random = run_algo ~n ~seed Tree.Random in
+  let ns_aware = run_algo ~n ~seed Tree.Ns_aware in
+  if not quiet then begin
+    Printf.printf
+      "== Fig. 11: tree construction on %d wide-area nodes (caps U(50,200) KBps, source 100) ==\n"
+      n;
+    List.iter print_algo [ unicast; random; ns_aware ];
+    print_newline ()
+  end;
+  { n; unicast; random; ns_aware }

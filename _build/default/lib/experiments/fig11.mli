@@ -1,0 +1,27 @@
+(** Fig. 11 — the node-stress aware algorithm on 81 wide-area nodes
+    (synthetic PlanetLab).
+
+    Per-node available bandwidth is uniform in 50–200 KBps with the
+    source at 100 KBps; receivers join over time. For each of the
+    three construction algorithms the harness reports (a) the
+    end-to-end throughput of every receiver and (b) the cumulative
+    distribution of node stress. *)
+
+type algo_result = {
+  strategy : Iov_algos.Tree.strategy;
+  joined : int;  (** receivers that completed the join protocol *)
+  throughputs : float list;  (** per-receiver, descending, bytes/sec *)
+  stress_cdf : (float * float) list;  (** (stress, fraction <= stress) *)
+  mean_throughput : float;
+  median_stress : float;
+}
+
+type result = {
+  n : int;
+  unicast : algo_result;
+  random : algo_result;
+  ns_aware : algo_result;
+}
+
+val run : ?quiet:bool -> ?n:int -> ?seed:int -> unit -> result
+(** Default [n] = 81 (the paper's deployment). *)

@@ -1,0 +1,107 @@
+module Network = Iov_core.Network
+module Bwspec = Iov_core.Bwspec
+module Tree = Iov_algos.Tree
+module Observer = Iov_observer.Observer
+module Planetlab = Iov_topo.Planetlab
+module NI = Iov_msg.Node_id
+
+type result = {
+  ten_node : string;
+  eighty_one_node : string;
+  ten_depth : int;
+  eighty_one_depth : int;
+}
+
+let render_tree ~root ~children =
+  let buf = Buffer.create 256 in
+  (* guard against accidental cycles in snapshots *)
+  let seen = ref NI.Set.empty in
+  let rec go indent ni =
+    Buffer.add_string buf indent;
+    Buffer.add_string buf (NI.ip_string ni);
+    Buffer.add_char buf '\n';
+    if not (NI.Set.mem ni !seen) then begin
+      seen := NI.Set.add ni !seen;
+      List.iter (go (indent ^ "  ")) (children ni)
+    end
+  in
+  go "" root;
+  Buffer.contents buf
+
+let depth ~root ~children =
+  let seen = ref NI.Set.empty in
+  let rec go ni =
+    if NI.Set.mem ni !seen then 0
+    else begin
+      seen := NI.Set.add ni !seen;
+      1 + List.fold_left (fun acc c -> Stdlib.max acc (go c)) 0 (children ni)
+    end
+  in
+  go root
+
+let app = 12
+
+let build_ns_tree ~seed n =
+  let pl = Planetlab.generate ~seed ~n () in
+  let net = Network.create ~seed ~buffer_capacity:10000 () in
+  Network.set_latency_fn net (Planetlab.latency pl);
+  let obs = Observer.create ~boot_subset:10 net in
+  let nds = Planetlab.nodes pl in
+  let trees =
+    List.mapi
+      (fun i nd ->
+        let bw =
+          if i = 0 then Bwspec.total_only (100. *. 1024.)
+          else nd.Planetlab.bw
+        in
+        let t =
+          Tree.create ~strategy:Tree.Ns_aware
+            ~last_mile:(Bwspec.last_mile bw) ~app ()
+        in
+        ignore
+          (Network.add_node net ~bw ~observer:(Observer.id obs)
+             ~id:nd.Planetlab.nid (Tree.algorithm t));
+        (nd.Planetlab.nid, t))
+      nds
+  in
+  let sim = Network.sim net in
+  let at time f = ignore (Iov_dsim.Sim.schedule_at sim ~time f) in
+  let root = (List.hd nds).Planetlab.nid in
+  at 1.0 (fun () -> Observer.deploy_source obs root ~app);
+  List.iteri
+    (fun i (nid, _) ->
+      if not (NI.equal nid root) then
+        at (2.0 +. float_of_int i) (fun () -> Observer.join obs nid ~app))
+    trees;
+  Network.run net ~until:(float_of_int n +. 25.);
+  let children ni =
+    match List.assoc_opt ni trees with
+    | Some t -> Tree.children t
+    | None -> []
+  in
+  (root, children)
+
+let run ?(quiet = false) ?(seed = 11) () =
+  let root10, ch10 = build_ns_tree ~seed 10 in
+  let root81, ch81 = build_ns_tree ~seed 81 in
+  let ten_node = render_tree ~root:root10 ~children:ch10 in
+  let eighty_one_node = render_tree ~root:root81 ~children:ch81 in
+  let r =
+    {
+      ten_node;
+      eighty_one_node;
+      ten_depth = depth ~root:root10 ~children:ch10;
+      eighty_one_depth = depth ~root:root81 ~children:ch81;
+    }
+  in
+  if not quiet then begin
+    print_endline "== Fig. 12: 10-node topology from the ns-aware algorithm ==";
+    print_string ten_node;
+    Printf.printf "(depth %d)\n\n" r.ten_depth;
+    Printf.printf
+      "== Fig. 13: 81-node topology from the ns-aware algorithm (depth %d) ==\n"
+      r.eighty_one_depth;
+    print_string eighty_one_node;
+    print_newline ()
+  end;
+  r

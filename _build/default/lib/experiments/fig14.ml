@@ -1,0 +1,145 @@
+module Network = Iov_core.Network
+module Sflow = Iov_algos.Sflow
+module NI = Iov_msg.Node_id
+module Mt = Iov_msg.Mtype
+module Table = Iov_stats.Table
+
+type per_node = {
+  nid : NI.t;
+  service : int option;
+  aware_bytes : int;
+  federate_bytes : int;
+  in_bw : float;
+  out_bw : float;
+  total_bw : float;
+}
+
+type result = {
+  federation_delay : float;
+  last_hop_throughput : float;
+  dag : (NI.t * NI.t list) list;
+  nodes : per_node list;
+  untouched : int;
+}
+
+let app = 14
+
+(* The paper's requirement is a multi-branch DAG; we use a diamond
+   with a tail: 1 -> {2, 3} -> 4 -> 5. *)
+let requirement =
+  Sflow.Req.make
+    ~edges:[ (1, 2); (1, 3); (2, 4); (3, 4); (4, 5) ]
+    ~source:1 ~sink:5
+
+let run ?(quiet = false) ?(seed = 17) () =
+  let b = Svc.build ~seed ~strategy:`Sflow ~n:16 ~types:5 () in
+  let net = b.Svc.net in
+  (* let assignments and sAware dissemination settle *)
+  Network.run net ~until:30.;
+  let source =
+    match Svc.instances_of b 1 with
+    | s :: _ -> s
+    | [] -> failwith "fig14: no source instance"
+  in
+  let t0 = 30. in
+  Svc.federate b ~app ~source requirement;
+  (* poll for completion to measure the federation delay *)
+  let delay = ref nan in
+  let sim = Network.sim net in
+  let rec watch () =
+    if Svc.completed b > 0 then delay := Iov_dsim.Sim.now sim -. t0
+    else if Iov_dsim.Sim.now sim < t0 +. 30. then
+      ignore (Iov_dsim.Sim.schedule sim ~delay:0.05 watch)
+  in
+  ignore (Iov_dsim.Sim.schedule sim ~delay:0.05 watch);
+  Network.run net ~until:90.;
+
+  let sink = Svc.sink_of b ~app ~source in
+  let last_hop_throughput =
+    match sink with
+    | Some s -> Network.app_rate net s ~app
+    | None -> 0.
+  in
+  let dag =
+    List.filter_map
+      (fun (nid, flow) ->
+        match Sflow.selected_children flow ~app with
+        | [] -> None
+        | children -> Some (nid, children))
+      b.Svc.flows
+  in
+  let involved =
+    List.fold_left
+      (fun acc (p, cs) -> NI.Set.add p (List.fold_left (fun s c -> NI.Set.add c s) acc cs))
+      NI.Set.empty dag
+  in
+  let nodes =
+    List.map
+      (fun (nid, flow) ->
+        let in_bw =
+          List.fold_left
+            (fun acc up -> acc +. Network.link_throughput net ~src:up ~dst:nid)
+            0.
+            (Network.upstreams_of net nid)
+        in
+        let out_bw =
+          List.fold_left
+            (fun acc down ->
+              acc +. Network.link_throughput net ~src:nid ~dst:down)
+            0.
+            (Network.downstreams_of net nid)
+        in
+        {
+          nid;
+          service = Sflow.service_type flow;
+          aware_bytes = Network.control_bytes_sent net nid Mt.S_aware;
+          federate_bytes = Network.control_bytes_sent net nid Mt.S_federate;
+          in_bw;
+          out_bw;
+          total_bw = in_bw +. out_bw;
+        })
+      b.Svc.flows
+    |> List.sort (fun a b -> Float.compare b.total_bw a.total_bw)
+  in
+  let untouched = 16 - NI.Set.cardinal involved in
+  let r =
+    {
+      federation_delay = !delay;
+      last_hop_throughput;
+      dag;
+      nodes;
+      untouched;
+    }
+  in
+  if not quiet then begin
+    print_endline "== Fig. 14: a federated complex service (16 nodes, diamond DAG) ==";
+    Printf.printf "federation delay: %.1f ms\n" (r.federation_delay *. 1000.);
+    Printf.printf "last-hop throughput into the sink: %.0f bytes/s\n"
+      r.last_hop_throughput;
+    print_endline "selected service DAG:";
+    List.iter
+      (fun (p, cs) ->
+        Printf.printf "  %s -> %s\n" (NI.to_string p)
+          (String.concat ", " (List.map NI.to_string cs)))
+      r.dag;
+    Printf.printf "untouched nodes: %d of 16\n\n" r.untouched;
+    print_endline "== Fig. 15: per-node overhead and bandwidth (sorted by bandwidth) ==";
+    Table.print
+      ~header:
+        [ "node"; "svc"; "sAware B"; "sFederate B"; "down KBps"; "up KBps";
+          "total KBps" ]
+      (List.map
+         (fun p ->
+           [
+             NI.ip_string p.nid;
+             (match p.service with Some s -> string_of_int s | None -> "-");
+             string_of_int p.aware_bytes;
+             string_of_int p.federate_bytes;
+             Table.f1 (p.in_bw /. 1024.);
+             Table.f1 (p.out_bw /. 1024.);
+             Table.f1 (p.total_bw /. 1024.);
+           ])
+         r.nodes);
+    print_newline ()
+  end;
+  r

@@ -1,0 +1,25 @@
+(** Figs. 14–15 — one federated complex service on a 16-node service
+    overlay: the constructed DAG, its end-to-end delay and last-hop
+    throughput (Fig. 14), plus per-node control-message overhead and
+    bandwidth measurements (Fig. 15). *)
+
+type per_node = {
+  nid : Iov_msg.Node_id.t;
+  service : int option;
+  aware_bytes : int;
+  federate_bytes : int;
+  in_bw : float;  (** per-link download bandwidth, bytes/second *)
+  out_bw : float;
+  total_bw : float;
+}
+
+type result = {
+  federation_delay : float;  (** seconds from request to deployment *)
+  last_hop_throughput : float;  (** bytes/second into the sink *)
+  dag : (Iov_msg.Node_id.t * Iov_msg.Node_id.t list) list;
+      (** selected children per participating instance *)
+  nodes : per_node list;  (** sorted by total bandwidth, descending *)
+  untouched : int;  (** nodes not involved in the session *)
+}
+
+val run : ?quiet:bool -> ?seed:int -> unit -> result

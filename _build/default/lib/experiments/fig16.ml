@@ -1,0 +1,51 @@
+module Network = Iov_core.Network
+
+type result = {
+  buckets : (float * int) list;
+  total : int;
+}
+
+let run ?(quiet = false) ?(n = 30) ?(seed = 17) () =
+  (* no automatic assignment: this experiment paces services itself *)
+  let b =
+    Svc.build ~seed ~deploy_data:false ~service_fraction:0.0 ~strategy:`Sflow
+      ~n ~types:6 ()
+  in
+  let net = b.Svc.net in
+  let sim = Network.sim net in
+  (* ~3 new services per minute *)
+  List.iteri
+    (fun i (nid, _) ->
+      ignore
+        (Iov_dsim.Sim.schedule_at sim
+           ~time:(20. *. float_of_int (i + 1))
+           (fun () -> Svc.assign_instance b nid ~service:((i mod 6) + 1))))
+    b.Svc.flows;
+  (* sample cumulative sAware bytes every 2 minutes over 22 minutes *)
+  let samples = ref [] in
+  List.iter
+    (fun minute ->
+      ignore
+        (Iov_dsim.Sim.schedule_at sim ~time:(minute *. 60.) (fun () ->
+             samples := (minute, Svc.aware_bytes b) :: !samples)))
+    [ 2.; 4.; 6.; 8.; 10.; 12.; 14.; 16.; 18.; 20.; 22. ];
+  Network.run net ~until:(22. *. 60. +. 1.);
+  let cumulative = List.rev !samples in
+  let buckets =
+    let rec diff prev = function
+      | [] -> []
+      | (m, c) :: tl -> (m, c - prev) :: diff c tl
+    in
+    diff 0 cumulative
+  in
+  let total = Svc.aware_bytes b in
+  if not quiet then begin
+    Printf.printf
+      "== Fig. 16: sAware overhead over time (%d nodes, ~3 services/min, 22 min) ==\n"
+      n;
+    List.iter
+      (fun (m, bytes) -> Printf.printf "  minutes %4.0f-%2.0f : %6d bytes\n" (m -. 2.) m bytes)
+      buckets;
+    Printf.printf "  total: %d bytes\n\n" total
+  end;
+  { buckets; total }

@@ -1,0 +1,13 @@
+(** Fig. 16 — total sAware overhead over time while a 30-node service
+    overlay is established at ~3 new services per minute, observed
+    over 22 minutes: overhead is moderate throughout and decreases
+    significantly once most services are known. *)
+
+type result = {
+  buckets : (float * int) list;
+      (** (end-of-interval minute, sAware bytes in that 2-minute
+          interval) *)
+  total : int;
+}
+
+val run : ?quiet:bool -> ?n:int -> ?seed:int -> unit -> result

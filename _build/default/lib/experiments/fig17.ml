@@ -1,0 +1,61 @@
+module Network = Iov_core.Network
+module Sflow = Iov_algos.Sflow
+module Table = Iov_stats.Table
+
+type row = {
+  size : int;
+  aware : int;
+  federate : int;
+}
+
+type result = { rows : row list }
+
+let default_sizes = [ 5; 10; 15; 20; 25; 30; 35; 40 ]
+
+let requirement = Sflow.Req.linear [ 1; 2; 3; 4 ]
+
+(* Drive [per_minute] federations per minute for [minutes], source
+   instances cycling; returns the built overlay. *)
+let run_size ~seed ~minutes ~per_minute n =
+  let b =
+    Svc.build ~seed ~deploy_data:false ~strategy:`Sflow ~n ~types:4 ()
+  in
+  let net = b.Svc.net in
+  let sim = Network.sim net in
+  let warmup = float_of_int n +. 10. in
+  ignore
+    (Iov_dsim.Sim.schedule_at sim ~time:warmup (fun () ->
+         let sources = Array.of_list (Svc.instances_of b 1) in
+         if Array.length sources > 0 then begin
+           let interval = 60. /. float_of_int per_minute in
+           let total = int_of_float (minutes *. float_of_int per_minute) in
+           for i = 0 to total - 1 do
+             ignore
+               (Iov_dsim.Sim.schedule sim
+                  ~delay:(interval *. float_of_int i)
+                  (fun () ->
+                    Svc.federate b ~app:(1000 + i)
+                      ~source:sources.(i mod Array.length sources)
+                      requirement))
+           done
+         end));
+  Network.run net ~until:(warmup +. (minutes *. 60.) +. 10.);
+  { size = n; aware = Svc.aware_bytes b; federate = Svc.federate_bytes b }
+
+let run ?(quiet = false) ?(sizes = default_sizes) ?(minutes = 10.)
+    ?(seed = 17) () =
+  let rows = List.map (run_size ~seed ~minutes ~per_minute:50) sizes in
+  if not quiet then begin
+    Printf.printf
+      "== Fig. 17: control overhead vs network size (%.0f min, 50 requirements/min) ==\n"
+      minutes;
+    Table.print
+      ~header:[ "network size"; "sAware bytes"; "sFederate bytes" ]
+      (List.map
+         (fun r ->
+           [ string_of_int r.size; string_of_int r.aware;
+             string_of_int r.federate ])
+         rows);
+    print_newline ()
+  end;
+  { rows }

@@ -1,0 +1,17 @@
+(** Fig. 17 — total control-message overhead versus network size, over
+    10 minutes with 50 new service requirements per minute: both
+    message types grow gradually, sFederate slower than sAware. *)
+
+type row = {
+  size : int;
+  aware : int;  (** total sAware bytes *)
+  federate : int;  (** total sFederate bytes *)
+}
+
+type result = { rows : row list }
+
+val default_sizes : int list
+
+val run :
+  ?quiet:bool -> ?sizes:int list -> ?minutes:float -> ?seed:int -> unit ->
+  result

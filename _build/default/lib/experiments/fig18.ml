@@ -1,0 +1,86 @@
+module Network = Iov_core.Network
+module Sflow = Iov_algos.Sflow
+module NI = Iov_msg.Node_id
+module Mt = Iov_msg.Mtype
+module Table = Iov_stats.Table
+
+type row = {
+  nid : NI.t;
+  service : int option;
+  aware : int;
+  federate : int;
+}
+
+type result = {
+  rows : row list;
+  max_federate : int;
+  silent_nodes : int;
+}
+
+let requirement = Sflow.Req.linear [ 1; 2; 3; 4 ]
+
+let run ?(quiet = false) ?(n = 30) ?(minutes = 22.) ?(seed = 17) () =
+  let b =
+    Svc.build ~seed ~deploy_data:false ~strategy:`Sflow ~n ~types:4 ()
+  in
+  let net = b.Svc.net in
+  let sim = Network.sim net in
+  let warmup = float_of_int n +. 10. in
+  ignore
+    (Iov_dsim.Sim.schedule_at sim ~time:warmup (fun () ->
+         (* the observer favours a few designated source instances,
+            as in the paper *)
+         let sources = Array.of_list (Svc.instances_of b 1) in
+         let k = Stdlib.min 3 (Array.length sources) in
+         if k > 0 then begin
+           let per_minute = 50 in
+           let interval = 60. /. float_of_int per_minute in
+           let total = int_of_float (minutes *. float_of_int per_minute) in
+           for i = 0 to total - 1 do
+             ignore
+               (Iov_dsim.Sim.schedule sim
+                  ~delay:(interval *. float_of_int i)
+                  (fun () ->
+                    Svc.federate b ~app:(2000 + i) ~source:sources.(i mod k)
+                      requirement))
+           done
+         end));
+  Network.run net ~until:(warmup +. (minutes *. 60.) +. 10.);
+  let rows =
+    List.map
+      (fun (nid, flow) ->
+        {
+          nid;
+          service = Sflow.service_type flow;
+          aware = Network.control_bytes_sent net nid Mt.S_aware;
+          federate = Network.control_bytes_sent net nid Mt.S_federate;
+        })
+      b.Svc.flows
+    |> List.sort (fun a b -> Int.compare b.federate a.federate)
+  in
+  let max_federate =
+    match rows with r :: _ -> r.federate | [] -> 0
+  in
+  let silent_nodes =
+    List.length (List.filter (fun r -> r.federate < max_federate / 20) rows)
+  in
+  let result = { rows; max_federate; silent_nodes } in
+  if not quiet then begin
+    Printf.printf
+      "== Fig. 18: per-node overhead (%d nodes, 50 reqs/min, %.0f min) ==\n" n
+      minutes;
+    Table.print
+      ~header:[ "node"; "svc"; "sAware bytes"; "sFederate bytes" ]
+      (List.map
+         (fun r ->
+           [
+             NI.ip_string r.nid;
+             (match r.service with Some s -> string_of_int s | None -> "-");
+             string_of_int r.aware;
+             string_of_int r.federate;
+           ])
+         rows);
+    Printf.printf "max sFederate overhead: %d bytes; low-overhead nodes: %d\n\n"
+      max_federate silent_nodes
+  end;
+  result

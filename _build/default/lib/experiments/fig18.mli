@@ -1,0 +1,20 @@
+(** Fig. 18 — per-node control-message overhead in a 30-node overlay
+    under heavy federation load (50 requirements/minute over 22
+    minutes): the selected source services dominate sFederate
+    overhead, while nodes whose services are not required stay
+    near-silent. *)
+
+type row = {
+  nid : Iov_msg.Node_id.t;
+  service : int option;
+  aware : int;
+  federate : int;
+}
+
+type result = {
+  rows : row list;  (** sorted by sFederate bytes, descending *)
+  max_federate : int;
+  silent_nodes : int;  (** nodes with near-zero sFederate overhead *)
+}
+
+val run : ?quiet:bool -> ?n:int -> ?minutes:float -> ?seed:int -> unit -> result

@@ -1,0 +1,85 @@
+module Network = Iov_core.Network
+module Sflow = Iov_algos.Sflow
+module Table = Iov_stats.Table
+
+type row = {
+  size : int;
+  sflow : float;
+  fixed : float;
+  random : float;
+}
+
+type result = { rows : row list }
+
+let default_sizes = [ 5; 10; 15; 20; 25; 30; 35; 40 ]
+
+let requirement = Sflow.Req.linear [ 1; 2; 3; 4 ]
+
+(* Federate [sessions] short-lived services, lightly overlapped (one
+   every 10 s, terminated after ~9.5 s); each session's end-to-end
+   throughput is sampled at its sink mid-life. Returns the mean. *)
+let run_one ~seed ~sessions strategy n =
+  let b = Svc.build ~seed ~deploy_data:true ~strategy ~n ~types:4 () in
+  let net = b.Svc.net in
+  let obs = b.Svc.obs in
+  let sim = Network.sim net in
+  let warmup = float_of_int n +. 10. in
+  let rates = ref [] in
+  ignore
+    (Iov_dsim.Sim.schedule_at sim ~time:warmup (fun () ->
+         let sources = Array.of_list (Svc.instances_of b 1) in
+         if Array.length sources > 0 then
+           for i = 0 to sessions - 1 do
+             let app = 3000 + i in
+             let source = sources.(i mod Array.length sources) in
+             let base = 10. *. float_of_int i in
+             ignore
+               (Iov_dsim.Sim.schedule sim ~delay:base (fun () ->
+                    Svc.federate b ~app ~source requirement));
+             ignore
+               (Iov_dsim.Sim.schedule sim ~delay:(base +. 8.) (fun () ->
+                    match Svc.sink_of b ~app ~source with
+                    | Some sink ->
+                      rates := Network.app_rate net sink ~app :: !rates
+                    | None -> ()));
+             ignore
+               (Iov_dsim.Sim.schedule sim ~delay:(base +. 9.5) (fun () ->
+                    Iov_observer.Observer.terminate_source obs source ~app))
+           done));
+  ignore obs;
+  Network.run net ~until:(warmup +. (10. *. float_of_int sessions) +. 20.);
+  match !rates with
+  | [] -> 0.
+  | l -> List.fold_left ( +. ) 0. l /. float_of_int (List.length l)
+
+let run ?(quiet = false) ?(sizes = default_sizes) ?(sessions = 8) ?(seed = 17)
+    () =
+  let rows =
+    List.map
+      (fun n ->
+        {
+          size = n;
+          sflow = run_one ~seed ~sessions `Sflow n;
+          fixed = run_one ~seed ~sessions `Fixed n;
+          random = run_one ~seed ~sessions `Random n;
+        })
+      sizes
+  in
+  if not quiet then begin
+    Printf.printf
+      "== Fig. 19: end-to-end bandwidth of federated services (%d concurrent sessions) ==\n"
+      sessions;
+    Table.print
+      ~header:[ "network size"; "sFlow (Bps)"; "fixed (Bps)"; "random (Bps)" ]
+      (List.map
+         (fun r ->
+           [
+             string_of_int r.size;
+             Printf.sprintf "%.0f" r.sflow;
+             Printf.sprintf "%.0f" r.fixed;
+             Printf.sprintf "%.0f" r.random;
+           ])
+         rows);
+    print_newline ()
+  end;
+  { rows }

@@ -1,0 +1,19 @@
+(** Fig. 19 — end-to-end bandwidth of federated complex services under
+    different network sizes: sFlow consistently beats the fixed and
+    random selection baselines because it balances concurrent sessions
+    by measured available bandwidth. *)
+
+type row = {
+  size : int;
+  sflow : float;  (** mean end-to-end bytes/second at the sinks *)
+  fixed : float;
+  random : float;
+}
+
+type result = { rows : row list }
+
+val default_sizes : int list
+
+val run :
+  ?quiet:bool -> ?sizes:int list -> ?sessions:int -> ?seed:int -> unit ->
+  result

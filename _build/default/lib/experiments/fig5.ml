@@ -1,0 +1,99 @@
+module Network = Iov_core.Network
+module Topo = Iov_topo.Topo
+module Table = Iov_stats.Table
+
+type row = {
+  nodes : int;
+  end_to_end : float;
+  total : float;
+}
+
+type result = {
+  rows : row list;
+  switch_overhead_pct : float;
+}
+
+let default_sizes = [ 2; 3; 4; 5; 6; 8; 12; 16; 32 ]
+
+let payload = 5 * 1024
+let msg_size = payload + Iov_msg.Message.header_size
+
+(* Calibrate the per-message CPU cost a + b * threads on the paper's
+   anchors. Threads on the host for an n-node chain: n engine threads
+   plus 2 per link. Total bandwidth at the anchor = msg_size / cost. *)
+let cpu_calibration =
+  let threads n = n + (2 * (n - 1)) in
+  let mb = 1024. *. 1024. in
+  let total2 = 48.4 *. mb in
+  let total32 = 424. *. 1024. *. 31. in
+  let cost2 = float_of_int msg_size /. total2 in
+  let cost32 = float_of_int msg_size /. total32 in
+  let t2 = float_of_int (threads 2) and t32 = float_of_int (threads 32) in
+  let b = (cost32 -. cost2) /. (t32 -. t2) in
+  let a = cost2 -. (b *. t2) in
+  (a, b)
+
+let run_one ~measure_for n =
+  let a, b = cpu_calibration in
+  let topo = Topo.chain ~n in
+  let net = Network.create ~buffer_capacity:10 ~default_latency:0.0001 () in
+  let host = Network.add_host net ~cpu:(`Calibrated (a, b)) "server" in
+  let app = 1 in
+  let first = Printf.sprintf "n%d" 1 in
+  let last = Printf.sprintf "n%d" n in
+  let src =
+    Iov_algos.Source.create ~payload_size:payload ~app
+      ~dests:[ Topo.node topo "n2" ] ()
+  in
+  List.iter
+    (fun name ->
+      let alg =
+        if name = first then Iov_algos.Source.algorithm src
+        else begin
+          let f = Iov_algos.Flood.create () in
+          Iov_algos.Flood.set_route f ~app
+            ~upstreams:(List.map (Topo.node topo) (Topo.upstreams topo name))
+            ~downstreams:
+              (List.map (Topo.node topo) (Topo.downstreams topo name))
+            ();
+          Iov_algos.Flood.algorithm f
+        end
+      in
+      ignore (Network.add_node net ~host ~id:(Topo.node topo name) alg))
+    (Topo.names topo);
+  (* measure end-to-end throughput over the trailing window at the
+     sink, after a convergence lead-in *)
+  Network.run net ~until:(2. +. measure_for);
+  let sink = Topo.node topo last in
+  let before = Network.app_bytes net sink ~app in
+  let t0 = Network.now net in
+  Network.run net ~until:(t0 +. measure_for);
+  let delivered = Network.app_bytes net sink ~app - before in
+  let e2e = float_of_int delivered /. measure_for in
+  { nodes = n; end_to_end = e2e; total = e2e *. float_of_int (n - 1) }
+
+let run ?(quiet = false) ?(sizes = default_sizes) ?(measure_for = 3.0) () =
+  let rows = List.map (run_one ~measure_for) sizes in
+  let overhead =
+    match
+      ( List.find_opt (fun r -> r.nodes = 2) rows,
+        List.find_opt (fun r -> r.nodes = 3) rows )
+    with
+    | Some r2, Some r3 -> 100. *. (1. -. (r3.total /. r2.total))
+    | _ -> nan
+  in
+  if not quiet then begin
+    print_endline "== Fig. 5: raw switching performance (chain topology) ==";
+    Table.print
+      ~header:[ "# nodes"; "end-to-end (MBps)"; "total bandwidth (MBps)" ]
+      (List.map
+         (fun r ->
+           [
+             string_of_int r.nodes;
+             Table.fmb r.end_to_end;
+             Table.fmb r.total;
+           ])
+         rows);
+    Printf.printf "overhead of one user-level switch: %.1f%%\n\n" overhead
+  end;
+  { rows; switch_overhead_pct = overhead }

@@ -1,0 +1,27 @@
+(** Fig. 5 — raw message-switching performance of virtualized nodes
+    sharing one physical server.
+
+    A chain of n nodes (all on one host) carries back-to-back 5 KB
+    messages; the bottleneck is the host CPU, whose per-message cost
+    grows with the number of threads (the context-switching overhead
+    of Linux pthreads). The CPU model is calibrated on the paper's two
+    anchor points (48.4 MBps end-to-end at 2 nodes; 424 KBps at 32)
+    and the interior of the curve is measured. *)
+
+type row = {
+  nodes : int;
+  end_to_end : float;  (** bytes/second at the sink *)
+  total : float;  (** end_to_end * number of links *)
+}
+
+type result = {
+  rows : row list;
+  switch_overhead_pct : float;
+      (** the paper's 3.3%: relative drop in total bandwidth from the
+          2-node to the 3-node configuration *)
+}
+
+val default_sizes : int list
+(** 2, 3, 4, 5, 6, 8, 12, 16, 32 — the annotated points of Fig. 5. *)
+
+val run : ?quiet:bool -> ?sizes:int list -> ?measure_for:float -> unit -> result

@@ -1,0 +1,19 @@
+(** Fig. 6 — correctness of the engine, verified with a seven-node
+    topology: bandwidth-emulation convergence, back pressure from full
+    buffers, and graceful node terminations. *)
+
+type phase = {
+  title : string;
+  rates : ((string * string) * float) list;
+      (** bytes/second per edge; a negative rate marks a closed link *)
+}
+
+type result = {
+  a : phase;  (** A capped at 400 KBps total *)
+  b : phase;  (** D's uplink reduced to 30 KBps *)
+  c : phase;  (** node B terminated *)
+  d : phase;  (** node G terminated *)
+}
+
+val run : ?quiet:bool -> unit -> result
+val closed : float -> bool

@@ -1,0 +1,13 @@
+(** Fig. 7 — with large (10000-message) buffers, bottleneck emulations
+    only affect their immediate downstream links within the
+    measurement horizon; the throttling of more capable links is
+    significantly delayed. *)
+
+type result = {
+  a : ((string * string) * float) list;
+      (** D uplink 30 KBps: only D's downstream chain is affected *)
+  b : ((string * string) * float) list;
+      (** link EF additionally capped at 15 KBps: EG unaffected *)
+}
+
+val run : ?quiet:bool -> unit -> result

@@ -1,0 +1,25 @@
+(** Fig. 8 — the network-coding case study.
+
+    Node A (400 KBps total) splits its data into streams [a] (via B)
+    and [b] (via C); D's uplink is capped at 200 KBps. Without coding,
+    D forwards both native streams to E and the receivers F and G each
+    reach only 300 KBps. With GF(2^8) coding at D ([a + b]), E relays
+    the coded stream and F, G decode to the full 400 KBps — at the
+    price of E becoming a helper. *)
+
+type node_rates = {
+  d : float;
+  e : float;
+  f : float;
+  g : float;
+}
+
+type result = {
+  without_coding : node_rates;  (** effective received bytes/second *)
+  with_coding : node_rates;
+  decoded_f : int;  (** generations decoded at F (coding run) *)
+  decoded_g : int;
+  link_rates_coding : ((string * string) * float) list;
+}
+
+val run : ?quiet:bool -> unit -> result

@@ -1,0 +1,115 @@
+module Network = Iov_core.Network
+module Bwspec = Iov_core.Bwspec
+module Topo = Iov_topo.Topo
+module Tree = Iov_algos.Tree
+module Observer = Iov_observer.Observer
+module Table = Iov_stats.Table
+module NI = Iov_msg.Node_id
+
+type node_row = {
+  name : string;
+  degree : int;
+  stress : float;
+  throughput : float;
+  parent : string option;
+}
+
+type tree_result = {
+  strategy : Tree.strategy;
+  rows : node_row list;
+  edges : (string * string * float) list;
+}
+
+type result = {
+  unicast : tree_result;
+  random : tree_result;
+  ns_aware : tree_result;
+}
+
+let app = 7
+
+let run_one ?(seed = 42) strategy =
+  let topo = Topo.fig9 () in
+  let net = Network.create ~seed ~buffer_capacity:10000 () in
+  let obs = Observer.create ~boot_subset:8 net in
+  let node = Topo.node topo in
+  let trees =
+    List.map
+      (fun name ->
+        let spec = Topo.spec topo name in
+        let t =
+          Tree.create ~strategy ~last_mile:(Bwspec.last_mile spec.Topo.bw)
+            ~app ()
+        in
+        ignore
+          (Network.add_node net ~bw:spec.Topo.bw ~observer:(Observer.id obs)
+             ~id:spec.Topo.nid (Tree.algorithm t));
+        (name, t))
+      (Topo.names topo)
+  in
+  let sim = Network.sim net in
+  let at time f = ignore (Iov_dsim.Sim.schedule_at sim ~time f) in
+  at 1.0 (fun () -> Observer.deploy_source obs (node "S") ~app);
+  (* joins in the paper's order: D, A, C, B *)
+  List.iteri
+    (fun i name ->
+      at (3.0 +. (3.0 *. float_of_int i)) (fun () ->
+          Observer.join obs (node name) ~app))
+    [ "D"; "A"; "C"; "B" ];
+  Network.run net ~until:40.;
+
+  let name_of ni = Topo.name_of topo ni in
+  let rows =
+    List.map
+      (fun (name, t) ->
+        {
+          name;
+          degree = Tree.degree t;
+          stress = Tree.stress t;
+          throughput = Network.app_rate net (node name) ~app;
+          parent = Option.map name_of (Tree.parent t);
+        })
+      trees
+  in
+  let edges =
+    List.concat_map
+      (fun (name, t) ->
+        List.map
+          (fun child ->
+            ( name,
+              name_of child,
+              Network.link_throughput net ~src:(node name) ~dst:child ))
+          (Tree.children t))
+      trees
+  in
+  { strategy; rows; edges }
+
+let print_tree r =
+  Printf.printf "-- %s tree --\n" (Tree.strategy_name r.strategy);
+  List.iter
+    (fun (p, c, rate) ->
+      Printf.printf "  %s -> %s : %.1f KBps\n" p c (Harness.to_kbps rate))
+    r.edges;
+  Table.print
+    ~header:[ "node"; "degree"; "stress (1/100KBps)"; "recv KBps" ]
+    (List.map
+       (fun row ->
+         [
+           row.name;
+           string_of_int row.degree;
+           Table.f2 row.stress;
+           Table.f1 (Harness.to_kbps row.throughput);
+         ])
+       r.rows);
+  print_newline ()
+
+let run ?(quiet = false) () =
+  let unicast = run_one Tree.Unicast in
+  let random = run_one Tree.Random in
+  let ns_aware = run_one Tree.Ns_aware in
+  if not quiet then begin
+    print_endline
+      "== Fig. 9 / Table 3: tree construction, 5-node session (join order D, A, C, B) ==";
+    List.iter print_tree [ unicast; random; ns_aware ]
+  end;
+  { unicast; random; ns_aware }

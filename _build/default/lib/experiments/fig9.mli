@@ -1,0 +1,32 @@
+(** Fig. 9 + Table 3 — tree construction on the five-node session.
+
+    S (200 KBps), A (500), B (100), C (200), D (100); the source is
+    deployed on S and the receivers join in the order D, A, C, B. For
+    each construction algorithm the harness reports the tree edges
+    with their converged throughput, and each node's tree degree and
+    node stress (Table 3). *)
+
+type node_row = {
+  name : string;
+  degree : int;
+  stress : float;  (** 1/100-KBps units, as in Table 3 *)
+  throughput : float;  (** received bytes/second (0 for the source) *)
+  parent : string option;
+}
+
+type tree_result = {
+  strategy : Iov_algos.Tree.strategy;
+  rows : node_row list;
+  edges : (string * string * float) list;  (** parent, child, KB rate *)
+}
+
+type result = {
+  unicast : tree_result;
+  random : tree_result;
+  ns_aware : tree_result;
+}
+
+val run_one :
+  ?seed:int -> Iov_algos.Tree.strategy -> tree_result
+val run : ?quiet:bool -> unit -> result
+val print_tree : tree_result -> unit

@@ -1,0 +1,75 @@
+module Network = Iov_core.Network
+module Topo = Iov_topo.Topo
+module Table = Iov_stats.Table
+
+let kbps x = x *. 1024.
+let to_kbps x = x /. 1024.
+
+type flood_net = {
+  net : Network.t;
+  topo : Topo.t;
+  source : Iov_algos.Source.t;
+  app : int;
+}
+
+let build_flood ?(buffer_capacity = 5) ?(seed = 42) ?payload_size ~topo
+    ~source () =
+  let net = Network.create ~seed ~buffer_capacity () in
+  let app = 1 in
+  let src_downs = List.map (Topo.node topo) (Topo.downstreams topo source) in
+  let src =
+    Iov_algos.Source.create ?payload_size ~app ~dests:src_downs ()
+  in
+  List.iter
+    (fun name ->
+      let spec = Topo.spec topo name in
+      let alg =
+        if name = source then Iov_algos.Source.algorithm src
+        else begin
+          let f = Iov_algos.Flood.create () in
+          Iov_algos.Flood.set_route f ~app
+            ~upstreams:(List.map (Topo.node topo) (Topo.upstreams topo name))
+            ~downstreams:
+              (List.map (Topo.node topo) (Topo.downstreams topo name))
+            ();
+          Iov_algos.Flood.algorithm f
+        end
+      in
+      ignore (Network.add_node net ~bw:spec.Topo.bw ~id:spec.Topo.nid alg))
+    (Topo.names topo);
+  (* pre-establish the persistent connections so link metrics exist *)
+  List.iter (fun (a, b) -> Network.connect net a b) (Topo.edge_ids topo);
+  { net; topo; source = src; app }
+
+let edge_rates f =
+  List.map
+    (fun (a, b) ->
+      let rate =
+        Network.link_throughput f.net ~src:(Topo.node f.topo a)
+          ~dst:(Topo.node f.topo b)
+      in
+      ((a, b), rate))
+    f.topo.Topo.edges
+
+let edge_rate f a b =
+  Network.link_throughput f.net ~src:(Topo.node f.topo a)
+    ~dst:(Topo.node f.topo b)
+
+let print_edge_rates ?(label = "") ?note f =
+  if label <> "" then Printf.printf "%s\n" label;
+  let rows =
+    List.map
+      (fun ((a, b), rate) ->
+        let alive =
+          Network.link_exists f.net ~src:(Topo.node f.topo a)
+            ~dst:(Topo.node f.topo b)
+        in
+        let extra = match note with Some g -> g (a, b) | None -> "" in
+        [
+          Printf.sprintf "%s -> %s" a b;
+          (if alive then Table.f1 (to_kbps rate) else "[closed]");
+          extra;
+        ])
+      (edge_rates f)
+  in
+  Table.print ~header:[ "link"; "KBps"; "" ] rows

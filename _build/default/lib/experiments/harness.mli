@@ -1,0 +1,39 @@
+(** Shared scaffolding for the experiment reproductions. *)
+
+module Network = Iov_core.Network
+module Topo = Iov_topo.Topo
+
+val kbps : float -> float
+(** KBytes/second to bytes/second. *)
+
+val to_kbps : float -> float
+
+type flood_net = {
+  net : Network.t;
+  topo : Topo.t;
+  source : Iov_algos.Source.t;
+  app : int;
+}
+
+val build_flood :
+  ?buffer_capacity:int ->
+  ?seed:int ->
+  ?payload_size:int ->
+  topo:Topo.t ->
+  source:string ->
+  unit ->
+  flood_net
+(** Instantiates a topology with the copy-forward multicast: the named
+    node runs a back-to-back {!Iov_algos.Source} over its topology
+    downstreams, every other node a {!Iov_algos.Flood} forwarder wired
+    with the topology's edges. All connections are pre-established. *)
+
+val edge_rates : flood_net -> ((string * string) * float) list
+(** Measured throughput per topology edge, bytes/second, in topology
+    edge order; closed links report 0. *)
+
+val edge_rate : flood_net -> string -> string -> float
+
+val print_edge_rates :
+  ?label:string -> ?note:(string * string -> string) -> flood_net -> unit
+(** Prints the paper-style per-edge throughput table in KBps. *)

@@ -1,0 +1,157 @@
+module Network = Iov_core.Network
+module Bwspec = Iov_core.Bwspec
+module Tree = Iov_algos.Tree
+module Observer = Iov_observer.Observer
+module Planetlab = Iov_topo.Planetlab
+module NI = Iov_msg.Node_id
+
+type sample = {
+  time : float;
+  receiving : int;
+  members : int;
+}
+
+type result = {
+  n : int;
+  killed : int;
+  samples : sample list;
+  pre_failure_receiving : int;
+  trough_receiving : int;
+  recovered_receiving : int;
+  rejoins : int;
+}
+
+let app = 31
+
+let run ?(quiet = false) ?(n = 20) ?(kill = 3) ?(seed = 23) () =
+  if kill >= n - 1 then invalid_arg "Robustness.run: too many failures";
+  let pl = Planetlab.generate ~seed ~n () in
+  let net = Network.create ~seed ~buffer_capacity:500 () in
+  Network.set_latency_fn net (Planetlab.latency pl);
+  let obs = Observer.create ~boot_subset:10 net in
+  let members =
+    List.mapi
+      (fun i nd ->
+        let bw =
+          if i = 0 then Bwspec.total_only (100. *. 1024.)
+          else nd.Planetlab.bw
+        in
+        let t =
+          Tree.create ~strategy:Tree.Ns_aware
+            ~last_mile:(Bwspec.last_mile bw) ~app ~rejoin:true ()
+        in
+        ignore
+          (Network.add_node net ~bw ~observer:(Observer.id obs)
+             ~id:nd.Planetlab.nid (Tree.algorithm t));
+        (nd.Planetlab.nid, t))
+      (Planetlab.nodes pl)
+  in
+  let source = fst (List.hd members) in
+  let sim = Network.sim net in
+  let at time f = ignore (Iov_dsim.Sim.schedule_at sim ~time f) in
+  at 1.0 (fun () -> Observer.deploy_source obs source ~app);
+  List.iteri
+    (fun i (nid, _) ->
+      if i > 0 then
+        at (2.0 +. float_of_int i) (fun () -> Observer.join obs nid ~app))
+    members;
+
+  (* availability sampling: count members receiving data in each 5 s
+     window, via byte deltas *)
+  let last_bytes = Hashtbl.create n in
+  let samples = ref [] in
+  let sample_period = 5. in
+  let take_sample () =
+    let now = Network.now net in
+    let receiving = ref 0 and in_session = ref 0 in
+    List.iter
+      (fun (nid, t) ->
+        if not (NI.equal nid source) then begin
+          let bytes = Network.app_bytes net nid ~app in
+          let prev =
+            match Hashtbl.find_opt last_bytes nid with Some b -> b | None -> 0
+          in
+          Hashtbl.replace last_bytes nid bytes;
+          if Network.is_alive (Network.node net nid) then begin
+            if Tree.in_session t then incr in_session;
+            if bytes - prev > 0 then incr receiving
+          end
+        end)
+      members;
+    samples := { time = now; receiving = !receiving; members = !in_session } :: !samples
+  in
+  let join_horizon = 2.0 +. float_of_int n +. 15. in
+  let fail_at = join_horizon +. 15. in
+  let stop_at = fail_at +. 60. in
+  let rec sampler time =
+    if time <= stop_at then
+      at time (fun () ->
+          take_sample ();
+          sampler (time +. sample_period))
+  in
+  sampler join_horizon;
+
+  (* the observer injects the failures: interior (child-bearing) nodes
+     make the most damaging victims *)
+  at fail_at (fun () ->
+      let interior =
+        List.filter
+          (fun (nid, t) ->
+            (not (NI.equal nid source)) && Tree.children t <> [])
+          members
+      in
+      let victims = List.filteri (fun i _ -> i < kill) interior in
+      let victims =
+        if List.length victims >= kill then victims
+        else
+          victims
+          @ List.filteri
+              (fun i (nid, _) ->
+                i < kill - List.length victims
+                && (not (NI.equal nid source))
+                && not (List.exists (fun (v, _) -> NI.equal v nid) victims))
+              (List.tl members)
+      in
+      List.iter (fun (nid, _) -> Observer.terminate_node obs nid) victims);
+  Network.run net ~until:(stop_at +. 1.);
+
+  let chronological = List.rev !samples in
+  let pre =
+    List.filter (fun s -> s.time < fail_at) chronological
+    |> List.fold_left (fun acc s -> Stdlib.max acc s.receiving) 0
+  in
+  let post = List.filter (fun s -> s.time > fail_at +. 1.) chronological in
+  let trough = List.fold_left (fun acc s -> Stdlib.min acc s.receiving) max_int post in
+  let final = match List.rev post with s :: _ -> s.receiving | [] -> 0 in
+  let rejoins =
+    List.fold_left (fun acc (_, t) -> acc + Tree.rejoins t) 0 members
+  in
+  let result =
+    {
+      n;
+      killed = kill;
+      samples = chronological;
+      pre_failure_receiving = pre;
+      trough_receiving = (if trough = max_int then 0 else trough);
+      recovered_receiving = final;
+      rejoins;
+    }
+  in
+  if not quiet then begin
+    Printf.printf
+      "== Robustness: %d failures injected into a %d-node ns-aware session ==\n"
+      kill n;
+    List.iter
+      (fun s ->
+        Printf.printf "  t=%5.0fs  receiving %2d  in-session %2d%s\n" s.time
+          s.receiving s.members
+          (if Float.abs (s.time -. fail_at) < sample_period then
+             "   <- failures injected"
+           else ""))
+      result.samples;
+    Printf.printf
+      "pre-failure %d receiving; trough %d; recovered to %d; %d rejoin events\n\n"
+      result.pre_failure_receiving result.trough_receiving
+      result.recovered_receiving result.rejoins
+  end;
+  result

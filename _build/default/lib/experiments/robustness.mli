@@ -1,0 +1,29 @@
+(** Fault tolerance, robustness and availability (paper Section 3.1).
+
+    The paper argues iOverlay makes it "easy to design experiments
+    consisting of a certain number of failures, and evaluate the
+    robustness ... by measuring the received throughput at all
+    participating clients". This experiment does exactly that: a
+    ns-aware dissemination session over wide-area nodes, a burst of
+    interior-node failures injected by the observer, and availability
+    measured before, during and after recovery (members rejoin
+    automatically). *)
+
+type sample = {
+  time : float;
+  receiving : int;  (** members receiving above the threshold *)
+  members : int;  (** members currently in the session *)
+}
+
+type result = {
+  n : int;
+  killed : int;
+  samples : sample list;  (** chronological *)
+  pre_failure_receiving : int;
+  trough_receiving : int;  (** the worst sample after the failures *)
+  recovered_receiving : int;  (** the final sample *)
+  rejoins : int;  (** rejoin events across all members *)
+}
+
+val run : ?quiet:bool -> ?n:int -> ?kill:int -> ?seed:int -> unit -> result
+(** Defaults: 20 nodes, 3 failures. *)

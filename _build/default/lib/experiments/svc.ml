@@ -1,0 +1,98 @@
+module Network = Iov_core.Network
+module Bwspec = Iov_core.Bwspec
+module Sflow = Iov_algos.Sflow
+module Observer = Iov_observer.Observer
+module Planetlab = Iov_topo.Planetlab
+module NI = Iov_msg.Node_id
+module Msg = Iov_msg.Message
+module Mt = Iov_msg.Mtype
+module Wire = Iov_msg.Wire
+
+type built = {
+  net : Network.t;
+  obs : Observer.t;
+  pl : Planetlab.t;
+  flows : (NI.t * Sflow.t) list;
+}
+
+let build ?(seed = 17) ?(deploy_data = true) ?(service_fraction = 1.0)
+    ?(buffer_capacity = 64) ~strategy ~n ~types () =
+  if types <= 1 then invalid_arg "Svc.build: types";
+  let pl = Planetlab.generate ~seed ~n () in
+  let net = Network.create ~seed ~buffer_capacity () in
+  Network.set_latency_fn net (Planetlab.latency pl);
+  let obs = Observer.create ~boot_subset:10 net in
+  let flows =
+    List.map
+      (fun nd ->
+        let flow =
+          Sflow.create ~strategy
+            ~advertised_bw:(Bwspec.last_mile nd.Planetlab.bw)
+            ~deploy_data ()
+        in
+        ignore
+          (Network.add_node net ~bw:nd.Planetlab.bw
+             ~observer:(Observer.id obs) ~id:nd.Planetlab.nid
+             (Sflow.algorithm flow));
+        (nd.Planetlab.nid, flow))
+      (Planetlab.nodes pl)
+  in
+  (* assign services to the leading fraction, one per second, types
+     cycling 1..types *)
+  let sim = Network.sim net in
+  let n_assigned = int_of_float (service_fraction *. float_of_int n) in
+  List.iteri
+    (fun i (nid, _) ->
+      if i < n_assigned then
+        ignore
+          (Iov_dsim.Sim.schedule_at sim
+             ~time:(1.0 +. float_of_int i)
+             (fun () ->
+               Observer.assign_service obs nid ~service:((i mod types) + 1))))
+    flows;
+  { net; obs; pl; flows }
+
+let assign_instance b nid ~service =
+  Observer.assign_service b.obs nid ~service
+
+let instances_of b ty =
+  List.filter_map
+    (fun (nid, flow) ->
+      match Sflow.service_type flow with
+      | Some t when t = ty -> Some nid
+      | Some _ | None -> None)
+    b.flows
+
+let federate b ~app ~source req =
+  let w = Wire.W.create () in
+  Sflow.Req.to_payload req w;
+  let m =
+    Msg.control ~mtype:Mt.S_federate ~origin:(Observer.id b.obs) ~app
+      (Wire.W.contents w)
+  in
+  Observer.control_message b.obs m source
+
+let sink_of b ~app ~source =
+  let flow_of nid = List.assoc_opt nid b.flows in
+  let rec walk seen nid =
+    if NI.Set.mem nid seen then None
+    else
+      match flow_of nid with
+      | None -> None
+      | Some flow -> (
+        match Sflow.selected_children flow ~app with
+        | [] -> Some nid
+        | child :: _ -> walk (NI.Set.add nid seen) child)
+  in
+  match walk NI.Set.empty source with
+  | Some nid when not (NI.equal nid source) -> Some nid
+  | Some _ | None -> None
+
+let completed b =
+  List.fold_left (fun acc (_, f) -> acc + Sflow.sessions_completed f) 0 b.flows
+
+let ctl_total b mt =
+  Network.control_bytes_sent_all b.net mt
+
+let aware_bytes b = ctl_total b Mt.S_aware
+let federate_bytes b = ctl_total b Mt.S_federate

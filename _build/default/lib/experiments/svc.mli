@@ -1,0 +1,51 @@
+(** Shared harness for the service-federation experiments
+    (Figs. 14–19): builds a synthetic-PlanetLab service overlay,
+    assigns typed services, and drives federations through the
+    observer. *)
+
+module Network = Iov_core.Network
+module Sflow = Iov_algos.Sflow
+module NI = Iov_msg.Node_id
+
+type built = {
+  net : Network.t;
+  obs : Iov_observer.Observer.t;
+  pl : Iov_topo.Planetlab.t;
+  flows : (NI.t * Sflow.t) list;  (** every node's sFlow instance *)
+}
+
+val build :
+  ?seed:int ->
+  ?deploy_data:bool ->
+  ?service_fraction:float ->
+  ?buffer_capacity:int ->
+  strategy:Sflow.strategy ->
+  n:int ->
+  types:int ->
+  unit ->
+  built
+(** [service_fraction] (default 1.0) of the nodes receive a service
+    assignment (types cycle 1..types), staggered one per simulated
+    second; every node advertises its actual total capacity, so the
+    [`Fixed] strategy has real numbers to be greedy about. *)
+
+val assign_instance : built -> NI.t -> service:int -> unit
+(** Assign one more service at the current simulated time. *)
+
+val instances_of : built -> int -> NI.t list
+(** Assigned instances of a type (from the harness's own records). *)
+
+val federate : built -> app:int -> source:NI.t -> Sflow.Req.t -> unit
+(** The observer sends [sFederate] for session [app] to the source
+    instance. *)
+
+val sink_of : built -> app:int -> source:NI.t -> NI.t option
+(** Follows the selected children from the source; the node without
+    further selections is the session's sink. *)
+
+val completed : built -> int
+(** Federations completed across all nodes. *)
+
+val aware_bytes : built -> int
+val federate_bytes : built -> int
+(** Total control overhead by message type, across all nodes. *)

@@ -1,0 +1,1 @@
+lib/gf256/gf256.mli: Bytes

@@ -1,0 +1,1 @@
+lib/gf256/linear.ml: Array Bytes Gf256 List

@@ -1,0 +1,96 @@
+type t = int
+
+let zero = 0
+let one = 1
+let field_size = 256
+let poly = 0x11b (* x^8 + x^4 + x^3 + x + 1 *)
+
+let is_valid x = x >= 0 && x < field_size
+
+(* Build log/antilog tables once at module initialization. [exp.(i)] =
+   generator^i for i in [0,254]; extended to 510 entries so that
+   [exp.(log a + log b)] needs no modular reduction. *)
+let exp_tbl, log_tbl =
+  let exp = Array.make 510 0 in
+  let log = Array.make field_size 0 in
+  let x = ref 1 in
+  for i = 0 to 254 do
+    exp.(i) <- !x;
+    log.(!x) <- i;
+    (* multiply by the generator 3 = x + 1: shift-and-add then reduce *)
+    let v = !x lsl 1 lxor !x in
+    x := if v land 0x100 <> 0 then v lxor poly else v land 0xff
+  done;
+  for i = 255 to 509 do
+    exp.(i) <- exp.(i - 255)
+  done;
+  (exp, log)
+
+let add a b = a lxor b
+let sub = add
+
+let mul a b =
+  if a = 0 || b = 0 then 0 else exp_tbl.(log_tbl.(a) + log_tbl.(b))
+
+let inv a =
+  if a = 0 then raise Division_by_zero else exp_tbl.(255 - log_tbl.(a))
+
+let div a b =
+  if b = 0 then raise Division_by_zero
+  else if a = 0 then 0
+  else exp_tbl.(log_tbl.(a) + 255 - log_tbl.(b))
+
+let pow a k =
+  if k < 0 then invalid_arg "Gf256.pow: negative exponent";
+  if k = 0 then 1
+  else if a = 0 then 0
+  else exp_tbl.(log_tbl.(a) * k mod 255)
+
+let exp_table () = Array.sub exp_tbl 0 255
+let log_table () = Array.copy log_tbl
+
+let mul_bytes c v =
+  let n = Bytes.length v in
+  let out = Bytes.create n in
+  if c = 0 then Bytes.fill out 0 n '\000'
+  else if c = 1 then Bytes.blit v 0 out 0 n
+  else begin
+    let lc = log_tbl.(c) in
+    for i = 0 to n - 1 do
+      let x = Char.code (Bytes.unsafe_get v i) in
+      let y = if x = 0 then 0 else exp_tbl.(lc + log_tbl.(x)) in
+      Bytes.unsafe_set out i (Char.unsafe_chr y)
+    done
+  end;
+  out
+
+let axpy ~acc ~coeff v =
+  let n = Bytes.length v in
+  if Bytes.length acc <> n then invalid_arg "Gf256.axpy: length mismatch";
+  if coeff <> 0 then
+    if coeff = 1 then
+      for i = 0 to n - 1 do
+        let a = Char.code (Bytes.unsafe_get acc i) in
+        let x = Char.code (Bytes.unsafe_get v i) in
+        Bytes.unsafe_set acc i (Char.unsafe_chr (a lxor x))
+      done
+    else begin
+      let lc = log_tbl.(coeff) in
+      for i = 0 to n - 1 do
+        let a = Char.code (Bytes.unsafe_get acc i) in
+        let x = Char.code (Bytes.unsafe_get v i) in
+        let y = if x = 0 then 0 else exp_tbl.(lc + log_tbl.(x)) in
+        Bytes.unsafe_set acc i (Char.unsafe_chr (a lxor y))
+      done
+    end
+
+let add_bytes a b =
+  let n = Bytes.length a in
+  if Bytes.length b <> n then invalid_arg "Gf256.add_bytes: length mismatch";
+  let out = Bytes.create n in
+  for i = 0 to n - 1 do
+    let x = Char.code (Bytes.unsafe_get a i) in
+    let y = Char.code (Bytes.unsafe_get b i) in
+    Bytes.unsafe_set out i (Char.unsafe_chr (x lxor y))
+  done;
+  out

@@ -1,0 +1,63 @@
+(** Arithmetic in the Galois field GF(2^8).
+
+    iOverlay's network-coding case study (paper Section 3.2) codes
+    messages from multiple incoming streams into one outgoing stream
+    using linear codes over GF(2^8). This module provides the field
+    arithmetic; {!Linear} builds the encode/decode machinery on top.
+
+    Elements are represented as [int] in [0, 255]. The field is
+    constructed with the AES reduction polynomial
+    [x^8 + x^4 + x^3 + x + 1] (0x11b). *)
+
+type t = int
+(** A field element; invariant: [0 <= x <= 255]. *)
+
+val zero : t
+val one : t
+
+val is_valid : t -> bool
+(** [is_valid x] is [true] iff [x] is in [0, 255]. *)
+
+val add : t -> t -> t
+(** Addition, i.e. XOR. The field has characteristic 2, so [add] is
+    also subtraction. *)
+
+val sub : t -> t -> t
+(** [sub] = [add] in characteristic 2. *)
+
+val mul : t -> t -> t
+(** Multiplication via log/antilog tables. *)
+
+val div : t -> t -> t
+(** [div a b] multiplies [a] by the inverse of [b].
+    @raise Division_by_zero if [b = 0]. *)
+
+val inv : t -> t
+(** Multiplicative inverse.
+    @raise Division_by_zero on [0]. *)
+
+val pow : t -> int -> t
+(** [pow a k] for [k >= 0]; [pow 0 0 = 1] by convention. *)
+
+val exp_table : unit -> t array
+(** The antilog table: [exp_table ().(i)] is [g^i] for the generator
+    [g = 3], for [i] in [0, 254]. Returned as a copy. *)
+
+val log_table : unit -> t array
+(** The log table, inverse of {!exp_table} (entry 0 is unused). *)
+
+(** {1 Byte-vector operations}
+
+    Payload-sized operations used by the coding algorithm. All
+    operate element-wise over GF(2^8). *)
+
+val mul_bytes : t -> Bytes.t -> Bytes.t
+(** [mul_bytes c v] is the vector [c * v]. *)
+
+val axpy : acc:Bytes.t -> coeff:t -> Bytes.t -> unit
+(** [axpy ~acc ~coeff v] sets [acc := acc + coeff * v] in place.
+    @raise Invalid_argument if lengths differ. *)
+
+val add_bytes : Bytes.t -> Bytes.t -> Bytes.t
+(** Element-wise XOR of two equal-length vectors.
+    @raise Invalid_argument if lengths differ. *)

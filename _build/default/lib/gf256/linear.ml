@@ -1,0 +1,149 @@
+type coded = {
+  coeffs : int array;
+  payload : Bytes.t;
+}
+
+let encode ~coeffs sources =
+  let k = Array.length sources in
+  if k = 0 then invalid_arg "Linear.encode: no sources";
+  if Array.length coeffs <> k then invalid_arg "Linear.encode: coeffs width";
+  let n = Bytes.length sources.(0) in
+  Array.iter
+    (fun s ->
+      if Bytes.length s <> n then invalid_arg "Linear.encode: ragged sources")
+    sources;
+  let payload = Bytes.make n '\000' in
+  Array.iteri (fun i s -> Gf256.axpy ~acc:payload ~coeff:coeffs.(i) s) sources;
+  { coeffs = Array.copy coeffs; payload }
+
+let combine weighted =
+  match weighted with
+  | [] -> invalid_arg "Linear.combine: empty"
+  | (_, p0) :: _ ->
+    let k = Array.length p0.coeffs in
+    let n = Bytes.length p0.payload in
+    let coeffs = Array.make k 0 in
+    let payload = Bytes.make n '\000' in
+    let accumulate (a, p) =
+      if Array.length p.coeffs <> k || Bytes.length p.payload <> n then
+        invalid_arg "Linear.combine: shape mismatch";
+      for i = 0 to k - 1 do
+        coeffs.(i) <- Gf256.add coeffs.(i) (Gf256.mul a p.coeffs.(i))
+      done;
+      Gf256.axpy ~acc:payload ~coeff:a p.payload
+    in
+    List.iter accumulate weighted;
+    { coeffs; payload }
+
+(* Row-reduce [rows] in place (each row is a coefficient array, with an
+   optional payload carried alongside); returns the rank. *)
+let reduce rows payloads =
+  let m = Array.length rows in
+  if m = 0 then 0
+  else begin
+    let k = Array.length rows.(0) in
+    let rank = ref 0 in
+    let col = ref 0 in
+    while !rank < m && !col < k do
+      (* find a pivot in column !col at or below row !rank *)
+      let pivot = ref (-1) in
+      for r = !rank to m - 1 do
+        if !pivot < 0 && rows.(r).(!col) <> 0 then pivot := r
+      done;
+      (if !pivot >= 0 then begin
+         let p = !pivot in
+         let swap a i j =
+           let t = a.(i) in
+           a.(i) <- a.(j);
+           a.(j) <- t
+         in
+         swap rows !rank p;
+         (match payloads with Some ps -> swap ps !rank p | None -> ());
+         (* normalize the pivot row *)
+         let invp = Gf256.inv rows.(!rank).(!col) in
+         for c = 0 to k - 1 do
+           rows.(!rank).(c) <- Gf256.mul invp rows.(!rank).(c)
+         done;
+         (match payloads with
+         | Some ps -> ps.(!rank) <- Gf256.mul_bytes invp ps.(!rank)
+         | None -> ());
+         (* eliminate this column from every other row *)
+         for r = 0 to m - 1 do
+           if r <> !rank && rows.(r).(!col) <> 0 then begin
+             let f = rows.(r).(!col) in
+             for c = 0 to k - 1 do
+               rows.(r).(c) <-
+                 Gf256.add rows.(r).(c) (Gf256.mul f rows.(!rank).(c))
+             done;
+             match payloads with
+             | Some ps -> Gf256.axpy ~acc:ps.(r) ~coeff:f ps.(!rank)
+             | None -> ()
+           end
+         done;
+         incr rank
+       end);
+      incr col
+    done;
+    !rank
+  end
+
+let rank matrix =
+  let rows = Array.map Array.copy matrix in
+  reduce rows None
+
+let decode packets =
+  match packets with
+  | [] -> None
+  | { coeffs; _ } :: _ ->
+    let k = Array.length coeffs in
+    let rows = Array.of_list (List.map (fun p -> Array.copy p.coeffs) packets) in
+    let payloads =
+      Array.of_list (List.map (fun p -> Bytes.copy p.payload) packets)
+    in
+    let r = reduce rows (Some payloads) in
+    if r < k then None
+    else begin
+      (* after full reduction the first k rows are the identity in some
+         column order; reduce puts pivots in increasing columns, so row
+         [i] decodes source packet [i]. *)
+      let out = Array.make k Bytes.empty in
+      for i = 0 to k - 1 do
+        out.(i) <- payloads.(i)
+      done;
+      Some out
+    end
+
+module Decoder = struct
+  type t = {
+    k : int;
+    mutable rows : int array array; (* reduced rows, pivots ascending *)
+    mutable payloads : Bytes.t array;
+    mutable rank : int;
+  }
+
+  let create ~k =
+    if k <= 0 then invalid_arg "Decoder.create: k must be positive";
+    { k; rows = [||]; payloads = [||]; rank = 0 }
+
+  let rank t = t.rank
+  let complete t = t.rank = t.k
+
+  let add t p =
+    if Array.length p.coeffs <> t.k then invalid_arg "Decoder.add: width";
+    if complete t then false
+    else begin
+      let rows = Array.append t.rows [| Array.copy p.coeffs |] in
+      let payloads = Array.append t.payloads [| Bytes.copy p.payload |] in
+      let r = reduce rows (Some payloads) in
+      if r > t.rank then begin
+        t.rows <- Array.sub rows 0 r;
+        t.payloads <- Array.sub payloads 0 r;
+        t.rank <- r;
+        true
+      end
+      else false
+    end
+
+  let get t =
+    if complete t then Some (Array.copy t.payloads) else None
+end

@@ -1,0 +1,57 @@
+(** Linear network coding over GF(2^8).
+
+    A coded packet carries a coefficient vector [c] and a payload equal
+    to [sum_i c_i * x_i] where [x_i] are the original generation
+    packets. A receiver that accumulates packets whose coefficient
+    vectors span the generation can decode by Gaussian elimination. *)
+
+type coded = {
+  coeffs : int array;  (** one coefficient per source packet *)
+  payload : Bytes.t;
+}
+
+val encode : coeffs:int array -> Bytes.t array -> coded
+(** [encode ~coeffs sources] linearly combines [sources] (all the same
+    length) with [coeffs].
+    @raise Invalid_argument on length mismatch or empty input. *)
+
+val combine : (int * coded) list -> coded
+(** [combine [(a1, p1); ...]] re-codes already-coded packets:
+    the result has coefficients [sum_j a_j * p_j.coeffs] and payload
+    [sum_j a_j * p_j.payload]. Used by intermediate overlay nodes. *)
+
+val rank : int array array -> int
+(** Rank of a matrix of GF(2^8) coefficient rows. Rows may have any
+    (equal) width; the matrix is not modified. *)
+
+val decode : coded list -> Bytes.t array option
+(** [decode packets] recovers the original source packets, or [None]
+    if the packets' coefficient vectors do not have full rank. All
+    coefficient vectors must share a width [k]; at least [k] packets
+    with independent vectors are needed. *)
+
+(** {1 Decoder with incremental insertion}
+
+    Keeps only innovative packets; used by receiving overlay nodes that
+    accumulate packets one at a time (e.g. a native stream plus a coded
+    stream, as in the paper's Fig. 8). *)
+
+module Decoder : sig
+  type t
+
+  val create : k:int -> t
+  (** A decoder for a generation of [k] source packets. *)
+
+  val add : t -> coded -> bool
+  (** [add t p] inserts packet [p]; returns [true] iff [p] was
+      innovative (increased the rank).
+      @raise Invalid_argument if [p]'s width is not [k]. *)
+
+  val rank : t -> int
+
+  val complete : t -> bool
+  (** [complete t] iff rank = k. *)
+
+  val get : t -> Bytes.t array option
+  (** The decoded source packets once {!complete}, else [None]. *)
+end

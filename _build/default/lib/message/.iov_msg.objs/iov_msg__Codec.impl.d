@@ -1,0 +1,1 @@
+lib/message/codec.ml: Bytes Int32 List Message Mtype Node_id

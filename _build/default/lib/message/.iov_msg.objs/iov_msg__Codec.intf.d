@@ -1,0 +1,1 @@
+lib/message/codec.mli: Bytes Message

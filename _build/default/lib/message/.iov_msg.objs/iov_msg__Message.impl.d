@@ -1,0 +1,1 @@
+lib/message/message.ml: Bytes Format Int32 Mtype Node_id

@@ -1,0 +1,1 @@
+lib/message/message.mli: Bytes Format Mtype Node_id

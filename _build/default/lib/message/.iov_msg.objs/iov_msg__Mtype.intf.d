@@ -1,0 +1,1 @@
+lib/message/mtype.mli: Format

@@ -1,0 +1,1 @@
+lib/message/node_id.ml: Format Hashtbl Int Int32 Map Printf Set String

@@ -1,0 +1,1 @@
+lib/message/node_id.mli: Format Hashtbl Map Set

@@ -1,0 +1,1 @@
+lib/message/status.ml: Format List Node_id Wire

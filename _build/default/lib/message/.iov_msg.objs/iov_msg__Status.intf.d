@@ -1,0 +1,1 @@
+lib/message/status.mli: Bytes Format Node_id

@@ -1,0 +1,1 @@
+lib/message/wire.ml: Buffer Bytes Int32 Int64 List Node_id String

@@ -1,0 +1,1 @@
+lib/message/wire.mli: Bytes Node_id

@@ -1,0 +1,98 @@
+exception Malformed of string
+
+let max_payload = 16 * 1024 * 1024
+let header_size = Message.header_size
+
+let encode_into (m : Message.t) buf off =
+  let plen = Bytes.length m.payload in
+  let total = header_size + plen in
+  if Bytes.length buf - off < total then
+    invalid_arg "Codec.encode_into: buffer too small";
+  Bytes.set_int32_be buf off (Int32.of_int (Mtype.to_int m.mtype));
+  Bytes.set_int32_be buf (off + 4) m.origin.ip;
+  Bytes.set_int32_be buf (off + 8) (Int32.of_int m.origin.port);
+  Bytes.set_int32_be buf (off + 12) (Int32.of_int m.app);
+  Bytes.set_int32_be buf (off + 16) (Int32.of_int m.seq);
+  Bytes.set_int32_be buf (off + 20) (Int32.of_int plen);
+  Bytes.blit m.payload 0 buf (off + header_size) plen;
+  total
+
+let encode m =
+  let buf = Bytes.create (Message.size m) in
+  let _ = encode_into m buf 0 in
+  buf
+
+let decode_at buf off =
+  let avail = Bytes.length buf - off in
+  if avail < header_size then raise (Malformed "truncated header");
+  let mtype = Mtype.of_int (Int32.to_int (Bytes.get_int32_be buf off)) in
+  let ip = Bytes.get_int32_be buf (off + 4) in
+  let port = Int32.to_int (Bytes.get_int32_be buf (off + 8)) in
+  if port < 0 || port > 0xffff then raise (Malformed "bad port");
+  let app = Int32.to_int (Bytes.get_int32_be buf (off + 12)) in
+  let seq = Int32.to_int (Bytes.get_int32_be buf (off + 16)) in
+  let plen = Int32.to_int (Bytes.get_int32_be buf (off + 20)) in
+  if plen < 0 || plen > max_payload then raise (Malformed "bad payload size");
+  if avail < header_size + plen then raise (Malformed "truncated payload");
+  let payload = Bytes.sub buf (off + header_size) plen in
+  let origin = Node_id.make ~ip ~port in
+  (Message.make ~mtype ~origin ~app ~seq payload, off + header_size + plen)
+
+let decode buf =
+  let m, stop = decode_at buf 0 in
+  if stop <> Bytes.length buf then raise (Malformed "trailing bytes");
+  m
+
+module Stream = struct
+  type t = { mutable buf : Bytes.t; mutable len : int }
+
+  let create () = { buf = Bytes.create 4096; len = 0 }
+
+  let feed t ?(off = 0) ?len chunk =
+    let n = match len with Some n -> n | None -> Bytes.length chunk - off in
+    if n < 0 || off < 0 || off + n > Bytes.length chunk then
+      invalid_arg "Codec.Stream.feed";
+    let needed = t.len + n in
+    if needed > Bytes.length t.buf then begin
+      let cap = ref (Bytes.length t.buf) in
+      while !cap < needed do
+        cap := !cap * 2
+      done;
+      let fresh = Bytes.create !cap in
+      Bytes.blit t.buf 0 fresh 0 t.len;
+      t.buf <- fresh
+    end;
+    Bytes.blit chunk off t.buf t.len n;
+    t.len <- t.len + n
+
+  (* Peek at a complete message at the head without copying the tail. *)
+  let head_message t =
+    if t.len < header_size then None
+    else begin
+      let plen = Int32.to_int (Bytes.get_int32_be t.buf 20) in
+      if plen < 0 || plen > max_payload then
+        raise (Malformed "bad payload size");
+      if t.len < header_size + plen then None
+      else begin
+        let m, stop = decode_at t.buf 0 in
+        Some (m, stop)
+      end
+    end
+
+  let next t =
+    match head_message t with
+    | None -> None
+    | Some (m, stop) ->
+      let remaining = t.len - stop in
+      Bytes.blit t.buf stop t.buf 0 remaining;
+      t.len <- remaining;
+      Some m
+
+  let drain t =
+    let rec loop acc =
+      match next t with None -> List.rev acc | Some m -> loop (m :: acc)
+    in
+    loop []
+
+  let buffered t = t.len
+end

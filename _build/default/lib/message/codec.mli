@@ -1,0 +1,47 @@
+(** Wire codec for iOverlay messages.
+
+    The header layout follows paper Fig. 3 exactly: six big-endian
+    32-bit fields — message type, original sender IP, original sender
+    port, application identifier, sequence number, payload size —
+    followed by the raw payload. *)
+
+exception Malformed of string
+
+val encode : Message.t -> Bytes.t
+
+val encode_into : Message.t -> Bytes.t -> int -> int
+(** [encode_into m buf off] writes at [off], returns bytes written.
+    @raise Invalid_argument if [buf] is too small. *)
+
+val decode : Bytes.t -> Message.t
+(** Decodes a complete message. @raise Malformed on truncated input,
+    trailing garbage, or an invalid header. *)
+
+val decode_at : Bytes.t -> int -> Message.t * int
+(** [decode_at buf off] returns the message and the offset just past
+    it. @raise Malformed if no complete message starts at [off]. *)
+
+val max_payload : int
+(** A sanity cap (16 MiB) on the declared payload size; larger values
+    are rejected as malformed rather than allocated. *)
+
+(** Incremental decoder for byte streams (TCP connections deliver
+    arbitrary chunk boundaries). *)
+module Stream : sig
+  type t
+
+  val create : unit -> t
+
+  val feed : t -> ?off:int -> ?len:int -> Bytes.t -> unit
+  (** Appends a chunk (copied). *)
+
+  val next : t -> Message.t option
+  (** Pops the next complete message, if buffered.
+      @raise Malformed if the buffered prefix cannot be a message. *)
+
+  val drain : t -> Message.t list
+  (** Pops all complete messages, in arrival order. *)
+
+  val buffered : t -> int
+  (** Bytes currently buffered but not yet decoded. *)
+end

@@ -1,0 +1,43 @@
+type t = {
+  mtype : Mtype.t;
+  origin : Node_id.t;
+  app : int;
+  mutable seq : int;
+  payload : Bytes.t;
+}
+
+let header_size = 24
+
+let make ~mtype ~origin ~app ~seq payload =
+  { mtype; origin; app; seq; payload }
+
+let data ~origin ~app ~seq payload =
+  make ~mtype:Mtype.Data ~origin ~app ~seq payload
+
+let control ~mtype ~origin ?(app = 0) ?(seq = 0) payload =
+  make ~mtype ~origin ~app ~seq payload
+
+let size t = header_size + Bytes.length t.payload
+let payload_size t = Bytes.length t.payload
+let set_seq t seq = t.seq <- seq
+
+let clone t = { t with payload = Bytes.copy t.payload }
+
+let with_params ~mtype ~origin ?(app = 0) ?(seq = 0) p1 p2 =
+  let payload = Bytes.create 8 in
+  Bytes.set_int32_be payload 0 (Int32.of_int p1);
+  Bytes.set_int32_be payload 4 (Int32.of_int p2);
+  make ~mtype ~origin ~app ~seq payload
+
+let params t =
+  if Bytes.length t.payload < 8 then None
+  else
+    Some
+      ( Int32.to_int (Bytes.get_int32_be t.payload 0),
+        Int32.to_int (Bytes.get_int32_be t.payload 4) )
+
+let string_payload t = Bytes.to_string t.payload
+
+let pp fmt t =
+  Format.fprintf fmt "[%a from %a app=%d seq=%d %dB]" Mtype.pp t.mtype
+    Node_id.pp t.origin t.app t.seq (Bytes.length t.payload)

@@ -1,0 +1,51 @@
+(** The iOverlay application-layer message (paper Fig. 3).
+
+    A message has a fixed 24-byte header — type, original sender
+    (IP + port), application identifier, a modifiable sequence number,
+    payload size — followed by the payload. Content is mostly
+    immutable and initialized at construction; only [seq] may change
+    in place. *)
+
+type t = private {
+  mtype : Mtype.t;
+  origin : Node_id.t;  (** original sender *)
+  app : int;  (** application the message belongs to *)
+  mutable seq : int;  (** modifiable sequence number *)
+  payload : Bytes.t;
+}
+
+val header_size : int
+(** 24 bytes. *)
+
+val make :
+  mtype:Mtype.t -> origin:Node_id.t -> app:int -> seq:int -> Bytes.t -> t
+(** General constructor. The payload is aliased, not copied — per the
+    paper's zero-copy discipline, a constructed message's content is
+    owned by the engine from then on. *)
+
+val data : origin:Node_id.t -> app:int -> seq:int -> Bytes.t -> t
+val control : mtype:Mtype.t -> origin:Node_id.t -> ?app:int -> ?seq:int ->
+  Bytes.t -> t
+
+val size : t -> int
+(** Wire size: header + payload length. *)
+
+val payload_size : t -> int
+
+val set_seq : t -> int -> unit
+
+val clone : t -> t
+(** Deep copy — the paper's [Msg] copy constructor. Algorithms must
+    clone non-data messages before re-sending them. *)
+
+val with_params : mtype:Mtype.t -> origin:Node_id.t -> ?app:int ->
+  ?seq:int -> int -> int -> t
+(** A control message whose payload carries two integer parameters —
+    the observer's generic algorithm-specific command format. *)
+
+val params : t -> (int * int) option
+(** Reads back the two integer parameters, or [None] if the payload is
+    too short. *)
+
+val string_payload : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,132 @@
+type t =
+  | Data
+  | Boot
+  | Boot_reply
+  | Request
+  | Status
+  | Trace
+  | S_deploy
+  | S_terminate
+  | Broken_source
+  | Up_throughput
+  | Down_throughput
+  | Link_failed
+  | S_query
+  | S_query_ack
+  | S_announce
+  | S_join
+  | S_leave
+  | S_aware
+  | S_federate
+  | S_assign
+  | Set_bandwidth
+  | Terminate_node
+  | Custom of int
+
+let custom_base = 1000
+
+let to_int = function
+  | Data -> 0
+  | Boot -> 1
+  | Boot_reply -> 2
+  | Request -> 3
+  | Status -> 4
+  | Trace -> 5
+  | S_deploy -> 6
+  | S_terminate -> 7
+  | Broken_source -> 8
+  | Up_throughput -> 9
+  | Down_throughput -> 10
+  | Link_failed -> 11
+  | S_query -> 12
+  | S_query_ack -> 13
+  | S_announce -> 14
+  | S_join -> 15
+  | S_leave -> 16
+  | S_aware -> 17
+  | S_federate -> 18
+  | S_assign -> 19
+  | Set_bandwidth -> 20
+  | Terminate_node -> 21
+  | Custom n -> custom_base + n
+
+let of_int = function
+  | 0 -> Data
+  | 1 -> Boot
+  | 2 -> Boot_reply
+  | 3 -> Request
+  | 4 -> Status
+  | 5 -> Trace
+  | 6 -> S_deploy
+  | 7 -> S_terminate
+  | 8 -> Broken_source
+  | 9 -> Up_throughput
+  | 10 -> Down_throughput
+  | 11 -> Link_failed
+  | 12 -> S_query
+  | 13 -> S_query_ack
+  | 14 -> S_announce
+  | 15 -> S_join
+  | 16 -> S_leave
+  | 17 -> S_aware
+  | 18 -> S_federate
+  | 19 -> S_assign
+  | 20 -> Set_bandwidth
+  | 21 -> Terminate_node
+  | n -> Custom (n - custom_base)
+
+let is_data = function Data -> true | _ -> false
+let is_control t = not (is_data t)
+
+let to_string = function
+  | Data -> "data"
+  | Boot -> "boot"
+  | Boot_reply -> "bootReply"
+  | Request -> "request"
+  | Status -> "status"
+  | Trace -> "trace"
+  | S_deploy -> "sDeploy"
+  | S_terminate -> "sTerminate"
+  | Broken_source -> "BrokenSource"
+  | Up_throughput -> "UpThroughput"
+  | Down_throughput -> "DownThroughput"
+  | Link_failed -> "LinkFailed"
+  | S_query -> "sQuery"
+  | S_query_ack -> "sQueryAck"
+  | S_announce -> "sAnnounce"
+  | S_join -> "sJoin"
+  | S_leave -> "sLeave"
+  | S_aware -> "sAware"
+  | S_federate -> "sFederate"
+  | S_assign -> "sAssign"
+  | Set_bandwidth -> "setBandwidth"
+  | Terminate_node -> "terminateNode"
+  | Custom n -> Printf.sprintf "custom(%d)" n
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let all_builtin =
+  [
+    Data;
+    Boot;
+    Boot_reply;
+    Request;
+    Status;
+    Trace;
+    S_deploy;
+    S_terminate;
+    Broken_source;
+    Up_throughput;
+    Down_throughput;
+    Link_failed;
+    S_query;
+    S_query_ack;
+    S_announce;
+    S_join;
+    S_leave;
+    S_aware;
+    S_federate;
+    S_assign;
+    Set_bandwidth;
+    Terminate_node;
+  ]

@@ -1,0 +1,49 @@
+(** Application-layer message types.
+
+    The first header field of every iOverlay message is its type. The
+    variants below cover the engine/observer protocol from Section 2
+    and the algorithm-level types used by the paper's case studies
+    (Section 3); [Custom] carries algorithm-specific control types, as
+    the observer "is also able to send new types of algorithm-specific
+    control messages". *)
+
+type t =
+  | Data  (** application data; the only type an algorithm must handle *)
+  | Boot  (** node -> observer bootstrap request *)
+  | Boot_reply  (** observer -> node: random subset of alive nodes *)
+  | Request  (** observer -> node: request for a status update *)
+  | Status  (** node -> observer: buffers, QoS, upstream/downstreams *)
+  | Trace  (** node -> observer: debugging/log record *)
+  | S_deploy  (** observer -> node: deploy an application source *)
+  | S_terminate  (** observer -> node: terminate an application source *)
+  | Broken_source  (** upstream -> downstream: source above has failed *)
+  | Up_throughput  (** engine -> algorithm: throughput from an upstream *)
+  | Down_throughput  (** engine -> algorithm: throughput to a downstream *)
+  | Link_failed  (** engine -> algorithm: a peer or link has failed *)
+  | S_query  (** tree construction: locate a node in the session *)
+  | S_query_ack  (** tree construction: join acknowledgement *)
+  | S_announce  (** session announcement carrying the source id *)
+  | S_join  (** observer -> node: join an application session *)
+  | S_leave  (** observer -> node: leave an application session *)
+  | S_aware  (** sFlow: disseminate existence of a new service *)
+  | S_federate  (** sFlow: federate a complex service requirement *)
+  | S_assign  (** observer -> node: host a service instance *)
+  | Set_bandwidth  (** observer -> node: adjust emulated bandwidth *)
+  | Terminate_node  (** observer -> node: terminate the whole node *)
+  | Custom of int  (** algorithm-specific control type *)
+
+val to_int : t -> int
+val of_int : int -> t
+(** Total: unknown codes decode as [Custom]. *)
+
+val is_data : t -> bool
+
+val is_control : t -> bool
+(** Everything except [Data] travels on the control path (the node's
+    publicized port) rather than through the switch buffers. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val all_builtin : t list
+(** Every non-[Custom] constructor, for exhaustive tests. *)

@@ -1,0 +1,65 @@
+type t = { ip : int32; port : int }
+
+let make ~ip ~port =
+  if port < 0 || port > 0xffff then invalid_arg "Node_id.make: port";
+  { ip; port }
+
+let ip_string t =
+  let b i = Int32.to_int (Int32.logand (Int32.shift_right_logical t.ip i) 0xffl) in
+  Printf.sprintf "%d.%d.%d.%d" (b 24) (b 16) (b 8) (b 0)
+
+let to_string t = Printf.sprintf "%s:%d" (ip_string t) t.port
+
+let of_string s =
+  let fail () = invalid_arg ("Node_id.of_string: " ^ s) in
+  match String.split_on_char ':' s with
+  | [ addr; port ] -> (
+    match String.split_on_char '.' addr with
+    | [ a; b; c; d ] -> (
+      try
+        let byte x =
+          let v = int_of_string x in
+          if v < 0 || v > 255 then fail ();
+          Int32.of_int v
+        in
+        let ip =
+          Int32.logor
+            (Int32.shift_left (byte a) 24)
+            (Int32.logor
+               (Int32.shift_left (byte b) 16)
+               (Int32.logor (Int32.shift_left (byte c) 8) (byte d)))
+        in
+        make ~ip ~port:(int_of_string port)
+      with Failure _ -> fail ())
+    | _ -> fail ())
+  | _ -> fail ()
+
+let synthetic i =
+  if i < 0 then invalid_arg "Node_id.synthetic: negative index";
+  let ip =
+    Int32.logor 0x0a000000l (Int32.of_int (i land 0xffffff))
+  in
+  make ~ip ~port:(7000 + (i mod 50000))
+
+let compare a b =
+  match Int32.compare a.ip b.ip with 0 -> Int.compare a.port b.port | c -> c
+
+let equal a b = compare a b = 0
+let hash t = Hashtbl.hash (t.ip, t.port)
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

@@ -1,0 +1,33 @@
+(** Overlay node identity.
+
+    Per the paper, "the notion of a node in iOverlay is uniquely
+    identified by its IP address and port number". *)
+
+type t = private {
+  ip : int32;  (** IPv4 address in network integer form *)
+  port : int;  (** 0..65535 *)
+}
+
+val make : ip:int32 -> port:int -> t
+(** @raise Invalid_argument if the port is out of range. *)
+
+val of_string : string -> t
+(** Parses ["a.b.c.d:port"]. @raise Invalid_argument on bad syntax. *)
+
+val to_string : t -> string
+(** Renders as ["a.b.c.d:port"]. *)
+
+val ip_string : t -> string
+
+val synthetic : int -> t
+(** [synthetic i] deterministically fabricates distinct ids for
+    simulated nodes: 10.x.y.z with port 7000+i. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+module Tbl : Hashtbl.S with type key = t

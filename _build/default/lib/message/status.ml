@@ -1,0 +1,66 @@
+type link_stat = {
+  peer : Node_id.t;
+  rate : float;
+  queued : int;
+  buffer_capacity : int;
+}
+
+type t = {
+  node : Node_id.t;
+  time : float;
+  upstreams : link_stat list;
+  downstreams : link_stat list;
+  bytes_lost : int;
+  messages_lost : int;
+}
+
+let write_link w (l : link_stat) =
+  Wire.W.node w l.peer;
+  Wire.W.float w l.rate;
+  Wire.W.int32 w l.queued;
+  Wire.W.int32 w l.buffer_capacity
+
+let read_link r =
+  let peer = Wire.R.node r in
+  let rate = Wire.R.float r in
+  let queued = Wire.R.int32 r in
+  let buffer_capacity = Wire.R.int32 r in
+  { peer; rate; queued; buffer_capacity }
+
+let to_payload t =
+  let w = Wire.W.create () in
+  Wire.W.node w t.node;
+  Wire.W.float w t.time;
+  Wire.W.int32 w (List.length t.upstreams);
+  List.iter (write_link w) t.upstreams;
+  Wire.W.int32 w (List.length t.downstreams);
+  List.iter (write_link w) t.downstreams;
+  Wire.W.int32 w t.bytes_lost;
+  Wire.W.int32 w t.messages_lost;
+  Wire.W.contents w
+
+let of_payload buf =
+  let r = Wire.R.of_bytes buf in
+  let node = Wire.R.node r in
+  let time = Wire.R.float r in
+  let n_up = Wire.R.int32 r in
+  if n_up < 0 then raise Wire.Truncated;
+  let upstreams = List.init n_up (fun _ -> read_link r) in
+  let n_down = Wire.R.int32 r in
+  if n_down < 0 then raise Wire.Truncated;
+  let downstreams = List.init n_down (fun _ -> read_link r) in
+  let bytes_lost = Wire.R.int32 r in
+  let messages_lost = Wire.R.int32 r in
+  { node; time; upstreams; downstreams; bytes_lost; messages_lost }
+
+let pp fmt t =
+  let pp_link fmt l =
+    Format.fprintf fmt "%a@%.1fKBps(%d/%d)" Node_id.pp l.peer
+      (l.rate /. 1024.) l.queued l.buffer_capacity
+  in
+  Format.fprintf fmt "@[<v>status of %a at %.2fs@ up: %a@ down: %a@ lost: %dB/%dmsg@]"
+    Node_id.pp t.node t.time
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_link)
+    t.upstreams
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_link)
+    t.downstreams t.bytes_lost t.messages_lost

@@ -1,0 +1,29 @@
+(** Status updates sent by every engine to the observer.
+
+    Per the paper: "the observer periodically sends it a request
+    message to request for status updates, which include lengths of all
+    engine buffers, measurements of QoS metrics, and the list of
+    upstream and downstream nodes". *)
+
+type link_stat = {
+  peer : Node_id.t;
+  rate : float;  (** measured throughput, bytes/second *)
+  queued : int;  (** buffer occupancy on this side of the link *)
+  buffer_capacity : int;
+}
+
+type t = {
+  node : Node_id.t;
+  time : float;  (** node-local time of the snapshot *)
+  upstreams : link_stat list;
+  downstreams : link_stat list;
+  bytes_lost : int;
+  messages_lost : int;
+}
+
+val to_payload : t -> Bytes.t
+
+val of_payload : Bytes.t -> t
+(** @raise Wire.Truncated on malformed input. *)
+
+val pp : Format.formatter -> t -> unit

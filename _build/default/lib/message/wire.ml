@@ -1,0 +1,68 @@
+exception Truncated
+
+module W = struct
+  type t = Buffer.t
+
+  let create () = Buffer.create 64
+
+  let int32 t v =
+    Buffer.add_int32_be t (Int32.of_int v)
+
+  let float t v = Buffer.add_int64_be t (Int64.bits_of_float v)
+
+  let node t (id : Node_id.t) =
+    Buffer.add_int32_be t id.ip;
+    int32 t id.port
+
+  let string t s =
+    int32 t (String.length s);
+    Buffer.add_string t s
+
+  let nodes t ids =
+    int32 t (List.length ids);
+    List.iter (node t) ids
+
+  let contents t = Buffer.to_bytes t
+end
+
+module R = struct
+  type t = { buf : Bytes.t; mutable pos : int }
+
+  let of_bytes buf = { buf; pos = 0 }
+
+  let need t n = if t.pos + n > Bytes.length t.buf then raise Truncated
+
+  let int32 t =
+    need t 4;
+    let v = Int32.to_int (Bytes.get_int32_be t.buf t.pos) in
+    t.pos <- t.pos + 4;
+    v
+
+  let float t =
+    need t 8;
+    let v = Int64.float_of_bits (Bytes.get_int64_be t.buf t.pos) in
+    t.pos <- t.pos + 8;
+    v
+
+  let node t =
+    need t 8;
+    let ip = Bytes.get_int32_be t.buf t.pos in
+    t.pos <- t.pos + 4;
+    let port = int32 t in
+    Node_id.make ~ip ~port
+
+  let string t =
+    let n = int32 t in
+    if n < 0 then raise Truncated;
+    need t n;
+    let s = Bytes.sub_string t.buf t.pos n in
+    t.pos <- t.pos + n;
+    s
+
+  let nodes t =
+    let n = int32 t in
+    if n < 0 then raise Truncated;
+    List.init n (fun _ -> node t)
+
+  let remaining t = Bytes.length t.buf - t.pos
+end

@@ -1,0 +1,34 @@
+(** Little helpers for binary payload encodings (status updates,
+    bootstrap replies, protocol messages of the case-study
+    algorithms). All integers are big-endian. *)
+
+exception Truncated
+
+module W : sig
+  type t
+
+  val create : unit -> t
+  val int32 : t -> int -> unit
+  val float : t -> float -> unit
+  val node : t -> Node_id.t -> unit
+  val string : t -> string -> unit
+  (** Length-prefixed. *)
+
+  val nodes : t -> Node_id.t list -> unit
+  (** Count-prefixed. *)
+
+  val contents : t -> Bytes.t
+end
+
+module R : sig
+  type t
+
+  val of_bytes : Bytes.t -> t
+  val int32 : t -> int
+  val float : t -> float
+  val node : t -> Node_id.t
+  val string : t -> string
+  val nodes : t -> Node_id.t list
+  val remaining : t -> int
+  (** All readers raise {!Truncated} on exhausted input. *)
+end

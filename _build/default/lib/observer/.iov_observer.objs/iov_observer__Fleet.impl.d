@@ -1,0 +1,1 @@
+lib/observer/fleet.ml: Iov_core Iov_dsim Iov_msg List Observer Option

@@ -1,0 +1,1 @@
+lib/observer/fleet.mli: Iov_core Iov_msg Observer

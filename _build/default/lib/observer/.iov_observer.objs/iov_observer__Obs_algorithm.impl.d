@@ -1,0 +1,1 @@
+lib/observer/obs_algorithm.ml: Array Bytes Iov_core Iov_msg List Random Stdlib

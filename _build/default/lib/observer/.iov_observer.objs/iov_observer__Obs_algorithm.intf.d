@@ -1,0 +1,1 @@
+lib/observer/obs_algorithm.mli: Iov_core Iov_msg

@@ -1,0 +1,1 @@
+lib/observer/observer.ml: Array Buffer Bytes Fun Iov_core Iov_dsim Iov_msg List Logs Printf Random String

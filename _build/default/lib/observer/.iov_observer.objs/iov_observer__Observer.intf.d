@@ -1,0 +1,1 @@
+lib/observer/observer.mli: Iov_core Iov_msg

@@ -1,0 +1,1 @@
+lib/observer/proxy.ml: Iov_core Iov_dsim Iov_msg Queue

@@ -1,0 +1,1 @@
+lib/observer/proxy.mli: Iov_core Iov_msg

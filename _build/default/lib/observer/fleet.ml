@@ -1,0 +1,56 @@
+module Network = Iov_core.Network
+module Sim = Iov_dsim.Sim
+module NI = Iov_msg.Node_id
+
+type spec = {
+  nid : NI.t;
+  bw : Iov_core.Bwspec.t;
+  algorithm : Iov_core.Algorithm.t;
+}
+
+type t = {
+  net : Network.t;
+  obs : Observer.t;
+  members : NI.t list;
+}
+
+let deploy ?(stagger = 0.) ~observer net specs =
+  if stagger < 0. then invalid_arg "Fleet.deploy: stagger";
+  let ids = List.map (fun s -> s.nid) specs in
+  if List.length (List.sort_uniq NI.compare ids) <> List.length ids then
+    invalid_arg "Fleet.deploy: duplicate ids";
+  List.iteri
+    (fun i spec ->
+      let start () =
+        ignore
+          (Network.add_node net ~bw:spec.bw ~observer:(Observer.id observer)
+             ~id:spec.nid spec.algorithm)
+      in
+      if stagger = 0. then start ()
+      else
+        ignore
+          (Sim.schedule (Network.sim net)
+             ~delay:(stagger *. float_of_int i)
+             start))
+    specs;
+  { net; obs = observer; members = ids }
+
+let ids t = t.members
+let size t = List.length t.members
+
+let alive t =
+  List.filter
+    (fun nid ->
+      match Network.find_node t.net nid with
+      | Some n -> Network.is_alive n
+      | None -> false)
+    t.members
+
+let terminate_all t =
+  List.iter (fun nid -> Observer.terminate_node t.obs nid) (alive t)
+
+let collect t =
+  List.filter_map
+    (fun nid ->
+      Option.map (fun st -> (nid, st)) (Network.make_status t.net nid))
+    (alive t)

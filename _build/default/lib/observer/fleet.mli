@@ -1,0 +1,33 @@
+(** One-command fleet operations — the library equivalent of the
+    paper's deployment scripts: "we are able to deploy, run, terminate
+    and collect data from all 81 nodes, with one command for each
+    operation". *)
+
+type spec = {
+  nid : Iov_msg.Node_id.t;
+  bw : Iov_core.Bwspec.t;
+  algorithm : Iov_core.Algorithm.t;
+}
+
+type t
+
+val deploy :
+  ?stagger:float ->
+  observer:Observer.t ->
+  Iov_core.Network.t ->
+  spec list ->
+  t
+(** Starts every node (bootstrapping through the observer),
+    [stagger] seconds apart (default 0: all at once).
+    @raise Invalid_argument on duplicate ids in the spec. *)
+
+val ids : t -> Iov_msg.Node_id.t list
+val size : t -> int
+
+val alive : t -> Iov_msg.Node_id.t list
+
+val terminate_all : t -> unit
+(** Observer-issued termination of every fleet node. *)
+
+val collect : t -> (Iov_msg.Node_id.t * Iov_msg.Status.t) list
+(** Engine status snapshots of all currently-alive fleet nodes. *)

@@ -1,0 +1,88 @@
+module Alg = Iov_core.Algorithm
+module Ialg = Iov_core.Ialgorithm
+module Msg = Iov_msg.Message
+module Mt = Iov_msg.Mtype
+module NI = Iov_msg.Node_id
+module Wire = Iov_msg.Wire
+module Status = Iov_msg.Status
+
+type t = {
+  boot_subset : int;
+  poll : bool;
+  mutable alive_set : NI.Set.t;
+  statuses_tbl : Status.t NI.Tbl.t;
+  mutable trace_log : (NI.t * string) list;
+}
+
+let create ?(boot_subset = 8) ?(poll = true) () =
+  if boot_subset <= 0 then invalid_arg "Obs_algorithm.create: boot_subset";
+  {
+    boot_subset;
+    poll;
+    alive_set = NI.Set.empty;
+    statuses_tbl = NI.Tbl.create 32;
+    trace_log = [];
+  }
+
+let alive t = NI.Set.elements t.alive_set
+let latest_status t ni = NI.Tbl.find_opt t.statuses_tbl ni
+
+let statuses t =
+  NI.Tbl.fold (fun ni st acc -> (ni, st) :: acc) t.statuses_tbl []
+  |> List.sort (fun (a, _) (b, _) -> NI.compare a b)
+
+let traces t = t.trace_log
+let trace_count t = List.length t.trace_log
+
+let handle_boot t (ctx : Alg.ctx) (m : Msg.t) =
+  let booter = m.Msg.origin in
+  let candidates = NI.Set.elements (NI.Set.remove booter t.alive_set) in
+  (* a random subset of the other alive nodes *)
+  let a = Array.of_list candidates in
+  let n = Array.length a in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int ctx.rng (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  let subset =
+    Array.to_list (Array.sub a 0 (Stdlib.min t.boot_subset n))
+  in
+  t.alive_set <- NI.Set.add booter t.alive_set;
+  let w = Wire.W.create () in
+  Wire.W.nodes w subset;
+  ctx.send
+    (Msg.control ~mtype:Mt.Boot_reply ~origin:ctx.self (Wire.W.contents w))
+    booter
+
+let handle t (ctx : Alg.ctx) (m : Msg.t) =
+  match m.Msg.mtype with
+  | Mt.Boot ->
+    handle_boot t ctx m;
+    Some Alg.Consume
+  | Mt.Status ->
+    (try
+       let st = Status.of_payload m.payload in
+       NI.Tbl.replace t.statuses_tbl st.Status.node st
+     with Wire.Truncated -> ());
+    Some Alg.Consume
+  | Mt.Trace ->
+    t.trace_log <- (m.origin, Msg.string_payload m) :: t.trace_log;
+    Some Alg.Consume
+  | Mt.Link_failed ->
+    t.alive_set <- NI.Set.remove m.origin t.alive_set;
+    Some Alg.Consume
+  | _ -> None
+
+let algorithm t =
+  Ialg.make ~name:"observer"
+    ~on_tick:(fun ctx ->
+      if t.poll then
+        NI.Set.iter
+          (fun ni ->
+            ctx.send
+              (Msg.control ~mtype:Mt.Request ~origin:ctx.self Bytes.empty)
+              ni)
+          t.alive_set)
+    (handle t)

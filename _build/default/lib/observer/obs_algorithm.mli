@@ -1,0 +1,29 @@
+(** The observer expressed as a plain iOverlay algorithm.
+
+    {!Observer} attaches to the simulator as a privileged endpoint;
+    this module implements the same protocol — bootstrap replies,
+    status collection, trace logging, periodic polling — as an
+    ordinary {!Iov_core.Algorithm.t}, so the monitoring node can run
+    on any substrate, including the real-sockets runtime
+    ({!Iov_onet.Rnode}), where the paper's observer was itself a
+    multi-threaded TCP server. *)
+
+type t
+
+val create : ?boot_subset:int -> ?poll:bool -> unit -> t
+(** [boot_subset] (default 8) bounds the initial-hosts handout;
+    with [poll] (default true) every engine tick sends a status
+    request to each known-alive node. *)
+
+val algorithm : t -> Iov_core.Algorithm.t
+
+val alive : t -> Iov_msg.Node_id.t list
+(** Nodes that have bootstrapped here. *)
+
+val latest_status : t -> Iov_msg.Node_id.t -> Iov_msg.Status.t option
+val statuses : t -> (Iov_msg.Node_id.t * Iov_msg.Status.t) list
+
+val traces : t -> (Iov_msg.Node_id.t * string) list
+(** Most recent first. *)
+
+val trace_count : t -> int

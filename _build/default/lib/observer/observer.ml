@@ -1,0 +1,226 @@
+module Network = Iov_core.Network
+module Bwspec = Iov_core.Bwspec
+module Sim = Iov_dsim.Sim
+module NI = Iov_msg.Node_id
+module Msg = Iov_msg.Message
+module Mt = Iov_msg.Mtype
+module Wire = Iov_msg.Wire
+module Status = Iov_msg.Status
+
+let src_log = Logs.Src.create "iov.observer" ~doc:"iOverlay observer"
+
+module Log = (val Logs.src_log src_log)
+
+type t = {
+  net : Network.t;
+  obs_id : NI.t;
+  boot_subset : int;
+  poll_period : float;
+  mutable alive : NI.Set.t;
+  statuses : Status.t NI.Tbl.t;
+  mutable trace_log : (float * NI.t * string) list;
+  mutable n_traces : int;
+  mutable poll_handle : Sim.handle option;
+}
+
+let id t = t.obs_id
+
+let send t m dst = Network.endpoint_send t.net ~from:t.obs_id m dst
+
+let handle_boot t (m : Msg.t) =
+  let booter = m.Msg.origin in
+  (* reply with a random subset of the other alive nodes *)
+  let candidates =
+    NI.Set.elements (NI.Set.remove booter t.alive)
+  in
+  let rng = Network.rng t.net in
+  let shuffled =
+    let a = Array.of_list candidates in
+    let n = Array.length a in
+    for i = n - 1 downto 1 do
+      let j = Random.State.int rng (i + 1) in
+      let tmp = a.(i) in
+      a.(i) <- a.(j);
+      a.(j) <- tmp
+    done;
+    Array.to_list a
+  in
+  let subset =
+    List.filteri (fun i _ -> i < t.boot_subset) shuffled
+  in
+  t.alive <- NI.Set.add booter t.alive;
+  let w = Wire.W.create () in
+  Wire.W.nodes w subset;
+  let reply =
+    Msg.control ~mtype:Mt.Boot_reply ~origin:t.obs_id (Wire.W.contents w)
+  in
+  send t reply booter
+
+let handle t (m : Msg.t) =
+  match m.Msg.mtype with
+  | Mt.Boot -> handle_boot t m
+  | Mt.Status -> (
+    try
+      let st = Status.of_payload m.payload in
+      NI.Tbl.replace t.statuses st.Status.node st
+    with Wire.Truncated ->
+      Log.warn (fun f -> f "malformed status from %a" NI.pp m.origin))
+  | Mt.Trace ->
+    t.trace_log <-
+      (Network.now t.net, m.origin, Msg.string_payload m) :: t.trace_log;
+    t.n_traces <- t.n_traces + 1
+  | _ ->
+    Log.debug (fun f -> f "observer ignoring %a" Mt.pp m.mtype)
+
+let create ?id:obs_id ?(boot_subset = 8) ?(poll_period = 1.0) net =
+  let obs_id =
+    match obs_id with
+    | Some i -> i
+    | None -> NI.of_string "0.0.0.1:9999"
+  in
+  if boot_subset <= 0 then invalid_arg "Observer.create: boot_subset";
+  let t =
+    {
+      net;
+      obs_id;
+      boot_subset;
+      poll_period;
+      alive = NI.Set.empty;
+      statuses = NI.Tbl.create 64;
+      trace_log = [];
+      n_traces = 0;
+      poll_handle = None;
+    }
+  in
+  Network.register_endpoint net obs_id (handle t);
+  t
+
+let poll t =
+  NI.Set.iter
+    (fun ni ->
+      match Network.find_node t.net ni with
+      | Some n when Network.is_alive n ->
+        send t (Msg.control ~mtype:Mt.Request ~origin:t.obs_id Bytes.empty) ni
+      | Some _ | None ->
+        t.alive <- NI.Set.remove ni t.alive)
+    t.alive
+
+let start_polling t =
+  match t.poll_handle with
+  | Some _ -> ()
+  | None ->
+    t.poll_handle <-
+      Some (Sim.every (Network.sim t.net) ~period:t.poll_period (fun () -> poll t))
+
+let stop_polling t =
+  match t.poll_handle with
+  | Some h ->
+    Sim.cancel (Network.sim t.net) h;
+    t.poll_handle <- None
+  | None -> ()
+
+let alive_nodes t =
+  NI.Set.elements
+    (NI.Set.filter
+       (fun ni ->
+         match Network.find_node t.net ni with
+         | Some n -> Network.is_alive n
+         | None -> false)
+       t.alive)
+
+let latest_status t ni = NI.Tbl.find_opt t.statuses ni
+
+let topology t =
+  NI.Tbl.fold
+    (fun ni st acc ->
+      let downs = List.map (fun l -> l.Status.peer) st.Status.downstreams in
+      (ni, downs) :: acc)
+    t.statuses []
+  |> List.sort (fun (a, _) (b, _) -> NI.compare a b)
+
+let render_topology t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "overlay topology (from latest status reports):\n";
+  List.iter
+    (fun (ni, downs) ->
+      Buffer.add_string buf ("  " ^ NI.to_string ni);
+      (match downs with
+      | [] -> Buffer.add_string buf "  (no downstreams)"
+      | _ ->
+        Buffer.add_string buf " -> ";
+        Buffer.add_string buf
+          (String.concat ", " (List.map NI.to_string downs)));
+      Buffer.add_char buf '\n')
+    (topology t);
+  Buffer.contents buf
+
+let traces t = t.trace_log
+let trace_count t = t.n_traces
+
+let save_traces t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let records = List.rev t.trace_log in
+      List.iter
+        (fun (time, origin, text) ->
+          Printf.fprintf oc "%.6f\t%s\t%s\n" time (NI.to_string origin) text)
+        records;
+      List.length records)
+
+(* ------------------------------------------------------------------ *)
+(* Control panel                                                       *)
+
+let set_node_bandwidth t ni (bw : Bwspec.t) =
+  let set kind rate =
+    if rate <> infinity then begin
+      let w = Wire.W.create () in
+      Wire.W.int32 w kind;
+      Wire.W.float w rate;
+      send t
+        (Msg.control ~mtype:Mt.Set_bandwidth ~origin:t.obs_id
+           (Wire.W.contents w))
+        ni
+    end
+  in
+  set 0 bw.Bwspec.total;
+  set 1 bw.Bwspec.up;
+  set 2 bw.Bwspec.down
+
+let set_link_bandwidth t ~src ~dst rate =
+  let w = Wire.W.create () in
+  Wire.W.int32 w 3;
+  Wire.W.float w rate;
+  Wire.W.node w dst;
+  send t
+    (Msg.control ~mtype:Mt.Set_bandwidth ~origin:t.obs_id (Wire.W.contents w))
+    src
+
+let deploy_source t ni ~app =
+  send t (Msg.control ~mtype:Mt.S_deploy ~origin:t.obs_id ~app Bytes.empty) ni
+
+let terminate_source t ni ~app =
+  send t
+    (Msg.control ~mtype:Mt.S_terminate ~origin:t.obs_id ~app Bytes.empty)
+    ni
+
+let join t ni ~app =
+  send t (Msg.control ~mtype:Mt.S_join ~origin:t.obs_id ~app Bytes.empty) ni
+
+let leave t ni ~app =
+  send t (Msg.control ~mtype:Mt.S_leave ~origin:t.obs_id ~app Bytes.empty) ni
+
+let terminate_node t ni =
+  t.alive <- NI.Set.remove ni t.alive;
+  send t (Msg.control ~mtype:Mt.Terminate_node ~origin:t.obs_id Bytes.empty) ni
+
+let custom t ni ~kind p1 p2 =
+  send t (Msg.with_params ~mtype:(Mt.Custom kind) ~origin:t.obs_id p1 p2) ni
+
+let assign_service t ni ~service =
+  send t
+    (Msg.with_params ~mtype:Mt.S_assign ~origin:t.obs_id service 0)
+    ni
+
+let control_message t m dst = send t m dst

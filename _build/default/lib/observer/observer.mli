@@ -1,0 +1,75 @@
+(** The observer — iOverlay's centralized monitoring and control
+    facility (headless; the Windows GUI of the paper is replaced by a
+    textual topology rendering).
+
+    The observer answers bootstrap requests with a random subset of
+    alive nodes, polls nodes for status updates, records [trace]
+    messages, and acts as a control panel: emulated-bandwidth changes,
+    application deployment/termination, join/leave commands, node
+    termination, and algorithm-specific custom commands with two
+    integer parameters. *)
+
+type t
+
+val create :
+  ?id:Iov_msg.Node_id.t ->
+  ?boot_subset:int ->
+  ?poll_period:float ->
+  Iov_core.Network.t ->
+  t
+(** Attaches an observer endpoint to the network. [boot_subset]
+    (default 8) bounds the number of initial nodes handed to a booting
+    node; [poll_period] (default 1.0 s) paces status requests once
+    {!start_polling} is called. The default [id] is [0.0.0.1:9999]. *)
+
+val id : t -> Iov_msg.Node_id.t
+
+val start_polling : t -> unit
+val stop_polling : t -> unit
+
+(** {1 Monitoring} *)
+
+val alive_nodes : t -> Iov_msg.Node_id.t list
+(** Nodes that have bootstrapped and are not known to have died. *)
+
+val latest_status : t -> Iov_msg.Node_id.t -> Iov_msg.Status.t option
+
+val topology : t -> (Iov_msg.Node_id.t * Iov_msg.Node_id.t list) list
+(** [(node, downstreams)] pairs from the latest status snapshots. *)
+
+val render_topology : t -> string
+(** A textual stand-in for the observer's map view. *)
+
+val traces : t -> (float * Iov_msg.Node_id.t * string) list
+(** Recorded [trace] messages, most recent first. *)
+
+val trace_count : t -> int
+
+val save_traces : t -> string -> int
+(** Writes the trace log to a file, one
+    ["<time>\t<origin>\t<text>"] line per record in chronological
+    order — the paper's centralized debugging log. Returns the number
+    of records written. @raise Sys_error on unwritable paths. *)
+
+(** {1 Control panel} *)
+
+val set_node_bandwidth : t -> Iov_msg.Node_id.t -> Iov_core.Bwspec.t -> unit
+val set_link_bandwidth :
+  t -> src:Iov_msg.Node_id.t -> dst:Iov_msg.Node_id.t -> float -> unit
+val deploy_source : t -> Iov_msg.Node_id.t -> app:int -> unit
+val terminate_source : t -> Iov_msg.Node_id.t -> app:int -> unit
+val join : t -> Iov_msg.Node_id.t -> app:int -> unit
+val leave : t -> Iov_msg.Node_id.t -> app:int -> unit
+val terminate_node : t -> Iov_msg.Node_id.t -> unit
+val custom : t -> Iov_msg.Node_id.t -> kind:int -> int -> int -> unit
+(** [custom t node ~kind p1 p2] sends an algorithm-specific control
+    message of type [Custom kind] with two integer parameters. *)
+
+val assign_service : t -> Iov_msg.Node_id.t -> service:int -> unit
+(** sFlow: instruct a node to host a service instance ([sAssign]). *)
+
+val control_message : t -> Iov_msg.Message.t -> Iov_msg.Node_id.t -> unit
+(** Sends an arbitrary control message from the observer — the paper's
+    escape hatch for "new types of algorithm-specific control
+    messages". The message's origin should be {!id}[ t] so nodes
+    recognize the sender. *)

@@ -1,0 +1,63 @@
+module Network = Iov_core.Network
+module Sim = Iov_dsim.Sim
+module NI = Iov_msg.Node_id
+module Msg = Iov_msg.Message
+
+type t = {
+  net : Network.t;
+  proxy_id : NI.t;
+  observer : NI.t;
+  flush_period : float;
+  queue : Msg.t Queue.t;
+  mutable relayed : int;
+  mutable flushes : int;
+}
+
+let id t = t.proxy_id
+let relayed t = t.relayed
+let pending t = Queue.length t.queue
+let flushes t = t.flushes
+
+let forward t m =
+  Network.endpoint_send t.net ~from:t.proxy_id m t.observer;
+  t.relayed <- t.relayed + 1
+
+let flush_now t =
+  if not (Queue.is_empty t.queue) then begin
+    t.flushes <- t.flushes + 1;
+    while not (Queue.is_empty t.queue) do
+      forward t (Queue.pop t.queue)
+    done
+  end
+
+let create ?id:proxy_id ?(flush_period = 0.) ~observer net =
+  let proxy_id =
+    match proxy_id with
+    | Some i -> i
+    | None -> NI.of_string "0.0.0.2:9998"
+  in
+  if flush_period < 0. then invalid_arg "Proxy.create: flush_period";
+  let t =
+    {
+      net;
+      proxy_id;
+      observer;
+      flush_period;
+      queue = Queue.create ();
+      relayed = 0;
+      flushes = 0;
+    }
+  in
+  let handle m =
+    if t.flush_period = 0. then begin
+      t.flushes <- t.flushes + 1;
+      forward t m
+    end
+    else Queue.push m t.queue
+  in
+  Network.register_endpoint net proxy_id handle;
+  if t.flush_period > 0. then
+    ignore
+      (Sim.every (Network.sim net) ~period:t.flush_period (fun () ->
+           flush_now t));
+  t

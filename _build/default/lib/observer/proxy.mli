@@ -1,0 +1,36 @@
+(** The observer's proxy (paper Section 2.2, "The observer and its
+    proxy").
+
+    The Windows observer of the paper suffered from backlogged
+    connection limits and firewalls; status updates from overlay nodes
+    are therefore submitted to a UNIX-side proxy which relays them
+    "with a single connection to the observer". Nodes address the
+    proxy instead of the observer; the proxy forwards everything,
+    optionally batching per flush period, and keeps relay statistics.
+    With the proxy in place, thousands of virtualized nodes fan into
+    one observer connection. *)
+
+type t
+
+val create :
+  ?id:Iov_msg.Node_id.t ->
+  ?flush_period:float ->
+  observer:Iov_msg.Node_id.t ->
+  Iov_core.Network.t ->
+  t
+(** [flush_period = 0.] (default) relays immediately; a positive
+    period batches messages and forwards each batch in arrival order
+    every period. Default [id] is [0.0.0.2:9998]. *)
+
+val id : t -> Iov_msg.Node_id.t
+
+val relayed : t -> int
+(** Messages forwarded to the observer so far. *)
+
+val pending : t -> int
+(** Messages waiting for the next flush. *)
+
+val flushes : t -> int
+(** Number of batch flushes ("single connection" round trips). *)
+
+val flush_now : t -> unit

@@ -1,0 +1,1 @@
+lib/onet/rnode.ml: Atomic Bytes Fun Hashtbl Iov_core Iov_msg List Logs Mutex Printf Queue Random Squeue Thread Unix

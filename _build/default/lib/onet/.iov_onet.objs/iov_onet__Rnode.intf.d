@@ -1,0 +1,1 @@
+lib/onet/rnode.mli: Iov_core Iov_msg

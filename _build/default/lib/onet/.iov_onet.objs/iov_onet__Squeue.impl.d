@@ -1,0 +1,1 @@
+lib/onet/squeue.ml: Condition Fun Iov_core Mutex

@@ -1,0 +1,1 @@
+lib/onet/squeue.mli:

@@ -1,0 +1,465 @@
+module Alg = Iov_core.Algorithm
+module Msg = Iov_msg.Message
+module Mt = Iov_msg.Mtype
+module NI = Iov_msg.Node_id
+module Codec = Iov_msg.Codec
+
+let src_log = Logs.Src.create "iov.onet" ~doc:"iOverlay real-sockets runtime"
+
+module Log = (val Logs.src_log src_log)
+
+(* The first message on every fresh connection identifies the
+   initiating node (its listening identity, not the ephemeral port). *)
+let hello_kind = 900
+
+type in_conn = {
+  ic_peer : NI.t;
+  ic_fd : Unix.file_descr;
+  ic_buf : Msg.t Squeue.t;
+  ic_thread : Thread.t;
+  ic_bytes : int Atomic.t;
+  ic_since : float;
+}
+
+type out_conn = {
+  oc_peer : NI.t;
+  oc_fd : Unix.file_descr;
+  oc_buf : Msg.t Squeue.t;
+  oc_thread : Thread.t;
+  mutable oc_dead : bool;
+  oc_bytes : int Atomic.t;
+  oc_since : float;
+}
+
+type timer = { due : float; fn : unit -> unit }
+
+type t = {
+  nid : NI.t;
+  listen_fd : Unix.file_descr;
+  algo : Alg.t;
+  bufcap : int;
+  lock : Mutex.t;
+  mutable ins : in_conn list;
+  mutable outs : out_conn list;
+  mutable pending_ins : (NI.t * in_conn) list; (* registered by receivers *)
+  engine_inbox : Msg.t Queue.t; (* synthetic notifications, under lock *)
+  mutable timers : timer list;
+  mutable known : NI.Set.t;
+  mutable stopping : bool;
+  mutable processed : int;
+  app_bytes_tbl : (int, int) Hashtbl.t; (* engine thread only *)
+  mutable engine_thread : Thread.t option;
+  mutable accept_threads : Thread.t list;
+  rng : Random.State.t;
+}
+
+let id t = t.nid
+let messages_processed t = t.processed
+
+let app_bytes t ~app =
+  match Hashtbl.find_opt t.app_bytes_tbl app with Some b -> b | None -> 0
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let peers t = with_lock t (fun () -> List.map (fun o -> o.oc_peer) t.outs)
+
+let link_bytes t dir peer =
+  match dir with
+  | `In -> (
+    match
+      with_lock t (fun () ->
+          List.find_opt (fun i -> NI.equal i.ic_peer peer) t.ins)
+    with
+    | Some ic -> Atomic.get ic.ic_bytes
+    | None -> 0)
+  | `Out -> (
+    match
+      with_lock t (fun () ->
+          List.find_opt (fun o -> NI.equal o.oc_peer peer) t.outs)
+    with
+    | Some oc -> Atomic.get oc.oc_bytes
+    | None -> 0)
+
+(* ------------------------------------------------------------------ *)
+(* Socket helpers                                                      *)
+
+let addr_of (ni : NI.t) =
+  Unix.ADDR_INET (Unix.inet_addr_of_string (NI.ip_string ni), ni.port)
+
+let write_all fd buf =
+  let len = Bytes.length buf in
+  let rec go off =
+    if off < len then begin
+      let n = Unix.write fd buf off (len - off) in
+      go (off + n)
+    end
+  in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Receiver and sender threads                                         *)
+
+let receiver_loop t ?bytes ?stream peer fd buf =
+  (* a connection accepted by the engine hands over the handshake
+     stream: bytes that followed the hello in the same TCP chunk must
+     not be lost *)
+  let stream =
+    match stream with Some s -> s | None -> Codec.Stream.create ()
+  in
+  let chunk = Bytes.create 65536 in
+  let running = ref true in
+  (* messages already complete in the handed-over stream *)
+  (try
+     List.iter
+       (fun m -> if not (Squeue.push buf m) then running := false)
+       (Codec.Stream.drain stream)
+   with Codec.Malformed _ -> running := false);
+  while !running do
+    (match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> running := false
+    | n ->
+      (match bytes with
+      | Some c -> Atomic.set c (Atomic.get c + n)
+      | None -> ());
+      Codec.Stream.feed stream ~len:n chunk;
+      List.iter
+        (fun m -> if not (Squeue.push buf m) then running := false)
+        (Codec.Stream.drain stream)
+    | exception Unix.Unix_error _ -> running := false
+    | exception Codec.Malformed _ -> running := false)
+  done;
+  (* surface the failure to the engine, then drain-close *)
+  ignore
+    (Squeue.try_push buf (Msg.with_params ~mtype:Mt.Link_failed ~origin:peer 0 0));
+  Squeue.close buf;
+  ignore t;
+  (try Unix.close fd with Unix.Unix_error _ -> ())
+
+let sender_loop oc =
+  let running = ref true in
+  while !running do
+    match Squeue.pop oc.oc_buf with
+    | None -> running := false
+    | Some m -> (
+      try
+        let wire = Codec.encode m in
+        write_all oc.oc_fd wire;
+        Atomic.set oc.oc_bytes (Atomic.get oc.oc_bytes + Bytes.length wire)
+      with Unix.Unix_error _ ->
+        oc.oc_dead <- true;
+        running := false)
+  done;
+  (try Unix.close oc.oc_fd with Unix.Unix_error _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Connections                                                         *)
+
+(* Engine-side or driver-side: ensure a persistent outgoing
+   connection. Must be called with care — creation takes the lock. *)
+let ensure_out t peer =
+  let existing =
+    with_lock t (fun () ->
+        List.find_opt (fun o -> NI.equal o.oc_peer peer && not o.oc_dead) t.outs)
+  in
+  match existing with
+  | Some o -> o
+  | None ->
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd (addr_of peer)
+     with e ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       raise e);
+    Unix.setsockopt fd Unix.TCP_NODELAY true;
+    (* introduce ourselves so the peer registers the right identity *)
+    write_all fd
+      (Codec.encode (Msg.with_params ~mtype:(Mt.Custom hello_kind) ~origin:t.nid 0 0));
+    let buf = Squeue.create ~capacity:t.bufcap in
+    let oc =
+      {
+        oc_peer = peer;
+        oc_fd = fd;
+        oc_buf = buf;
+        oc_thread = Thread.create (fun () -> ()) ();
+        oc_dead = false;
+        oc_bytes = Atomic.make 0;
+        oc_since = Unix.gettimeofday ();
+      }
+    in
+    let oc = { oc with oc_thread = Thread.create (fun () -> sender_loop oc) () } in
+    with_lock t (fun () -> t.outs <- oc :: t.outs);
+    oc
+
+let connect t peer = ignore (ensure_out t peer)
+
+let send t m peer =
+  let oc = ensure_out t peer in
+  ignore (Squeue.push oc.oc_buf m)
+
+(* ------------------------------------------------------------------ *)
+(* The algorithm context                                               *)
+
+let make_ctx t : Alg.ctx =
+  {
+    Alg.self = t.nid;
+    now = Unix.gettimeofday;
+    send = (fun m dst -> try send t m dst with Unix.Unix_error _ -> ());
+    can_send =
+      (fun dst ->
+        match
+          with_lock t (fun () ->
+              List.find_opt
+                (fun o -> NI.equal o.oc_peer dst && not o.oc_dead)
+                t.outs)
+        with
+        | Some o -> not (Squeue.is_full o.oc_buf)
+        | None -> true);
+    known_hosts = (fun () -> NI.Set.elements t.known);
+    add_known_host =
+      (fun h ->
+        if not (NI.equal h t.nid) then
+          with_lock t (fun () -> t.known <- NI.Set.add h t.known));
+    upstreams =
+      (fun () -> with_lock t (fun () -> List.map (fun i -> i.ic_peer) t.ins));
+    downstreams = (fun () -> peers t);
+    up_throughput =
+      (fun peer ->
+        match
+          with_lock t (fun () ->
+              List.find_opt (fun i -> NI.equal i.ic_peer peer) t.ins)
+        with
+        | Some ic ->
+          let dt = Unix.gettimeofday () -. ic.ic_since in
+          if dt <= 0. then 0. else float_of_int (Atomic.get ic.ic_bytes) /. dt
+        | None -> 0.);
+    down_throughput =
+      (fun peer ->
+        match
+          with_lock t (fun () ->
+              List.find_opt
+                (fun o -> NI.equal o.oc_peer peer && not o.oc_dead)
+                t.outs)
+        with
+        | Some oc ->
+          let dt = Unix.gettimeofday () -. oc.oc_since in
+          if dt <= 0. then 0. else float_of_int (Atomic.get oc.oc_bytes) /. dt
+        | None -> 0.);
+    measure =
+      (fun peer cb ->
+        (* a crude RTT probe: TCP connect time to the peer's port *)
+        let t0 = Unix.gettimeofday () in
+        let lat =
+          match Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 with
+          | fd -> (
+            try
+              Unix.connect fd (addr_of peer);
+              let dt = Unix.gettimeofday () -. t0 in
+              Unix.close fd;
+              dt /. 2.
+            with Unix.Unix_error _ ->
+              (try Unix.close fd with Unix.Unix_error _ -> ());
+              infinity)
+          | exception Unix.Unix_error _ -> infinity
+        in
+        cb ~bandwidth:infinity ~latency:lat);
+    rng = t.rng;
+    trace = (fun s -> Log.info (fun f -> f "[%a] %s" NI.pp t.nid s));
+    set_timer =
+      (fun delay fn ->
+        let due = Unix.gettimeofday () +. delay in
+        with_lock t (fun () -> t.timers <- { due; fn } :: t.timers));
+    observer = None;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The engine thread                                                   *)
+
+let dispatch t ctx (m : Msg.t) =
+  t.processed <- t.processed + 1;
+  if Mt.is_data m.Msg.mtype then begin
+    let prev =
+      match Hashtbl.find_opt t.app_bytes_tbl m.app with Some b -> b | None -> 0
+    in
+    Hashtbl.replace t.app_bytes_tbl m.app (prev + Msg.payload_size m);
+    match t.algo.Alg.process ctx m with
+    | Alg.Consume | Alg.Hold -> ()
+    | Alg.Forward dests ->
+      List.iter
+        (fun d -> try send t m d with Unix.Unix_error _ -> ())
+        dests
+  end
+  else ignore (t.algo.Alg.process ctx m)
+
+let run_timers t ctx =
+  ignore ctx;
+  let now = Unix.gettimeofday () in
+  let due, later =
+    with_lock t (fun () ->
+        let due, later = List.partition (fun tm -> tm.due <= now) t.timers in
+        t.timers <- later;
+        (due, later))
+  in
+  ignore later;
+  List.iter (fun tm -> tm.fn ()) due
+
+let engine_loop t =
+  let ctx = make_ctx t in
+  t.algo.Alg.on_start ctx;
+  while not t.stopping do
+    (* 1. accept new incoming connections (non-blocking select) *)
+    (match Unix.select [ t.listen_fd ] [] [] 0.01 with
+    | [ _ ], _, _ -> (
+      match Unix.accept t.listen_fd with
+      | fd, _ ->
+        Unix.setsockopt fd Unix.TCP_NODELAY true;
+        (* the hello message carries the peer identity *)
+        let th =
+          Thread.create
+            (fun () ->
+              let stream = Codec.Stream.create () in
+              let chunk = Bytes.create 4096 in
+              let total_read = ref 0 in
+              let rec read_hello () =
+                match Unix.read fd chunk 0 (Bytes.length chunk) with
+                | 0 -> None
+                | n -> (
+                  total_read := !total_read + n;
+                  Codec.Stream.feed stream ~len:n chunk;
+                  match Codec.Stream.next stream with
+                  | Some m -> Some m
+                  | None -> read_hello ())
+                | exception Unix.Unix_error _ -> None
+              in
+              match read_hello () with
+              | Some m when m.Msg.mtype = Mt.Custom hello_kind ->
+                let peer = m.Msg.origin in
+                let buf = Squeue.create ~capacity:t.bufcap in
+                (* data bytes may have arrived in the same chunk as
+                   the hello: count them and keep the stream *)
+                let ic_bytes = Atomic.make (!total_read - Msg.size m) in
+                let ic_thread =
+                  Thread.create
+                    (fun () ->
+                      receiver_loop t ~bytes:ic_bytes ~stream peer fd buf)
+                    ()
+                in
+                with_lock t (fun () ->
+                    t.pending_ins <-
+                      ( peer,
+                        {
+                          ic_peer = peer;
+                          ic_fd = fd;
+                          ic_buf = buf;
+                          ic_thread;
+                          ic_bytes;
+                          ic_since = Unix.gettimeofday ();
+                        } )
+                      :: t.pending_ins)
+              | Some _ | None -> (
+                try Unix.close fd with Unix.Unix_error _ -> ()))
+            ()
+        in
+        with_lock t (fun () ->
+            t.accept_threads <- th :: t.accept_threads)
+      | exception Unix.Unix_error _ -> ())
+    | _, _, _ -> ());
+    (* 2. adopt freshly registered incoming connections *)
+    let fresh = with_lock t (fun () ->
+        let f = t.pending_ins in
+        t.pending_ins <- [];
+        f)
+    in
+    List.iter
+      (fun (peer, ic) ->
+        Log.debug (fun f -> f "%a: connection from %a" NI.pp t.nid NI.pp peer);
+        t.ins <- t.ins @ [ ic ])
+      fresh;
+    (* 3. engine-inbox notifications *)
+    let inbox =
+      with_lock t (fun () ->
+          let l = List.of_seq (Queue.to_seq t.engine_inbox) in
+          Queue.clear t.engine_inbox;
+          l)
+    in
+    List.iter (dispatch t ctx) inbox;
+    (* 4. switch messages from receiver buffers, round-robin *)
+    let worked = ref false in
+    List.iter
+      (fun ic ->
+        match Squeue.try_pop ic.ic_buf with
+        | Some m ->
+          worked := true;
+          dispatch t ctx m
+        | None -> ())
+      t.ins;
+    (* drop fully drained, closed connections *)
+    t.ins <-
+      List.filter
+        (fun ic ->
+          not (Squeue.closed ic.ic_buf && Squeue.length ic.ic_buf = 0))
+        t.ins;
+    (* 5. timers *)
+    run_timers t ctx;
+    if not !worked then Thread.yield ()
+  done
+
+(* ------------------------------------------------------------------ *)
+
+let start ?(host = "127.0.0.1") ?(port = 0) ?(buffer_capacity = 16) algo =
+  if buffer_capacity <= 0 then invalid_arg "Rnode.start: buffer_capacity";
+  let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+  Unix.bind listen_fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+  Unix.listen listen_fd 64;
+  let actual_port =
+    match Unix.getsockname listen_fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> assert false
+  in
+  let nid = NI.of_string (Printf.sprintf "%s:%d" host actual_port) in
+  let t =
+    {
+      nid;
+      listen_fd;
+      algo;
+      bufcap = buffer_capacity;
+      lock = Mutex.create ();
+      ins = [];
+      outs = [];
+      pending_ins = [];
+      engine_inbox = Queue.create ();
+      timers = [];
+      known = NI.Set.empty;
+      stopping = false;
+      processed = 0;
+      app_bytes_tbl = Hashtbl.create 4;
+      engine_thread = None;
+      accept_threads = [];
+      rng = Random.State.make [| actual_port |];
+    }
+  in
+  t.engine_thread <- Some (Thread.create (fun () -> engine_loop t) ());
+  t
+
+let shutdown t =
+  if not t.stopping then begin
+    t.stopping <- true;
+    (match t.engine_thread with Some th -> Thread.join th | None -> ());
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    let outs = with_lock t (fun () -> t.outs) in
+    List.iter
+      (fun oc ->
+        Squeue.close oc.oc_buf;
+        Thread.join oc.oc_thread)
+      outs;
+    let ins = with_lock t (fun () -> t.ins @ List.map snd t.pending_ins) in
+    List.iter
+      (fun ic ->
+        (try Unix.shutdown ic.ic_fd Unix.SHUTDOWN_ALL
+         with Unix.Unix_error _ -> ());
+        Squeue.close ic.ic_buf;
+        Thread.join ic.ic_thread)
+      ins;
+    List.iter Thread.join (with_lock t (fun () -> t.accept_threads))
+  end

@@ -1,0 +1,61 @@
+(** A real iOverlay node over Unix TCP sockets — the paper's engine
+    architecture (Fig. 4) on actual threads:
+
+    - one receiver thread per incoming connection, blocking on the
+      socket and pushing framed messages into its bounded circular
+      buffer;
+    - one sender thread per outgoing connection, popping from its
+      buffer and writing to the socket;
+    - one engine thread owning the algorithm, which accepts new
+      connections on the publicized port ([select] with timeout),
+      drains receiver buffers round-robin, consults
+      [Algorithm.process], and places forwarded messages into sender
+      buffers.
+
+    Persistent connections: all messages between two nodes share one
+    TCP connection regardless of application. Failure detection:
+    socket errors and EOF surface to the algorithm as [LinkFailed]
+    messages. This runtime exists to validate the engine design
+    against real sockets (loopback deployment); the simulator runs the
+    measured experiments. *)
+
+type t
+
+val start :
+  ?host:string ->
+  ?port:int ->
+  ?buffer_capacity:int ->
+  Iov_core.Algorithm.t ->
+  t
+(** Binds (default [127.0.0.1], ephemeral port), spawns the engine
+    thread and returns. [buffer_capacity] (messages, default 16) sizes
+    each receiver/sender buffer.
+    @raise Unix.Unix_error on bind failure. *)
+
+val id : t -> Iov_msg.Node_id.t
+(** The node identity: actual IP and bound port. *)
+
+val connect : t -> Iov_msg.Node_id.t -> unit
+(** Ensures a persistent outgoing connection (no-op if present).
+    @raise Unix.Unix_error if the peer is unreachable. *)
+
+val send : t -> Iov_msg.Message.t -> Iov_msg.Node_id.t -> unit
+(** Thread-safe external send (the driver-side equivalent of the
+    algorithm's [ctx.send]); blocks while the sender buffer is full —
+    natural TCP-like pacing for driver loops. *)
+
+val app_bytes : t -> app:int -> int
+(** Data payload bytes delivered to this node's algorithm for [app]. *)
+
+val messages_processed : t -> int
+
+val peers : t -> Iov_msg.Node_id.t list
+(** Current outgoing connections. *)
+
+val link_bytes : t -> [ `In | `Out ] -> Iov_msg.Node_id.t -> int
+(** Wire bytes carried so far on the connection from/to the peer (the
+    QoS counters backing the context's throughput queries); 0 for
+    unknown peers. *)
+
+val shutdown : t -> unit
+(** Graceful: closes connections, joins all threads. Idempotent. *)

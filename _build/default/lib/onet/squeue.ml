@@ -1,0 +1,76 @@
+(* storage reuses the engine's single-threaded circular queue *)
+module Cq = Iov_core.Cqueue
+
+type 'a t = {
+  q : 'a Cq.t;
+  mutex : Mutex.t;
+  not_full : Condition.t;
+  not_empty : Condition.t;
+  mutable is_closed : bool;
+}
+
+let create ~capacity =
+  {
+    q = Cq.create ~capacity;
+    mutex = Mutex.create ();
+    not_full = Condition.create ();
+    not_empty = Condition.create ();
+    is_closed = false;
+  }
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let capacity t = Cq.capacity t.q
+let length t = with_lock t (fun () -> Cq.length t.q)
+let is_full t = with_lock t (fun () -> Cq.is_full t.q)
+let closed t = with_lock t (fun () -> t.is_closed)
+
+let push t x =
+  with_lock t (fun () ->
+      while Cq.is_full t.q && not t.is_closed do
+        Condition.wait t.not_full t.mutex
+      done;
+      if t.is_closed then false
+      else begin
+        let ok = Cq.push t.q x in
+        assert ok;
+        Condition.signal t.not_empty;
+        true
+      end)
+
+let try_push t x =
+  with_lock t (fun () ->
+      if t.is_closed || Cq.is_full t.q then false
+      else begin
+        let ok = Cq.push t.q x in
+        assert ok;
+        Condition.signal t.not_empty;
+        true
+      end)
+
+let pop t =
+  with_lock t (fun () ->
+      while Cq.is_empty t.q && not t.is_closed do
+        Condition.wait t.not_empty t.mutex
+      done;
+      match Cq.pop t.q with
+      | Some x ->
+        Condition.signal t.not_full;
+        Some x
+      | None -> None)
+
+let try_pop t =
+  with_lock t (fun () ->
+      match Cq.pop t.q with
+      | Some x ->
+        Condition.signal t.not_full;
+        Some x
+      | None -> None)
+
+let close t =
+  with_lock t (fun () ->
+      t.is_closed <- true;
+      Condition.broadcast t.not_full;
+      Condition.broadcast t.not_empty)

@@ -1,0 +1,35 @@
+(** The thread-safe circular queue of the real-sockets runtime — the
+    paper's shared buffer between receiver/sender threads and the
+    engine thread ("we use a thread-safe circular queue to implement
+    the shared buffers between the threads").
+
+    Exactly one reader and one writer thread use each queue, matching
+    the paper's design constraint; blocking operations use a
+    mutex/condition pair. A queue can be closed: pending elements
+    drain, then poppers see [None]. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument if [capacity <= 0]. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+val is_full : 'a t -> bool
+
+val push : 'a t -> 'a -> bool
+(** Blocks while full; [false] if the queue was closed meanwhile. *)
+
+val try_push : 'a t -> 'a -> bool
+(** Non-blocking; [false] when full or closed. *)
+
+val pop : 'a t -> 'a option
+(** Blocks while empty; [None] once closed and drained. *)
+
+val try_pop : 'a t -> 'a option
+(** Non-blocking; [None] when empty (even if open). *)
+
+val close : 'a t -> unit
+(** Idempotent; wakes all blocked threads. *)
+
+val closed : 'a t -> bool

@@ -1,0 +1,1 @@
+lib/stats/descr.ml: Array Float List Stdlib

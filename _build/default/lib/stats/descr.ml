@@ -1,0 +1,70 @@
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+}
+
+let percentile xs p =
+  if xs = [] then invalid_arg "Descr.percentile: empty";
+  if p < 0. || p > 1. then invalid_arg "Descr.percentile: p";
+  let a = Array.of_list xs in
+  Array.sort Float.compare a;
+  let n = Array.length a in
+  if n = 1 then a.(0)
+  else begin
+    let pos = p *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor pos) in
+    let hi = Stdlib.min (lo + 1) (n - 1) in
+    let frac = pos -. float_of_int lo in
+    a.(lo) +. (frac *. (a.(hi) -. a.(lo)))
+  end
+
+let summarize xs =
+  if xs = [] then invalid_arg "Descr.summarize: empty";
+  let n = List.length xs in
+  let fn = float_of_int n in
+  let mean = List.fold_left ( +. ) 0. xs /. fn in
+  let var =
+    List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0. xs /. fn
+  in
+  {
+    n;
+    mean;
+    stddev = sqrt var;
+    min = List.fold_left Float.min infinity xs;
+    max = List.fold_left Float.max neg_infinity xs;
+    median = percentile xs 0.5;
+  }
+
+module Cdf = struct
+  type t = float array (* sorted samples *)
+
+  let of_list xs =
+    if xs = [] then invalid_arg "Cdf.of_list: empty";
+    let a = Array.of_list xs in
+    Array.sort Float.compare a;
+    a
+
+  let eval t x =
+    (* count samples <= x by binary search for the upper bound *)
+    let n = Array.length t in
+    let lo = ref 0 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if t.(mid) <= x then lo := mid + 1 else hi := mid
+    done;
+    float_of_int !lo /. float_of_int n
+
+  let points t =
+    let n = Array.length t in
+    List.init n (fun i -> (t.(i), float_of_int (i + 1) /. float_of_int n))
+
+  let inverse t q =
+    if q <= 0. || q > 1. then invalid_arg "Cdf.inverse: q";
+    let n = Array.length t in
+    let k = int_of_float (Float.ceil (q *. float_of_int n)) in
+    t.(Stdlib.max 0 (Stdlib.min (n - 1) (k - 1)))
+end

@@ -1,0 +1,35 @@
+(** Descriptive statistics and empirical CDFs for experiment reports. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+}
+
+val summarize : float list -> summary
+(** @raise Invalid_argument on an empty list. *)
+
+val percentile : float list -> float -> float
+(** [percentile xs p] with [p] in [0, 1], linear interpolation.
+    @raise Invalid_argument on empty input or [p] outside [0, 1]. *)
+
+(** Empirical cumulative distribution function. *)
+module Cdf : sig
+  type t
+
+  val of_list : float list -> t
+  (** @raise Invalid_argument on empty input. *)
+
+  val eval : t -> float -> float
+  (** [eval t x] = fraction of samples [<= x]. *)
+
+  val points : t -> (float * float) list
+  (** The step points [(x, F(x))] in ascending [x]. *)
+
+  val inverse : t -> float -> float
+  (** [inverse t q] = smallest sample [x] with [F(x) >= q], for
+      [q] in (0, 1]. *)
+end

@@ -1,0 +1,75 @@
+type t = {
+  window : float;
+  mutable first_at : float;
+  mutable last_at : float;
+  mutable total_bytes : int;
+  mutable total_messages : int;
+  mutable bucket_start : float;
+  mutable bucket_bytes : int;
+  mutable prev_bucket_rate : float;
+  mutable have_prev : bool;
+}
+
+let create ?(window = 1.0) () =
+  if window <= 0. then invalid_arg "Meter.create: window";
+  {
+    window;
+    first_at = nan;
+    last_at = nan;
+    total_bytes = 0;
+    total_messages = 0;
+    bucket_start = nan;
+    bucket_bytes = 0;
+    prev_bucket_rate = 0.;
+    have_prev = false;
+  }
+
+(* Close every bucket that ended before [now]; empty intervening
+   buckets record a zero rate. *)
+let roll t ~now =
+  if not (Float.is_nan t.bucket_start) then
+    while now >= t.bucket_start +. t.window do
+      t.prev_bucket_rate <- float_of_int t.bucket_bytes /. t.window;
+      t.have_prev <- true;
+      t.bucket_bytes <- 0;
+      t.bucket_start <- t.bucket_start +. t.window
+    done
+
+let record t ~now ~bytes =
+  if Float.is_nan t.first_at then begin
+    t.first_at <- now;
+    t.bucket_start <- now
+  end;
+  roll t ~now;
+  t.last_at <- now;
+  t.total_bytes <- t.total_bytes + bytes;
+  t.total_messages <- t.total_messages + 1;
+  t.bucket_bytes <- t.bucket_bytes + bytes
+
+let average t ~now =
+  if Float.is_nan t.first_at then 0.
+  else
+    let span = now -. t.first_at in
+    if span <= 0. then 0. else float_of_int t.total_bytes /. span
+
+let rate t ~now =
+  if Float.is_nan t.first_at then 0.
+  else begin
+    roll t ~now;
+    if t.have_prev then t.prev_bucket_rate else average t ~now
+  end
+
+let total_bytes t = t.total_bytes
+let total_messages t = t.total_messages
+
+let idle_for t ~now = if Float.is_nan t.last_at then infinity else now -. t.last_at
+
+let reset t =
+  t.first_at <- nan;
+  t.last_at <- nan;
+  t.total_bytes <- 0;
+  t.total_messages <- 0;
+  t.bucket_start <- nan;
+  t.bucket_bytes <- 0;
+  t.prev_bucket_rate <- 0.;
+  t.have_prev <- false

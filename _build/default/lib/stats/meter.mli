@@ -1,0 +1,34 @@
+(** Throughput meters.
+
+    iOverlay measures per-link TCP throughput and reports it
+    periodically to the algorithm and the observer. A meter counts
+    bytes (and messages) against a virtual clock and reports both a
+    windowed rate and a lifetime average. *)
+
+type t
+
+val create : ?window:float -> unit -> t
+(** [window] is the sampling window in seconds (default 1.0). *)
+
+val record : t -> now:float -> bytes:int -> unit
+(** Accounts [bytes] delivered at time [now]. Messages are counted as
+    one per call. *)
+
+val rate : t -> now:float -> float
+(** Bytes/second over the trailing window ending at [now]. Implemented
+    over fixed window buckets: the reported rate is the byte count of
+    the most recent *complete* bucket divided by the window length —
+    i.e. the converged value an observer would display. While the
+    first bucket is still open, falls back to the running average. *)
+
+val average : t -> now:float -> float
+(** Lifetime bytes/second since the first recorded byte. *)
+
+val total_bytes : t -> int
+val total_messages : t -> int
+
+val idle_for : t -> now:float -> float
+(** Seconds since the last recorded delivery ([infinity] if none
+    ever); drives the paper's inactivity-based failure detection. *)
+
+val reset : t -> unit

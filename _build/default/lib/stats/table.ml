@@ -1,0 +1,48 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render ?align ~header rows =
+  let ncols =
+    List.fold_left (fun acc r -> Stdlib.max acc (List.length r)) (List.length header) rows
+  in
+  let aligns =
+    match align with
+    | Some a ->
+      List.init ncols (fun i ->
+          match List.nth_opt a i with Some x -> x | None -> Right)
+    | None -> List.init ncols (fun i -> if i = 0 then Left else Right)
+  in
+  let normalize r = r @ List.init (ncols - List.length r) (fun _ -> "") in
+  let all = List.map normalize (header :: rows) in
+  let widths =
+    List.init ncols (fun c ->
+        List.fold_left
+          (fun acc row -> Stdlib.max acc (String.length (List.nth row c)))
+          0 all)
+  in
+  let render_row row =
+    let cells =
+      List.mapi
+        (fun c cell -> pad (List.nth aligns c) (List.nth widths c) cell)
+        row
+    in
+    String.concat "  " cells
+  in
+  let rule =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  let body = List.map render_row (List.map normalize rows) in
+  String.concat "\n" ((render_row (normalize header) :: rule :: body) @ [ "" ])
+
+let print ?align ~header rows = print_string (render ?align ~header rows)
+
+let f1 x = Printf.sprintf "%.1f" x
+let f2 x = Printf.sprintf "%.2f" x
+let fkb x = f1 (x /. 1024.)
+let fmb x = f1 (x /. (1024. *. 1024.))

@@ -1,0 +1,29 @@
+(** Aligned plain-text tables for experiment output.
+
+    Every experiment harness prints the rows/series its paper figure or
+    table reports; this module does the column alignment. *)
+
+type align = Left | Right
+
+val render : ?align:align list -> header:string list -> string list list ->
+  string
+(** [render ~header rows] lays out the table with a separator rule
+    under the header. Ragged rows are padded with empty cells. The
+    default alignment is [Left] for the first column and [Right] for
+    the rest. *)
+
+val print : ?align:align list -> header:string list -> string list list ->
+  unit
+(** [render] followed by [print_string]. *)
+
+val fkb : float -> string
+(** Bytes/second rendered as KBps with one decimal, e.g. ["200.3"]. *)
+
+val fmb : float -> string
+(** Bytes/second rendered as MBps with one decimal. *)
+
+val f1 : float -> string
+(** One decimal place. *)
+
+val f2 : float -> string
+(** Two decimal places. *)

@@ -1,0 +1,1 @@
+lib/topology/planetlab.ml: Array Float Iov_core Iov_msg List Random

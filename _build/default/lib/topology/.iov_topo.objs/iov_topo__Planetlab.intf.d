@@ -1,0 +1,1 @@
+lib/topology/planetlab.mli: Iov_core Iov_msg

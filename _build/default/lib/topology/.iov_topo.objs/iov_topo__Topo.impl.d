@@ -1,0 +1,1 @@
+lib/topology/topo.ml: Iov_core Iov_msg List Printf Random

@@ -1,0 +1,1 @@
+lib/topology/topo.mli: Iov_core Iov_msg

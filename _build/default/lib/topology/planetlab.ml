@@ -1,0 +1,108 @@
+module NI = Iov_msg.Node_id
+module Bwspec = Iov_core.Bwspec
+
+type site = {
+  site_name : string;
+  lat : float;
+  lon : float;
+}
+
+let site name lat lon = { site_name = name; lat; lon }
+
+let sites =
+  [
+    site "mit" 42.36 (-71.09);
+    site "berkeley" 37.87 (-122.26);
+    site "princeton" 40.34 (-74.65);
+    site "washington" 47.65 (-122.30);
+    site "cmu" 40.44 (-79.94);
+    site "utexas" 30.29 (-97.74);
+    site "duke" 36.00 (-78.94);
+    site "ucsd" 32.88 (-117.23);
+    site "cornell" 42.45 (-76.48);
+    site "toronto" 43.66 (-79.40);
+    site "columbia" 40.81 (-73.96);
+    site "caltech" 34.14 (-118.13);
+    site "arizona" 32.23 (-110.95);
+    site "utah" 40.76 (-111.85);
+    site "michigan" 42.29 (-83.72);
+    site "ubc" 49.26 (-123.25);
+    site "gatech" 33.78 (-84.40);
+    site "wisc" 43.07 (-89.40);
+    site "rice" 29.72 (-95.40);
+    site "unc" 35.90 (-79.05);
+    site "cambridge" 52.20 0.12;
+    site "inria" 43.62 7.05;
+    site "tu-berlin" 52.51 13.33;
+    site "vu-amsterdam" 52.33 4.87;
+    site "epfl" 46.52 6.57;
+    site "huji" 31.78 35.20;
+    site "tsinghua" 40.00 116.33;
+    site "kaist" 36.37 127.36;
+    site "tokyo" 35.71 139.76;
+    site "hkust" 22.34 114.26;
+    site "ufmg" (-19.87) (-43.96);
+    site "unisp" (-23.56) (-46.73);
+  ]
+
+type nd = {
+  nid : NI.t;
+  site : site;
+  bw : Bwspec.t;
+}
+
+type t = {
+  nds : nd list;
+  by_id : nd NI.Tbl.t;
+  jitter : float NI.Tbl.t; (* per-node deterministic jitter component *)
+}
+
+let deg2rad d = d *. Float.pi /. 180.
+
+let distance_km a b =
+  let phi1 = deg2rad a.lat and phi2 = deg2rad b.lat in
+  let dphi = deg2rad (b.lat -. a.lat) in
+  let dlambda = deg2rad (b.lon -. a.lon) in
+  let h =
+    (sin (dphi /. 2.) ** 2.)
+    +. (cos phi1 *. cos phi2 *. (sin (dlambda /. 2.) ** 2.))
+  in
+  2. *. 6371. *. asin (Float.min 1. (sqrt h))
+
+let generate ?(seed = 11) ?(bw_range = (50. *. 1024., 200. *. 1024.)) ~n () =
+  if n <= 0 then invalid_arg "Planetlab.generate: n";
+  let lo, hi = bw_range in
+  if lo <= 0. || hi < lo then invalid_arg "Planetlab.generate: bw_range";
+  let rng = Random.State.make [| seed |] in
+  let site_arr = Array.of_list sites in
+  let k = Array.length site_arr in
+  let by_id = NI.Tbl.create n in
+  let jitter = NI.Tbl.create n in
+  let nds =
+    List.init n (fun i ->
+        let s = site_arr.(i mod k) in
+        let bw = Bwspec.total_only (lo +. Random.State.float rng (hi -. lo)) in
+        let nd = { nid = NI.synthetic (100 + i); site = s; bw } in
+        NI.Tbl.add by_id nd.nid nd;
+        NI.Tbl.add jitter nd.nid (Random.State.float rng 0.004);
+        nd)
+  in
+  { nds; by_id; jitter }
+
+let nodes t = t.nds
+let ids t = List.map (fun nd -> nd.nid) t.nds
+let find t ni = NI.Tbl.find_opt t.by_id ni
+
+(* one-way latency: LAN floor + propagation at ~200,000 km/s over a
+   1.6x path-stretch factor, plus each endpoint's jitter *)
+let latency t a b =
+  match (find t a, find t b) with
+  | Some na, Some nb ->
+    let km = distance_km na.site nb.site in
+    let base = 0.0015 +. (km *. 1.6 /. 200_000.) in
+    let j =
+      (try NI.Tbl.find t.jitter a with Not_found -> 0.)
+      +. (try NI.Tbl.find t.jitter b with Not_found -> 0.)
+    in
+    base +. (j /. 2.)
+  | _ -> 0.04

@@ -1,0 +1,50 @@
+(** A synthetic PlanetLab: the wide-area substrate the paper deploys
+    on, modelled for the simulator.
+
+    Real PlanetLab slices are replaced by nodes placed at the
+    geographic coordinates of well-known PlanetLab-era sites; pairwise
+    one-way latency derives from great-circle distance over fiber
+    (plus a fixed per-hop overhead and deterministic jitter), and
+    last-mile bandwidth follows the paper's own experimental setup —
+    "per-node available bandwidth has been specified to a uniform
+    distribution of 50 to 200 KBps". *)
+
+type site = {
+  site_name : string;
+  lat : float;
+  lon : float;
+}
+
+val sites : site list
+(** The built-in catalogue (North America, Europe, Asia, Brazil —
+    roughly PlanetLab's 2004 footprint). *)
+
+type nd = {
+  nid : Iov_msg.Node_id.t;
+  site : site;
+  bw : Iov_core.Bwspec.t;
+}
+
+type t
+
+val generate :
+  ?seed:int ->
+  ?bw_range:float * float ->
+  n:int ->
+  unit ->
+  t
+(** [generate ~n ()] places [n] nodes round-robin over the sites.
+    [bw_range] is the uniform per-node total-bandwidth range in
+    bytes/second (default 50–200 KBps).
+    @raise Invalid_argument if [n <= 0]. *)
+
+val nodes : t -> nd list
+val ids : t -> Iov_msg.Node_id.t list
+val find : t -> Iov_msg.Node_id.t -> nd option
+
+val latency : t -> Iov_msg.Node_id.t -> Iov_msg.Node_id.t -> float
+(** One-way latency in seconds; symmetric; nodes sharing a site get
+    the LAN floor. Unknown ids get a default of 40 ms. *)
+
+val distance_km : site -> site -> float
+(** Great-circle distance. *)

@@ -1,0 +1,117 @@
+module NI = Iov_msg.Node_id
+module Bwspec = Iov_core.Bwspec
+
+type spec = {
+  name : string;
+  nid : NI.t;
+  bw : Bwspec.t;
+}
+
+type t = {
+  specs : spec list;
+  edges : (string * string) list;
+}
+
+let spec t name =
+  match List.find_opt (fun s -> s.name = name) t.specs with
+  | Some s -> s
+  | None -> raise Not_found
+
+let node t name = (spec t name).nid
+
+let name_of t nid =
+  match List.find_opt (fun s -> NI.equal s.nid nid) t.specs with
+  | Some s -> s.name
+  | None -> raise Not_found
+
+let names t = List.map (fun s -> s.name) t.specs
+
+let edge_ids t = List.map (fun (a, b) -> (node t a, node t b)) t.edges
+
+let downstreams t name =
+  List.filter_map (fun (a, b) -> if a = name then Some b else None) t.edges
+
+let upstreams t name =
+  List.filter_map (fun (a, b) -> if b = name then Some a else None) t.edges
+
+let kbps x = x *. 1024.
+
+let mk_spec ?(bw = Bwspec.unconstrained) i name =
+  { name; nid = NI.synthetic (i + 1); bw }
+
+let chain ~n =
+  if n < 2 then invalid_arg "Topo.chain: need at least two nodes";
+  let specs = List.init n (fun i -> mk_spec i (Printf.sprintf "n%d" (i + 1))) in
+  let edges =
+    List.init (n - 1) (fun i ->
+        (Printf.sprintf "n%d" (i + 1), Printf.sprintf "n%d" (i + 2)))
+  in
+  { specs; edges }
+
+(* Letters name the paper's nodes; ids are stable across runs. *)
+let lettered ?bws letters =
+  List.mapi
+    (fun i name ->
+      let bw =
+        match bws with
+        | Some l -> (
+          match List.assoc_opt name l with Some b -> b | None -> Bwspec.unconstrained)
+        | None -> Bwspec.unconstrained
+      in
+      mk_spec ~bw i name)
+    letters
+
+let fig6 () =
+  let specs =
+    lettered
+      ~bws:[ ("A", Bwspec.total_only (kbps 400.)) ]
+      [ "A"; "B"; "C"; "D"; "E"; "F"; "G" ]
+  in
+  let edges =
+    [ ("A", "B"); ("A", "C"); ("B", "D"); ("B", "F"); ("C", "D"); ("D", "E");
+      ("E", "F"); ("E", "G") ]
+  in
+  { specs; edges }
+
+let fig8 () =
+  let specs =
+    lettered
+      ~bws:[ ("A", Bwspec.total_only (kbps 400.)) ]
+      [ "A"; "B"; "C"; "D"; "E"; "F"; "G" ]
+  in
+  let edges =
+    [ ("A", "B"); ("A", "C"); ("B", "D"); ("B", "F"); ("C", "D"); ("C", "G");
+      ("D", "E"); ("E", "F"); ("E", "G") ]
+  in
+  { specs; edges }
+
+let fig9 () =
+  let bw r = Bwspec.total_only (kbps r) in
+  let specs =
+    lettered
+      ~bws:
+        [ ("S", bw 200.); ("A", bw 500.); ("B", bw 100.); ("C", bw 200.);
+          ("D", bw 100.) ]
+      [ "S"; "A"; "B"; "C"; "D" ]
+  in
+  { specs; edges = [] }
+
+let random_graph ?(seed = 7) ~n ~degree () =
+  if n < 2 then invalid_arg "Topo.random_graph: n";
+  if degree < 1 then invalid_arg "Topo.random_graph: degree";
+  let rng = Random.State.make [| seed |] in
+  let name i = Printf.sprintf "n%d" (i + 1) in
+  let specs = List.init n (fun i -> mk_spec i (name i)) in
+  (* a ring guarantees connectivity *)
+  let ring = List.init n (fun i -> (name i, name ((i + 1) mod n))) in
+  let target = n * degree in
+  let edges = ref ring in
+  let have (a, b) = List.mem (a, b) !edges in
+  let attempts = ref 0 in
+  while List.length !edges < target && !attempts < 100 * target do
+    incr attempts;
+    let a = Random.State.int rng n and b = Random.State.int rng n in
+    if a <> b && not (have (name a, name b)) then
+      edges := (name a, name b) :: !edges
+  done;
+  { specs; edges = !edges }

@@ -1,0 +1,54 @@
+(** Topology descriptions used by the experiments.
+
+    A topology is a set of named nodes with per-node bandwidth
+    specifications and a set of directed overlay edges. The fixed
+    graphs below are the paper's evaluation topologies. *)
+
+type spec = {
+  name : string;
+  nid : Iov_msg.Node_id.t;
+  bw : Iov_core.Bwspec.t;
+}
+
+type t = {
+  specs : spec list;
+  edges : (string * string) list;  (** by node name, src -> dst *)
+}
+
+val node : t -> string -> Iov_msg.Node_id.t
+(** @raise Not_found for unknown names. *)
+
+val name_of : t -> Iov_msg.Node_id.t -> string
+(** @raise Not_found for unknown ids. *)
+
+val spec : t -> string -> spec
+val names : t -> string list
+val edge_ids : t -> (Iov_msg.Node_id.t * Iov_msg.Node_id.t) list
+val downstreams : t -> string -> string list
+val upstreams : t -> string -> string list
+
+val chain : n:int -> t
+(** [chain ~n] is the Fig. 5 workload topology: nodes ["n1" .. "nN"]
+    with unconstrained bandwidth, each forwarding to the next.
+    @raise Invalid_argument if [n < 2]. *)
+
+val fig6 : unit -> t
+(** The seven-node correctness topology of Fig. 6: A is the source
+    (per-node total 400 KBps); A -> {B, C}, B -> {D, F}, C -> D,
+    D -> E, E -> {F, G}. *)
+
+val fig8 : unit -> t
+(** The network-coding topology of Fig. 8: A (400 KBps total) splits
+    streams to B and C; B -> {D, F}, C -> {D, G}, D -> E (D's uplink
+    is capped at 200 KBps in the experiment), E -> {F, G}. *)
+
+val fig9 : unit -> t
+(** The five-node tree-construction session of Fig. 9: nodes S, A, B,
+    C, D with per-node available bandwidth 200, 500, 100, 200 and
+    100 KBps; no pre-built edges (trees are built by join
+    protocols). *)
+
+val random_graph : ?seed:int -> n:int -> degree:int -> unit -> t
+(** A connected random digraph over unconstrained nodes: a ring plus
+    random extra edges until the average out-degree reaches [degree].
+    @raise Invalid_argument if [n < 2] or [degree < 1]. *)

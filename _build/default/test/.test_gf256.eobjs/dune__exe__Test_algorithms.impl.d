@@ -1,0 +1,1 @@
+test/test_algorithms.ml: Alcotest Bytes Char Float Iov_algos Iov_core Iov_msg List Option QCheck QCheck_alcotest

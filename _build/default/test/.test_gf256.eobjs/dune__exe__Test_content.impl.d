@@ -1,0 +1,1 @@
+test/test_content.ml: Alcotest Bytes Iov_algos Iov_core Iov_msg List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_cqueue.ml: Alcotest Gen Iov_core List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_dht.ml: Alcotest Array Int Iov_algos Iov_core Iov_dsim Iov_msg Iov_observer List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_dsim.ml: Alcotest Float Iov_dsim List Option QCheck QCheck_alcotest Stdlib

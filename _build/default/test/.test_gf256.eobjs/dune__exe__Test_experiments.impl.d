@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Float Iov_algos Iov_core Iov_exp Iov_msg Iov_topo List Printf Stdlib String

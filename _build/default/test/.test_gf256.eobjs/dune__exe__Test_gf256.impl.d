@@ -1,0 +1,1 @@
+test/test_gf256.ml: Alcotest Array Bytes Char Iov_gf256 Printf QCheck QCheck_alcotest Random String

@@ -1,0 +1,1 @@
+test/test_msg.ml: Alcotest Buffer Bytes Int Int32 Iov_msg List QCheck QCheck_alcotest Stdlib

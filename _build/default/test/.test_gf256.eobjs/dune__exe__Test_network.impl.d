@@ -1,0 +1,1 @@
+test/test_network.ml: Alcotest Bytes Float Iov_algos Iov_core Iov_msg List Option Printf QCheck QCheck_alcotest Stdlib String

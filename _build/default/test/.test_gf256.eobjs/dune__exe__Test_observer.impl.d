@@ -1,0 +1,1 @@
+test/test_observer.ml: Alcotest Bytes Filename Float Iov_algos Iov_core Iov_msg Iov_observer List Option String Sys

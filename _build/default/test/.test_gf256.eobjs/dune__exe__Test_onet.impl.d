@@ -1,0 +1,1 @@
+test/test_onet.ml: Alcotest Bytes Iov_core Iov_msg Iov_observer Iov_onet List Thread Unix

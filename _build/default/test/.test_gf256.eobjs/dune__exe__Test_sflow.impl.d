@@ -1,0 +1,1 @@
+test/test_sflow.ml: Alcotest Iov_algos Iov_core Iov_exp Iov_msg Iov_observer List

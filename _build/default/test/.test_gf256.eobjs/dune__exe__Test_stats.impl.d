@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Float Gen Int Iov_core Iov_stats List QCheck QCheck_alcotest String

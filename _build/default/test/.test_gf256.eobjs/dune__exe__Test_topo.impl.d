@@ -1,0 +1,1 @@
+test/test_topo.ml: Alcotest Iov_core Iov_msg Iov_topo List Printf QCheck QCheck_alcotest

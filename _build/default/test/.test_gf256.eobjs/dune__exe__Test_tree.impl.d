@@ -1,0 +1,1 @@
+test/test_tree.ml: Alcotest Iov_algos Iov_core Iov_dsim Iov_msg Iov_observer List Printf

@@ -1,0 +1,173 @@
+(* Tests for content-based networking: events, predicates, and routing
+   through a router overlay. *)
+
+module Network = Iov_core.Network
+module Content = Iov_algos.Content
+module Event = Content.Event
+module Predicate = Content.Predicate
+module Router = Content.Router
+module NI = Iov_msg.Node_id
+module Msg = Iov_msg.Message
+
+let qtest ?(count = 300) name gen f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen f)
+
+let app = 6
+
+(* ------------------------------------------------------------------ *)
+(* Events *)
+
+let event_gen =
+  QCheck.small_list QCheck.(pair (int_bound 50) (int_range (-1000) 1000))
+
+let event_props =
+  [
+    qtest "payload roundtrip" event_gen (fun e ->
+        Event.of_payload (Event.to_payload e) = Some e);
+    qtest "get finds first binding" event_gen (fun e ->
+        List.for_all (fun (k, _) -> Event.get e k = List.assoc_opt k e) e);
+  ]
+
+let test_event_malformed () =
+  Alcotest.(check bool) "garbage rejected or empty" true
+    (match Event.of_payload (Bytes.of_string "zz") with
+    | None -> true
+    | Some _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Predicates *)
+
+let test_predicate_ops () =
+  let e = [ (1, 10); (2, -5) ] in
+  let check name pred expect =
+    Alcotest.(check bool) name expect (Predicate.matches pred e)
+  in
+  check "eq true" [ Predicate.atom 1 Predicate.Eq 10 ] true;
+  check "eq false" [ Predicate.atom 1 Predicate.Eq 11 ] false;
+  check "ne" [ Predicate.atom 1 Predicate.Ne 11 ] true;
+  check "lt" [ Predicate.atom 2 Predicate.Lt 0 ] true;
+  check "le boundary" [ Predicate.atom 1 Predicate.Le 10 ] true;
+  check "gt" [ Predicate.atom 1 Predicate.Gt 9 ] true;
+  check "ge boundary" [ Predicate.atom 1 Predicate.Ge 10 ] true;
+  check "conjunction" [ Predicate.atom 1 Predicate.Gt 5; Predicate.atom 2 Predicate.Lt 0 ] true;
+  check "conjunction fails" [ Predicate.atom 1 Predicate.Gt 5; Predicate.atom 2 Predicate.Gt 0 ] false;
+  check "absent attribute" [ Predicate.atom 9 Predicate.Eq 0 ] false;
+  check "empty matches all" [] true
+
+(* ------------------------------------------------------------------ *)
+(* Routing *)
+
+(* a line of three routers with a subscriber at each end *)
+let build_line () =
+  let net = Network.create () in
+  let mk neighbors =
+    let r = Router.create ~app () in
+    List.iter (fun n -> Router.add_neighbor r (NI.synthetic n)) neighbors;
+    r
+  in
+  let r1 = mk [ 2 ] and r2 = mk [ 1; 3 ] and r3 = mk [ 2 ] in
+  (net, r1, r2, r3)
+
+let add_routers net rs =
+  List.iteri
+    (fun i r ->
+      ignore
+        (Network.add_node net ~id:(NI.synthetic (i + 1)) (Router.algorithm r)))
+    rs
+
+let publish net ~seq ~via event =
+  let m =
+    Msg.data ~origin:(NI.synthetic 9) ~app ~seq
+      (Router.publish_payload event)
+  in
+  (* inject as if a local client handed it to its access router *)
+  let pub = NI.synthetic 8 in
+  (match Network.find_node net pub with
+  | Some _ -> ()
+  | None -> ignore (Network.add_node net ~id:pub Iov_core.Algorithm.null));
+  let ctx = Network.ctx (Network.node net pub) in
+  ctx.Iov_core.Algorithm.send m via
+
+let test_routing_by_content () =
+  let net, r1, r2, r3 = build_line () in
+  Router.subscribe r1 ~id:1 [ Predicate.atom 1 Predicate.Eq 7 ];
+  Router.subscribe r3 ~id:2 [ Predicate.atom 1 Predicate.Gt 100 ];
+  add_routers net [ r1; r2; r3 ];
+  Network.run net ~until:3.;
+  publish net ~seq:0 ~via:(NI.synthetic 2) [ (1, 7) ];
+  publish net ~seq:1 ~via:(NI.synthetic 2) [ (1, 500) ];
+  publish net ~seq:2 ~via:(NI.synthetic 2) [ (1, 50) ];
+  Network.run net ~until:6.;
+  Alcotest.(check int) "r1 got the eq event" 1 (Router.delivered r1);
+  Alcotest.(check int) "r3 got the gt event" 1 (Router.delivered r3);
+  Alcotest.(check int) "r2 delivered nothing locally" 0 (Router.delivered r2)
+
+let test_subscriptions_flood () =
+  let net, r1, r2, r3 = build_line () in
+  Router.subscribe r1 ~id:5 [ Predicate.atom 1 Predicate.Eq 1 ];
+  add_routers net [ r1; r2; r3 ];
+  Network.run net ~until:3.;
+  Alcotest.(check int) "r2 learned it" 1 (Router.known_subscriptions r2);
+  Alcotest.(check int) "r3 learned it" 1 (Router.known_subscriptions r3)
+
+let test_multi_hop_delivery () =
+  let net, r1, r2, r3 = build_line () in
+  Router.subscribe r1 ~id:6 [] (* match everything *);
+  add_routers net [ r1; r2; r3 ];
+  Network.run net ~until:3.;
+  (* publish at the FAR end: must traverse r3 -> r2 -> r1 *)
+  publish net ~seq:0 ~via:(NI.synthetic 3) [ (4, 4) ];
+  Network.run net ~until:6.;
+  Alcotest.(check int) "delivered across two hops" 1 (Router.delivered r1);
+  Alcotest.(check bool) "intermediate forwarded" true (Router.forwarded r2 >= 1)
+
+let test_duplicate_suppression () =
+  (* a triangle: the same event reaches r3 via two paths; it must be
+     delivered once *)
+  let net = Network.create () in
+  let mk neighbors =
+    let r = Router.create ~app () in
+    List.iter (fun n -> Router.add_neighbor r (NI.synthetic n)) neighbors;
+    r
+  in
+  let r1 = mk [ 2; 3 ] and r2 = mk [ 1; 3 ] and r3 = mk [ 1; 2 ] in
+  Router.subscribe r3 ~id:7 [];
+  add_routers net [ r1; r2; r3 ];
+  Network.run net ~until:3.;
+  publish net ~seq:0 ~via:(NI.synthetic 1) [ (1, 1) ];
+  Network.run net ~until:6.;
+  Alcotest.(check int) "exactly once" 1 (Router.delivered r3)
+
+let test_delivered_events_recorded () =
+  let net, r1, r2, r3 = build_line () in
+  Router.subscribe r1 ~id:8 [ Predicate.atom 1 Predicate.Ge 0 ];
+  add_routers net [ r1; r2; r3 ];
+  Network.run net ~until:3.;
+  publish net ~seq:0 ~via:(NI.synthetic 1) [ (1, 42) ];
+  Network.run net ~until:5.;
+  match Router.delivered_events r1 with
+  | [ e ] -> Alcotest.(check (option int)) "content" (Some 42) (Event.get e 1)
+  | l -> Alcotest.failf "expected one event, got %d" (List.length l)
+
+let () =
+  Alcotest.run "content"
+    [
+      ( "events",
+        event_props
+        @ [ Alcotest.test_case "malformed" `Quick test_event_malformed ] );
+      ( "predicates",
+        [ Alcotest.test_case "operators" `Quick test_predicate_ops ] );
+      ( "routing",
+        [
+          Alcotest.test_case "routes by content" `Quick
+            test_routing_by_content;
+          Alcotest.test_case "subscriptions flood" `Quick
+            test_subscriptions_flood;
+          Alcotest.test_case "multi-hop delivery" `Quick
+            test_multi_hop_delivery;
+          Alcotest.test_case "duplicate suppression" `Quick
+            test_duplicate_suppression;
+          Alcotest.test_case "events recorded" `Quick
+            test_delivered_events_recorded;
+        ] );
+    ]

@@ -1,0 +1,96 @@
+(* Tests for the bounded circular queue (the engine's buffers). *)
+
+module Cq = Iov_core.Cqueue
+
+let qtest ?(count = 300) name gen f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen f)
+
+let test_basic () =
+  let q = Cq.create ~capacity:3 in
+  Alcotest.(check bool) "empty" true (Cq.is_empty q);
+  Alcotest.(check int) "capacity" 3 (Cq.capacity q);
+  Alcotest.(check bool) "push 1" true (Cq.push q 1);
+  Alcotest.(check bool) "push 2" true (Cq.push q 2);
+  Alcotest.(check bool) "push 3" true (Cq.push q 3);
+  Alcotest.(check bool) "full rejects" false (Cq.push q 4);
+  Alcotest.(check (option int)) "peek" (Some 1) (Cq.peek q);
+  Alcotest.(check (option int)) "pop" (Some 1) (Cq.pop q);
+  Alcotest.(check int) "length" 2 (Cq.length q);
+  Alcotest.(check int) "available" 1 (Cq.available q)
+
+let test_wraparound () =
+  let q = Cq.create ~capacity:2 in
+  for round = 0 to 9 do
+    Alcotest.(check bool) "push a" true (Cq.push q (2 * round));
+    Alcotest.(check bool) "push b" true (Cq.push q ((2 * round) + 1));
+    Alcotest.(check (option int)) "pop a" (Some (2 * round)) (Cq.pop q);
+    Alcotest.(check (option int)) "pop b" (Some ((2 * round) + 1)) (Cq.pop q)
+  done;
+  Alcotest.(check bool) "empty at end" true (Cq.is_empty q)
+
+let test_iter_and_list () =
+  let q = Cq.create ~capacity:5 in
+  List.iter (fun x -> ignore (Cq.push q x)) [ 1; 2; 3 ];
+  ignore (Cq.pop q);
+  ignore (Cq.push q 4);
+  Alcotest.(check (list int)) "to_list in order" [ 2; 3; 4 ] (Cq.to_list q);
+  let sum = ref 0 in
+  Cq.iter (fun x -> sum := !sum + x) q;
+  Alcotest.(check int) "iter visits all" 9 !sum;
+  Alcotest.(check int) "iter does not consume" 3 (Cq.length q)
+
+let test_clear_and_drop () =
+  let q = Cq.create ~capacity:4 in
+  List.iter (fun x -> ignore (Cq.push q x)) [ 1; 2 ];
+  Cq.drop q;
+  Alcotest.(check (option int)) "drop removed head" (Some 2) (Cq.peek q);
+  Cq.clear q;
+  Alcotest.(check bool) "cleared" true (Cq.is_empty q);
+  Cq.drop q (* no-op on empty *);
+  Alcotest.(check bool) "still empty" true (Cq.is_empty q)
+
+let test_validation () =
+  Alcotest.check_raises "zero capacity"
+    (Invalid_argument "Cqueue.create: capacity") (fun () ->
+      ignore (Cq.create ~capacity:0))
+
+(* model-based property: a Cqueue behaves like a bounded FIFO list *)
+let ops_gen =
+  QCheck.(
+    small_list
+      (oneof [ map (fun x -> `Push x) small_nat; Gen.return `Pop |> make ]))
+
+let model_prop ops =
+  let cap = 4 in
+  let q = Cq.create ~capacity:cap in
+  let model = ref [] in
+  List.for_all
+    (fun op ->
+      match op with
+      | `Push x ->
+        let accepted = Cq.push q x in
+        let expect = List.length !model < cap in
+        if accepted then model := !model @ [ x ];
+        accepted = expect && Cq.length q = List.length !model
+      | `Pop -> (
+        let got = Cq.pop q in
+        match !model with
+        | [] -> got = None
+        | h :: tl ->
+          model := tl;
+          got = Some h))
+    ops
+
+let () =
+  Alcotest.run "cqueue"
+    [
+      ( "cqueue",
+        [
+          Alcotest.test_case "push/pop/peek" `Quick test_basic;
+          Alcotest.test_case "wraparound" `Quick test_wraparound;
+          Alcotest.test_case "iter and to_list" `Quick test_iter_and_list;
+          Alcotest.test_case "clear and drop" `Quick test_clear_and_drop;
+          Alcotest.test_case "validation" `Quick test_validation;
+          qtest ~count:500 "bounded FIFO model" ops_gen model_prop;
+        ] );
+    ]

@@ -1,0 +1,255 @@
+(* Tests for the Chord-style DHT built on the algorithm interface. *)
+
+module Network = Iov_core.Network
+module Observer = Iov_observer.Observer
+module Dht = Iov_algos.Dht
+module NI = Iov_msg.Node_id
+
+let qtest ?(count = 300) name gen f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen f)
+
+(* ------------------------------------------------------------------ *)
+(* Ring arithmetic *)
+
+let ring_props =
+  [
+    qtest "ids within the ring" QCheck.small_string (fun s ->
+        let h = Dht.hash_key s in
+        h >= 0 && h < 1 lsl Dht.ring_bits);
+    qtest "hash deterministic" QCheck.small_string (fun s ->
+        Dht.hash_key s = Dht.hash_key s);
+    qtest "between covers full circle when a=b"
+      QCheck.(pair (int_bound 65535) (int_bound 65535))
+      (fun (x, a) -> Dht.between x a a);
+    qtest "between handles wraparound"
+      QCheck.(triple (int_bound 65535) (int_bound 65535) (int_bound 65535))
+      (fun (x, a, b) ->
+        QCheck.assume (a <> b);
+        (* x in (a,b] xor x in (b,a] — the two arcs partition the ring
+           minus the endpoints' overlap rules *)
+        if x = b then Dht.between x a b
+        else if x = a then Dht.between x b a
+        else Dht.between x a b <> Dht.between x b a);
+  ]
+
+let test_node_ids_spread () =
+  let ids = List.init 50 (fun i -> Dht.ring_id (NI.synthetic i)) in
+  let distinct = List.sort_uniq Int.compare ids in
+  Alcotest.(check bool) "few collisions among 50 nodes" true
+    (List.length distinct >= 48)
+
+(* ------------------------------------------------------------------ *)
+(* A live ring *)
+
+(* n nodes join one per 2 s (through observer bootstrap), then the
+   ring stabilizes *)
+let build_ring ?(seed = 42) n =
+  let net = Network.create ~seed () in
+  let obs = Observer.create ~boot_subset:4 net in
+  let nodes =
+    List.init n (fun i ->
+        let d = Dht.create () in
+        let nid = NI.synthetic (i + 1) in
+        ignore
+          (Iov_dsim.Sim.schedule_at (Network.sim net)
+             ~time:(float_of_int (2 * i))
+             (fun () ->
+               ignore
+                 (Network.add_node net ~observer:(Observer.id obs) ~id:nid
+                    (Dht.algorithm d))));
+        (nid, d))
+  in
+  Network.run net ~until:(float_of_int (2 * n) +. 30.);
+  (net, nodes)
+
+let ring_is_consistent nodes =
+  (* sort members by ring id; each node's successor must be the next
+     member clockwise *)
+  let members =
+    List.map (fun (nid, d) -> (Dht.id_of d, nid, d)) nodes
+    |> List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b)
+  in
+  let arr = Array.of_list members in
+  let n = Array.length arr in
+  Array.iteri
+    (fun i (_, nid, d) ->
+      let _, expect, _ = arr.((i + 1) mod n) in
+      match Dht.successor d with
+      | Some s ->
+        if not (NI.equal s expect) then
+          Alcotest.failf "%s: successor %s, expected %s" (NI.to_string nid)
+            (NI.to_string s) (NI.to_string expect)
+      | None -> Alcotest.failf "%s has no successor" (NI.to_string nid))
+    arr
+
+let test_ring_stabilizes () =
+  let _, nodes = build_ring 8 in
+  ring_is_consistent nodes
+
+let test_predecessors_set () =
+  let _, nodes = build_ring 6 in
+  List.iter
+    (fun (nid, d) ->
+      Alcotest.(check bool)
+        (NI.to_string nid ^ " has a predecessor")
+        true
+        (Dht.predecessor d <> None))
+    nodes
+
+let test_put_get_roundtrip () =
+  let net, nodes = build_ring 8 in
+  let _, d0 = List.hd nodes in
+  let nid0 = fst (List.hd nodes) in
+  let ctx = Network.ctx (Network.node net nid0) in
+  let keys = List.init 20 (fun i -> Printf.sprintf "key-%d" i) in
+  List.iter (fun k -> Dht.put d0 ctx ~key:k ("value of " ^ k)) keys;
+  Network.run net ~until:(Network.now net +. 10.);
+  (* every key is stored somewhere, exactly once *)
+  let copies key =
+    List.fold_left
+      (fun acc (_, d) ->
+        acc
+        + List.length (List.filter (fun (k, _) -> k = key) (Dht.stored d)))
+      0 nodes
+  in
+  List.iter
+    (fun k -> Alcotest.(check int) (k ^ " stored once") 1 (copies k))
+    keys;
+  (* lookups from a different node return the values *)
+  let _, d_last = List.nth nodes 7 in
+  let nid_last = fst (List.nth nodes 7) in
+  let ctx_last = Network.ctx (Network.node net nid_last) in
+  let answers = ref [] in
+  List.iter
+    (fun k ->
+      Dht.get d_last ctx_last ~key:k (fun v -> answers := (k, v) :: !answers))
+    keys;
+  Network.run net ~until:(Network.now net +. 10.);
+  Alcotest.(check int) "all lookups answered" 20 (List.length !answers);
+  List.iter
+    (fun (k, v) ->
+      Alcotest.(check (option string)) ("lookup " ^ k) (Some ("value of " ^ k)) v)
+    !answers
+
+let test_get_missing_key () =
+  let net, nodes = build_ring 4 in
+  let nid0 = fst (List.hd nodes) in
+  let _, d0 = List.hd nodes in
+  let ctx = Network.ctx (Network.node net nid0) in
+  let answer = ref (Some "unset") in
+  Dht.get d0 ctx ~key:"never-stored" (fun v -> answer := v);
+  Network.run net ~until:(Network.now net +. 5.);
+  Alcotest.(check (option string)) "miss returns None" None !answer
+
+let test_keys_migrate_to_joiner () =
+  (* store everything on a small ring, then add members: ownership
+     moves so that the ring stays consistent and no key is lost *)
+  let net = Network.create () in
+  let obs = Observer.create ~boot_subset:4 net in
+  let mk i =
+    let d = Dht.create () in
+    let nid = NI.synthetic (i + 1) in
+    (nid, d)
+  in
+  let first = mk 0 in
+  ignore
+    (Network.add_node net ~observer:(Observer.id obs) ~id:(fst first)
+       (Dht.algorithm (snd first)));
+  Network.run net ~until:2.;
+  let ctx = Network.ctx (Network.node net (fst first)) in
+  let keys = List.init 12 (fun i -> Printf.sprintf "mig-%d" i) in
+  List.iter (fun k -> Dht.put (snd first) ctx ~key:k k) keys;
+  Network.run net ~until:4.;
+  let late = List.init 3 (fun i -> mk (i + 1)) in
+  List.iteri
+    (fun i (nid, d) ->
+      ignore
+        (Iov_dsim.Sim.schedule_at (Network.sim net)
+           ~time:(5. +. (3. *. float_of_int i))
+           (fun () ->
+             ignore
+               (Network.add_node net ~observer:(Observer.id obs) ~id:nid
+                  (Dht.algorithm d)))))
+    late;
+  Network.run net ~until:40.;
+  let nodes = first :: late in
+  let copies key =
+    List.fold_left
+      (fun acc (_, d) ->
+        acc
+        + List.length (List.filter (fun (k, _) -> k = key) (Dht.stored d)))
+      0 nodes
+  in
+  List.iter
+    (fun k -> Alcotest.(check int) (k ^ " survives joins") 1 (copies k))
+    keys;
+  (* at least one key actually moved off the founding node *)
+  let moved =
+    List.exists (fun (_, d) -> Dht.stored d <> []) late
+  in
+  Alcotest.(check bool) "some keys migrated" true moved
+
+let test_ring_heals_after_failure () =
+  let net, nodes = build_ring 6 in
+  ring_is_consistent nodes;
+  (* kill a random non-founder member; stabilization must close the
+     ring over the survivors *)
+  let victim = fst (List.nth nodes 3) in
+  Network.terminate net victim;
+  Network.run net ~until:(Network.now net +. 40.);
+  let survivors =
+    List.filter (fun (nid, _) -> not (NI.equal nid victim)) nodes
+  in
+  ring_is_consistent survivors;
+  (* lookups still complete on the healed ring *)
+  let nid0 = fst (List.hd survivors) in
+  let _, d0 = List.hd survivors in
+  let ctx = Network.ctx (Network.node net nid0) in
+  let answered = ref 0 in
+  for i = 0 to 9 do
+    Dht.get d0 ctx ~key:(Printf.sprintf "heal-%d" i) (fun _ -> incr answered)
+  done;
+  Network.run net ~until:(Network.now net +. 10.);
+  Alcotest.(check int) "lookups on the healed ring" 10 !answered
+
+let test_lookup_uses_multiple_hops () =
+  let net, nodes = build_ring 10 in
+  let nid0 = fst (List.hd nodes) in
+  let _, d0 = List.hd nodes in
+  let ctx = Network.ctx (Network.node net nid0) in
+  let got = ref 0 in
+  for i = 0 to 14 do
+    Dht.get d0 ctx ~key:(Printf.sprintf "probe-%d" i) (fun _ -> incr got)
+  done;
+  Network.run net ~until:(Network.now net +. 10.);
+  Alcotest.(check int) "all probes answered" 15 !got;
+  let total_hops =
+    List.fold_left (fun acc (_, d) -> acc + Dht.hops_served d) 0 nodes
+  in
+  Alcotest.(check bool) "routing crossed other nodes" true (total_hops > 0)
+
+let () =
+  Alcotest.run "dht"
+    [
+      ( "ring-arithmetic",
+        ring_props
+        @ [ Alcotest.test_case "id spread" `Quick test_node_ids_spread ] );
+      ( "ring",
+        [
+          Alcotest.test_case "stabilizes to the sorted ring" `Quick
+            test_ring_stabilizes;
+          Alcotest.test_case "predecessors converge" `Quick
+            test_predecessors_set;
+        ] );
+      ( "storage",
+        [
+          Alcotest.test_case "put/get roundtrip" `Quick test_put_get_roundtrip;
+          Alcotest.test_case "missing key" `Quick test_get_missing_key;
+          Alcotest.test_case "keys migrate on join" `Quick
+            test_keys_migrate_to_joiner;
+          Alcotest.test_case "multi-hop lookups" `Quick
+            test_lookup_uses_multiple_hops;
+          Alcotest.test_case "ring heals after a failure" `Quick
+            test_ring_heals_after_failure;
+        ] );
+    ]

@@ -1,0 +1,372 @@
+(* Shape tests for the paper reproductions: each experiment must show
+   the qualitative result the paper reports. Workloads are scaled down
+   where the full run is slow; the bench harness runs them at paper
+   scale. *)
+
+let kbps x = x *. 1024.
+
+let close ~tol expect got =
+  Float.abs (got -. expect) <= tol *. expect
+
+let rate_of rates a b =
+  match List.assoc_opt (a, b) rates with
+  | Some r -> r
+  | None -> Alcotest.failf "no edge %s->%s" a b
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 5 *)
+
+let test_fig5_shape () =
+  let r = Iov_exp.Fig5.run ~quiet:true ~sizes:[ 2; 3; 8 ] ~measure_for:2. () in
+  let find n =
+    List.find (fun (row : Iov_exp.Fig5.row) -> row.nodes = n) r.Iov_exp.Fig5.rows
+  in
+  let mb = 1024. *. 1024. in
+  (* anchor: 48.4 MBps total at 2 nodes *)
+  Alcotest.(check bool) "2-node anchor" true
+    (close ~tol:0.05 (48.4 *. mb) (find 2).total);
+  (* total bandwidth decreases with virtualization degree *)
+  Alcotest.(check bool) "monotone decline" true
+    ((find 2).total > (find 3).total && (find 3).total > (find 8).total);
+  (* one switch costs only a few percent *)
+  Alcotest.(check bool) "single-switch overhead under 15%" true
+    (r.Iov_exp.Fig5.switch_overhead_pct < 15.)
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 6 *)
+
+let test_fig6_phases () =
+  let r = Iov_exp.Fig6.run ~quiet:true () in
+  let a = r.Iov_exp.Fig6.a.Iov_exp.Fig6.rates in
+  (* (a): A's 400 split in two; D forwards 400 to E *)
+  Alcotest.(check bool) "AB ~200" true (close ~tol:0.05 (kbps 200.) (rate_of a "A" "B"));
+  Alcotest.(check bool) "AC ~200" true (close ~tol:0.05 (kbps 200.) (rate_of a "A" "C"));
+  Alcotest.(check bool) "DE ~400" true (close ~tol:0.05 (kbps 400.) (rate_of a "D" "E"));
+  Alcotest.(check bool) "EG ~400" true (close ~tol:0.05 (kbps 400.) (rate_of a "E" "G"));
+  (* (b): flow conservation at D and global back pressure *)
+  let b = r.Iov_exp.Fig6.b.Iov_exp.Fig6.rates in
+  List.iter
+    (fun (x, y) ->
+      Alcotest.(check bool)
+        (x ^ y ^ " ~15")
+        true
+        (close ~tol:0.12 (kbps 15.) (rate_of b x y)))
+    [ ("A", "B"); ("A", "C"); ("B", "D"); ("B", "F"); ("C", "D") ];
+  List.iter
+    (fun (x, y) ->
+      Alcotest.(check bool)
+        (x ^ y ^ " ~30")
+        true
+        (close ~tol:0.12 (kbps 30.) (rate_of b x y)))
+    [ ("D", "E"); ("E", "F"); ("E", "G") ];
+  (* (c): B's links closed, CD adjusts to 30, EG undisturbed *)
+  let c = r.Iov_exp.Fig6.c.Iov_exp.Fig6.rates in
+  Alcotest.(check bool) "AB closed" true (Iov_exp.Fig6.closed (rate_of c "A" "B"));
+  Alcotest.(check bool) "BD closed" true (Iov_exp.Fig6.closed (rate_of c "B" "D"));
+  Alcotest.(check bool) "BF closed" true (Iov_exp.Fig6.closed (rate_of c "B" "F"));
+  Alcotest.(check bool) "CD ~30" true (close ~tol:0.12 (kbps 30.) (rate_of c "C" "D"));
+  (* (d): G closed; F still receives via C, D, E *)
+  let d = r.Iov_exp.Fig6.d.Iov_exp.Fig6.rates in
+  Alcotest.(check bool) "EG closed" true (Iov_exp.Fig6.closed (rate_of d "E" "G"));
+  Alcotest.(check bool) "EF alive ~30" true
+    (close ~tol:0.12 (kbps 30.) (rate_of d "E" "F"))
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 7 *)
+
+let test_fig7_localization () =
+  let r = Iov_exp.Fig7.run ~quiet:true () in
+  let a = r.Iov_exp.Fig7.a in
+  (* large buffers: only D's downstream chain sees the 30 KBps cap *)
+  Alcotest.(check bool) "AB stays 200" true
+    (close ~tol:0.05 (kbps 200.) (rate_of a "A" "B"));
+  Alcotest.(check bool) "BD stays 200" true
+    (close ~tol:0.05 (kbps 200.) (rate_of a "B" "D"));
+  Alcotest.(check bool) "DE capped 30" true
+    (close ~tol:0.1 (kbps 30.) (rate_of a "D" "E"));
+  let b = r.Iov_exp.Fig7.b in
+  Alcotest.(check bool) "EF capped 15" true
+    (close ~tol:0.1 (kbps 15.) (rate_of b "E" "F"));
+  Alcotest.(check bool) "EG unaffected 30" true
+    (close ~tol:0.1 (kbps 30.) (rate_of b "E" "G"))
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 8 *)
+
+let test_fig8_coding_gain () =
+  let r = Iov_exp.Fig8.run ~quiet:true () in
+  let w = r.Iov_exp.Fig8.without_coding in
+  Alcotest.(check bool) "no coding: D full" true
+    (close ~tol:0.08 (kbps 400.) w.Iov_exp.Fig8.d);
+  Alcotest.(check bool) "no coding: F ~300" true
+    (close ~tol:0.08 (kbps 300.) w.Iov_exp.Fig8.f);
+  Alcotest.(check bool) "no coding: G ~300" true
+    (close ~tol:0.08 (kbps 300.) w.Iov_exp.Fig8.g);
+  let c = r.Iov_exp.Fig8.with_coding in
+  Alcotest.(check bool) "coding: F full 400" true
+    (close ~tol:0.08 (kbps 400.) c.Iov_exp.Fig8.f);
+  Alcotest.(check bool) "coding: G full 400" true
+    (close ~tol:0.08 (kbps 400.) c.Iov_exp.Fig8.g);
+  Alcotest.(check bool) "coding: E is a helper at ~200" true
+    (close ~tol:0.08 (kbps 200.) c.Iov_exp.Fig8.e);
+  Alcotest.(check bool) "receivers actually decoded" true
+    (r.Iov_exp.Fig8.decoded_f > 100 && r.Iov_exp.Fig8.decoded_g > 100)
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 9 / Table 3 *)
+
+let test_fig9_table3 () =
+  let u = Iov_exp.Fig9.run_one Iov_algos.Tree.Unicast in
+  let row name =
+    List.find
+      (fun (r : Iov_exp.Fig9.node_row) -> r.name = name)
+      u.Iov_exp.Fig9.rows
+  in
+  (* Table 3, unicast column *)
+  Alcotest.(check int) "S degree 4" 4 (row "S").degree;
+  Alcotest.(check (float 1e-6)) "S stress 2.0" 2.0 (row "S").stress;
+  Alcotest.(check (float 1e-6)) "A stress 0.2" 0.2 (row "A").stress;
+  Alcotest.(check (float 1e-6)) "C stress 0.5" 0.5 (row "C").stress;
+  (* each receiver gets roughly a quarter of S's 200 KBps *)
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " ~50KBps") true
+        (close ~tol:0.3 (kbps 50.) (row n).throughput))
+    [ "A"; "B"; "C"; "D" ];
+  (* ns-aware beats unicast on aggregate throughput *)
+  let ns = Iov_exp.Fig9.run_one Iov_algos.Tree.Ns_aware in
+  let total rows =
+    List.fold_left (fun acc (r : Iov_exp.Fig9.node_row) -> acc +. r.throughput) 0. rows
+  in
+  Alcotest.(check bool) "ns-aware total higher" true
+    (total ns.Iov_exp.Fig9.rows > total u.Iov_exp.Fig9.rows)
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 11 (scaled down to 24 nodes for test speed) *)
+
+let test_fig11_ordering () =
+  let r = Iov_exp.Fig11.run ~quiet:true ~n:24 () in
+  let mean (a : Iov_exp.Fig11.algo_result) = a.Iov_exp.Fig11.mean_throughput in
+  Alcotest.(check bool) "ns-aware > random" true
+    (mean r.Iov_exp.Fig11.ns_aware > mean r.Iov_exp.Fig11.random);
+  Alcotest.(check bool) "random > unicast" true
+    (mean r.Iov_exp.Fig11.random > mean r.Iov_exp.Fig11.unicast);
+  (* everyone (or nearly everyone) joins *)
+  List.iter
+    (fun (a : Iov_exp.Fig11.algo_result) ->
+      Alcotest.(check bool) "joins complete" true (a.Iov_exp.Fig11.joined >= 22))
+    [ r.Iov_exp.Fig11.unicast; r.Iov_exp.Fig11.random; r.Iov_exp.Fig11.ns_aware ];
+  (* ns-aware avoids the extreme stress tail that random produces *)
+  let max_stress (a : Iov_exp.Fig11.algo_result) =
+    List.fold_left (fun acc (x, _) -> Float.max acc x) 0. a.Iov_exp.Fig11.stress_cdf
+  in
+  Alcotest.(check bool) "ns-aware flattens the tail" true
+    (max_stress r.Iov_exp.Fig11.ns_aware
+    <= max_stress r.Iov_exp.Fig11.random +. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Figs. 12-13 *)
+
+let test_fig12_trees () =
+  let r = Iov_exp.Fig12.run ~quiet:true () in
+  Alcotest.(check bool) "10-node tree has depth > 1" true
+    (r.Iov_exp.Fig12.ten_depth > 1);
+  Alcotest.(check bool) "renders all ten nodes" true
+    (List.length (String.split_on_char '\n' r.Iov_exp.Fig12.ten_node) >= 10)
+
+(* ------------------------------------------------------------------ *)
+(* Figs. 14-18 *)
+
+let test_fig14_federation () =
+  let r = Iov_exp.Fig14.run ~quiet:true () in
+  Alcotest.(check bool) "federation completed" true
+    (Float.is_finite r.Iov_exp.Fig14.federation_delay);
+  Alcotest.(check bool) "sub-5s delay" true
+    (r.Iov_exp.Fig14.federation_delay < 5.);
+  Alcotest.(check bool) "data reaches the sink" true
+    (r.Iov_exp.Fig14.last_hop_throughput > 0.);
+  Alcotest.(check bool) "some nodes untouched" true
+    (r.Iov_exp.Fig14.untouched > 0);
+  (* sFederate overhead is small next to sAware overall *)
+  let aware =
+    List.fold_left
+      (fun acc (p : Iov_exp.Fig14.per_node) -> acc + p.Iov_exp.Fig14.aware_bytes)
+      0 r.Iov_exp.Fig14.nodes
+  in
+  let federate =
+    List.fold_left
+      (fun acc (p : Iov_exp.Fig14.per_node) ->
+        acc + p.Iov_exp.Fig14.federate_bytes)
+      0 r.Iov_exp.Fig14.nodes
+  in
+  Alcotest.(check bool) "sFederate << sAware" true (federate < aware)
+
+let test_fig16_decay () =
+  let r = Iov_exp.Fig16.run ~quiet:true ~n:12 () in
+  (* overhead concentrates in the establishment phase and decays *)
+  let early, late =
+    List.partition (fun (m, _) -> m <= 10.) r.Iov_exp.Fig16.buckets
+  in
+  let sum l = List.fold_left (fun acc (_, b) -> acc + b) 0 l in
+  Alcotest.(check bool) "early >> late" true (sum early > 4 * sum late);
+  Alcotest.(check bool) "total positive" true (r.Iov_exp.Fig16.total > 0)
+
+let test_fig17_growth () =
+  let r = Iov_exp.Fig17.run ~quiet:true ~sizes:[ 6; 18 ] ~minutes:3. () in
+  match r.Iov_exp.Fig17.rows with
+  | [ small; large ] ->
+    Alcotest.(check bool) "sAware grows with size" true
+      (large.Iov_exp.Fig17.aware > small.Iov_exp.Fig17.aware);
+    Alcotest.(check bool) "sFederate grows no faster than sAware" true
+      (large.Iov_exp.Fig17.federate - small.Iov_exp.Fig17.federate
+      <= Stdlib.max 1 (large.Iov_exp.Fig17.aware - small.Iov_exp.Fig17.aware)
+         * 10);
+    Alcotest.(check bool) "all positive" true
+      (small.Iov_exp.Fig17.aware > 0 && small.Iov_exp.Fig17.federate > 0)
+  | _ -> Alcotest.fail "expected two rows"
+
+let test_fig18_concentration () =
+  let r = Iov_exp.Fig18.run ~quiet:true ~n:16 ~minutes:5. () in
+  Alcotest.(check bool) "source nodes dominate" true
+    (r.Iov_exp.Fig18.max_federate > 0);
+  Alcotest.(check bool) "many silent nodes" true
+    (r.Iov_exp.Fig18.silent_nodes >= 4)
+
+let test_fig19_ordering () =
+  let r = Iov_exp.Fig19.run ~quiet:true ~sizes:[ 12 ] ~sessions:6 () in
+  match r.Iov_exp.Fig19.rows with
+  | [ row ] ->
+    Alcotest.(check bool) "sFlow wins" true
+      (row.Iov_exp.Fig19.sflow >= row.Iov_exp.Fig19.fixed
+      && row.Iov_exp.Fig19.sflow > row.Iov_exp.Fig19.random);
+    Alcotest.(check bool) "all produce traffic" true
+      (row.Iov_exp.Fig19.random > 0.)
+  | _ -> Alcotest.fail "expected one row"
+
+(* ------------------------------------------------------------------ *)
+(* Harness plumbing *)
+
+let test_harness_build_flood () =
+  let topo = Iov_topo.Topo.fig6 () in
+  let f = Iov_exp.Harness.build_flood ~topo ~source:"A" () in
+  (* every topology edge exists as a pre-established connection *)
+  List.iter
+    (fun (a, b) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s->%s wired" a b)
+        true
+        (Iov_core.Network.link_exists f.Iov_exp.Harness.net
+           ~src:(Iov_topo.Topo.node topo a)
+           ~dst:(Iov_topo.Topo.node topo b)))
+    topo.Iov_topo.Topo.edges;
+  (* edge_rates preserves topology edge order *)
+  let order = List.map fst (Iov_exp.Harness.edge_rates f) in
+  Alcotest.(check bool) "edge order preserved" true
+    (order = topo.Iov_topo.Topo.edges)
+
+let test_svc_walks_to_sink () =
+  let b = Iov_exp.Svc.build ~strategy:`Random ~n:9 ~types:3 () in
+  Iov_core.Network.run b.Iov_exp.Svc.net ~until:15.;
+  Alcotest.(check int) "three instances per type" 3
+    (List.length (Iov_exp.Svc.instances_of b 2));
+  let source = List.hd (Iov_exp.Svc.instances_of b 1) in
+  Iov_exp.Svc.federate b ~app:900 ~source (Iov_algos.Sflow.Req.linear [ 1; 2; 3 ]);
+  Iov_core.Network.run b.Iov_exp.Svc.net ~until:30.;
+  match Iov_exp.Svc.sink_of b ~app:900 ~source with
+  | Some sink ->
+    Alcotest.(check bool) "sink is not the source" false
+      (Iov_msg.Node_id.equal sink source)
+  | None -> Alcotest.fail "walk found no sink"
+
+(* ------------------------------------------------------------------ *)
+(* Robustness (Section 3.1) and ablations *)
+
+let test_robustness_recovery () =
+  let r = Iov_exp.Robustness.run ~quiet:true ~n:14 ~kill:2 () in
+  Alcotest.(check int) "failures injected" 2 r.Iov_exp.Robustness.killed;
+  (* before the failures everyone alive receives *)
+  Alcotest.(check bool) "healthy before" true
+    (r.Iov_exp.Robustness.pre_failure_receiving >= 12);
+  (* after recovery, all survivors receive again *)
+  Alcotest.(check int) "availability restored"
+    (r.Iov_exp.Robustness.n - 1 - r.Iov_exp.Robustness.killed)
+    r.Iov_exp.Robustness.recovered_receiving
+
+let test_ablation_buffer_crossover () =
+  let rows = Iov_exp.Ablations.buffer_sweep ~quiet:true ~capacities:[ 5; 10000 ] () in
+  match rows with
+  | [ small; large ] ->
+    (* small buffers: global throttling to ~15; large: upstream
+       unaffected at ~200 *)
+    Alcotest.(check bool) "small throttles" true
+      (close ~tol:0.15 (kbps 15.) small.Iov_exp.Ablations.upstream_rate);
+    Alcotest.(check bool) "large localizes" true
+      (close ~tol:0.1 (kbps 200.) large.Iov_exp.Ablations.upstream_rate);
+    List.iter
+      (fun (r : Iov_exp.Ablations.buffer_row) ->
+        Alcotest.(check bool) "bottleneck always 30" true
+          (close ~tol:0.1 (kbps 30.) r.Iov_exp.Ablations.bottleneck_rate))
+      rows
+  | _ -> Alcotest.fail "expected two rows"
+
+let test_ablation_pipeline () =
+  let rows = Iov_exp.Ablations.pipeline_sweep ~quiet:true ~depths:[ 1; 8 ] () in
+  match rows with
+  | [ d1; d8 ] ->
+    Alcotest.(check bool) "depth 1 starves" true
+      (d1.Iov_exp.Ablations.throughput < d8.Iov_exp.Ablations.throughput /. 2.)
+  | _ -> Alcotest.fail "expected two rows"
+
+let test_ablation_cpu_model () =
+  let rows = Iov_exp.Ablations.cpu_model ~quiet:true () in
+  match rows with
+  | [ off; on ] ->
+    Alcotest.(check bool) "model binds the chain" true
+      (on.Iov_exp.Ablations.total_bandwidth
+      < off.Iov_exp.Ablations.total_bandwidth /. 2.)
+  | _ -> Alcotest.fail "expected two rows"
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "fig5 switching decline" `Slow test_fig5_shape;
+          Alcotest.test_case "fig6 correctness phases" `Quick test_fig6_phases;
+          Alcotest.test_case "fig7 localization" `Quick test_fig7_localization;
+        ] );
+      ( "case-studies",
+        [
+          Alcotest.test_case "fig8 coding gain" `Quick test_fig8_coding_gain;
+          Alcotest.test_case "fig9/table3" `Quick test_fig9_table3;
+          Alcotest.test_case "fig11 algorithm ordering" `Slow
+            test_fig11_ordering;
+          Alcotest.test_case "fig12 topology rendering" `Slow test_fig12_trees;
+        ] );
+      ( "service-federation",
+        [
+          Alcotest.test_case "fig14 one federation" `Quick
+            test_fig14_federation;
+          Alcotest.test_case "fig16 overhead decay" `Quick test_fig16_decay;
+          Alcotest.test_case "fig17 growth with size" `Quick test_fig17_growth;
+          Alcotest.test_case "fig18 source concentration" `Quick
+            test_fig18_concentration;
+          Alcotest.test_case "fig19 sFlow wins" `Slow test_fig19_ordering;
+        ] );
+      ( "harness",
+        [
+          Alcotest.test_case "flood wiring" `Quick test_harness_build_flood;
+          Alcotest.test_case "svc sink walk" `Quick test_svc_walks_to_sink;
+        ] );
+      ( "extensions",
+        [
+          Alcotest.test_case "robustness recovery" `Slow
+            test_robustness_recovery;
+          Alcotest.test_case "buffer crossover" `Quick
+            test_ablation_buffer_crossover;
+          Alcotest.test_case "pipelining ablation" `Quick
+            test_ablation_pipeline;
+          Alcotest.test_case "CPU model ablation" `Slow
+            test_ablation_cpu_model;
+        ] );
+    ]

@@ -1,0 +1,277 @@
+(* Tests for GF(2^8) arithmetic and the linear-coding layer. *)
+
+module Gf = Iov_gf256.Gf256
+module Linear = Iov_gf256.Linear
+
+let elem = QCheck.int_range 0 255
+let nonzero = QCheck.int_range 1 255
+
+let qtest ?(count = 500) name gen f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen f)
+
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Field axioms *)
+
+let axioms =
+  [
+    qtest "add is xor" QCheck.(pair elem elem) (fun (a, b) ->
+        Gf.add a b = a lxor b);
+    qtest "add commutative" QCheck.(pair elem elem) (fun (a, b) ->
+        Gf.add a b = Gf.add b a);
+    qtest "mul commutative" QCheck.(pair elem elem) (fun (a, b) ->
+        Gf.mul a b = Gf.mul b a);
+    qtest "mul associative" QCheck.(triple elem elem elem) (fun (a, b, c) ->
+        Gf.mul a (Gf.mul b c) = Gf.mul (Gf.mul a b) c);
+    qtest "add associative" QCheck.(triple elem elem elem) (fun (a, b, c) ->
+        Gf.add a (Gf.add b c) = Gf.add (Gf.add a b) c);
+    qtest "distributivity" QCheck.(triple elem elem elem) (fun (a, b, c) ->
+        Gf.mul a (Gf.add b c) = Gf.add (Gf.mul a b) (Gf.mul a c));
+    qtest "one is identity" elem (fun a -> Gf.mul a Gf.one = a);
+    qtest "zero annihilates" elem (fun a -> Gf.mul a Gf.zero = 0);
+    qtest "additive inverse is self" elem (fun a -> Gf.add a a = 0);
+    qtest "multiplicative inverse" nonzero (fun a ->
+        Gf.mul a (Gf.inv a) = Gf.one);
+    qtest "div inverts mul" QCheck.(pair elem nonzero) (fun (a, b) ->
+        Gf.div (Gf.mul a b) b = a);
+    qtest "results stay in field" QCheck.(pair elem elem) (fun (a, b) ->
+        Gf.is_valid (Gf.mul a b) && Gf.is_valid (Gf.add a b));
+    qtest "pow matches repeated mul" QCheck.(pair elem (QCheck.int_range 0 9))
+      (fun (a, k) ->
+        let rec go acc i = if i = 0 then acc else go (Gf.mul acc a) (i - 1) in
+        Gf.pow a k = go Gf.one k);
+  ]
+
+(* reference implementation: carry-less (Russian peasant)
+   multiplication with explicit reduction by 0x11b *)
+let mul_reference a b =
+  let acc = ref 0 and a = ref a and b = ref b in
+  while !b <> 0 do
+    if !b land 1 <> 0 then acc := !acc lxor !a;
+    a := !a lsl 1;
+    if !a land 0x100 <> 0 then a := !a lxor 0x11b;
+    b := !b lsr 1
+  done;
+  !acc
+
+let mul_matches_reference =
+  qtest ~count:2000 "table mul matches polynomial reference"
+    QCheck.(pair elem elem)
+    (fun (a, b) -> Gf.mul a b = mul_reference a b)
+
+let test_tables () =
+  let exp = Gf.exp_table () and log = Gf.log_table () in
+  check_int "exp size" 255 (Array.length exp);
+  check_int "exp(0) is 1" 1 exp.(0);
+  (* log . exp = id on exponents *)
+  for i = 0 to 254 do
+    check_int (Printf.sprintf "log(exp(%d))" i) i log.(exp.(i))
+  done;
+  (* exp values enumerate every nonzero element exactly once *)
+  let seen = Array.make 256 false in
+  Array.iter (fun v -> seen.(v) <- true) exp;
+  check_int "generator hits all nonzero"
+    255
+    (Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 seen)
+
+let test_div_by_zero () =
+  Alcotest.check_raises "inv 0" Division_by_zero (fun () -> ignore (Gf.inv 0));
+  Alcotest.check_raises "div by 0" Division_by_zero (fun () ->
+      ignore (Gf.div 3 0))
+
+let test_pow_edges () =
+  check_int "0^0 = 1" 1 (Gf.pow 0 0);
+  check_int "0^5 = 0" 0 (Gf.pow 0 5);
+  Alcotest.check_raises "negative exponent"
+    (Invalid_argument "Gf256.pow: negative exponent") (fun () ->
+      ignore (Gf.pow 2 (-1)))
+
+(* ------------------------------------------------------------------ *)
+(* Byte vectors *)
+
+let bytes_gen n = QCheck.map Bytes.of_string (QCheck.string_of_size (QCheck.Gen.return n))
+
+let byte_vec_tests =
+  [
+    qtest "mul_bytes by 1 is identity" (bytes_gen 64) (fun v ->
+        Bytes.equal (Gf.mul_bytes 1 v) v);
+    qtest "mul_bytes by 0 is zero" (bytes_gen 64) (fun v ->
+        Bytes.for_all (fun c -> c = '\000') (Gf.mul_bytes 0 v));
+    qtest "mul_bytes distributes over elements"
+      QCheck.(pair nonzero (bytes_gen 32))
+      (fun (c, v) ->
+        let out = Gf.mul_bytes c v in
+        let ok = ref true in
+        Bytes.iteri
+          (fun i x ->
+            if Char.code x <> Gf.mul c (Char.code (Bytes.get v i)) then
+              ok := false)
+          out;
+        !ok);
+    qtest "axpy accumulates" QCheck.(pair nonzero (pair (bytes_gen 32) (bytes_gen 32)))
+      (fun (c, (acc0, v)) ->
+        let acc = Bytes.copy acc0 in
+        Gf.axpy ~acc ~coeff:c v;
+        let ok = ref true in
+        Bytes.iteri
+          (fun i x ->
+            let expect =
+              Gf.add (Char.code (Bytes.get acc0 i))
+                (Gf.mul c (Char.code (Bytes.get v i)))
+            in
+            if Char.code x <> expect then ok := false)
+          acc;
+        !ok);
+    qtest "add_bytes is involutive" QCheck.(pair (bytes_gen 16) (bytes_gen 16))
+      (fun (a, b) -> Bytes.equal (Gf.add_bytes (Gf.add_bytes a b) b) a);
+  ]
+
+let test_length_mismatch () =
+  Alcotest.check_raises "axpy length"
+    (Invalid_argument "Gf256.axpy: length mismatch") (fun () ->
+      Gf.axpy ~acc:(Bytes.create 3) ~coeff:1 (Bytes.create 4))
+
+(* ------------------------------------------------------------------ *)
+(* Linear coding *)
+
+let sources_gen k n =
+  QCheck.make
+    ~print:(fun a ->
+      String.concat ";" (Array.to_list (Array.map Bytes.to_string a)))
+    QCheck.Gen.(
+      array_size (return k) (map Bytes.of_string (string_size (return n))))
+
+let coeffs_gen k = QCheck.array_of_size (QCheck.Gen.return k) nonzero
+
+let test_encode_identity () =
+  let sources = [| Bytes.of_string "abc"; Bytes.of_string "xyz" |] in
+  let p = Linear.encode ~coeffs:[| 1; 0 |] sources in
+  Alcotest.(check string) "unit vector extracts" "abc" (Bytes.to_string p.payload)
+
+let test_rank () =
+  check_int "identity rank" 3
+    (Linear.rank [| [| 1; 0; 0 |]; [| 0; 1; 0 |]; [| 0; 0; 1 |] |]);
+  check_int "dependent rows" 1 (Linear.rank [| [| 2; 4 |]; [| 2; 4 |] |]);
+  check_int "zero matrix" 0 (Linear.rank [| [| 0; 0 |]; [| 0; 0 |] |]);
+  check_int "scaled rows are dependent" 1
+    (Linear.rank [| [| 1; 2 |]; [| Gf.mul 7 1; Gf.mul 7 2 |] |])
+
+let linear_props =
+  [
+    qtest ~count:100 "decode recovers sources (k=2)"
+      QCheck.(pair (coeffs_gen 2) (sources_gen 2 24))
+      (fun (c1, sources) ->
+        QCheck.assume (Array.length sources = 2);
+        (* two packets: one coded with c1, one native of index 0 *)
+        let p1 = Linear.encode ~coeffs:c1 sources in
+        let p2 = Linear.encode ~coeffs:[| 1; 0 |] sources in
+        match Linear.decode [ p1; p2 ] with
+        | Some out ->
+          (* decodable iff c1 is independent of e0, i.e. c1.(1) <> 0 *)
+          Bytes.equal out.(0) sources.(0) && Bytes.equal out.(1) sources.(1)
+        | None -> c1.(1) = 0);
+    qtest ~count:100 "combine preserves decodability"
+      (sources_gen 3 16)
+      (fun sources ->
+        QCheck.assume (Array.length sources = 3);
+        let p0 = Linear.encode ~coeffs:[| 1; 0; 0 |] sources in
+        let p1 = Linear.encode ~coeffs:[| 0; 1; 0 |] sources in
+        let p2 = Linear.encode ~coeffs:[| 0; 0; 1 |] sources in
+        (* re-code at an intermediate node *)
+        let q = Linear.combine [ (3, p0); (5, p1) ] in
+        match Linear.decode [ q; p1; p2; p0 ] with
+        | Some out ->
+          Array.for_all2 (fun a b -> Bytes.equal a b) out sources
+        | None -> false);
+  ]
+
+(* random coded packets with random coefficients: the incremental
+   decoder recovers the sources once (and only once) it has accumulated
+   k innovative packets, regardless of how much dependent junk it is
+   fed along the way *)
+let random_generation_decodes =
+  qtest ~count:100 "random generations decode at rank k"
+    QCheck.(pair (int_range 2 5) (int_bound 1000))
+    (fun (k, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let sources =
+        Array.init k (fun _ ->
+            Bytes.init 32 (fun _ -> Char.chr (Random.State.int rng 256)))
+      in
+      let d = Linear.Decoder.create ~k in
+      let budget = ref (8 * k) in
+      while (not (Linear.Decoder.complete d)) && !budget > 0 do
+        decr budget;
+        let coeffs = Array.init k (fun _ -> Random.State.int rng 256) in
+        ignore (Linear.Decoder.add d (Linear.encode ~coeffs sources))
+      done;
+      Linear.Decoder.complete d
+      &&
+      match Linear.Decoder.get d with
+      | Some out -> Array.for_all2 Bytes.equal out sources
+      | None -> false)
+
+let test_decoder_incremental () =
+  let sources = [| Bytes.of_string "hello world!"; Bytes.of_string "goodbye moon" |] in
+  let d = Linear.Decoder.create ~k:2 in
+  Alcotest.(check bool) "not complete" false (Linear.Decoder.complete d);
+  let p_coded = Linear.encode ~coeffs:[| 1; 1 |] sources in
+  Alcotest.(check bool) "coded innovative" true (Linear.Decoder.add d p_coded);
+  Alcotest.(check bool)
+    "duplicate not innovative" false
+    (Linear.Decoder.add d p_coded);
+  check_int "rank 1" 1 (Linear.Decoder.rank d);
+  let p_native = Linear.encode ~coeffs:[| 1; 0 |] sources in
+  Alcotest.(check bool) "native innovative" true (Linear.Decoder.add d p_native);
+  Alcotest.(check bool) "complete" true (Linear.Decoder.complete d);
+  match Linear.Decoder.get d with
+  | Some out ->
+    Alcotest.(check string) "src0" "hello world!" (Bytes.to_string out.(0));
+    Alcotest.(check string) "src1" "goodbye moon" (Bytes.to_string out.(1))
+  | None -> Alcotest.fail "decoder did not produce output"
+
+let test_decoder_rejects_width () =
+  let d = Linear.Decoder.create ~k:2 in
+  Alcotest.check_raises "width" (Invalid_argument "Decoder.add: width")
+    (fun () ->
+      ignore
+        (Linear.Decoder.add d
+           { Linear.coeffs = [| 1 |]; payload = Bytes.create 1 }))
+
+let test_encode_validation () =
+  Alcotest.check_raises "no sources" (Invalid_argument "Linear.encode: no sources")
+    (fun () -> ignore (Linear.encode ~coeffs:[||] [||]));
+  Alcotest.check_raises "ragged"
+    (Invalid_argument "Linear.encode: ragged sources") (fun () ->
+      ignore
+        (Linear.encode ~coeffs:[| 1; 1 |]
+           [| Bytes.create 2; Bytes.create 3 |]))
+
+let () =
+  Alcotest.run "gf256"
+    [
+      ("axioms", mul_matches_reference :: axioms);
+      ( "tables",
+        [
+          Alcotest.test_case "log/exp tables" `Quick test_tables;
+          Alcotest.test_case "division by zero" `Quick test_div_by_zero;
+          Alcotest.test_case "pow edge cases" `Quick test_pow_edges;
+        ] );
+      ( "byte-vectors",
+        byte_vec_tests
+        @ [ Alcotest.test_case "length mismatch" `Quick test_length_mismatch ]
+      );
+      ( "linear",
+        (random_generation_decodes :: linear_props)
+        @ [
+            Alcotest.test_case "encode identity" `Quick test_encode_identity;
+            Alcotest.test_case "rank" `Quick test_rank;
+            Alcotest.test_case "incremental decoder" `Quick
+              test_decoder_incremental;
+            Alcotest.test_case "decoder width check" `Quick
+              test_decoder_rejects_width;
+            Alcotest.test_case "encode validation" `Quick
+              test_encode_validation;
+          ] );
+    ]

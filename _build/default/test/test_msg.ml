@@ -1,0 +1,283 @@
+(* Tests for node identities, message types, messages, the wire codec
+   and payload helpers. *)
+
+module NI = Iov_msg.Node_id
+module Mt = Iov_msg.Mtype
+module Msg = Iov_msg.Message
+module Codec = Iov_msg.Codec
+module Wire = Iov_msg.Wire
+module Status = Iov_msg.Status
+
+let qtest ?(count = 300) name gen f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen f)
+
+(* generators *)
+let node_gen =
+  QCheck.map
+    (fun (ip, port) -> NI.make ~ip:(Int32.of_int ip) ~port)
+    QCheck.(pair (int_bound 0xffffff) (int_bound 0xffff))
+
+let mtype_gen =
+  QCheck.oneof
+    [
+      QCheck.oneofl Mt.all_builtin;
+      QCheck.map (fun n -> Mt.Custom n) (QCheck.int_bound 500);
+    ]
+
+let payload_gen = QCheck.map Bytes.of_string (QCheck.string_of_size QCheck.Gen.(int_bound 200))
+
+let msg_gen =
+  QCheck.map
+    (fun ((mtype, origin), (app, (seq, payload))) ->
+      Msg.make ~mtype ~origin ~app ~seq payload)
+    QCheck.(pair (pair mtype_gen node_gen) (pair (int_bound 10000) (pair (int_bound 100000) payload_gen)))
+
+(* ------------------------------------------------------------------ *)
+(* Node_id *)
+
+let test_node_id_string () =
+  let n = NI.of_string "128.100.241.68:6060" in
+  Alcotest.(check string) "roundtrip" "128.100.241.68:6060" (NI.to_string n);
+  Alcotest.(check string) "ip only" "128.100.241.68" (NI.ip_string n);
+  Alcotest.(check int) "port" 6060 n.NI.port
+
+let test_node_id_bad () =
+  List.iter
+    (fun s ->
+      match NI.of_string s with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.failf "accepted %S" s)
+    [ "1.2.3:5"; "1.2.3.4"; "1.2.3.4:x"; "1.2.3.256:5"; "a.b.c.d:1"; "1.2.3.4:70000" ]
+
+let test_node_id_synthetic () =
+  let a = NI.synthetic 1 and b = NI.synthetic 2 in
+  Alcotest.(check bool) "distinct" false (NI.equal a b);
+  Alcotest.(check bool) "deterministic" true (NI.equal a (NI.synthetic 1))
+
+let node_id_props =
+  [
+    qtest "to_string/of_string roundtrip" node_gen (fun n ->
+        NI.equal n (NI.of_string (NI.to_string n)));
+    qtest "compare consistent with equal" QCheck.(pair node_gen node_gen)
+      (fun (a, b) -> NI.equal a b = (NI.compare a b = 0));
+    qtest "compare antisymmetric" QCheck.(pair node_gen node_gen)
+      (fun (a, b) -> NI.compare a b = -NI.compare b a);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Mtype *)
+
+let test_mtype_roundtrip () =
+  List.iter
+    (fun t ->
+      Alcotest.(check bool)
+        (Mt.to_string t) true
+        (Mt.of_int (Mt.to_int t) = t))
+    (Mt.all_builtin @ [ Mt.Custom 0; Mt.Custom 77; Mt.Custom (-2) ])
+
+let test_mtype_classes () =
+  Alcotest.(check bool) "data is data" true (Mt.is_data Mt.Data);
+  List.iter
+    (fun t ->
+      if t <> Mt.Data then
+        Alcotest.(check bool) (Mt.to_string t ^ " is control") true (Mt.is_control t))
+    Mt.all_builtin
+
+let test_mtype_distinct_codes () =
+  let codes = List.map Mt.to_int Mt.all_builtin in
+  Alcotest.(check int) "no collisions" (List.length codes)
+    (List.length (List.sort_uniq Int.compare codes))
+
+(* ------------------------------------------------------------------ *)
+(* Message *)
+
+let test_message_basics () =
+  let origin = NI.synthetic 3 in
+  let m = Msg.data ~origin ~app:5 ~seq:9 (Bytes.of_string "hello") in
+  Alcotest.(check int) "size includes header" (24 + 5) (Msg.size m);
+  Alcotest.(check int) "payload size" 5 (Msg.payload_size m);
+  Msg.set_seq m 10;
+  Alcotest.(check int) "seq mutable" 10 m.Msg.seq
+
+let test_message_clone () =
+  let m = Msg.data ~origin:(NI.synthetic 1) ~app:1 ~seq:1 (Bytes.of_string "abc") in
+  let c = Msg.clone m in
+  Bytes.set c.Msg.payload 0 'X';
+  Alcotest.(check string) "original untouched" "abc" (Msg.string_payload m);
+  Msg.set_seq c 99;
+  Alcotest.(check int) "seq independent" 1 m.Msg.seq
+
+let test_message_params () =
+  let m = Msg.with_params ~mtype:(Mt.Custom 1) ~origin:(NI.synthetic 1) 42 (-7) in
+  (match Msg.params m with
+  | Some (a, b) ->
+    Alcotest.(check int) "p1" 42 a;
+    Alcotest.(check int) "p2" (-7) b
+  | None -> Alcotest.fail "params missing");
+  let short = Msg.control ~mtype:(Mt.Custom 1) ~origin:(NI.synthetic 1) (Bytes.create 3) in
+  Alcotest.(check bool) "short payload" true (Msg.params short = None)
+
+(* ------------------------------------------------------------------ *)
+(* Codec *)
+
+let msg_equal (a : Msg.t) (b : Msg.t) =
+  a.mtype = b.mtype && NI.equal a.origin b.origin && a.app = b.app
+  && a.seq = b.seq
+  && Bytes.equal a.payload b.payload
+
+let codec_props =
+  [
+    qtest "encode/decode roundtrip" msg_gen (fun m ->
+        msg_equal m (Codec.decode (Codec.encode m)));
+    qtest "wire size matches Message.size" msg_gen (fun m ->
+        Bytes.length (Codec.encode m) = Msg.size m);
+    qtest "stream reassembles arbitrary chunking"
+      QCheck.(pair (small_list msg_gen) (int_range 1 17))
+      (fun (msgs, chunk) ->
+        let wire = Buffer.create 256 in
+        List.iter (fun m -> Buffer.add_bytes wire (Codec.encode m)) msgs;
+        let wire = Buffer.to_bytes wire in
+        let s = Codec.Stream.create () in
+        let n = Bytes.length wire in
+        let rec feed off =
+          if off < n then begin
+            let len = Stdlib.min chunk (n - off) in
+            Codec.Stream.feed s ~off ~len wire;
+            feed (off + len)
+          end
+        in
+        feed 0;
+        let out = Codec.Stream.drain s in
+        List.length out = List.length msgs
+        && List.for_all2 msg_equal msgs out
+        && Codec.Stream.buffered s = 0);
+  ]
+
+let test_codec_malformed () =
+  let check name buf =
+    match Codec.decode buf with
+    | exception Codec.Malformed _ -> ()
+    | _ -> Alcotest.failf "%s accepted" name
+  in
+  check "truncated header" (Bytes.create 10);
+  let m = Msg.data ~origin:(NI.synthetic 1) ~app:1 ~seq:1 (Bytes.of_string "xyz") in
+  let good = Codec.encode m in
+  check "truncated payload" (Bytes.sub good 0 (Bytes.length good - 1));
+  let trailing = Bytes.cat good (Bytes.of_string "!") in
+  check "trailing bytes" trailing;
+  let huge = Bytes.copy good in
+  Bytes.set_int32_be huge 20 (Int32.of_int (Codec.max_payload + 1));
+  check "oversized payload" huge
+
+let test_encode_into_offset () =
+  let m = Msg.data ~origin:(NI.synthetic 1) ~app:1 ~seq:1 (Bytes.of_string "pay") in
+  let buf = Bytes.make 64 '\xff' in
+  let written = Codec.encode_into m buf 8 in
+  Alcotest.(check int) "bytes written" (Msg.size m) written;
+  let m', stop = Codec.decode_at buf 8 in
+  Alcotest.(check bool) "decodes in place" true (msg_equal m m');
+  Alcotest.(check int) "stop offset" (8 + written) stop;
+  Alcotest.(check char) "prefix untouched" '\xff' (Bytes.get buf 0);
+  Alcotest.check_raises "too small"
+    (Invalid_argument "Codec.encode_into: buffer too small") (fun () ->
+      ignore (Codec.encode_into m (Bytes.create 10) 0))
+
+let test_codec_stream_partial () =
+  let m = Msg.data ~origin:(NI.synthetic 1) ~app:1 ~seq:1 (Bytes.of_string "data") in
+  let wire = Codec.encode m in
+  let s = Codec.Stream.create () in
+  Codec.Stream.feed s ~len:10 wire;
+  Alcotest.(check bool) "incomplete" true (Codec.Stream.next s = None);
+  Alcotest.(check int) "buffered" 10 (Codec.Stream.buffered s);
+  Codec.Stream.feed s ~off:10 ~len:(Bytes.length wire - 10) wire;
+  (match Codec.Stream.next s with
+  | Some out -> Alcotest.(check bool) "complete" true (msg_equal m out)
+  | None -> Alcotest.fail "stream did not produce the message");
+  Alcotest.(check int) "drained" 0 (Codec.Stream.buffered s)
+
+(* ------------------------------------------------------------------ *)
+(* Wire + Status *)
+
+let test_wire_roundtrip () =
+  let w = Wire.W.create () in
+  Wire.W.int32 w 123;
+  Wire.W.float w 3.5;
+  Wire.W.node w (NI.synthetic 4);
+  Wire.W.string w "hello";
+  Wire.W.nodes w [ NI.synthetic 1; NI.synthetic 2 ];
+  let r = Wire.R.of_bytes (Wire.W.contents w) in
+  Alcotest.(check int) "int" 123 (Wire.R.int32 r);
+  Alcotest.(check (float 0.)) "float" 3.5 (Wire.R.float r);
+  Alcotest.(check bool) "node" true (NI.equal (NI.synthetic 4) (Wire.R.node r));
+  Alcotest.(check string) "string" "hello" (Wire.R.string r);
+  Alcotest.(check int) "nodes" 2 (List.length (Wire.R.nodes r));
+  Alcotest.(check int) "exhausted" 0 (Wire.R.remaining r)
+
+let test_wire_truncated () =
+  let r = Wire.R.of_bytes (Bytes.create 2) in
+  Alcotest.check_raises "int32" Wire.Truncated (fun () ->
+      ignore (Wire.R.int32 r))
+
+let test_status_roundtrip () =
+  let mk peer rate queued =
+    { Status.peer; rate; queued; buffer_capacity = 5 }
+  in
+  let st =
+    {
+      Status.node = NI.synthetic 9;
+      time = 12.25;
+      upstreams = [ mk (NI.synthetic 1) 1024. 3 ];
+      downstreams = [ mk (NI.synthetic 2) 2048. 0; mk (NI.synthetic 3) 0. 5 ];
+      bytes_lost = 77;
+      messages_lost = 3;
+    }
+  in
+  let st' = Status.of_payload (Status.to_payload st) in
+  Alcotest.(check bool) "node" true (NI.equal st.Status.node st'.Status.node);
+  Alcotest.(check (float 0.)) "time" st.Status.time st'.Status.time;
+  Alcotest.(check int) "ups" 1 (List.length st'.Status.upstreams);
+  Alcotest.(check int) "downs" 2 (List.length st'.Status.downstreams);
+  Alcotest.(check int) "lost bytes" 77 st'.Status.bytes_lost;
+  Alcotest.(check int) "lost msgs" 3 st'.Status.messages_lost;
+  let u = List.hd st'.Status.upstreams in
+  Alcotest.(check (float 0.)) "rate" 1024. u.Status.rate;
+  Alcotest.(check int) "queued" 3 u.Status.queued
+
+let () =
+  Alcotest.run "msg"
+    [
+      ( "node_id",
+        node_id_props
+        @ [
+            Alcotest.test_case "string form" `Quick test_node_id_string;
+            Alcotest.test_case "rejects malformed" `Quick test_node_id_bad;
+            Alcotest.test_case "synthetic ids" `Quick test_node_id_synthetic;
+          ] );
+      ( "mtype",
+        [
+          Alcotest.test_case "int roundtrip" `Quick test_mtype_roundtrip;
+          Alcotest.test_case "data/control classes" `Quick test_mtype_classes;
+          Alcotest.test_case "distinct codes" `Quick test_mtype_distinct_codes;
+        ] );
+      ( "message",
+        [
+          Alcotest.test_case "sizes and seq" `Quick test_message_basics;
+          Alcotest.test_case "clone is deep" `Quick test_message_clone;
+          Alcotest.test_case "two-int params" `Quick test_message_params;
+        ] );
+      ( "codec",
+        codec_props
+        @ [
+            Alcotest.test_case "malformed inputs" `Quick test_codec_malformed;
+            Alcotest.test_case "encode_into at offset" `Quick
+              test_encode_into_offset;
+            Alcotest.test_case "partial stream" `Quick test_codec_stream_partial;
+          ] );
+      ( "wire",
+        [
+          Alcotest.test_case "writer/reader roundtrip" `Quick
+            test_wire_roundtrip;
+          Alcotest.test_case "truncation" `Quick test_wire_truncated;
+          Alcotest.test_case "status roundtrip" `Quick test_status_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,374 @@
+(* Tests for the observer and its proxy. *)
+
+module Network = Iov_core.Network
+module Bwspec = Iov_core.Bwspec
+module Observer = Iov_observer.Observer
+module Proxy = Iov_observer.Proxy
+module Alg = Iov_core.Algorithm
+module Ialg = Iov_core.Ialgorithm
+module NI = Iov_msg.Node_id
+module Msg = Iov_msg.Message
+module Mt = Iov_msg.Mtype
+module Source = Iov_algos.Source
+module Flood = Iov_algos.Flood
+
+let id i = NI.synthetic i
+let app = 1
+let kbps x = x *. 1024.
+
+let add_null net obs i =
+  ignore (Network.add_node net ~observer:(Observer.id obs) ~id:(id i) Alg.null)
+
+(* ------------------------------------------------------------------ *)
+
+let test_bootstrap_subset () =
+  let net = Network.create () in
+  let obs = Observer.create ~boot_subset:3 net in
+  for i = 1 to 10 do
+    add_null net obs i
+  done;
+  Network.run net ~until:1.;
+  Alcotest.(check int) "all alive" 10 (List.length (Observer.alive_nodes obs));
+  (* a late joiner gets at most boot_subset known hosts *)
+  ignore (Network.add_node net ~observer:(Observer.id obs) ~id:(id 11) Alg.null);
+  Network.run net ~until:2.;
+  let kh = Network.known_hosts (Network.node net (id 11)) in
+  Alcotest.(check int) "subset size" 3 (List.length kh);
+  List.iter
+    (fun h ->
+      Alcotest.(check bool) "subset excludes self" false (NI.equal h (id 11)))
+    kh
+
+let test_bootstrap_first_node_gets_none () =
+  let net = Network.create () in
+  let obs = Observer.create net in
+  add_null net obs 1;
+  Network.run net ~until:1.;
+  Alcotest.(check int) "nothing to hand out" 0
+    (List.length (Network.known_hosts (Network.node net (id 1))))
+
+let test_polling_collects_status () =
+  let net = Network.create () in
+  let obs = Observer.create ~poll_period:0.5 net in
+  let s = Source.create ~app ~dests:[ id 2 ] () in
+  ignore
+    (Network.add_node net ~observer:(Observer.id obs)
+       ~bw:(Bwspec.total_only (kbps 50.))
+       ~id:(id 1) (Source.algorithm s));
+  let f = Flood.create () in
+  Flood.set_route f ~app ~upstreams:[ id 1 ] ~downstreams:[] ();
+  ignore
+    (Network.add_node net ~observer:(Observer.id obs) ~id:(id 2)
+       (Flood.algorithm f));
+  Observer.start_polling obs;
+  Network.run net ~until:5.;
+  (match Observer.latest_status obs (id 2) with
+  | Some st ->
+    Alcotest.(check int) "upstream listed" 1
+      (List.length st.Iov_msg.Status.upstreams)
+  | None -> Alcotest.fail "no status collected");
+  let topo = Observer.topology obs in
+  Alcotest.(check bool) "topology has source->sink" true
+    (List.exists
+       (fun (n, downs) ->
+         NI.equal n (id 1) && List.exists (NI.equal (id 2)) downs)
+       topo);
+  let rendering = Observer.render_topology obs in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "render mentions node" true
+    (contains rendering (NI.to_string (id 1)))
+
+let test_stop_polling () =
+  let net = Network.create () in
+  let obs = Observer.create ~poll_period:0.5 net in
+  add_null net obs 1;
+  Observer.start_polling obs;
+  Network.run net ~until:2.;
+  Observer.stop_polling obs;
+  (* an already-scheduled request may still be in flight: settle first *)
+  Network.run net ~until:3.;
+  let before = Network.control_bytes_received net (id 1) Mt.Request in
+  Network.run net ~until:8.;
+  Alcotest.(check int) "no more requests" before
+    (Network.control_bytes_received net (id 1) Mt.Request)
+
+let test_traces_recorded () =
+  let net = Network.create () in
+  let obs = Observer.create net in
+  let ctxr = ref None in
+  ignore
+    (Network.add_node net ~observer:(Observer.id obs) ~id:(id 1)
+       (Ialg.make ~name:"t" ~on_start:(fun c -> ctxr := Some c) (fun _ _ ->
+            Some Alg.Consume)));
+  Network.run net ~until:0.5;
+  (Option.get !ctxr).Alg.trace "hello observer";
+  (Option.get !ctxr).Alg.trace "second line";
+  Network.run net ~until:1.;
+  Alcotest.(check int) "two traces" 2 (Observer.trace_count obs);
+  let _, origin, text = List.hd (Observer.traces obs) in
+  Alcotest.(check string) "latest first" "second line" text;
+  Alcotest.(check bool) "origin" true (NI.equal origin (id 1))
+
+let test_save_traces () =
+  let net = Network.create () in
+  let obs = Observer.create net in
+  let ctxr = ref None in
+  ignore
+    (Network.add_node net ~observer:(Observer.id obs) ~id:(id 1)
+       (Ialg.make ~name:"t" ~on_start:(fun c -> ctxr := Some c) (fun _ _ ->
+            Some Alg.Consume)));
+  Network.run net ~until:0.5;
+  (Option.get !ctxr).Alg.trace "first";
+  (Option.get !ctxr).Alg.trace "second";
+  Network.run net ~until:1.;
+  let path = Filename.temp_file "iov-traces" ".log" in
+  let written = Observer.save_traces obs path in
+  Alcotest.(check int) "two records" 2 written;
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  Sys.remove path;
+  (match List.rev !lines with
+  | [ l1; l2 ] ->
+    Alcotest.(check bool) "chronological order" true
+      (String.length l1 > 0
+      && String.sub l1 (String.length l1 - 5) 5 = "first"
+      && String.sub l2 (String.length l2 - 6) 6 = "second")
+  | l -> Alcotest.failf "expected two lines, got %d" (List.length l))
+
+let test_control_set_bandwidth () =
+  let net = Network.create () in
+  let obs = Observer.create net in
+  let s = Source.create ~app ~dests:[ id 2 ] () in
+  ignore
+    (Network.add_node net ~observer:(Observer.id obs) ~id:(id 1)
+       (Source.algorithm s));
+  add_null net obs 2;
+  Network.run net ~until:2.;
+  Observer.set_node_bandwidth obs (id 1) (Bwspec.make ~up:(kbps 15.) ());
+  Network.run net ~until:15.;
+  let rate = Network.link_throughput net ~src:(id 1) ~dst:(id 2) in
+  Alcotest.(check bool) "emulation applied remotely" true
+    (Float.abs (rate -. kbps 15.) < kbps 3.)
+
+let test_control_set_link_bandwidth () =
+  let net = Network.create () in
+  let obs = Observer.create net in
+  let s = Source.create ~payload_size:1024 ~app ~dests:[ id 2 ] () in
+  ignore
+    (Network.add_node net ~observer:(Observer.id obs) ~id:(id 1)
+       (Source.algorithm s));
+  add_null net obs 2;
+  Network.run net ~until:2.;
+  Observer.set_link_bandwidth obs ~src:(id 1) ~dst:(id 2) (kbps 8.);
+  Network.run net ~until:15.;
+  let rate = Network.link_throughput net ~src:(id 1) ~dst:(id 2) in
+  Alcotest.(check bool) "per-link emulation applied" true
+    (Float.abs (rate -. kbps 8.) < kbps 2.)
+
+let test_terminate_node_command () =
+  let net = Network.create () in
+  let obs = Observer.create net in
+  add_null net obs 1;
+  Network.run net ~until:1.;
+  Observer.terminate_node obs (id 1);
+  Network.run net ~until:2.;
+  Alcotest.(check bool) "terminated" false
+    (Network.is_alive (Network.node net (id 1)));
+  Alcotest.(check int) "dropped from alive list" 0
+    (List.length (Observer.alive_nodes obs))
+
+let test_custom_command () =
+  let net = Network.create () in
+  let obs = Observer.create net in
+  let got = ref None in
+  let alg =
+    Ialg.make ~name:"c" (fun _ m ->
+        (match m.Msg.mtype with
+        | Mt.Custom 9 -> got := Msg.params m
+        | _ -> ());
+        Some Alg.Consume)
+  in
+  ignore (Network.add_node net ~observer:(Observer.id obs) ~id:(id 1) alg);
+  Network.run net ~until:1.;
+  Observer.custom obs (id 1) ~kind:9 123 456;
+  Network.run net ~until:2.;
+  Alcotest.(check (option (pair int int))) "params delivered" (Some (123, 456))
+    !got
+
+(* ------------------------------------------------------------------ *)
+(* Observer-as-algorithm (portable observer) *)
+
+module Oalg = Iov_observer.Obs_algorithm
+
+let test_obs_algorithm_in_sim () =
+  let net = Network.create () in
+  let oa = Oalg.create ~boot_subset:4 () in
+  let obs_id = id 99 in
+  ignore (Network.add_node net ~id:obs_id (Oalg.algorithm oa));
+  (* ordinary nodes bootstrap against the observer NODE *)
+  let s = Source.create ~app ~dests:[ id 2 ] () in
+  ignore
+    (Network.add_node net ~observer:obs_id
+       ~bw:(Bwspec.total_only (kbps 40.))
+       ~id:(id 1) (Source.algorithm s));
+  ignore (Network.add_node net ~observer:obs_id ~id:(id 2) Alg.null);
+  Network.run net ~until:5.;
+  Alcotest.(check int) "both bootstrapped" 2 (List.length (Oalg.alive oa));
+  (* the tick-driven poll collected engine statuses *)
+  (match Oalg.latest_status oa (id 1) with
+  | Some st ->
+    Alcotest.(check int) "source has a downstream" 1
+      (List.length st.Iov_msg.Status.downstreams)
+  | None -> Alcotest.fail "no status collected");
+  (* traces land in its log *)
+  let ctx = Network.ctx (Network.node net (id 1)) in
+  ctx.Alg.trace "ping";
+  Network.run net ~until:6.;
+  Alcotest.(check int) "trace recorded" 1 (Oalg.trace_count oa)
+
+let test_obs_algorithm_second_boot_gets_hosts () =
+  let net = Network.create () in
+  let oa = Oalg.create () in
+  ignore (Network.add_node net ~id:(id 99) (Oalg.algorithm oa));
+  ignore (Network.add_node net ~observer:(id 99) ~id:(id 1) Alg.null);
+  Network.run net ~until:1.;
+  ignore (Network.add_node net ~observer:(id 99) ~id:(id 2) Alg.null);
+  Network.run net ~until:2.;
+  Alcotest.(check (list bool)) "late joiner learned the first node" [ true ]
+    (List.map
+       (fun h -> NI.equal h (id 1))
+       (Network.known_hosts (Network.node net (id 2))))
+
+(* ------------------------------------------------------------------ *)
+(* Fleet *)
+
+module Fleet = Iov_observer.Fleet
+
+let test_fleet_lifecycle () =
+  let net = Network.create () in
+  let obs = Observer.create net in
+  let specs =
+    List.init 6 (fun i ->
+        {
+          Fleet.nid = id (i + 1);
+          bw = Bwspec.unconstrained;
+          algorithm = Alg.null;
+        })
+  in
+  let fleet = Fleet.deploy ~stagger:0.1 ~observer:obs net specs in
+  Alcotest.(check int) "size" 6 (Fleet.size fleet);
+  Network.run net ~until:2.;
+  Alcotest.(check int) "all deployed" 6 (List.length (Fleet.alive fleet));
+  Alcotest.(check int) "observer saw all boots" 6
+    (List.length (Observer.alive_nodes obs));
+  let statuses = Fleet.collect fleet in
+  Alcotest.(check int) "status from every node" 6 (List.length statuses);
+  Fleet.terminate_all fleet;
+  Network.run net ~until:4.;
+  Alcotest.(check int) "all gone" 0 (List.length (Fleet.alive fleet));
+  Alcotest.(check int) "nothing to collect" 0 (List.length (Fleet.collect fleet))
+
+let test_fleet_duplicate_ids () =
+  let net = Network.create () in
+  let obs = Observer.create net in
+  let spec =
+    { Fleet.nid = id 1; bw = Bwspec.unconstrained; algorithm = Alg.null }
+  in
+  Alcotest.check_raises "duplicates rejected"
+    (Invalid_argument "Fleet.deploy: duplicate ids") (fun () ->
+      ignore (Fleet.deploy ~observer:obs net [ spec; spec ]))
+
+(* ------------------------------------------------------------------ *)
+(* Proxy *)
+
+let test_proxy_relays () =
+  let net = Network.create () in
+  let obs = Observer.create net in
+  let proxy = Proxy.create ~observer:(Observer.id obs) net in
+  (* nodes report to the proxy instead of the observer *)
+  ignore (Network.add_node net ~observer:(Proxy.id proxy) ~id:(id 1) Alg.null);
+  Network.run net ~until:1.;
+  (* the boot request was relayed, so the observer knows the node *)
+  Alcotest.(check bool) "boot relayed" true (Proxy.relayed proxy >= 1);
+  Alcotest.(check int) "observer learned the node" 1
+    (List.length (Observer.alive_nodes obs))
+
+let test_proxy_batches () =
+  let net = Network.create () in
+  let obs = Observer.create net in
+  let proxy = Proxy.create ~flush_period:5. ~observer:(Observer.id obs) net in
+  let ctxr = ref None in
+  ignore
+    (Network.add_node net ~id:(id 1)
+       (Ialg.make ~name:"p" ~on_start:(fun c -> ctxr := Some c) (fun _ _ ->
+            Some Alg.Consume)));
+  Network.run net ~until:0.5;
+  for i = 0 to 9 do
+    (Option.get !ctxr).Alg.send
+      (Msg.control ~mtype:Mt.Trace ~origin:(id 1) ~seq:i
+         (Bytes.of_string "t"))
+      (Proxy.id proxy)
+  done;
+  Network.run net ~until:2.;
+  Alcotest.(check int) "queued, not yet relayed" 10 (Proxy.pending proxy);
+  Alcotest.(check int) "nothing at observer" 0 (Observer.trace_count obs);
+  Network.run net ~until:7.;
+  Alcotest.(check int) "flushed" 0 (Proxy.pending proxy);
+  Alcotest.(check int) "single batch" 1 (Proxy.flushes proxy);
+  Alcotest.(check int) "all traces arrived" 10 (Observer.trace_count obs)
+
+let () =
+  Alcotest.run "observer"
+    [
+      ( "bootstrap",
+        [
+          Alcotest.test_case "random subset" `Quick test_bootstrap_subset;
+          Alcotest.test_case "first node" `Quick
+            test_bootstrap_first_node_gets_none;
+        ] );
+      ( "monitoring",
+        [
+          Alcotest.test_case "status polling" `Quick
+            test_polling_collects_status;
+          Alcotest.test_case "stop polling" `Quick test_stop_polling;
+          Alcotest.test_case "traces" `Quick test_traces_recorded;
+          Alcotest.test_case "save traces to file" `Quick test_save_traces;
+        ] );
+      ( "control",
+        [
+          Alcotest.test_case "set node bandwidth" `Quick
+            test_control_set_bandwidth;
+          Alcotest.test_case "set link bandwidth" `Quick
+            test_control_set_link_bandwidth;
+          Alcotest.test_case "terminate node" `Quick
+            test_terminate_node_command;
+          Alcotest.test_case "custom command" `Quick test_custom_command;
+        ] );
+      ( "portable-observer",
+        [
+          Alcotest.test_case "runs as a node" `Quick test_obs_algorithm_in_sim;
+          Alcotest.test_case "hands out known hosts" `Quick
+            test_obs_algorithm_second_boot_gets_hosts;
+        ] );
+      ( "fleet",
+        [
+          Alcotest.test_case "deploy/collect/terminate" `Quick
+            test_fleet_lifecycle;
+          Alcotest.test_case "duplicate ids" `Quick test_fleet_duplicate_ids;
+        ] );
+      ( "proxy",
+        [
+          Alcotest.test_case "relays to observer" `Quick test_proxy_relays;
+          Alcotest.test_case "batches per flush period" `Quick
+            test_proxy_batches;
+        ] );
+    ]

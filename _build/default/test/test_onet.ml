@@ -1,0 +1,247 @@
+(* Tests for the real-sockets runtime: the thread-safe queue and
+   loopback node chains. *)
+
+module Squeue = Iov_onet.Squeue
+module Rnode = Iov_onet.Rnode
+module Alg = Iov_core.Algorithm
+module Ialg = Iov_core.Ialgorithm
+module Msg = Iov_msg.Message
+module Mt = Iov_msg.Mtype
+module NI = Iov_msg.Node_id
+
+(* ------------------------------------------------------------------ *)
+(* Squeue *)
+
+let test_squeue_basic () =
+  let q = Squeue.create ~capacity:2 in
+  Alcotest.(check int) "capacity" 2 (Squeue.capacity q);
+  Alcotest.(check bool) "push" true (Squeue.push q 1);
+  Alcotest.(check bool) "try_push" true (Squeue.try_push q 2);
+  Alcotest.(check bool) "full" true (Squeue.is_full q);
+  Alcotest.(check bool) "try_push full" false (Squeue.try_push q 3);
+  Alcotest.(check (option int)) "pop order" (Some 1) (Squeue.pop q);
+  Alcotest.(check (option int)) "try_pop" (Some 2) (Squeue.try_pop q);
+  Alcotest.(check (option int)) "empty try_pop" None (Squeue.try_pop q)
+
+let test_squeue_close () =
+  let q = Squeue.create ~capacity:4 in
+  ignore (Squeue.push q 1);
+  Squeue.close q;
+  Alcotest.(check bool) "closed" true (Squeue.closed q);
+  Alcotest.(check bool) "push after close" false (Squeue.push q 2);
+  Alcotest.(check (option int)) "drains" (Some 1) (Squeue.pop q);
+  Alcotest.(check (option int)) "then None" None (Squeue.pop q)
+
+let test_squeue_threads () =
+  (* one producer, one consumer, blocking on both ends *)
+  let q = Squeue.create ~capacity:8 in
+  let n = 5000 in
+  let producer =
+    Thread.create
+      (fun () ->
+        for i = 0 to n - 1 do
+          ignore (Squeue.push q i)
+        done;
+        Squeue.close q)
+      ()
+  in
+  let received = ref [] in
+  let consumer =
+    Thread.create
+      (fun () ->
+        let rec loop () =
+          match Squeue.pop q with
+          | Some x ->
+            received := x :: !received;
+            loop ()
+          | None -> ()
+        in
+        loop ())
+      ()
+  in
+  Thread.join producer;
+  Thread.join consumer;
+  Alcotest.(check int) "all received" n (List.length !received);
+  Alcotest.(check (list int)) "in order" (List.init n (fun i -> i))
+    (List.rev !received)
+
+let test_squeue_blocking_pop_wakes () =
+  let q = Squeue.create ~capacity:2 in
+  let result = ref None in
+  let consumer = Thread.create (fun () -> result := Squeue.pop q) () in
+  Thread.delay 0.05;
+  ignore (Squeue.push q 42);
+  Thread.join consumer;
+  Alcotest.(check (option int)) "woken with value" (Some 42) !result
+
+(* ------------------------------------------------------------------ *)
+(* Rnode over loopback *)
+
+let wait_for ?(timeout = 10.) pred =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec loop () =
+    if pred () then true
+    else if Unix.gettimeofday () > deadline then false
+    else begin
+      Thread.delay 0.02;
+      loop ()
+    end
+  in
+  loop ()
+
+let test_rnode_direct_delivery () =
+  let sink = Rnode.start Alg.null in
+  let driver = Rnode.start Alg.null in
+  let app = 4 in
+  for seq = 0 to 99 do
+    Rnode.send driver
+      (Msg.data ~origin:(Rnode.id driver) ~app ~seq (Bytes.make 100 'a'))
+      (Rnode.id sink)
+  done;
+  let ok = wait_for (fun () -> Rnode.app_bytes sink ~app >= 100 * 100) in
+  Rnode.shutdown driver;
+  Rnode.shutdown sink;
+  Alcotest.(check bool) "all bytes delivered over TCP" true ok
+
+let test_rnode_relay_chain () =
+  let app = 5 in
+  let sink = Rnode.start Alg.null in
+  let relay_alg (_ : Alg.ctx) (m : Msg.t) =
+    if m.Msg.mtype = Mt.Data && m.app = app then
+      Some (Alg.Forward [ Rnode.id sink ])
+    else None
+  in
+  let relay = Rnode.start (Ialg.make ~name:"relay" relay_alg) in
+  let driver = Rnode.start Alg.null in
+  for seq = 0 to 199 do
+    Rnode.send driver
+      (Msg.data ~origin:(Rnode.id driver) ~app ~seq (Bytes.make 64 'b'))
+      (Rnode.id relay)
+  done;
+  let ok = wait_for (fun () -> Rnode.app_bytes sink ~app >= 200 * 64) in
+  Alcotest.(check bool) "relayed through the engine" true ok;
+  Alcotest.(check bool) "relay processed messages" true
+    (Rnode.messages_processed relay >= 200);
+  List.iter Rnode.shutdown [ driver; relay; sink ]
+
+let test_rnode_byte_metering () =
+  let sink = Rnode.start Alg.null in
+  let driver = Rnode.start Alg.null in
+  let app = 6 in
+  let n = 50 and payload = 200 in
+  for seq = 0 to n - 1 do
+    Rnode.send driver
+      (Msg.data ~origin:(Rnode.id driver) ~app ~seq (Bytes.make payload 'm'))
+      (Rnode.id sink)
+  done;
+  let wire = n * (payload + Iov_msg.Message.header_size) in
+  let ok = wait_for (fun () -> Rnode.app_bytes sink ~app >= n * payload) in
+  Alcotest.(check bool) "delivered" true ok;
+  Alcotest.(check int) "sender out counter" wire
+    (Rnode.link_bytes driver `Out (Rnode.id sink));
+  (* the sink's in counter includes the hello-stripped... the hello is
+     consumed before the counter attaches, so exactly the data bytes *)
+  let ok_in =
+    wait_for (fun () -> Rnode.link_bytes sink `In (Rnode.id driver) >= wire)
+  in
+  Alcotest.(check bool) "receiver in counter" true ok_in;
+  List.iter Rnode.shutdown [ driver; sink ]
+
+let test_rnode_persistent_connection () =
+  let sink = Rnode.start Alg.null in
+  let driver = Rnode.start Alg.null in
+  Rnode.connect driver (Rnode.id sink);
+  Rnode.connect driver (Rnode.id sink);
+  Alcotest.(check int) "one persistent connection" 1
+    (List.length (Rnode.peers driver));
+  List.iter Rnode.shutdown [ driver; sink ]
+
+let test_rnode_peer_death_notifies () =
+  let failures = ref 0 in
+  let watch (_ : Alg.ctx) (m : Msg.t) =
+    if m.Msg.mtype = Mt.Link_failed then incr failures;
+    Some Alg.Consume
+  in
+  let watcher = Rnode.start (Ialg.make ~name:"watch" watch) in
+  let peer = Rnode.start Alg.null in
+  (* make the peer connect to the watcher so the watcher has an
+     incoming connection whose death it can observe *)
+  Rnode.send peer
+    (Msg.data ~origin:(Rnode.id peer) ~app:1 ~seq:0 (Bytes.make 8 'x'))
+    (Rnode.id watcher);
+  let delivered = wait_for (fun () -> Rnode.app_bytes watcher ~app:1 > 0) in
+  Alcotest.(check bool) "initial delivery" true delivered;
+  Rnode.shutdown peer;
+  let ok = wait_for (fun () -> !failures >= 1) in
+  Rnode.shutdown watcher;
+  Alcotest.(check bool) "LinkFailed surfaced" true ok
+
+let test_rnode_observer_bootstrap () =
+  (* the portable observer algorithm served over real TCP: two nodes
+     boot against it; the second learns about the first *)
+  let oa = Iov_observer.Obs_algorithm.create ~poll:false () in
+  let observer = Rnode.start (Iov_observer.Obs_algorithm.algorithm oa) in
+  let learned = ref [] in
+  let client name =
+    let alg =
+      Ialg.make ~name (fun ctx m ->
+          (match m.Msg.mtype with
+          | Mt.Boot_reply ->
+            ignore (Ialg.default ctx m);
+            learned := (name, ctx.Alg.known_hosts ()) :: !learned
+          | _ -> ());
+          Some Alg.Consume)
+    in
+    let node = Rnode.start alg in
+    Rnode.send node
+      (Msg.control ~mtype:Mt.Boot ~origin:(Rnode.id node) Bytes.empty)
+      (Rnode.id observer);
+    node
+  in
+  let n1 = client "n1" in
+  let ok1 =
+    wait_for (fun () ->
+        List.length (Iov_observer.Obs_algorithm.alive oa) >= 1)
+  in
+  Alcotest.(check bool) "first boot registered" true ok1;
+  let n2 = client "n2" in
+  let ok2 =
+    wait_for (fun () ->
+        List.exists (fun (name, hosts) -> name = "n2" && hosts <> []) !learned)
+  in
+  Alcotest.(check bool) "second boot handed the first node" true ok2;
+  (match
+     List.find_opt (fun (name, _) -> name = "n2") !learned
+   with
+  | Some (_, hosts) ->
+    Alcotest.(check bool) "it is n1" true
+      (List.exists (NI.equal (Rnode.id n1)) hosts)
+  | None -> Alcotest.fail "n2 never learned hosts");
+  List.iter Rnode.shutdown [ observer; n1; n2 ]
+
+let () =
+  Alcotest.run "onet"
+    [
+      ( "squeue",
+        [
+          Alcotest.test_case "push/pop" `Quick test_squeue_basic;
+          Alcotest.test_case "close semantics" `Quick test_squeue_close;
+          Alcotest.test_case "producer/consumer threads" `Quick
+            test_squeue_threads;
+          Alcotest.test_case "blocking pop wakes" `Quick
+            test_squeue_blocking_pop_wakes;
+        ] );
+      ( "rnode",
+        [
+          Alcotest.test_case "direct delivery" `Quick
+            test_rnode_direct_delivery;
+          Alcotest.test_case "relay chain" `Quick test_rnode_relay_chain;
+          Alcotest.test_case "byte metering" `Quick test_rnode_byte_metering;
+          Alcotest.test_case "persistent connections" `Quick
+            test_rnode_persistent_connection;
+          Alcotest.test_case "peer death notification" `Quick
+            test_rnode_peer_death_notifies;
+          Alcotest.test_case "observer bootstrap over TCP" `Quick
+            test_rnode_observer_bootstrap;
+        ] );
+    ]

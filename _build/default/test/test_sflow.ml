@@ -1,0 +1,239 @@
+(* Tests for sFlow service federation: requirements, awareness,
+   federation per strategy, acknowledgement chains. *)
+
+module Network = Iov_core.Network
+module Sflow = Iov_algos.Sflow
+module Svc = Iov_exp.Svc
+module NI = Iov_msg.Node_id
+module Wire = Iov_msg.Wire
+
+(* ------------------------------------------------------------------ *)
+(* Requirements *)
+
+let test_req_linear () =
+  let r = Sflow.Req.linear [ 1; 2; 3 ] in
+  Alcotest.(check int) "source" 1 r.Sflow.Req.source;
+  Alcotest.(check int) "sink" 3 r.Sflow.Req.sink;
+  Alcotest.(check (list (pair int int))) "edges" [ (1, 2); (2, 3) ]
+    r.Sflow.Req.edges;
+  Alcotest.(check (list int)) "consumers of 1" [ 2 ] (Sflow.Req.consumers r 1);
+  Alcotest.(check (list int)) "sink has none" [] (Sflow.Req.consumers r 3);
+  Alcotest.(check (list int)) "types" [ 1; 2; 3 ] (Sflow.Req.types r)
+
+let test_req_validation () =
+  let bad name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s accepted" name
+  in
+  bad "cycle" (fun () ->
+      Sflow.Req.make ~edges:[ (1, 2); (2, 1); (1, 3) ] ~source:1 ~sink:3);
+  bad "sink with consumers" (fun () ->
+      Sflow.Req.make ~edges:[ (1, 2); (2, 1) ] ~source:1 ~sink:2);
+  bad "unreachable type" (fun () ->
+      Sflow.Req.make ~edges:[ (1, 2); (3, 4) ] ~source:1 ~sink:2);
+  bad "empty" (fun () -> Sflow.Req.make ~edges:[] ~source:1 ~sink:1);
+  bad "short linear" (fun () -> Sflow.Req.linear [ 1 ])
+
+let test_req_diamond_ok () =
+  let r =
+    Sflow.Req.make ~edges:[ (1, 2); (1, 3); (2, 4); (3, 4) ] ~source:1 ~sink:4
+  in
+  Alcotest.(check int) "two consumers" 2 (List.length (Sflow.Req.consumers r 1))
+
+let test_req_payload_roundtrip () =
+  let r =
+    Sflow.Req.make ~edges:[ (1, 2); (1, 3); (2, 4); (3, 4) ] ~source:1 ~sink:4
+  in
+  let w = Wire.W.create () in
+  Sflow.Req.to_payload r w;
+  let r' = Sflow.Req.of_payload (Wire.R.of_bytes (Wire.W.contents w)) in
+  Alcotest.(check bool) "roundtrip" true (r = r')
+
+(* ------------------------------------------------------------------ *)
+(* Awareness *)
+
+let test_awareness_populates_directories () =
+  let b = Svc.build ~strategy:`Sflow ~n:12 ~types:3 () in
+  Network.run b.Svc.net ~until:25.;
+  (* every service node should know at least one instance per type *)
+  let gaps = ref 0 in
+  List.iter
+    (fun (_, flow) ->
+      if Sflow.service_type flow <> None then
+        List.iter
+          (fun ty ->
+            if
+              not
+                (List.exists
+                   (fun (t, instances) -> t = ty && instances <> [])
+                   (Sflow.directory flow))
+            then incr gaps)
+          [ 1; 2; 3 ])
+    b.Svc.flows;
+  Alcotest.(check int) "no directory gaps" 0 !gaps
+
+let test_aware_overhead_metered () =
+  let b = Svc.build ~strategy:`Sflow ~n:8 ~types:3 () in
+  Network.run b.Svc.net ~until:20.;
+  Alcotest.(check bool) "sAware bytes counted" true (Svc.aware_bytes b > 0);
+  Alcotest.(check int) "no federations yet" 0 (Svc.federate_bytes b)
+
+(* ------------------------------------------------------------------ *)
+(* Federation *)
+
+let run_federation strategy =
+  let b = Svc.build ~strategy ~n:12 ~types:3 () in
+  Network.run b.Svc.net ~until:20.;
+  let req = Sflow.Req.linear [ 1; 2; 3 ] in
+  let source = List.hd (Svc.instances_of b 1) in
+  Svc.federate b ~app:500 ~source req;
+  Network.run b.Svc.net ~until:40.;
+  (b, source)
+
+let test_federation_completes name strategy () =
+  let b, source = run_federation strategy in
+  Alcotest.(check int) (name ^ " completed") 1 (Svc.completed b);
+  (* the selected chain has one instance per stage *)
+  match Svc.sink_of b ~app:500 ~source with
+  | Some sink ->
+    let sink_flow = List.assoc sink b.Svc.flows in
+    Alcotest.(check (option int)) "sink hosts the sink type" (Some 3)
+      (Sflow.service_type sink_flow)
+  | None -> Alcotest.fail "no sink reached"
+
+let test_federation_deploys_data () =
+  let b, source = run_federation `Sflow in
+  Network.run b.Svc.net ~until:60.;
+  match Svc.sink_of b ~app:500 ~source with
+  | Some sink ->
+    Alcotest.(check bool) "data streams to the sink" true
+      (Network.app_bytes b.Svc.net sink ~app:500 > 0)
+  | None -> Alcotest.fail "no sink"
+
+let test_no_data_when_disabled () =
+  let b = Svc.build ~deploy_data:false ~strategy:`Sflow ~n:12 ~types:3 () in
+  Network.run b.Svc.net ~until:20.;
+  let source = List.hd (Svc.instances_of b 1) in
+  Svc.federate b ~app:501 ~source (Sflow.Req.linear [ 1; 2; 3 ]);
+  Network.run b.Svc.net ~until:40.;
+  Alcotest.(check int) "federation still completes" 1 (Svc.completed b);
+  match Svc.sink_of b ~app:501 ~source with
+  | Some sink ->
+    Alcotest.(check int) "but no data flows" 0
+      (Network.app_bytes b.Svc.net sink ~app:501)
+  | None -> Alcotest.fail "no sink"
+
+let test_selected_children_per_session () =
+  let b, source = run_federation `Sflow in
+  let src_flow = List.assoc source b.Svc.flows in
+  Alcotest.(check int) "one child on the linear chain" 1
+    (List.length (Sflow.selected_children src_flow ~app:500));
+  Alcotest.(check (list bool)) "other sessions empty" []
+    (List.map (fun _ -> true) (Sflow.selected_children src_flow ~app:999))
+
+let test_fixed_picks_highest_advertised () =
+  (* isolated world with exactly two candidate instances of type 2 *)
+  let net = Network.create () in
+  let obs = Iov_observer.Observer.create net in
+  let mk i cap =
+    let flow =
+      Sflow.create ~strategy:`Fixed ~advertised_bw:cap ~deploy_data:false ()
+    in
+    ignore
+      (Network.add_node net
+         ~observer:(Iov_observer.Observer.id obs)
+         ~id:(NI.synthetic i) (Sflow.algorithm flow));
+    flow
+  in
+  let src = mk 1 1000. in
+  let small = mk 2 500. in
+  let big = mk 3 900. in
+  ignore small;
+  ignore big;
+  Network.run net ~until:1.;
+  Iov_observer.Observer.assign_service obs (NI.synthetic 1) ~service:1;
+  Iov_observer.Observer.assign_service obs (NI.synthetic 2) ~service:2;
+  Iov_observer.Observer.assign_service obs (NI.synthetic 3) ~service:2;
+  Network.run net ~until:10.;
+  let req = Sflow.Req.linear [ 1; 2 ] in
+  let w = Wire.W.create () in
+  Sflow.Req.to_payload req w;
+  let m =
+    Iov_msg.Message.control ~mtype:Iov_msg.Mtype.S_federate
+      ~origin:(Iov_observer.Observer.id obs)
+      ~app:77 (Wire.W.contents w)
+  in
+  Iov_observer.Observer.control_message obs m (NI.synthetic 1);
+  Network.run net ~until:20.;
+  Alcotest.(check (list bool)) "chose the bigger instance" [ true ]
+    (List.map
+       (fun c -> NI.equal c (NI.synthetic 3))
+       (Sflow.selected_children src ~app:77))
+
+let test_failure_counted_when_no_candidates () =
+  let net = Network.create () in
+  let obs = Iov_observer.Observer.create net in
+  let flow = Sflow.create ~strategy:`Sflow ~deploy_data:false () in
+  ignore
+    (Network.add_node net
+       ~observer:(Iov_observer.Observer.id obs)
+       ~id:(NI.synthetic 1) (Sflow.algorithm flow));
+  Network.run net ~until:1.;
+  Iov_observer.Observer.assign_service obs (NI.synthetic 1) ~service:1;
+  Network.run net ~until:3.;
+  let req = Sflow.Req.linear [ 1; 2 ] in
+  let w = Wire.W.create () in
+  Sflow.Req.to_payload req w;
+  let m =
+    Iov_msg.Message.control ~mtype:Iov_msg.Mtype.S_federate
+      ~origin:(Iov_observer.Observer.id obs)
+      ~app:78 (Wire.W.contents w)
+  in
+  Iov_observer.Observer.control_message obs m (NI.synthetic 1);
+  Network.run net ~until:6.;
+  Alcotest.(check int) "failure recorded" 1 (Sflow.federation_failures flow)
+
+let test_strategy_names () =
+  Alcotest.(check string) "sFlow" "sFlow" (Sflow.strategy_name `Sflow);
+  Alcotest.(check string) "fixed" "fixed" (Sflow.strategy_name `Fixed);
+  Alcotest.(check string) "random" "random" (Sflow.strategy_name `Random)
+
+let () =
+  Alcotest.run "sflow"
+    [
+      ( "requirements",
+        [
+          Alcotest.test_case "linear" `Quick test_req_linear;
+          Alcotest.test_case "validation" `Quick test_req_validation;
+          Alcotest.test_case "diamond" `Quick test_req_diamond_ok;
+          Alcotest.test_case "payload roundtrip" `Quick
+            test_req_payload_roundtrip;
+        ] );
+      ( "awareness",
+        [
+          Alcotest.test_case "directories populate" `Quick
+            test_awareness_populates_directories;
+          Alcotest.test_case "overhead metered" `Quick
+            test_aware_overhead_metered;
+        ] );
+      ( "federation",
+        [
+          Alcotest.test_case "sFlow completes" `Quick
+            (test_federation_completes "sflow" `Sflow);
+          Alcotest.test_case "fixed completes" `Quick
+            (test_federation_completes "fixed" `Fixed);
+          Alcotest.test_case "random completes" `Quick
+            (test_federation_completes "random" `Random);
+          Alcotest.test_case "data deployment" `Quick
+            test_federation_deploys_data;
+          Alcotest.test_case "deploy_data off" `Quick test_no_data_when_disabled;
+          Alcotest.test_case "per-session children" `Quick
+            test_selected_children_per_session;
+          Alcotest.test_case "fixed is capacity-greedy" `Quick
+            test_fixed_picks_highest_advertised;
+          Alcotest.test_case "missing candidates counted" `Quick
+            test_failure_counted_when_no_candidates;
+          Alcotest.test_case "strategy names" `Quick test_strategy_names;
+        ] );
+    ]

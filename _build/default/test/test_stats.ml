@@ -1,0 +1,180 @@
+(* Tests for meters, descriptive statistics, tables, and bandwidth
+   specifications. *)
+
+module Meter = Iov_stats.Meter
+module Descr = Iov_stats.Descr
+module Table = Iov_stats.Table
+module Bwspec = Iov_core.Bwspec
+
+let qtest ?(count = 300) name gen f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen f)
+
+(* ------------------------------------------------------------------ *)
+(* Meter *)
+
+let test_meter_window () =
+  let m = Meter.create ~window:1.0 () in
+  Alcotest.(check (float 0.)) "no data" 0. (Meter.rate m ~now:0.);
+  (* 10 records of 100 bytes spread over the first second *)
+  for i = 0 to 9 do
+    Meter.record m ~now:(0.1 *. float_of_int i) ~bytes:100
+  done;
+  (* during the first (incomplete) bucket, rate falls back to average *)
+  Alcotest.(check bool) "warm-up positive" true (Meter.rate m ~now:0.95 > 0.);
+  (* after the bucket closes, the windowed rate is exact *)
+  Meter.record m ~now:1.5 ~bytes:50;
+  Alcotest.(check (float 1e-6)) "first window rate" 1000. (Meter.rate m ~now:1.5);
+  Alcotest.(check int) "totals" 1050 (Meter.total_bytes m);
+  Alcotest.(check int) "messages" 11 (Meter.total_messages m)
+
+let test_meter_idle_goes_to_zero () =
+  let m = Meter.create ~window:1.0 () in
+  Meter.record m ~now:0.5 ~bytes:1000;
+  (* several empty windows later the reported rate is zero *)
+  Alcotest.(check (float 0.)) "idle rate" 0. (Meter.rate m ~now:5.)
+
+let test_meter_idle_for () =
+  let m = Meter.create () in
+  Alcotest.(check (float 0.)) "never recorded" infinity (Meter.idle_for m ~now:9.);
+  Meter.record m ~now:2. ~bytes:1;
+  Alcotest.(check (float 1e-9)) "since last" 3. (Meter.idle_for m ~now:5.)
+
+let test_meter_average () =
+  let m = Meter.create () in
+  Meter.record m ~now:0. ~bytes:100;
+  Meter.record m ~now:10. ~bytes:100;
+  Alcotest.(check (float 1e-6)) "lifetime average" 20. (Meter.average m ~now:10.)
+
+let test_meter_reset () =
+  let m = Meter.create () in
+  Meter.record m ~now:1. ~bytes:5;
+  Meter.reset m;
+  Alcotest.(check int) "bytes cleared" 0 (Meter.total_bytes m);
+  Alcotest.(check (float 0.)) "rate cleared" 0. (Meter.rate m ~now:2.)
+
+let meter_props =
+  [
+    qtest "steady stream converges to true rate"
+      QCheck.(pair (int_range 1 50) (int_range 1 2000))
+      (fun (per_window, bytes) ->
+        let m = Meter.create ~window:1.0 () in
+        (* [per_window] records per second for 5 seconds *)
+        for i = 0 to (5 * per_window) - 1 do
+          Meter.record m ~now:(float_of_int i /. float_of_int per_window) ~bytes
+        done;
+        let expect = float_of_int (per_window * bytes) in
+        let got = Meter.rate m ~now:5.0 in
+        Float.abs (got -. expect) /. expect < 1e-6);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Descr *)
+
+let test_summarize () =
+  let s = Descr.summarize [ 1.; 2.; 3.; 4. ] in
+  Alcotest.(check int) "n" 4 s.Descr.n;
+  Alcotest.(check (float 1e-9)) "mean" 2.5 s.Descr.mean;
+  Alcotest.(check (float 1e-9)) "min" 1. s.Descr.min;
+  Alcotest.(check (float 1e-9)) "max" 4. s.Descr.max;
+  Alcotest.(check (float 1e-9)) "median" 2.5 s.Descr.median;
+  Alcotest.(check (float 1e-6)) "stddev" (sqrt 1.25) s.Descr.stddev
+
+let test_percentile () =
+  let xs = [ 10.; 20.; 30.; 40.; 50. ] in
+  Alcotest.(check (float 1e-9)) "p0" 10. (Descr.percentile xs 0.);
+  Alcotest.(check (float 1e-9)) "p50" 30. (Descr.percentile xs 0.5);
+  Alcotest.(check (float 1e-9)) "p100" 50. (Descr.percentile xs 1.0);
+  Alcotest.(check (float 1e-9)) "p25 interpolates" 20. (Descr.percentile xs 0.25);
+  Alcotest.check_raises "empty" (Invalid_argument "Descr.percentile: empty")
+    (fun () -> ignore (Descr.percentile [] 0.5))
+
+let test_cdf () =
+  let c = Descr.Cdf.of_list [ 1.; 2.; 2.; 4. ] in
+  Alcotest.(check (float 1e-9)) "below all" 0. (Descr.Cdf.eval c 0.5);
+  Alcotest.(check (float 1e-9)) "at dup" 0.75 (Descr.Cdf.eval c 2.);
+  Alcotest.(check (float 1e-9)) "above all" 1. (Descr.Cdf.eval c 10.);
+  Alcotest.(check int) "points" 4 (List.length (Descr.Cdf.points c));
+  Alcotest.(check (float 1e-9)) "inverse median" 2. (Descr.Cdf.inverse c 0.5)
+
+let cdf_props =
+  [
+    qtest "cdf is monotone"
+      QCheck.(
+        pair
+          (list_of_size (Gen.int_range 1 50) (float_range (-100.) 100.))
+          (pair (float_range (-150.) 150.) (float_range (-150.) 150.)))
+      (fun (xs, (a, b)) ->
+        let c = Descr.Cdf.of_list xs in
+        let lo = Float.min a b and hi = Float.max a b in
+        Descr.Cdf.eval c lo <= Descr.Cdf.eval c hi);
+    qtest "eval at max is 1"
+      QCheck.(list_of_size (Gen.int_range 1 50) (float_range 0. 100.))
+      (fun xs ->
+        let c = Descr.Cdf.of_list xs in
+        Descr.Cdf.eval c (List.fold_left Float.max neg_infinity xs) = 1.);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Table *)
+
+let test_table_render () =
+  let out =
+    Table.render ~header:[ "name"; "val" ] [ [ "a"; "1" ]; [ "bb"; "22" ] ]
+  in
+  let lines = String.split_on_char '\n' out in
+  Alcotest.(check int) "line count" 5 (List.length lines);
+  (* all non-empty lines are equally wide *)
+  let widths =
+    List.filter_map
+      (fun l -> if l = "" then None else Some (String.length l))
+      lines
+  in
+  Alcotest.(check int) "uniform width" 1 (List.length (List.sort_uniq Int.compare widths))
+
+let test_table_formats () =
+  Alcotest.(check string) "f1" "3.5" (Table.f1 3.52);
+  Alcotest.(check string) "fkb" "2.0" (Table.fkb 2048.);
+  Alcotest.(check string) "fmb" "1.5" (Table.fmb (1.5 *. 1024. *. 1024.))
+
+(* ------------------------------------------------------------------ *)
+(* Bwspec *)
+
+let test_bwspec () =
+  let b = Bwspec.make ~total:100. ~up:50. () in
+  Alcotest.(check (float 0.)) "last mile is min" 50. (Bwspec.last_mile b);
+  Alcotest.(check (float 0.)) "unconstrained last mile" infinity
+    (Bwspec.last_mile Bwspec.unconstrained);
+  let a = Bwspec.asymmetric ~up:10. ~down:20. in
+  Alcotest.(check (float 0.)) "asymmetric up" 10. a.Bwspec.up;
+  Alcotest.(check (float 0.)) "asymmetric down" 20. a.Bwspec.down;
+  Alcotest.(check (float 0.)) "total unconstrained" infinity a.Bwspec.total;
+  Alcotest.check_raises "non-positive" (Invalid_argument "Bwspec: up")
+    (fun () -> ignore (Bwspec.make ~up:0. ()))
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "meter",
+        meter_props
+        @ [
+            Alcotest.test_case "window accounting" `Quick test_meter_window;
+            Alcotest.test_case "idle decays to zero" `Quick
+              test_meter_idle_goes_to_zero;
+            Alcotest.test_case "idle_for" `Quick test_meter_idle_for;
+            Alcotest.test_case "lifetime average" `Quick test_meter_average;
+            Alcotest.test_case "reset" `Quick test_meter_reset;
+          ] );
+      ( "descr",
+        cdf_props
+        @ [
+            Alcotest.test_case "summarize" `Quick test_summarize;
+            Alcotest.test_case "percentile" `Quick test_percentile;
+            Alcotest.test_case "cdf" `Quick test_cdf;
+          ] );
+      ( "table",
+        [
+          Alcotest.test_case "alignment" `Quick test_table_render;
+          Alcotest.test_case "number formats" `Quick test_table_formats;
+        ] );
+      ("bwspec", [ Alcotest.test_case "dimensions" `Quick test_bwspec ]);
+    ]

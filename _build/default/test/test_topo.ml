@@ -1,0 +1,170 @@
+(* Tests for topology and workload generators. *)
+
+module Topo = Iov_topo.Topo
+module Planetlab = Iov_topo.Planetlab
+module Bwspec = Iov_core.Bwspec
+module NI = Iov_msg.Node_id
+
+let qtest ?(count = 100) name gen f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen f)
+
+(* ------------------------------------------------------------------ *)
+(* Fixed graphs *)
+
+let test_chain () =
+  let t = Topo.chain ~n:5 in
+  Alcotest.(check int) "5 nodes" 5 (List.length (Topo.names t));
+  Alcotest.(check int) "4 edges" 4 (List.length t.Topo.edges);
+  Alcotest.(check (list string)) "n1 forwards to n2" [ "n2" ]
+    (Topo.downstreams t "n1");
+  Alcotest.(check (list string)) "n5 is the sink" [] (Topo.downstreams t "n5");
+  Alcotest.(check (list string)) "n5's upstream" [ "n4" ]
+    (Topo.upstreams t "n5");
+  Alcotest.check_raises "n >= 2"
+    (Invalid_argument "Topo.chain: need at least two nodes") (fun () ->
+      ignore (Topo.chain ~n:1))
+
+let test_fig6_shape () =
+  let t = Topo.fig6 () in
+  Alcotest.(check int) "7 nodes" 7 (List.length (Topo.names t));
+  Alcotest.(check int) "8 edges" 8 (List.length t.Topo.edges);
+  Alcotest.(check (list string)) "A's downstreams" [ "B"; "C" ]
+    (Topo.downstreams t "A");
+  Alcotest.(check (list string)) "D's upstreams" [ "B"; "C" ]
+    (Topo.upstreams t "D");
+  (* A's cap is the paper's 400 KBps *)
+  let a = Topo.spec t "A" in
+  Alcotest.(check (float 1.)) "A capped" (400. *. 1024.)
+    (Bwspec.last_mile a.Topo.bw);
+  (* F remains reachable without B (the Fig. 6(d) property) *)
+  Alcotest.(check bool) "E->F exists" true
+    (List.mem ("E", "F") t.Topo.edges)
+
+let test_fig8_shape () =
+  let t = Topo.fig8 () in
+  Alcotest.(check int) "9 edges" 9 (List.length t.Topo.edges);
+  Alcotest.(check bool) "C reaches G natively" true
+    (List.mem ("C", "G") t.Topo.edges)
+
+let test_fig9_caps () =
+  let t = Topo.fig9 () in
+  Alcotest.(check int) "5 nodes" 5 (List.length (Topo.names t));
+  Alcotest.(check int) "no prebuilt edges" 0 (List.length t.Topo.edges);
+  let cap name = Bwspec.last_mile (Topo.spec t name).Topo.bw /. 1024. in
+  List.iter
+    (fun (name, expect) ->
+      Alcotest.(check (float 0.1)) (name ^ " cap") expect (cap name))
+    [ ("S", 200.); ("A", 500.); ("B", 100.); ("C", 200.); ("D", 100.) ]
+
+let test_name_lookup () =
+  let t = Topo.fig6 () in
+  let a = Topo.node t "A" in
+  Alcotest.(check string) "name_of inverts node" "A" (Topo.name_of t a);
+  Alcotest.check_raises "unknown name" Not_found (fun () ->
+      ignore (Topo.node t "Z"))
+
+(* ------------------------------------------------------------------ *)
+(* Random graphs *)
+
+let random_graph_props =
+  [
+    qtest "ids are distinct" (QCheck.int_range 2 40) (fun n ->
+        let t = Topo.random_graph ~n ~degree:2 () in
+        let ids = List.map (fun name -> Topo.node t name) (Topo.names t) in
+        List.length (List.sort_uniq NI.compare ids) = n);
+    qtest "contains the connectivity ring" (QCheck.int_range 2 30) (fun n ->
+        QCheck.assume (n >= 2);
+        let t = Topo.random_graph ~n ~degree:2 () in
+        List.for_all
+          (fun i ->
+            List.mem
+              ( Printf.sprintf "n%d" (i + 1),
+                Printf.sprintf "n%d" (((i + 1) mod n) + 1) )
+              t.Topo.edges)
+          (List.init n (fun i -> i)));
+    qtest "no self loops" (QCheck.int_range 2 30) (fun n ->
+        let t = Topo.random_graph ~n ~degree:3 () in
+        List.for_all (fun (a, b) -> a <> b) t.Topo.edges);
+    qtest "deterministic under seed" (QCheck.int_range 2 20) (fun n ->
+        Topo.random_graph ~seed:9 ~n ~degree:2 ()
+        = Topo.random_graph ~seed:9 ~n ~degree:2 ());
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Synthetic PlanetLab *)
+
+let test_pl_generation () =
+  let pl = Planetlab.generate ~n:40 () in
+  Alcotest.(check int) "40 nodes" 40 (List.length (Planetlab.nodes pl));
+  Alcotest.(check int) "ids list" 40 (List.length (Planetlab.ids pl));
+  (* caps within the paper's uniform range *)
+  List.iter
+    (fun nd ->
+      let c = Bwspec.last_mile nd.Planetlab.bw /. 1024. in
+      if c < 50. || c > 200. then
+        Alcotest.failf "cap %.1f outside [50,200]" c)
+    (Planetlab.nodes pl)
+
+let test_pl_latency_properties () =
+  let pl = Planetlab.generate ~n:32 () in
+  let ids = Planetlab.ids pl in
+  let a = List.nth ids 0 and b = List.nth ids 5 in
+  let lat = Planetlab.latency pl a b in
+  Alcotest.(check bool) "positive" true (lat > 0.);
+  Alcotest.(check bool) "symmetric" true (Planetlab.latency pl b a = lat);
+  Alcotest.(check bool) "wide-area scale (under 300ms)" true (lat < 0.3);
+  (* same-site nodes get the LAN floor; cross-continental pairs are
+     slower than same-continent ones on average *)
+  Alcotest.(check (float 0.)) "unknown default" 0.04
+    (Planetlab.latency pl (NI.synthetic 9999) a)
+
+let test_pl_distance () =
+  let site name lat lon =
+    { Planetlab.site_name = name; lat; lon }
+  in
+  let toronto = site "t" 43.66 (-79.40) in
+  let tokyo = site "k" 35.71 139.76 in
+  let d = Planetlab.distance_km toronto tokyo in
+  (* great-circle Toronto-Tokyo is ~10,300 km *)
+  Alcotest.(check bool) "plausible distance" true (d > 9500. && d < 11500.);
+  Alcotest.(check (float 0.001)) "zero to self" 0.
+    (Planetlab.distance_km toronto toronto)
+
+let test_pl_determinism () =
+  let p1 = Planetlab.generate ~seed:4 ~n:10 () in
+  let p2 = Planetlab.generate ~seed:4 ~n:10 () in
+  List.iter2
+    (fun a b ->
+      Alcotest.(check bool) "same ids" true
+        (NI.equal a.Planetlab.nid b.Planetlab.nid);
+      Alcotest.(check (float 0.)) "same caps"
+        (Bwspec.last_mile a.Planetlab.bw)
+        (Bwspec.last_mile b.Planetlab.bw))
+    (Planetlab.nodes p1) (Planetlab.nodes p2)
+
+let test_pl_validation () =
+  Alcotest.check_raises "n > 0" (Invalid_argument "Planetlab.generate: n")
+    (fun () -> ignore (Planetlab.generate ~n:0 ()))
+
+let () =
+  Alcotest.run "topo"
+    [
+      ( "fixed",
+        [
+          Alcotest.test_case "chain" `Quick test_chain;
+          Alcotest.test_case "fig6 graph" `Quick test_fig6_shape;
+          Alcotest.test_case "fig8 graph" `Quick test_fig8_shape;
+          Alcotest.test_case "fig9 caps" `Quick test_fig9_caps;
+          Alcotest.test_case "name lookup" `Quick test_name_lookup;
+        ] );
+      ("random", random_graph_props);
+      ( "planetlab",
+        [
+          Alcotest.test_case "generation" `Quick test_pl_generation;
+          Alcotest.test_case "latency model" `Quick
+            test_pl_latency_properties;
+          Alcotest.test_case "great-circle distance" `Quick test_pl_distance;
+          Alcotest.test_case "determinism" `Quick test_pl_determinism;
+          Alcotest.test_case "validation" `Quick test_pl_validation;
+        ] );
+    ]

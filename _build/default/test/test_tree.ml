@@ -1,0 +1,314 @@
+(* Tests for the tree-construction algorithms. *)
+
+module Network = Iov_core.Network
+module Bwspec = Iov_core.Bwspec
+module Tree = Iov_algos.Tree
+module Observer = Iov_observer.Observer
+module NI = Iov_msg.Node_id
+
+let kbps x = x *. 1024.
+let app = 7
+
+(* Build a session over n nodes with the given caps (KBps); node 0 is
+   the source; joins proceed in the given order of indices. *)
+let build ?(seed = 42) ?(rejoin = false) ~strategy ~caps ~join_order () =
+  let net = Network.create ~seed ~buffer_capacity:2000 () in
+  let obs = Observer.create ~boot_subset:16 net in
+  let members =
+    List.mapi
+      (fun i cap ->
+        let bw = Bwspec.total_only (kbps cap) in
+        let t =
+          Tree.create ~strategy ~last_mile:(Bwspec.last_mile bw) ~app ~rejoin
+            ()
+        in
+        ignore
+          (Network.add_node net ~bw ~observer:(Observer.id obs)
+             ~id:(NI.synthetic (i + 1)) (Tree.algorithm t));
+        t)
+      caps
+  in
+  let sim = Network.sim net in
+  ignore
+    (Iov_dsim.Sim.schedule_at sim ~time:1.0 (fun () ->
+         Observer.deploy_source obs (NI.synthetic 1) ~app));
+  List.iteri
+    (fun k idx ->
+      ignore
+        (Iov_dsim.Sim.schedule_at sim
+           ~time:(3.0 +. (3.0 *. float_of_int k))
+           (fun () -> Observer.join obs (NI.synthetic (idx + 1)) ~app)))
+    join_order;
+  Network.run net ~until:(6.0 +. (3.0 *. float_of_int (List.length join_order)));
+  (net, obs, members)
+
+let fig9_caps = [ 200.; 500.; 100.; 200.; 100. ] (* S A B C D *)
+let fig9_order = [ 4; 1; 3; 2 ] (* D, A, C, B *)
+
+let all_joined members =
+  List.for_all Tree.in_session members
+
+(* the member graph is a tree rooted at the source: each non-source
+   member has exactly one parent, and parent/child views agree *)
+let check_tree_consistent members =
+  let by_id =
+    List.mapi (fun i t -> (NI.synthetic (i + 1), t)) members
+  in
+  List.iteri
+    (fun i t ->
+      let self = NI.synthetic (i + 1) in
+      (match Tree.parent t with
+      | Some p -> (
+        match List.assoc_opt p by_id with
+        | Some pt ->
+          Alcotest.(check bool)
+            (Printf.sprintf "parent %s lists child" (NI.to_string p))
+            true
+            (List.exists (NI.equal self) (Tree.children pt))
+        | None -> Alcotest.fail "parent not a member")
+      | None ->
+        if Tree.in_session t then
+          Alcotest.(check bool) "only source lacks parent" true
+            (Tree.is_source t));
+      List.iter
+        (fun c ->
+          match List.assoc_opt c by_id with
+          | Some ct ->
+            Alcotest.(check bool) "child's parent is me" true
+              (match Tree.parent ct with
+              | Some p -> NI.equal p self
+              | None -> false)
+          | None -> Alcotest.fail "child not a member")
+        (Tree.children t))
+    members
+
+let no_cycles members =
+  let by_id = List.mapi (fun i t -> (NI.synthetic (i + 1), t)) members in
+  List.iteri
+    (fun i t ->
+      ignore t;
+      let rec climb seen ni =
+        if List.exists (NI.equal ni) seen then
+          Alcotest.fail "cycle through parents"
+        else
+          match List.assoc_opt ni by_id with
+          | Some t -> (
+            match Tree.parent t with
+            | Some p -> climb (ni :: seen) p
+            | None -> ())
+          | None -> ()
+      in
+      climb [] (NI.synthetic (i + 1)))
+    members
+
+let test_unicast_star () =
+  let _, _, members =
+    build ~strategy:Tree.Unicast ~caps:fig9_caps ~join_order:fig9_order ()
+  in
+  Alcotest.(check bool) "all joined" true (all_joined members);
+  let source = List.hd members in
+  Alcotest.(check int) "source has all receivers as children" 4
+    (List.length (Tree.children source));
+  check_tree_consistent members;
+  Alcotest.(check (float 1e-9)) "source stress (Table 3)" 2.0
+    (Tree.stress source)
+
+let test_ns_aware_balances () =
+  let _, _, members =
+    build ~strategy:Tree.Ns_aware ~caps:fig9_caps ~join_order:fig9_order ()
+  in
+  Alcotest.(check bool) "all joined" true (all_joined members);
+  check_tree_consistent members;
+  no_cycles members;
+  let source = List.hd members in
+  (* ns-aware offloads: the source must NOT adopt all four receivers *)
+  Alcotest.(check bool) "source not a star" true
+    (List.length (Tree.children source) < 4);
+  (* A (500 KBps) is the least-stressed node and attracts children *)
+  let a = List.nth members 1 in
+  Alcotest.(check bool) "high-capacity node serves" true
+    (List.length (Tree.children a) >= 1)
+
+let test_random_joins_all () =
+  let _, _, members =
+    build ~seed:3 ~strategy:Tree.Random ~caps:fig9_caps ~join_order:fig9_order
+      ()
+  in
+  Alcotest.(check bool) "all joined" true (all_joined members);
+  check_tree_consistent members;
+  no_cycles members
+
+let test_data_flows_down_tree () =
+  let net, _, members =
+    build ~strategy:Tree.Ns_aware ~caps:fig9_caps ~join_order:fig9_order ()
+  in
+  Network.run net ~until:30.;
+  List.iteri
+    (fun i t ->
+      if i > 0 && Tree.in_session t then
+        Alcotest.(check bool)
+          (Printf.sprintf "member %d receives" i)
+          true
+          (Network.app_bytes net (NI.synthetic (i + 1)) ~app > 0))
+    members
+
+let test_stress_definition () =
+  let t = Tree.create ~strategy:Tree.Ns_aware ~last_mile:(kbps 200.) ~app () in
+  Alcotest.(check (float 1e-9)) "no membership, zero stress" 0. (Tree.stress t);
+  Alcotest.(check int) "degree zero" 0 (Tree.degree t)
+
+let test_leave_dissolves_subtree () =
+  let net, obs, members =
+    build ~strategy:Tree.Unicast ~caps:fig9_caps ~join_order:fig9_order ()
+  in
+  (* everyone is a direct child of S; tell B (index 2) to leave *)
+  Observer.leave obs (NI.synthetic 3) ~app;
+  Network.run net ~until:40.;
+  let b = List.nth members 2 in
+  Alcotest.(check bool) "left the session" false (Tree.in_session b);
+  let source = List.hd members in
+  Network.run net ~until:45.;
+  Alcotest.(check bool) "source keeps serving others" true
+    (List.length (Tree.children source) >= 3)
+
+let test_parent_failure_dissolves () =
+  let net, _, members =
+    build ~strategy:Tree.Ns_aware ~caps:fig9_caps ~join_order:fig9_order ()
+  in
+  (* find a member that has children and kill it *)
+  let victim =
+    List.mapi (fun i t -> (i, t)) members
+    |> List.find_opt (fun (i, t) -> i > 0 && Tree.children t <> [])
+  in
+  match victim with
+  | None -> Alcotest.fail "expected an interior node"
+  | Some (i, t) ->
+    let orphans = Tree.children t in
+    Network.terminate net (NI.synthetic (i + 1));
+    Network.run net ~until:60.;
+    List.iter
+      (fun o ->
+        let idx = ref (-1) in
+        List.iteri
+          (fun j _ -> if NI.equal (NI.synthetic (j + 1)) o then idx := j)
+          members;
+        let ot = List.nth members !idx in
+        Alcotest.(check bool) "orphan dissolved or reparented" true
+          ((not (Tree.in_session ot))
+          ||
+          match Tree.parent ot with
+          | Some p -> not (NI.equal p (NI.synthetic (i + 1)))
+          | None -> false))
+      orphans
+
+let test_session_source_announced () =
+  let _, _, members =
+    build ~strategy:Tree.Unicast ~caps:fig9_caps ~join_order:fig9_order ()
+  in
+  List.iteri
+    (fun i t ->
+      if i > 0 then
+        Alcotest.(check bool)
+          (Printf.sprintf "member %d knows the source" i)
+          true
+          (match Tree.session_source t with
+          | Some s -> NI.equal s (NI.synthetic 1)
+          | None -> false))
+    members
+
+let test_rejoin_after_failure () =
+  let net, _, members =
+    build ~rejoin:true ~strategy:Tree.Ns_aware ~caps:fig9_caps
+      ~join_order:fig9_order ()
+  in
+  (* kill an interior member; its orphans must re-enter the session *)
+  let victim =
+    List.mapi (fun i t -> (i, t)) members
+    |> List.find_opt (fun (i, t) -> i > 0 && Tree.children t <> [])
+  in
+  match victim with
+  | None -> Alcotest.fail "expected an interior node"
+  | Some (vi, vt) ->
+    let orphans = Tree.children vt in
+    Alcotest.(check bool) "has orphans" true (orphans <> []);
+    Network.terminate net (NI.synthetic (vi + 1));
+    Network.run net ~until:90.;
+    List.iteri
+      (fun i t ->
+        if i <> vi && i > 0 then begin
+          Alcotest.(check bool)
+            (Printf.sprintf "member %d back in session" i)
+            true (Tree.in_session t);
+          (match Tree.parent t with
+          | Some p ->
+            Alcotest.(check bool) "not parented to the dead node" false
+              (NI.equal p (NI.synthetic (vi + 1)))
+          | None -> ())
+        end)
+      members;
+    let total_rejoins =
+      List.fold_left (fun acc t -> acc + Tree.rejoins t) 0 members
+    in
+    Alcotest.(check bool) "rejoin events recorded" true (total_rejoins >= 1)
+
+let test_nonmembers_relay_queries () =
+  (* random strategy never anchors at the source, so join queries must
+     gossip through non-members to reach the tree *)
+  let caps = List.init 10 (fun _ -> 150.) in
+  let order = [ 9 ] (* only the last node joins *) in
+  let _, _, members = build ~strategy:Tree.Random ~caps ~join_order:order () in
+  Alcotest.(check bool) "joiner made it" true
+    (Tree.in_session (List.nth members 9));
+  let relays =
+    List.fold_left (fun acc t -> acc + Tree.queries_relayed t) 0 members
+  in
+  Alcotest.(check bool) "gossip relays occurred" true (relays >= 0)
+
+let test_strategy_names () =
+  Alcotest.(check string) "unicast" "unicast" (Tree.strategy_name Tree.Unicast);
+  Alcotest.(check string) "random" "random" (Tree.strategy_name Tree.Random);
+  Alcotest.(check string) "ns-aware" "ns-aware"
+    (Tree.strategy_name Tree.Ns_aware)
+
+let test_larger_session () =
+  (* 12 nodes with mixed capacity all manage to join under ns-aware *)
+  let caps = [ 100.; 200.; 50.; 150.; 80.; 120.; 60.; 90.; 180.; 70.; 110.; 130. ] in
+  let order = List.init 11 (fun i -> i + 1) in
+  let _, _, members =
+    build ~strategy:Tree.Ns_aware ~caps ~join_order:order ()
+  in
+  Alcotest.(check bool) "all twelve joined" true (all_joined members);
+  check_tree_consistent members;
+  no_cycles members
+
+let () =
+  Alcotest.run "tree"
+    [
+      ( "construction",
+        [
+          Alcotest.test_case "unicast builds a star" `Quick test_unicast_star;
+          Alcotest.test_case "ns-aware balances" `Quick test_ns_aware_balances;
+          Alcotest.test_case "random joins everyone" `Quick
+            test_random_joins_all;
+          Alcotest.test_case "larger session" `Quick test_larger_session;
+        ] );
+      ( "data",
+        [
+          Alcotest.test_case "data flows down" `Quick test_data_flows_down_tree;
+          Alcotest.test_case "source announced" `Quick
+            test_session_source_announced;
+        ] );
+      ( "membership",
+        [
+          Alcotest.test_case "stress definition" `Quick test_stress_definition;
+          Alcotest.test_case "leave dissolves subtree" `Quick
+            test_leave_dissolves_subtree;
+          Alcotest.test_case "parent failure dissolves" `Quick
+            test_parent_failure_dissolves;
+          Alcotest.test_case "rejoin after failure" `Quick
+            test_rejoin_after_failure;
+          Alcotest.test_case "non-members relay queries" `Quick
+            test_nonmembers_relay_queries;
+          Alcotest.test_case "strategy names" `Quick test_strategy_names;
+        ] );
+    ]
