@@ -1,0 +1,24 @@
+.PHONY: all build test bench check fmt
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe -- micro --json
+
+fmt:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+		dune build @fmt; \
+	else \
+		echo "ocamlformat not installed; skipping format check"; \
+	fi
+
+# One-command CI gate: format check (if available), full build, all tests.
+check: fmt
+	dune build @all
+	dune runtest

@@ -47,12 +47,26 @@ let bench_gf_mul =
   Test.make ~name:"gf256/mul" (Staged.stage (fun () ->
       ignore (Gf.mul 173 92)))
 
+(* scalar multiplication across all 256 operand values: exercises the
+   flat multiplication table including the x = 0 rows *)
+let bench_gf_mul_table =
+  Test.make ~name:"gf256/mul-table" (Staged.stage (fun () ->
+      let acc = ref 0 in
+      for x = 0 to 255 do
+        acc := !acc lxor Gf.mul 173 x
+      done;
+      ignore !acc))
+
 let gf_vec_a = Bytes.make 5120 'a'
 let gf_vec_acc = Bytes.make 5120 'b'
 
 let bench_gf_axpy =
   Test.make ~name:"gf256/axpy-5KB" (Staged.stage (fun () ->
       Gf.axpy ~acc:gf_vec_acc ~coeff:7 gf_vec_a))
+
+let bench_gf_axpy1 =
+  Test.make ~name:"gf256/axpy1-5KB" (Staged.stage (fun () ->
+      Gf.axpy ~acc:gf_vec_acc ~coeff:1 gf_vec_a))
 
 let decode_input =
   let sources = Array.init 4 (fun i -> Bytes.make 1024 (Char.chr (65 + i))) in
@@ -63,6 +77,33 @@ let decode_input =
 let bench_linear_decode =
   Test.make ~name:"linear/decode-4x1KB" (Staged.stage (fun () ->
       ignore (Linear.decode decode_input)))
+
+(* a full generation through the one-packet-at-a-time decoder: 16
+   sources of 4 KB, a full-rank Vandermonde-style coefficient matrix,
+   plus one dependent and one duplicate packet mixed in (the traffic a
+   receiving overlay node actually sees) *)
+let incr_decode_input =
+  let k = 16 in
+  let sources = Array.init k (fun i -> Bytes.make 4096 (Char.chr (33 + i))) in
+  let packets =
+    List.init k (fun i ->
+        let coeffs = Array.init k (fun j -> Gf.pow (i + 2) j) in
+        Linear.encode ~coeffs sources)
+  in
+  match packets with
+  | first :: _ ->
+    (* a linear combination of the first two, then an exact duplicate *)
+    let dep = Linear.combine [ (3, List.nth packets 0); (5, List.nth packets 1) ] in
+    (k, List.concat [ [ first; dep; first ]; List.tl packets ])
+  | [] -> assert false
+
+let bench_incremental_decode =
+  Test.make ~name:"linear/incremental-decode-16x4KB"
+    (Staged.stage (fun () ->
+         let k, packets = incr_decode_input in
+         let d = Linear.Decoder.create ~k in
+         List.iter (fun p -> ignore (Linear.Decoder.add d p)) packets;
+         assert (Linear.Decoder.complete d)))
 
 let bench_cqueue =
   Test.make ~name:"cqueue/push-pop"
@@ -106,19 +147,72 @@ let bench_switch_hop =
               Iov_core.Algorithm.null);
          Iov_core.Network.run net ~until:1.))
 
+(* a simulated second of one switch fanning every message out to eight
+   sinks: the switched message must share its payload across all eight
+   out-links, so the per-destination cost is queueing, not copying *)
+let bench_fanout_8way =
+  Test.make ~name:"engine/fanout-8way"
+    (Staged.stage (fun () ->
+         let net = Iov_core.Network.create () in
+         let sinks = List.init 8 (fun i -> NI.synthetic (10 + i)) in
+         let src =
+           Iov_algos.Source.create ~payload_size:1024 ~app:1
+             ~dests:[ NI.synthetic 2 ] ()
+         in
+         ignore
+           (Iov_core.Network.add_node net ~id:(NI.synthetic 1)
+              (Iov_algos.Source.algorithm src));
+         let f = Iov_algos.Flood.create () in
+         Iov_algos.Flood.set_route f ~app:1
+           ~upstreams:[ NI.synthetic 1 ]
+           ~downstreams:sinks ();
+         ignore
+           (Iov_core.Network.add_node net ~id:(NI.synthetic 2)
+              (Iov_algos.Flood.algorithm f));
+         List.iter
+           (fun s ->
+             ignore (Iov_core.Network.add_node net ~id:s Iov_core.Algorithm.null))
+           sinks;
+         Iov_core.Network.run net ~until:1.))
+
 let micro_tests =
   [
     bench_codec_encode;
     bench_codec_decode;
     bench_gf_mul;
+    bench_gf_mul_table;
     bench_gf_axpy;
+    bench_gf_axpy1;
     bench_linear_decode;
+    bench_incremental_decode;
     bench_cqueue;
     bench_heap;
     bench_switch_hop;
+    bench_fanout_8way;
   ]
 
-let run_micro () =
+let json_file = "BENCH_micro.json"
+
+(* Machine-readable perf trajectory: one ns/run estimate per benchmark,
+   written only under [-- micro --json] so ad-hoc runs do not clobber
+   the committed numbers. *)
+let write_json rows =
+  let oc = open_out json_file in
+  let fmt = Printf.fprintf in
+  fmt oc "{\n  \"unit\": \"ns/run\",\n  \"benchmarks\": {\n";
+  let n = List.length rows in
+  List.iteri
+    (fun i (name, est) ->
+      let sep = if i = n - 1 then "" else "," in
+      match est with
+      | Some e -> fmt oc "    %S: %.1f%s\n" name e sep
+      | None -> fmt oc "    %S: null%s\n" name sep)
+    rows;
+  fmt oc "  }\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s (%d benchmarks)\n" json_file n
+
+let run_micro ~json () =
   print_endline "== micro-benchmarks (Bechamel) ==";
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
@@ -130,12 +224,21 @@ let run_micro () =
       Instance.monotonic_clock raw
   in
   let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
+  let rows =
+    List.map
+      (fun (name, result) ->
+        match Analyze.OLS.estimates result with
+        | Some [ est ] -> (name, Some est)
+        | Some _ | None -> (name, None))
+      (List.sort (fun (a, _) (b, _) -> String.compare a b) rows)
+  in
   List.iter
-    (fun (name, result) ->
-      match Analyze.OLS.estimates result with
-      | Some [ est ] -> Printf.printf "  %-32s %12.1f ns/run\n" name est
-      | Some _ | None -> Printf.printf "  %-32s (no estimate)\n" name)
-    (List.sort (fun (a, _) (b, _) -> String.compare a b) rows);
+    (fun (name, est) ->
+      match est with
+      | Some est -> Printf.printf "  %-36s %12.1f ns/run\n" name est
+      | None -> Printf.printf "  %-36s (no estimate)\n" name)
+    rows;
+  if json then write_json rows;
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
@@ -171,13 +274,22 @@ let run_paper ~quick =
   Iov_exp.Ablations.run_all ()
 
 let () =
-  let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let args = Array.to_list Sys.argv in
+  let json = List.mem "--json" args in
+  let mode =
+    match List.filter (fun a -> a <> "--json") (List.tl args) with
+    | m :: _ -> m
+    | [] -> "all"
+  in
   match mode with
-  | "micro" -> run_micro ()
+  | "micro" -> run_micro ~json ()
   | "paper" -> run_paper ~quick:false
   | "quick" ->
-    run_micro ();
+    run_micro ~json ();
     run_paper ~quick:true
-  | "all" | _ ->
-    run_micro ();
+  | "all" ->
+    run_micro ~json ();
     run_paper ~quick:false
+  | m ->
+    Printf.eprintf "unknown mode %S (expected micro | paper | quick | all)\n" m;
+    exit 2

@@ -163,7 +163,7 @@ module Router = struct
         (fun n ->
           match except with
           | Some e when NI.equal e n -> ()
-          | Some _ | None -> ctx.send (Msg.clone m) n)
+          | Some _ | None -> ctx.send (Msg.share m) n)
         t.neighbors
     end
 

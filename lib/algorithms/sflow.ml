@@ -206,7 +206,7 @@ let send_aware (ctx : Alg.ctx) ~inst ~ty ~bw ~ttl targets =
     Msg.control ~mtype:Mt.S_aware ~origin:ctx.self
       (aware_payload ~inst ~ty ~bw ~ttl)
   in
-  List.iter (fun h -> ctx.send (Msg.clone m) h) targets
+  List.iter (fun h -> ctx.send (Msg.share m) h) targets
 
 (* Announce to every known host not yet notified. Called at assignment
    and again on each engine tick, so awareness spreads to hosts learned

@@ -263,7 +263,7 @@ let send_stress t (ctx : Alg.ctx) =
         ~mtype:(Mt.Custom stress_kind)
         ~origin:ctx.self ~app:t.app (Wire.W.contents w)
     in
-    List.iter (fun p -> ctx.send (Msg.clone m) p) peers
+    List.iter (fun p -> ctx.send (Msg.share m) p) peers
   end
 
 (* ------------------------------------------------------------------ *)

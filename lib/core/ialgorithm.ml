@@ -33,7 +33,7 @@ let disseminate (ctx : Algorithm.ctx) ?(p = 1.0) m hosts =
   List.iter
     (fun h ->
       if p >= 1.0 || Random.State.float ctx.rng 1.0 < p then begin
-        ctx.send (Msg.clone m) h;
+        ctx.send (Msg.share m) h;
         incr sent
       end)
     hosts;

@@ -264,22 +264,24 @@ and pump_link l =
           l.reserved_slots <- l.reserved_slots + 1;
           let size = float_of_int (Msg.size m) in
           let src = l.l_src and dst = l.l_dst in
-          let resources =
-            [ l.cap; src.up_rsrc; src.total_rsrc; dst.down_rsrc;
-              dst.total_rsrc ]
-          in
           (* book each constraint independently; the bytes clear the
              link when the slowest constraint finishes. Unaligned
              booking keeps every rate server fully utilized — a slow
              peer queues at its own resource without fragmenting the
-             sender's budget. *)
+             sender's budget. Booked as a straight chain: this runs
+             once per transmission, so no list is allocated. *)
           let now = Sim.now t.sim in
+          let reserve acc r =
+            let _, fin = Rsrc.reserve r ~now ~cost:size in
+            Float.max acc fin
+          in
           let finish =
-            List.fold_left
-              (fun acc r ->
-                let _, fin = Rsrc.reserve r ~now ~cost:size in
-                Float.max acc fin)
-              now resources
+            reserve
+              (reserve
+                 (reserve (reserve (reserve now l.cap) src.up_rsrc)
+                    src.total_rsrc)
+                 dst.down_rsrc)
+              dst.total_rsrc
           in
           let arrival = finish +. l.l_latency in
           ignore
@@ -532,6 +534,12 @@ and close_in_link n l =
   | None -> ());
   l.pending_fanout <- None
 
+(* Fan a switched message out to every destination. The same message
+   value — and therefore the same payload bytes — is enqueued on every
+   out-link by reference; the engine's ownership rule (payloads are
+   immutable after construction) makes the sharing safe, so an 8-way
+   fanout costs eight queue slots, not eight copies. When every
+   enqueue succeeds the filter keeps nothing and allocates nothing. *)
 and do_fanout n in_l m dests =
   let remaining =
     List.filter (fun dst -> not (try_enqueue_data n m dst)) dests

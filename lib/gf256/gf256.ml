@@ -26,11 +26,29 @@ let exp_tbl, log_tbl =
   done;
   (exp, log)
 
+(* Flat 64 KiB multiplication table: byte [(a lsl 8) lor b] holds
+   [a * b]. One unconditional lookup replaces the zero test plus two
+   log lookups of the log/exp formulation; row [c] (the 256 bytes at
+   offset [c lsl 8]) is the per-coefficient product row used by the
+   byte-vector kernels below. *)
+let mul_tbl =
+  let t = Bytes.make 65536 '\000' in
+  for a = 1 to 255 do
+    let base = a lsl 8 in
+    let la = log_tbl.(a) in
+    for b = 1 to 255 do
+      Bytes.unsafe_set t (base lor b) (Char.unsafe_chr exp_tbl.(la + log_tbl.(b)))
+    done
+  done;
+  t
+
 let add a b = a lxor b
 let sub = add
 
 let mul a b =
-  if a = 0 || b = 0 then 0 else exp_tbl.(log_tbl.(a) + log_tbl.(b))
+  if (a lor b) land -256 <> 0 then
+    invalid_arg "Gf256.mul: not a field element";
+  Char.code (Bytes.unsafe_get mul_tbl ((a lsl 8) lor b))
 
 let inv a =
   if a = 0 then raise Division_by_zero else exp_tbl.(255 - log_tbl.(a))
@@ -49,48 +67,108 @@ let pow a k =
 let exp_table () = Array.sub exp_tbl 0 255
 let log_table () = Array.copy log_tbl
 
+let check_coeff fn c =
+  if c land -256 <> 0 then invalid_arg ("Gf256." ^ fn ^ ": coefficient")
+
+(* [dst.(i) <- dst.(i) xor src.(i)] for [n] bytes, eight at a time.
+   [get_int64_ne]/[set_int64_ne] handle unaligned access, so only the
+   sub-word tail falls back to byte ops. *)
+let xor_into dst src n =
+  let words = n lsr 3 in
+  for w = 0 to words - 1 do
+    let off = w lsl 3 in
+    Bytes.set_int64_ne dst off
+      (Int64.logxor (Bytes.get_int64_ne dst off) (Bytes.get_int64_ne src off))
+  done;
+  for i = words lsl 3 to n - 1 do
+    Bytes.unsafe_set dst i
+      (Char.unsafe_chr
+         (Char.code (Bytes.unsafe_get dst i)
+         lxor Char.code (Bytes.unsafe_get src i)))
+  done
+
+(* The multiplying kernels stream [src] through the product row of the
+   coefficient, composing four product bytes into one 32-bit word per
+   store. The 4× unroll matters: the loop is table-lookup bound, and
+   per-byte stores cost as much as the lookups themselves. The two
+   variants (overwrite vs. xor-accumulate) are spelled out rather than
+   parameterized so the hot loops stay free of indirect calls. *)
+let mul_row_replace ~row ~src ~dst n =
+  let quads = n lsr 2 in
+  for q = 0 to quads - 1 do
+    let i = q lsl 2 in
+    let y0 =
+      Char.code (Bytes.unsafe_get mul_tbl (row lor Char.code (Bytes.unsafe_get src i)))
+    and y1 =
+      Char.code
+        (Bytes.unsafe_get mul_tbl (row lor Char.code (Bytes.unsafe_get src (i + 1))))
+    and y2 =
+      Char.code
+        (Bytes.unsafe_get mul_tbl (row lor Char.code (Bytes.unsafe_get src (i + 2))))
+    and y3 =
+      Char.code
+        (Bytes.unsafe_get mul_tbl (row lor Char.code (Bytes.unsafe_get src (i + 3))))
+    in
+    let w = y0 lor (y1 lsl 8) lor (y2 lsl 16) lor (y3 lsl 24) in
+    Bytes.set_int32_le dst i (Int32.of_int w)
+  done;
+  for i = quads lsl 2 to n - 1 do
+    Bytes.unsafe_set dst i
+      (Bytes.unsafe_get mul_tbl (row lor Char.code (Bytes.unsafe_get src i)))
+  done
+
+let mul_row_xor ~row ~src ~dst n =
+  let quads = n lsr 2 in
+  for q = 0 to quads - 1 do
+    let i = q lsl 2 in
+    let y0 =
+      Char.code (Bytes.unsafe_get mul_tbl (row lor Char.code (Bytes.unsafe_get src i)))
+    and y1 =
+      Char.code
+        (Bytes.unsafe_get mul_tbl (row lor Char.code (Bytes.unsafe_get src (i + 1))))
+    and y2 =
+      Char.code
+        (Bytes.unsafe_get mul_tbl (row lor Char.code (Bytes.unsafe_get src (i + 2))))
+    and y3 =
+      Char.code
+        (Bytes.unsafe_get mul_tbl (row lor Char.code (Bytes.unsafe_get src (i + 3))))
+    in
+    let w = y0 lor (y1 lsl 8) lor (y2 lsl 16) lor (y3 lsl 24) in
+    Bytes.set_int32_le dst i (Int32.logxor (Bytes.get_int32_le dst i) (Int32.of_int w))
+  done;
+  for i = quads lsl 2 to n - 1 do
+    let y = Bytes.unsafe_get mul_tbl (row lor Char.code (Bytes.unsafe_get src i)) in
+    Bytes.unsafe_set dst i
+      (Char.unsafe_chr (Char.code (Bytes.unsafe_get dst i) lxor Char.code y))
+  done
+
 let mul_bytes c v =
+  check_coeff "mul_bytes" c;
   let n = Bytes.length v in
-  let out = Bytes.create n in
-  if c = 0 then Bytes.fill out 0 n '\000'
-  else if c = 1 then Bytes.blit v 0 out 0 n
+  if c = 0 then Bytes.make n '\000'
+  else if c = 1 then Bytes.copy v
   else begin
-    let lc = log_tbl.(c) in
-    for i = 0 to n - 1 do
-      let x = Char.code (Bytes.unsafe_get v i) in
-      let y = if x = 0 then 0 else exp_tbl.(lc + log_tbl.(x)) in
-      Bytes.unsafe_set out i (Char.unsafe_chr y)
-    done
-  end;
-  out
+    let out = Bytes.create n in
+    mul_row_replace ~row:(c lsl 8) ~src:v ~dst:out n;
+    out
+  end
+
+let scale_bytes c v =
+  check_coeff "scale_bytes" c;
+  let n = Bytes.length v in
+  if c = 0 then Bytes.fill v 0 n '\000'
+  else if c <> 1 then mul_row_replace ~row:(c lsl 8) ~src:v ~dst:v n
 
 let axpy ~acc ~coeff v =
+  check_coeff "axpy" coeff;
   let n = Bytes.length v in
   if Bytes.length acc <> n then invalid_arg "Gf256.axpy: length mismatch";
-  if coeff <> 0 then
-    if coeff = 1 then
-      for i = 0 to n - 1 do
-        let a = Char.code (Bytes.unsafe_get acc i) in
-        let x = Char.code (Bytes.unsafe_get v i) in
-        Bytes.unsafe_set acc i (Char.unsafe_chr (a lxor x))
-      done
-    else begin
-      let lc = log_tbl.(coeff) in
-      for i = 0 to n - 1 do
-        let a = Char.code (Bytes.unsafe_get acc i) in
-        let x = Char.code (Bytes.unsafe_get v i) in
-        let y = if x = 0 then 0 else exp_tbl.(lc + log_tbl.(x)) in
-        Bytes.unsafe_set acc i (Char.unsafe_chr (a lxor y))
-      done
-    end
+  if coeff = 1 then xor_into acc v n
+  else if coeff <> 0 then mul_row_xor ~row:(coeff lsl 8) ~src:v ~dst:acc n
 
 let add_bytes a b =
   let n = Bytes.length a in
   if Bytes.length b <> n then invalid_arg "Gf256.add_bytes: length mismatch";
-  let out = Bytes.create n in
-  for i = 0 to n - 1 do
-    let x = Char.code (Bytes.unsafe_get a i) in
-    let y = Char.code (Bytes.unsafe_get b i) in
-    Bytes.unsafe_set out i (Char.unsafe_chr (x lxor y))
-  done;
+  let out = Bytes.copy a in
+  xor_into out b n;
   out

@@ -26,7 +26,9 @@ val sub : t -> t -> t
 (** [sub] = [add] in characteristic 2. *)
 
 val mul : t -> t -> t
-(** Multiplication via log/antilog tables. *)
+(** Multiplication via a flat 64 KiB product table ([mul a b] is one
+    unconditional lookup at index [a * 256 + b]); the table itself is
+    built once from the log/antilog tables. *)
 
 val div : t -> t -> t
 (** [div a b] multiplies [a] by the inverse of [b].
@@ -48,11 +50,19 @@ val log_table : unit -> t array
 
 (** {1 Byte-vector operations}
 
-    Payload-sized operations used by the coding algorithm. All
-    operate element-wise over GF(2^8). *)
+    Payload-sized operations used by the coding algorithm. All operate
+    element-wise over GF(2^8). Multiplications read the 256-entry
+    product row of the coefficient inside the flat table — one
+    unconditional lookup per byte, no [x = 0] branch — and the pure-XOR
+    cases ([add_bytes], [axpy ~coeff:1]) run eight bytes per step over
+    64-bit words. *)
 
 val mul_bytes : t -> Bytes.t -> Bytes.t
 (** [mul_bytes c v] is the vector [c * v]. *)
+
+val scale_bytes : t -> Bytes.t -> unit
+(** [scale_bytes c v] sets [v := c * v] in place — the allocation-free
+    companion of {!mul_bytes}. *)
 
 val axpy : acc:Bytes.t -> coeff:t -> Bytes.t -> unit
 (** [axpy ~acc ~coeff v] sets [acc := acc + coeff * v] in place.

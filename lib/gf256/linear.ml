@@ -114,16 +114,36 @@ let decode packets =
     end
 
 module Decoder = struct
+  (* Incremental Gaussian elimination. The stored state is a reduced
+     row-echelon basis of everything innovative seen so far: row [i]
+     (valid for [i < rank]) has its pivot in column [pivots.(i)], the
+     pivot coefficient is 1, pivot columns are strictly ascending, and
+     every stored row is zero in every other row's pivot column.
+
+     An incoming packet is first reduced symbolically — coefficients
+     only, recording the (pivot row, factor) elimination steps — so a
+     dependent or duplicate packet is rejected after O(k^2) coefficient
+     work without ever touching its payload. Only an innovative packet
+     pays the payload axpys: one per recorded step, then one per stored
+     row during back-substitution. O(k^2 + k·len) per packet, against
+     O(k^3 + k·len) for re-reducing the whole matrix. *)
   type t = {
     k : int;
-    mutable rows : int array array; (* reduced rows, pivots ascending *)
-    mutable payloads : Bytes.t array;
+    rows : int array array; (* rows.(i) meaningful for i < rank *)
+    payloads : Bytes.t array;
+    pivots : int array;
     mutable rank : int;
   }
 
   let create ~k =
     if k <= 0 then invalid_arg "Decoder.create: k must be positive";
-    { k; rows = [||]; payloads = [||]; rank = 0 }
+    {
+      k;
+      rows = Array.make k [||];
+      payloads = Array.make k Bytes.empty;
+      pivots = Array.make k max_int;
+      rank = 0;
+    }
 
   let rank t = t.rank
   let complete t = t.rank = t.k
@@ -132,16 +152,68 @@ module Decoder = struct
     if Array.length p.coeffs <> t.k then invalid_arg "Decoder.add: width";
     if complete t then false
     else begin
-      let rows = Array.append t.rows [| Array.copy p.coeffs |] in
-      let payloads = Array.append t.payloads [| Bytes.copy p.payload |] in
-      let r = reduce rows (Some payloads) in
-      if r > t.rank then begin
-        t.rows <- Array.sub rows 0 r;
-        t.payloads <- Array.sub payloads 0 r;
-        t.rank <- r;
+      let k = t.k in
+      let row = Array.copy p.coeffs in
+      (* 1. reduce the incoming coefficient row against stored pivots
+         (ascending pivot order keeps this a single forward sweep) *)
+      let steps = ref [] in
+      for i = 0 to t.rank - 1 do
+        let piv = t.pivots.(i) in
+        let f = row.(piv) in
+        if f <> 0 then begin
+          let pr = t.rows.(i) in
+          (* stored rows are zero left of their pivot *)
+          for c = piv to k - 1 do
+            row.(c) <- row.(c) lxor Gf256.mul f pr.(c)
+          done;
+          steps := (i, f) :: !steps
+        end
+      done;
+      let lead = ref (-1) in
+      for c = k - 1 downto 0 do
+        if row.(c) <> 0 then lead := c
+      done;
+      if !lead < 0 then false (* dependent: payload never touched *)
+      else begin
+        let col = !lead in
+        (* 2. replay the recorded eliminations on the payload *)
+        let payload = Bytes.copy p.payload in
+        List.iter
+          (fun (i, f) -> Gf256.axpy ~acc:payload ~coeff:f t.payloads.(i))
+          !steps;
+        (* 3. normalize the new pivot to 1 *)
+        let invp = Gf256.inv row.(col) in
+        if invp <> 1 then begin
+          for c = col to k - 1 do
+            row.(c) <- Gf256.mul invp row.(c)
+          done;
+          Gf256.scale_bytes invp payload
+        end;
+        (* 4. back-substitute the new row into the stored basis *)
+        for i = 0 to t.rank - 1 do
+          let f = t.rows.(i).(col) in
+          if f <> 0 then begin
+            let sr = t.rows.(i) in
+            for c = col to k - 1 do
+              sr.(c) <- sr.(c) lxor Gf256.mul f row.(c)
+            done;
+            Gf256.axpy ~acc:t.payloads.(i) ~coeff:f payload
+          end
+        done;
+        (* 5. insert, keeping pivot columns ascending *)
+        let pos = ref t.rank in
+        while !pos > 0 && t.pivots.(!pos - 1) > col do
+          t.rows.(!pos) <- t.rows.(!pos - 1);
+          t.payloads.(!pos) <- t.payloads.(!pos - 1);
+          t.pivots.(!pos) <- t.pivots.(!pos - 1);
+          decr pos
+        done;
+        t.rows.(!pos) <- row;
+        t.payloads.(!pos) <- payload;
+        t.pivots.(!pos) <- col;
+        t.rank <- t.rank + 1;
         true
       end
-      else false
     end
 
   let get t =

@@ -34,7 +34,15 @@ val decode : coded list -> Bytes.t array option
 
     Keeps only innovative packets; used by receiving overlay nodes that
     accumulate packets one at a time (e.g. a native stream plus a coded
-    stream, as in the paper's Fig. 8). *)
+    stream, as in the paper's Fig. 8).
+
+    The decoder maintains a reduced row-echelon basis with pivot
+    columns ascending and eliminates each incoming packet against it
+    incrementally — O(k²) coefficient work per packet instead of
+    re-reducing the whole matrix, and a dependent or duplicate packet
+    is rejected without touching its payload. The batch {!decode}
+    remains the reference oracle: after any packet sequence, the
+    decoder's rank and output match [decode] over the same packets. *)
 
 module Decoder : sig
   type t

@@ -22,6 +22,18 @@ let encode m =
   let _ = encode_into m buf 0 in
   buf
 
+(* The shared (memoized) encoding: computed once, then reused by every
+   out-link the message rides. Callers must treat the result as
+   immutable — it is the same buffer across all sharers. [set_seq]
+   invalidates the cache, so a re-sequenced message re-encodes. *)
+let wire m =
+  match Message.wire_cache m with
+  | Some w -> w
+  | None ->
+    let w = encode m in
+    Message.set_wire_cache m w;
+    w
+
 let decode_at buf off =
   let avail = Bytes.length buf - off in
   if avail < header_size then raise (Malformed "truncated header");
@@ -44,37 +56,52 @@ let decode buf =
   m
 
 module Stream = struct
-  type t = { mutable buf : Bytes.t; mutable len : int }
+  (* [buf.(pos .. len)] holds the undecoded bytes. [next] only advances
+     the read cursor; the consumed prefix is reclaimed lazily — for
+     free when the buffer empties, otherwise by compacting on [feed]
+     before growing. Draining a buffer holding q queued messages is
+     therefore O(total bytes), where the old blit-the-tail-per-message
+     scheme was O(q · total bytes). *)
+  type t = { mutable buf : Bytes.t; mutable pos : int; mutable len : int }
 
-  let create () = { buf = Bytes.create 4096; len = 0 }
+  let create () = { buf = Bytes.create 4096; pos = 0; len = 0 }
+  let buffered t = t.len - t.pos
 
   let feed t ?(off = 0) ?len chunk =
     let n = match len with Some n -> n | None -> Bytes.length chunk - off in
     if n < 0 || off < 0 || off + n > Bytes.length chunk then
       invalid_arg "Codec.Stream.feed";
-    let needed = t.len + n in
-    if needed > Bytes.length t.buf then begin
-      let cap = ref (Bytes.length t.buf) in
-      while !cap < needed do
-        cap := !cap * 2
-      done;
-      let fresh = Bytes.create !cap in
-      Bytes.blit t.buf 0 fresh 0 t.len;
-      t.buf <- fresh
+    let live = buffered t in
+    if t.len + n > Bytes.length t.buf then begin
+      (* reclaim the consumed prefix first; grow only if the live tail
+         plus the chunk genuinely exceed capacity *)
+      let needed = live + n in
+      if needed > Bytes.length t.buf then begin
+        let cap = ref (Bytes.length t.buf) in
+        while !cap < needed do
+          cap := !cap * 2
+        done;
+        let fresh = Bytes.create !cap in
+        Bytes.blit t.buf t.pos fresh 0 live;
+        t.buf <- fresh
+      end
+      else Bytes.blit t.buf t.pos t.buf 0 live;
+      t.pos <- 0;
+      t.len <- live
     end;
     Bytes.blit chunk off t.buf t.len n;
     t.len <- t.len + n
 
-  (* Peek at a complete message at the head without copying the tail. *)
+  (* Peek at a complete message at the cursor without copying the tail. *)
   let head_message t =
-    if t.len < header_size then None
+    if buffered t < header_size then None
     else begin
-      let plen = Int32.to_int (Bytes.get_int32_be t.buf 20) in
+      let plen = Int32.to_int (Bytes.get_int32_be t.buf (t.pos + 20)) in
       if plen < 0 || plen > max_payload then
         raise (Malformed "bad payload size");
-      if t.len < header_size + plen then None
+      if buffered t < header_size + plen then None
       else begin
-        let m, stop = decode_at t.buf 0 in
+        let m, stop = decode_at t.buf t.pos in
         Some (m, stop)
       end
     end
@@ -83,9 +110,11 @@ module Stream = struct
     match head_message t with
     | None -> None
     | Some (m, stop) ->
-      let remaining = t.len - stop in
-      Bytes.blit t.buf stop t.buf 0 remaining;
-      t.len <- remaining;
+      t.pos <- stop;
+      if t.pos = t.len then begin
+        t.pos <- 0;
+        t.len <- 0
+      end;
       Some m
 
   let drain t =
@@ -93,6 +122,4 @@ module Stream = struct
       match next t with None -> List.rev acc | Some m -> loop (m :: acc)
     in
     loop []
-
-  let buffered t = t.len
 end

@@ -9,6 +9,12 @@ exception Malformed of string
 
 val encode : Message.t -> Bytes.t
 
+val wire : Message.t -> Bytes.t
+(** The message's memoized wire encoding — encoded at most once, then
+    shared by every caller (and across [Message.share] copies made
+    before the first encode). The returned buffer must not be mutated.
+    [Message.set_seq] invalidates the memo. *)
+
 val encode_into : Message.t -> Bytes.t -> int -> int
 (** [encode_into m buf off] writes at [off], returns bytes written.
     @raise Invalid_argument if [buf] is too small. *)
@@ -36,7 +42,9 @@ module Stream : sig
   (** Appends a chunk (copied). *)
 
   val next : t -> Message.t option
-  (** Pops the next complete message, if buffered.
+  (** Pops the next complete message, if buffered. Consumption advances
+      a read cursor; the consumed prefix is compacted away lazily, so
+      draining a deep buffer is linear in its size.
       @raise Malformed if the buffered prefix cannot be a message. *)
 
   val drain : t -> Message.t list

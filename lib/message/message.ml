@@ -4,12 +4,13 @@ type t = {
   app : int;
   mutable seq : int;
   payload : Bytes.t;
+  mutable wire : Bytes.t option; (* memoized encoding, managed by Codec *)
 }
 
 let header_size = 24
 
 let make ~mtype ~origin ~app ~seq payload =
-  { mtype; origin; app; seq; payload }
+  { mtype; origin; app; seq; payload; wire = None }
 
 let data ~origin ~app ~seq payload =
   make ~mtype:Mtype.Data ~origin ~app ~seq payload
@@ -19,9 +20,20 @@ let control ~mtype ~origin ?(app = 0) ?(seq = 0) payload =
 
 let size t = header_size + Bytes.length t.payload
 let payload_size t = Bytes.length t.payload
-let set_seq t seq = t.seq <- seq
 
-let clone t = { t with payload = Bytes.copy t.payload }
+let set_seq t seq =
+  t.seq <- seq;
+  t.wire <- None
+
+let clone t = { t with payload = Bytes.copy t.payload; wire = None }
+
+(* A fresh header over the same payload bytes. The wire cache carries
+   over: it describes content the two messages share until either one
+   changes its header via [set_seq], which drops its own cache. *)
+let share t = { t with wire = t.wire }
+
+let wire_cache t = t.wire
+let set_wire_cache t w = t.wire <- Some w
 
 let with_params ~mtype ~origin ?(app = 0) ?(seq = 0) p1 p2 =
   let payload = Bytes.create 8 in

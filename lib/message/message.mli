@@ -12,6 +12,9 @@ type t = private {
   app : int;  (** application the message belongs to *)
   mutable seq : int;  (** modifiable sequence number *)
   payload : Bytes.t;
+  mutable wire : Bytes.t option;
+      (** memoized wire encoding; managed by [Codec.wire], invalidated
+          by {!set_seq} *)
 }
 
 val header_size : int
@@ -35,8 +38,22 @@ val payload_size : t -> int
 val set_seq : t -> int -> unit
 
 val clone : t -> t
-(** Deep copy — the paper's [Msg] copy constructor. Algorithms must
-    clone non-data messages before re-sending them. *)
+(** Deep copy — the paper's [Msg] copy constructor. Needed only when
+    the payload bytes themselves will be mutated; for plain re-sending
+    prefer {!share}. *)
+
+val share : t -> t
+(** Zero-copy fanout constructor: a fresh header record over the {e
+    same} payload bytes. Safe under the engine's ownership rule —
+    payload bytes are immutable once a message is constructed (only
+    [seq] may change, and it lives in the header) — so one switched
+    message can ride every out-link without a per-destination copy. *)
+
+val wire_cache : t -> Bytes.t option
+(** The memoized wire encoding, if [Codec.wire] has produced one. *)
+
+val set_wire_cache : t -> Bytes.t -> unit
+(** Install the memoized encoding. Intended for [Codec.wire] only. *)
 
 val with_params : mtype:Mtype.t -> origin:Node_id.t -> ?app:int ->
   ?seq:int -> int -> int -> t

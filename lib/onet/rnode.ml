@@ -144,7 +144,9 @@ let sender_loop oc =
     | None -> running := false
     | Some m -> (
       try
-        let wire = Codec.encode m in
+        (* memoized: a message fanned out to n peers is encoded once
+           and the same buffer is written on every link *)
+        let wire = Codec.wire m in
         write_all oc.oc_fd wire;
         Atomic.set oc.oc_bytes (Atomic.get oc.oc_bytes + Bytes.length wire)
       with Unix.Unix_error _ ->

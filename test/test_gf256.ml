@@ -132,6 +132,41 @@ let test_length_mismatch () =
     (Invalid_argument "Gf256.axpy: length mismatch") (fun () ->
       Gf.axpy ~acc:(Bytes.create 3) ~coeff:1 (Bytes.create 4))
 
+(* the kernels take a word-level fast path for whole 64-bit/32-bit
+   blocks and a byte tail otherwise: check every alignment class *)
+let test_kernel_tails () =
+  let rng = Random.State.make [| 7 |] in
+  List.iter
+    (fun n ->
+      let v = Bytes.init n (fun _ -> Char.chr (Random.State.int rng 256)) in
+      let acc0 = Bytes.init n (fun _ -> Char.chr (Random.State.int rng 256)) in
+      List.iter
+        (fun c ->
+          (* axpy against the scalar definition *)
+          let acc = Bytes.copy acc0 in
+          Gf.axpy ~acc ~coeff:c v;
+          for i = 0 to n - 1 do
+            check_int
+              (Printf.sprintf "axpy c=%d n=%d i=%d" c n i)
+              (Gf.add
+                 (Char.code (Bytes.get acc0 i))
+                 (Gf.mul c (Char.code (Bytes.get v i))))
+              (Char.code (Bytes.get acc i))
+          done;
+          (* scale_bytes = mul_bytes in place *)
+          let s = Bytes.copy v in
+          Gf.scale_bytes c s;
+          Alcotest.(check bool)
+            (Printf.sprintf "scale c=%d n=%d" c n)
+            true
+            (Bytes.equal s (Gf.mul_bytes c v)))
+        [ 0; 1; 2; 91; 255 ];
+      Alcotest.(check bool)
+        (Printf.sprintf "add_bytes n=%d" n)
+        true
+        (Bytes.equal (Gf.add_bytes (Gf.add_bytes acc0 v) v) acc0))
+    [ 0; 1; 3; 7; 8; 9; 15; 16; 17; 63; 64; 65 ]
+
 (* ------------------------------------------------------------------ *)
 (* Linear coding *)
 
@@ -212,6 +247,99 @@ let random_generation_decodes =
       | Some out -> Array.for_all2 Bytes.equal out sources
       | None -> false)
 
+(* batch decode recovers random sources for k in {1,4,16} once the
+   coefficient matrix is full rank; retry with fresh random matrices
+   until one is (a random GF(2^8) matrix is full rank with high
+   probability) *)
+let batch_decode_recovers =
+  qtest ~count:60 "batch decode recovers sources (k in {1,4,16})"
+    QCheck.(pair (oneofl [ 1; 4; 16 ]) (int_bound 100000))
+    (fun (k, seed) ->
+      let rng = Random.State.make [| seed; k |] in
+      let sources =
+        Array.init k (fun _ ->
+            Bytes.init 48 (fun _ -> Char.chr (Random.State.int rng 256)))
+      in
+      let random_full_rank () =
+        let rec go () =
+          let m =
+            Array.init k (fun _ ->
+                Array.init k (fun _ -> Random.State.int rng 256))
+          in
+          if Linear.rank m = k then m else go ()
+        in
+        go ()
+      in
+      let matrix = random_full_rank () in
+      let packets =
+        Array.to_list
+          (Array.map (fun coeffs -> Linear.encode ~coeffs sources) matrix)
+      in
+      match Linear.decode packets with
+      | Some out -> Array.for_all2 Bytes.equal out sources
+      | None -> false)
+
+(* The incremental decoder against the batch oracle: after every add —
+   innovative, dependent or an exact duplicate — the decoder's rank
+   must equal the batch rank of all coefficient vectors fed so far,
+   [add]'s verdict must equal the rank increment, and the final output
+   must match batch [decode] over the same packet list. *)
+let incremental_matches_batch =
+  qtest ~count:150 "incremental decoder matches batch reduce"
+    QCheck.(pair (int_range 1 6) (int_bound 100000))
+    (fun (k, seed) ->
+      let rng = Random.State.make [| seed; k; 77 |] in
+      let sources =
+        Array.init k (fun _ ->
+            Bytes.init 32 (fun _ -> Char.chr (Random.State.int rng 256)))
+      in
+      let d = Linear.Decoder.create ~k in
+      let fed = ref [] in
+      let ok = ref true in
+      let feed p =
+        let innovative = Linear.Decoder.add d p in
+        fed := p :: !fed;
+        let batch_rank =
+          Linear.rank
+            (Array.of_list (List.map (fun q -> q.Linear.coeffs) !fed))
+        in
+        if Linear.Decoder.rank d <> batch_rank then ok := false;
+        (* verdict = did the batch rank move? (except after complete,
+           where add refuses new packets) *)
+        if Linear.Decoder.rank d < k || innovative then begin
+          let prev_rank =
+            Linear.rank
+              (Array.of_list
+                 (List.map (fun q -> q.Linear.coeffs) (List.tl !fed)))
+          in
+          if innovative <> (batch_rank > prev_rank) then ok := false
+        end
+      in
+      for _ = 1 to 3 * k do
+        match Random.State.int rng 4 with
+        | 0 when !fed <> [] ->
+          (* exact duplicate of something already fed *)
+          feed (List.nth !fed (Random.State.int rng (List.length !fed)))
+        | 1 when List.length !fed >= 2 ->
+          (* a dependent combination of two earlier packets *)
+          let p1 = List.nth !fed (Random.State.int rng (List.length !fed)) in
+          let p2 = List.nth !fed (Random.State.int rng (List.length !fed)) in
+          feed
+            (Linear.combine
+               [ (1 + Random.State.int rng 255, p1);
+                 (1 + Random.State.int rng 255, p2) ])
+        | _ ->
+          let coeffs = Array.init k (fun _ -> Random.State.int rng 256) in
+          feed (Linear.encode ~coeffs sources)
+      done;
+      (match (Linear.Decoder.get d, Linear.decode !fed) with
+      | Some a, Some b ->
+        if not (Array.for_all2 Bytes.equal a b) then ok := false;
+        if not (Array.for_all2 Bytes.equal a sources) then ok := false
+      | None, None -> ()
+      | Some _, None | None, Some _ -> ok := false);
+      !ok)
+
 let test_decoder_incremental () =
   let sources = [| Bytes.of_string "hello world!"; Bytes.of_string "goodbye moon" |] in
   let d = Linear.Decoder.create ~k:2 in
@@ -260,10 +388,14 @@ let () =
         ] );
       ( "byte-vectors",
         byte_vec_tests
-        @ [ Alcotest.test_case "length mismatch" `Quick test_length_mismatch ]
-      );
+        @ [
+            Alcotest.test_case "length mismatch" `Quick test_length_mismatch;
+            Alcotest.test_case "word/tail alignment classes" `Quick
+              test_kernel_tails;
+          ] );
       ( "linear",
-        (random_generation_decodes :: linear_props)
+        (random_generation_decodes :: batch_decode_recovers
+        :: incremental_matches_batch :: linear_props)
         @ [
             Alcotest.test_case "encode identity" `Quick test_encode_identity;
             Alcotest.test_case "rank" `Quick test_rank;

@@ -107,6 +107,31 @@ let test_message_clone () =
   Msg.set_seq c 99;
   Alcotest.(check int) "seq independent" 1 m.Msg.seq
 
+let test_message_share () =
+  let m = Msg.data ~origin:(NI.synthetic 1) ~app:1 ~seq:1 (Bytes.of_string "abc") in
+  let s = Msg.share m in
+  Alcotest.(check bool) "payload bytes shared" true (s.Msg.payload == m.Msg.payload);
+  Msg.set_seq s 99;
+  Alcotest.(check int) "seq independent" 1 m.Msg.seq;
+  Alcotest.(check int) "share seq" 99 s.Msg.seq
+
+let test_wire_memo () =
+  let m = Msg.data ~origin:(NI.synthetic 1) ~app:1 ~seq:7 (Bytes.of_string "pay") in
+  let w1 = Codec.wire m in
+  let w2 = Codec.wire m in
+  Alcotest.(check bool) "memoized" true (w1 == w2);
+  Alcotest.(check bool) "matches encode" true (Bytes.equal w1 (Codec.encode m));
+  (* a share made after the first encode rides the same buffer *)
+  let s = Msg.share m in
+  Alcotest.(check bool) "share reuses" true (Codec.wire s == w1);
+  Msg.set_seq m 8;
+  let w3 = Codec.wire m in
+  Alcotest.(check bool) "set_seq invalidates" false (w3 == w1);
+  Alcotest.(check int) "re-encoded seq" 8 (Codec.decode w3).Msg.seq;
+  (* the share's header is its own: neither its seq nor its cache moved *)
+  Alcotest.(check bool) "share cache intact" true (Codec.wire s == w1);
+  Alcotest.(check int) "share seq intact" 7 (Codec.decode (Codec.wire s)).Msg.seq
+
 let test_message_params () =
   let m = Msg.with_params ~mtype:(Mt.Custom 1) ~origin:(NI.synthetic 1) 42 (-7) in
   (match Msg.params m with
@@ -151,7 +176,50 @@ let codec_props =
         List.length out = List.length msgs
         && List.for_all2 msg_equal msgs out
         && Codec.Stream.buffered s = 0);
+    qtest ~count:60 "roundtrip over random payload sizes"
+      QCheck.(int_bound 65536)
+      (fun n ->
+        let m = Msg.data ~origin:(NI.synthetic 1) ~app:2 ~seq:n (Bytes.make n '\042') in
+        msg_equal m (Codec.decode (Codec.encode m)));
   ]
+
+let test_payload_boundaries () =
+  List.iter
+    (fun n ->
+      let m = Msg.data ~origin:(NI.synthetic 2) ~app:3 ~seq:n (Bytes.make n 'x') in
+      Alcotest.(check bool)
+        (Printf.sprintf "size %d" n)
+        true
+        (msg_equal m (Codec.decode (Codec.encode m))))
+    [ 0; 1; 7; 8; 9; 255; 4096; Codec.max_payload - 1; Codec.max_payload ]
+
+let test_stream_drain_1000 () =
+  (* regression for the old O(buffered) tail blit in Stream.next: queue a
+     large backlog, then drain message by message. *)
+  let s = Codec.Stream.create () in
+  let msgs =
+    List.init 1000 (fun i ->
+        Msg.data
+          ~origin:(NI.synthetic (i mod 7))
+          ~app:1 ~seq:i
+          (Bytes.make (i mod 97) (Char.chr (65 + (i mod 26)))))
+  in
+  List.iter
+    (fun m ->
+      let w = Codec.encode m in
+      Codec.Stream.feed s ~len:(Bytes.length w) w)
+    msgs;
+  let rec drain acc =
+    match Codec.Stream.next s with
+    | Some m -> drain (m :: acc)
+    | None -> List.rev acc
+  in
+  let out = drain [] in
+  Alcotest.(check int) "count" 1000 (List.length out);
+  List.iter2
+    (fun m o -> Alcotest.(check bool) "in order" true (msg_equal m o))
+    msgs out;
+  Alcotest.(check int) "empty" 0 (Codec.Stream.buffered s)
 
 let test_codec_malformed () =
   let check name buf =
@@ -263,6 +331,7 @@ let () =
         [
           Alcotest.test_case "sizes and seq" `Quick test_message_basics;
           Alcotest.test_case "clone is deep" `Quick test_message_clone;
+          Alcotest.test_case "share is shallow" `Quick test_message_share;
           Alcotest.test_case "two-int params" `Quick test_message_params;
         ] );
       ( "codec",
@@ -272,6 +341,11 @@ let () =
             Alcotest.test_case "encode_into at offset" `Quick
               test_encode_into_offset;
             Alcotest.test_case "partial stream" `Quick test_codec_stream_partial;
+            Alcotest.test_case "payload size boundaries" `Quick
+              test_payload_boundaries;
+            Alcotest.test_case "drain 1000 queued messages" `Quick
+              test_stream_drain_1000;
+            Alcotest.test_case "memoized wire encoding" `Quick test_wire_memo;
           ] );
       ( "wire",
         [
