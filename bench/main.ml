@@ -150,30 +150,42 @@ let bench_switch_hop =
 (* a simulated second of one switch fanning every message out to eight
    sinks: the switched message must share its payload across all eight
    out-links, so the per-destination cost is queueing, not copying *)
+let fanout_8way_run ?telemetry () =
+  let net = Iov_core.Network.create ?telemetry () in
+  let sinks = List.init 8 (fun i -> NI.synthetic (10 + i)) in
+  let src =
+    Iov_algos.Source.create ~payload_size:1024 ~app:1
+      ~dests:[ NI.synthetic 2 ] ()
+  in
+  ignore
+    (Iov_core.Network.add_node net ~id:(NI.synthetic 1)
+       (Iov_algos.Source.algorithm src));
+  let f = Iov_algos.Flood.create () in
+  Iov_algos.Flood.set_route f ~app:1
+    ~upstreams:[ NI.synthetic 1 ]
+    ~downstreams:sinks ();
+  ignore
+    (Iov_core.Network.add_node net ~id:(NI.synthetic 2)
+       (Iov_algos.Flood.algorithm f));
+  List.iter
+    (fun s ->
+      ignore (Iov_core.Network.add_node net ~id:s Iov_core.Algorithm.null))
+    sinks;
+  Iov_core.Network.run net ~until:1.
+
+(* telemetry compiled in but not attached — the baseline the telemetry
+   overhead budget is measured against *)
 let bench_fanout_8way =
   Test.make ~name:"engine/fanout-8way"
+    (Staged.stage (fun () -> fanout_8way_run ()))
+
+(* same workload with a live telemetry deployment: every event site
+   records into the flight recorder and bumps counters/histograms *)
+let bench_fanout_8way_telem =
+  Test.make ~name:"engine/fanout-8way-telem"
     (Staged.stage (fun () ->
-         let net = Iov_core.Network.create () in
-         let sinks = List.init 8 (fun i -> NI.synthetic (10 + i)) in
-         let src =
-           Iov_algos.Source.create ~payload_size:1024 ~app:1
-             ~dests:[ NI.synthetic 2 ] ()
-         in
-         ignore
-           (Iov_core.Network.add_node net ~id:(NI.synthetic 1)
-              (Iov_algos.Source.algorithm src));
-         let f = Iov_algos.Flood.create () in
-         Iov_algos.Flood.set_route f ~app:1
-           ~upstreams:[ NI.synthetic 1 ]
-           ~downstreams:sinks ();
-         ignore
-           (Iov_core.Network.add_node net ~id:(NI.synthetic 2)
-              (Iov_algos.Flood.algorithm f));
-         List.iter
-           (fun s ->
-             ignore (Iov_core.Network.add_node net ~id:s Iov_core.Algorithm.null))
-           sinks;
-         Iov_core.Network.run net ~until:1.))
+         let telemetry = Iov_telemetry.Telemetry.create () in
+         fanout_8way_run ~telemetry ()))
 
 let micro_tests =
   [
@@ -189,6 +201,7 @@ let micro_tests =
     bench_heap;
     bench_switch_hop;
     bench_fanout_8way;
+    bench_fanout_8way_telem;
   ]
 
 let json_file = "BENCH_micro.json"
@@ -212,10 +225,15 @@ let write_json rows =
   close_out oc;
   Printf.printf "wrote %s (%d benchmarks)\n" json_file n
 
-let run_micro ~json () =
+let run_micro ?(smoke = false) ~json () =
   print_endline "== micro-benchmarks (Bechamel) ==";
   let instances = Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  (* --smoke: a few iterations per benchmark, enough for CI to prove
+     every benchmark still runs without spending minutes measuring *)
+  let cfg =
+    if smoke then Benchmark.cfg ~limit:50 ~quota:(Time.second 0.05) ()
+    else Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ()
+  in
   let grouped = Test.make_grouped ~name:"iov" micro_tests in
   let raw = Benchmark.all cfg instances grouped in
   let results =
@@ -276,19 +294,22 @@ let run_paper ~quick =
 let () =
   let args = Array.to_list Sys.argv in
   let json = List.mem "--json" args in
+  let smoke = List.mem "--smoke" args in
   let mode =
-    match List.filter (fun a -> a <> "--json") (List.tl args) with
+    match
+      List.filter (fun a -> a <> "--json" && a <> "--smoke") (List.tl args)
+    with
     | m :: _ -> m
     | [] -> "all"
   in
   match mode with
-  | "micro" -> run_micro ~json ()
+  | "micro" -> run_micro ~smoke ~json ()
   | "paper" -> run_paper ~quick:false
   | "quick" ->
-    run_micro ~json ();
+    run_micro ~smoke ~json ();
     run_paper ~quick:true
   | "all" ->
-    run_micro ~json ();
+    run_micro ~smoke ~json ();
     run_paper ~quick:false
   | m ->
     Printf.eprintf "unknown mode %S (expected micro | paper | quick | all)\n" m;

@@ -85,6 +85,73 @@ let run_cmd =
   in
   Cmd.v info Term.(ret (const run $ id_arg $ quick_arg))
 
+let trace_cmd =
+  let topo_arg =
+    let doc = "Topology: 'chain', 'fig6' or 'random'." in
+    Arg.(value & opt string "fig6" & info [ "topo" ] ~docv:"TOPO" ~doc)
+  in
+  let n_arg =
+    let doc = "Node count for 'chain' and 'random' topologies." in
+    Arg.(value & opt int 8 & info [ "n" ] ~docv:"N" ~doc)
+  in
+  let seed_arg =
+    let doc = "Simulation seed (same seed => byte-identical trace)." in
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let until_arg =
+    let doc = "Simulated seconds to run." in
+    Arg.(value & opt float 2.0 & info [ "until" ] ~docv:"T" ~doc)
+  in
+  let out_arg =
+    let doc = "Write the JSONL trace to $(docv) instead of stdout." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let ring_arg =
+    let doc = "Per-node flight-recorder capacity (events)." in
+    Arg.(value & opt int 4096 & info [ "ring" ] ~docv:"CAP" ~doc)
+  in
+  let run topo_name n seed until out ring =
+    let topo_and_source =
+      match topo_name with
+      | "chain" -> Some (Iov_topo.Topo.chain ~n, "n1")
+      | "fig6" -> Some (Iov_topo.Topo.fig6 (), "A")
+      | "random" ->
+        Some (Iov_topo.Topo.random_graph ~seed ~n ~degree:3 (), "n1")
+      | _ -> None
+    in
+    match topo_and_source with
+    | None -> `Error (false, "unknown topology: " ^ topo_name)
+    | Some (topo, source) ->
+      let tele = Iov_telemetry.Telemetry.create ~ring_capacity:ring () in
+      let f =
+        Iov_exp.Harness.build_flood ~seed ~telemetry:tele ~topo ~source ()
+      in
+      Iov_exp.Harness.Network.run ~until f.Iov_exp.Harness.net;
+      let digest = Iov_telemetry.Telemetry.digest tele in
+      let total = Iov_telemetry.Telemetry.total_events tele in
+      (match out with
+      | Some path ->
+        let lines = Iov_telemetry.Telemetry.save_jsonl tele path in
+        Printf.printf "wrote %d events to %s (of %d recorded)\n" lines path
+          total;
+        Printf.printf "digest %s\n" digest
+      | None ->
+        print_string (Iov_telemetry.Telemetry.dump_jsonl tele);
+        Printf.eprintf "%d events recorded, digest %s\n" total digest);
+      `Ok ()
+  in
+  let info =
+    Cmd.info "trace"
+      ~doc:
+        "Run a deterministic simulation with telemetry and dump the causal \
+         event trace as JSONL."
+  in
+  Cmd.v info
+    Term.(
+      ret
+        (const run $ topo_arg $ n_arg $ seed_arg $ until_arg $ out_arg
+       $ ring_arg))
+
 let list_cmd =
   let run () =
     List.iter
@@ -99,6 +166,6 @@ let main =
     Cmd.info "iover" ~version:"1.0.0"
       ~doc:"iOverlay (Middleware 2004) reproduction harness."
   in
-  Cmd.group info [ run_cmd; list_cmd ]
+  Cmd.group info [ run_cmd; trace_cmd; list_cmd ]
 
 let () = exit (Cmd.eval main)

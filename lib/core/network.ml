@@ -6,6 +6,10 @@ module Msg = Iov_msg.Message
 module Mt = Iov_msg.Mtype
 module Wire = Iov_msg.Wire
 module Status = Iov_msg.Status
+module Tel = Iov_telemetry.Telemetry
+module Tracer = Iov_telemetry.Tracer
+module Ev = Iov_telemetry.Event
+module Metrics = Iov_telemetry.Metrics
 
 let src_log = Logs.Src.create "iov.network" ~doc:"iOverlay simulated runtime"
 
@@ -18,6 +22,23 @@ let default_pipeline_depth = 8
 
 (* Messages switched per engine activation before yielding. *)
 let engine_batch = 64
+
+(* Per-node telemetry handles, resolved once at node creation so the
+   hot path never looks anything up by name (the registry's
+   no-allocation rule). [None] when the network has no telemetry. *)
+type ntel = {
+  tl : Tel.t;
+  tr : Tracer.t;
+  c_enqueued : Metrics.counter;
+  c_switched : Metrics.counter;
+  c_sent : Metrics.counter;
+  c_delivered : Metrics.counter;
+  c_dropped : Metrics.counter;
+  c_link_failures : Metrics.counter;
+  h_xmit_us : Metrics.histogram; (* transmit time of outgoing msgs, µs *)
+  h_switch_bytes : Metrics.histogram; (* switched message sizes *)
+  g_buffered : Metrics.gauge; (* receiver-buffer occupancy at last switch *)
+}
 
 type host = {
   host_name : string;
@@ -44,6 +65,7 @@ type link = {
   mutable pumping : bool;
   mutable weight : int;
   mutable wrr_left : int;
+  l_hist : Metrics.histogram option; (* per-link transmit time, µs *)
 }
 
 and node = {
@@ -70,6 +92,7 @@ and node = {
   mutable n_ctx : Algorithm.ctx option;
   n_observer : NI.t option;
   mutable tick_handle : Sim.handle option;
+  n_tel : ntel option;
 }
 
 and t = {
@@ -84,6 +107,7 @@ and t = {
   detect_delay : float;
   pipeline_depth : int;
   dflt_host : host;
+  tele : Tel.t option;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -101,7 +125,7 @@ let make_host ?(cpu = `Unconstrained) name =
 
 let create ?(seed = 42) ?(default_latency = 0.001) ?(buffer_capacity = 5)
     ?(report_period = 1.0) ?inactivity_timeout ?(detect_delay = 0.05)
-    ?(pipeline_depth = default_pipeline_depth) () =
+    ?(pipeline_depth = default_pipeline_depth) ?telemetry () =
   if buffer_capacity <= 0 then invalid_arg "Network.create: buffer_capacity";
   if default_latency < 0. then invalid_arg "Network.create: default_latency";
   if pipeline_depth <= 0 then invalid_arg "Network.create: pipeline_depth";
@@ -117,7 +141,10 @@ let create ?(seed = 42) ?(default_latency = 0.001) ?(buffer_capacity = 5)
     detect_delay;
     pipeline_depth;
     dflt_host = make_host "default";
+    tele = telemetry;
   }
+
+let telemetry t = t.tele
 
 let sim t = t.sim
 let now t = Sim.now t.sim
@@ -166,6 +193,90 @@ let app_meter n app =
     m
 
 (* ------------------------------------------------------------------ *)
+(* Telemetry                                                           *)
+
+(* All helpers cost one branch when the network has no telemetry and
+   two when it is attached but disabled; the enabled path performs only
+   integer mixing, mutable-cell bumps and ring-array stores — no
+   allocation, per the registry's hot-path rule. *)
+
+let tel_msg n kind ~peer (m : Msg.t) =
+  match n.n_tel with
+  | None -> ()
+  | Some tl ->
+    if Tel.enabled tl.tl then
+      Tel.record tl.tl tl.tr
+        ~time:(Sim.now n.n_net.sim)
+        ~kind ~peer ~id:(Ev.id_of_msg m) ~app:m.Msg.app ~mseq:m.Msg.seq
+        ~size:(Msg.size m)
+
+let tel_enqueue n ~peer m =
+  match n.n_tel with
+  | None -> ()
+  | Some tl ->
+    if Tel.enabled tl.tl then begin
+      Metrics.incr tl.c_enqueued;
+      tel_msg n Ev.Enqueue ~peer m
+    end
+
+let tel_drop n ~peer m =
+  match n.n_tel with
+  | None -> ()
+  | Some tl ->
+    if Tel.enabled tl.tl then begin
+      Metrics.incr tl.c_dropped;
+      tel_msg n Ev.Drop ~peer m
+    end
+
+let tel_deliver n ~peer m =
+  match n.n_tel with
+  | None -> ()
+  | Some tl ->
+    if Tel.enabled tl.tl then begin
+      Metrics.incr tl.c_delivered;
+      tel_msg n Ev.Deliver ~peer m
+    end
+
+(* transmission started on [l]: event on the sender, transmit-time
+   (reservation to arrival, µs) into the node and per-link histograms *)
+let tel_send l (m : Msg.t) ~now ~arrival =
+  let n = l.l_src in
+  match n.n_tel with
+  | None -> ()
+  | Some tl ->
+    if Tel.enabled tl.tl then begin
+      Metrics.incr tl.c_sent;
+      let us = int_of_float ((arrival -. now) *. 1e6) in
+      Metrics.observe tl.h_xmit_us us;
+      (match l.l_hist with Some h -> Metrics.observe h us | None -> ());
+      tel_msg n Ev.Send ~peer:l.l_dst.n_id m
+    end
+
+let tel_switch n l m =
+  match n.n_tel with
+  | None -> ()
+  | Some tl ->
+    if Tel.enabled tl.tl then begin
+      Metrics.incr tl.c_switched;
+      Metrics.observe tl.h_switch_bytes (Msg.size m);
+      Metrics.set tl.g_buffered (float_of_int (Cqueue.length l.recv_buf));
+      tel_msg n Ev.Switch ~peer:l.l_src.n_id m
+    end
+
+let tel_event n kind ~peer =
+  match n.n_tel with
+  | None -> ()
+  | Some tl ->
+    if Tel.enabled tl.tl then begin
+      (match kind with
+      | Ev.Link_failure -> Metrics.incr tl.c_link_failures
+      | _ -> ());
+      Tel.record tl.tl tl.tr
+        ~time:(Sim.now n.n_net.sim)
+        ~kind ~peer ~id:Ev.no_id ~app:0 ~mseq:0 ~size:0
+    end
+
+(* ------------------------------------------------------------------ *)
 (* Engine scheduling                                                   *)
 
 let rec schedule_engine n =
@@ -211,6 +322,14 @@ and ensure_link src dst_id =
           pumping = false;
           weight = 1;
           wrr_left = 1;
+          l_hist =
+            (match src.n_tel with
+            | Some tl ->
+              Some
+                (Metrics.histogram (Tel.metrics tl.tl)
+                   ~scope:(NI.to_string src.n_id)
+                   ("link." ^ NI.to_string dst_id ^ ".xmit_us"))
+            | None -> None);
         }
       in
       NI.Tbl.add src.out_links dst_id l;
@@ -284,6 +403,7 @@ and pump_link l =
               dst.total_rsrc
           in
           let arrival = finish +. l.l_latency in
+          tel_send l m ~now ~arrival;
           ignore
             (Sim.schedule_at t.sim ~time:arrival (fun () -> deliver l m));
           on_send_space l
@@ -336,10 +456,16 @@ and retry_fanout n in_l =
    message (the failure notification travels separately). *)
 and try_enqueue_data n m dst_id =
   match ensure_link n dst_id with
-  | None -> true
+  | None ->
+    tel_drop n ~peer:dst_id m;
+    true
   | Some l ->
-    if l.l_closed || l.draining then true
+    if l.l_closed || l.draining then begin
+      tel_drop n ~peer:dst_id m;
+      true
+    end
     else if Cqueue.push l.send_buf m then begin
+      tel_enqueue n ~peer:dst_id m;
       pump_link l;
       true
     end
@@ -349,11 +475,12 @@ and try_enqueue_data n m dst_id =
    sender buffer stages in the overflow queue. *)
 and send_data n m dst_id =
   match ensure_link n dst_id with
-  | None -> ()
+  | None -> tel_drop n ~peer:dst_id m
   | Some l ->
-    if l.l_closed || l.draining then ()
+    if l.l_closed || l.draining then tel_drop n ~peer:dst_id m
     else begin
       if not (Cqueue.push l.send_buf m) then Queue.push m l.overflow;
+      tel_enqueue n ~peer:dst_id m;
       pump_link l
     end
 
@@ -363,17 +490,20 @@ and deliver l m =
   let dst = l.l_dst in
   if l.l_closed || dst.n_state <> `Alive then begin
     dst.bytes_lost <- dst.bytes_lost + Msg.size m;
-    dst.msgs_lost <- dst.msgs_lost + 1
+    dst.msgs_lost <- dst.msgs_lost + 1;
+    tel_drop dst ~peer:l.l_src.n_id m
   end
   else if l.stalled then begin
     (* hung peer: bytes vanish without reaching the application *)
     dst.bytes_lost <- dst.bytes_lost + Msg.size m;
-    dst.msgs_lost <- dst.msgs_lost + 1
+    dst.msgs_lost <- dst.msgs_lost + 1;
+    tel_drop dst ~peer:l.l_src.n_id m
   end
   else begin
     let ok = Cqueue.push l.recv_buf m in
     assert ok;
     Meter.record l.meter ~now:(Sim.now t.sim) ~bytes:(Msg.size m);
+    tel_deliver dst ~peer:l.l_src.n_id m;
     schedule_engine dst
   end;
   (* the window slot is free either way *)
@@ -479,6 +609,7 @@ and engine_handle_link_failed n (m : Msg.t) =
   let direction =
     match Msg.params m with Some (1, _) -> `Out | _ -> `In
   in
+  tel_event n Ev.Link_failure ~peer;
   (match direction with
   | `Out -> (
     match NI.Tbl.find_opt n.out_links peer with
@@ -495,7 +626,8 @@ and close_out_link n l =
     (* everything still queued on our side is lost *)
     let count m =
       n.bytes_lost <- n.bytes_lost + Msg.size m;
-      n.msgs_lost <- n.msgs_lost + 1
+      n.msgs_lost <- n.msgs_lost + 1;
+      tel_drop n ~peer:l.l_dst.n_id m
     in
     Cqueue.iter count l.send_buf;
     Queue.iter count l.overflow;
@@ -525,7 +657,8 @@ and close_in_link n l =
      socket; they are dropped with the link, counted as lost *)
   let count m =
     n.bytes_lost <- n.bytes_lost + Msg.size m;
-    n.msgs_lost <- n.msgs_lost + 1
+    n.msgs_lost <- n.msgs_lost + 1;
+    tel_drop n ~peer:l.l_src.n_id m
   in
   Cqueue.iter count l.recv_buf;
   Cqueue.clear l.recv_buf;
@@ -577,6 +710,7 @@ and switch_one n l =
   match Cqueue.pop l.recv_buf with
   | None -> ()
   | Some m ->
+    tel_switch n l m;
     (* receive window opened *)
     pump_link l;
     (if Mt.is_data m.Msg.mtype then
@@ -676,6 +810,14 @@ and make_status_of_node n =
         downstreams = down;
         bytes_lost = n.bytes_lost;
         messages_lost = n.msgs_lost;
+        metrics =
+          (match n.n_tel with
+          | Some tl when Tel.enabled tl.tl ->
+            Some
+              (Metrics.to_blob
+                 ~scope:(NI.to_string n.n_id)
+                 (Tel.metrics tl.tl))
+          | Some _ | None -> None);
       }
   end
 
@@ -733,13 +875,16 @@ and terminate_node n =
     | None -> ());
     n.tick_handle <- None;
     Log.info (fun m -> m "node %a terminated" NI.pp n.n_id);
-    let count m =
+    tel_event n Ev.Teardown ~peer:Tracer.nil_peer;
+    let count peer m =
       n.bytes_lost <- n.bytes_lost + Msg.size m;
-      n.msgs_lost <- n.msgs_lost + 1
+      n.msgs_lost <- n.msgs_lost + 1;
+      tel_drop n ~peer m
     in
     (* my own buffers are lost *)
     NI.Tbl.iter
-      (fun _ l ->
+      (fun peer l ->
+        let count = count peer in
         Cqueue.iter count l.recv_buf;
         Cqueue.clear l.recv_buf;
         (match l.pending_fanout with Some (m, _) -> count m | None -> ());
@@ -747,7 +892,8 @@ and terminate_node n =
         l.l_closed <- true)
       n.in_links;
     NI.Tbl.iter
-      (fun _ l ->
+      (fun peer l ->
+        let count = count peer in
         Cqueue.iter count l.send_buf;
         Queue.iter count l.overflow;
         Cqueue.clear l.send_buf;
@@ -917,6 +1063,26 @@ let add_node t ?host ?(bw = Bwspec.unconstrained) ?buffer_capacity ?observer
       n_ctx = None;
       n_observer = observer;
       tick_handle = None;
+      n_tel =
+        (match t.tele with
+        | None -> None
+        | Some tl ->
+          let m = Tel.metrics tl in
+          let scope = NI.to_string n_id in
+          Some
+            {
+              tl;
+              tr = Tel.tracer tl n_id;
+              c_enqueued = Metrics.counter m ~scope "enqueued";
+              c_switched = Metrics.counter m ~scope "switched";
+              c_sent = Metrics.counter m ~scope "sent";
+              c_delivered = Metrics.counter m ~scope "delivered";
+              c_dropped = Metrics.counter m ~scope "dropped";
+              c_link_failures = Metrics.counter m ~scope "link_failures";
+              h_xmit_us = Metrics.histogram m ~scope "xmit_us";
+              h_switch_bytes = Metrics.histogram m ~scope "switch_bytes";
+              g_buffered = Metrics.gauge m ~scope "recv_buffered";
+            });
     }
   in
   n.n_ctx <- Some (make_ctx n);

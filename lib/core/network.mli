@@ -26,6 +26,7 @@ val create :
   ?inactivity_timeout:float ->
   ?detect_delay:float ->
   ?pipeline_depth:int ->
+  ?telemetry:Iov_telemetry.Telemetry.t ->
   unit ->
   t
 (** [default_latency] (seconds, default 0.001) applies to links between
@@ -37,7 +38,15 @@ val create :
     [detect_delay] (default 0.05) is the socket-level failure-detection
     latency; [pipeline_depth] (default 8) bounds the transmissions a
     link may reserve ahead — the TCP-window-style pipelining that keeps
-    throughput up across wide-area latency. *)
+    throughput up across wide-area latency. [telemetry] attaches a
+    telemetry deployment: every engine then records the structured
+    event vocabulary ({!Iov_telemetry.Event.kind}) into its per-node
+    flight recorder and keeps per-node counters/histograms in the
+    shared registry, scoped by the node's [ip:port]. Without it (or
+    with it disabled) the instrumentation costs one or two branches per
+    event site. *)
+
+val telemetry : t -> Iov_telemetry.Telemetry.t option
 
 val sim : t -> Iov_dsim.Sim.t
 val now : t -> float

@@ -12,9 +12,9 @@ type flood_net = {
   app : int;
 }
 
-let build_flood ?(buffer_capacity = 5) ?(seed = 42) ?payload_size ~topo
-    ~source () =
-  let net = Network.create ~seed ~buffer_capacity () in
+let build_flood ?(buffer_capacity = 5) ?(seed = 42) ?payload_size ?telemetry
+    ~topo ~source () =
+  let net = Network.create ~seed ~buffer_capacity ?telemetry () in
   let app = 1 in
   let src_downs = List.map (Topo.node topo) (Topo.downstreams topo source) in
   let src =
@@ -40,6 +40,13 @@ let build_flood ?(buffer_capacity = 5) ?(seed = 42) ?payload_size ~topo
   (* pre-establish the persistent connections so link metrics exist *)
   List.iter (fun (a, b) -> Network.connect net a b) (Topo.edge_ids topo);
   { net; topo; source = src; app }
+
+let telemetry f = Network.telemetry f.net
+
+let save_trace f path =
+  match Network.telemetry f.net with
+  | None -> None
+  | Some tl -> Some (Iov_telemetry.Telemetry.save_jsonl tl path)
 
 let edge_rates f =
   List.map

@@ -19,6 +19,7 @@ val build_flood :
   ?buffer_capacity:int ->
   ?seed:int ->
   ?payload_size:int ->
+  ?telemetry:Iov_telemetry.Telemetry.t ->
   topo:Topo.t ->
   source:string ->
   unit ->
@@ -26,7 +27,15 @@ val build_flood :
 (** Instantiates a topology with the copy-forward multicast: the named
     node runs a back-to-back {!Iov_algos.Source} over its topology
     downstreams, every other node a {!Iov_algos.Flood} forwarder wired
-    with the topology's edges. All connections are pre-established. *)
+    with the topology's edges. All connections are pre-established.
+    [telemetry] is passed through to {!Network.create}. *)
+
+val telemetry : flood_net -> Iov_telemetry.Telemetry.t option
+
+val save_trace : flood_net -> string -> int option
+(** Dumps the network's causal trace as JSONL
+    ({!Iov_telemetry.Telemetry.save_jsonl}); [None] when the network
+    runs without telemetry, otherwise the number of events written. *)
 
 val edge_rates : flood_net -> ((string * string) * float) list
 (** Measured throughput per topology edge, bytes/second, in topology

@@ -12,7 +12,14 @@ type t = {
   downstreams : link_stat list;
   bytes_lost : int;
   messages_lost : int;
+  metrics : Bytes.t option;
 }
+
+(* Trailing-extension version tag for the optional metrics blob. Old
+   readers stop after [messages_lost] and never see it; old payloads
+   simply end there, so [of_payload] decodes them with [metrics =
+   None]. Bump and match on new tags to extend the format again. *)
+let ext_metrics = 1
 
 let write_link w (l : link_stat) =
   Wire.W.node w l.peer;
@@ -37,6 +44,11 @@ let to_payload t =
   List.iter (write_link w) t.downstreams;
   Wire.W.int32 w t.bytes_lost;
   Wire.W.int32 w t.messages_lost;
+  (match t.metrics with
+  | None -> ()
+  | Some blob ->
+    Wire.W.int32 w ext_metrics;
+    Wire.W.string w (Bytes.to_string blob));
   Wire.W.contents w
 
 let of_payload buf =
@@ -51,7 +63,12 @@ let of_payload buf =
   let downstreams = List.init n_down (fun _ -> read_link r) in
   let bytes_lost = Wire.R.int32 r in
   let messages_lost = Wire.R.int32 r in
-  { node; time; upstreams; downstreams; bytes_lost; messages_lost }
+  let metrics =
+    if Wire.R.remaining r > 0 && Wire.R.int32 r = ext_metrics then
+      Some (Bytes.of_string (Wire.R.string r))
+    else None
+  in
+  { node; time; upstreams; downstreams; bytes_lost; messages_lost; metrics }
 
 let pp fmt t =
   let pp_link fmt l =

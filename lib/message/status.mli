@@ -19,6 +19,12 @@ type t = {
   downstreams : link_stat list;
   bytes_lost : int;
   messages_lost : int;
+  metrics : Bytes.t option;
+      (** opaque telemetry metrics snapshot
+          ({!Iov_telemetry.Metrics.to_blob}); carried as a version-gated
+          trailing extension of the payload, so status reports remain
+          wire-compatible in both directions with nodes predating the
+          field *)
 }
 
 val to_payload : t -> Bytes.t

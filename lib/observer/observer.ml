@@ -130,6 +130,16 @@ let alive_nodes t =
 
 let latest_status t ni = NI.Tbl.find_opt t.statuses ni
 
+let latest_metrics t ni =
+  match NI.Tbl.find_opt t.statuses ni with
+  | None | Some { Status.metrics = None; _ } -> None
+  | Some { Status.metrics = Some blob; _ } -> (
+    match Iov_telemetry.Metrics.of_blob blob with
+    | snap -> Some snap
+    | exception (Wire.Truncated | Invalid_argument _) ->
+      Log.warn (fun f -> f "undecodable metrics blob from %a" NI.pp ni);
+      None)
+
 let topology t =
   NI.Tbl.fold
     (fun ni st acc ->

@@ -34,6 +34,12 @@ val alive_nodes : t -> Iov_msg.Node_id.t list
 
 val latest_status : t -> Iov_msg.Node_id.t -> Iov_msg.Status.t option
 
+val latest_metrics :
+  t -> Iov_msg.Node_id.t -> (string * Iov_telemetry.Metrics.snap) list option
+(** The decoded telemetry metrics snapshot carried by the node's latest
+    status report — [None] if no status has arrived, the node predates
+    (or runs without) telemetry, or the blob is undecodable. *)
+
 val topology : t -> (Iov_msg.Node_id.t * Iov_msg.Node_id.t list) list
 (** [(node, downstreams)] pairs from the latest status snapshots. *)
 

@@ -3,6 +3,10 @@ module Msg = Iov_msg.Message
 module Mt = Iov_msg.Mtype
 module NI = Iov_msg.Node_id
 module Codec = Iov_msg.Codec
+module Tel = Iov_telemetry.Telemetry
+module Tracer = Iov_telemetry.Tracer
+module Ev = Iov_telemetry.Event
+module Metrics = Iov_telemetry.Metrics
 
 let src_log = Logs.Src.create "iov.onet" ~doc:"iOverlay real-sockets runtime"
 
@@ -33,6 +37,22 @@ type out_conn = {
 
 type timer = { due : float; fn : unit -> unit }
 
+(* Telemetry handles, resolved once at start. Unlike the simulator's
+   single-threaded engine, events here originate on receiver, sender
+   and engine threads alike, so the recorder is guarded by its own
+   mutex (never held together with the node lock). *)
+type ntel = {
+  tl : Tel.t;
+  tr : Tracer.t;
+  tel_lock : Mutex.t;
+  c_enqueued : Metrics.counter;
+  c_switched : Metrics.counter;
+  c_sent : Metrics.counter;
+  c_delivered : Metrics.counter;
+  c_dropped : Metrics.counter;
+  c_link_failures : Metrics.counter;
+}
+
 type t = {
   nid : NI.t;
   listen_fd : Unix.file_descr;
@@ -51,7 +71,47 @@ type t = {
   mutable engine_thread : Thread.t option;
   mutable accept_threads : Thread.t list;
   rng : Random.State.t;
+  n_tel : ntel option;
 }
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry                                                           *)
+
+let tel_counter tl = function
+  | Ev.Enqueue -> Metrics.incr tl.c_enqueued
+  | Ev.Switch -> Metrics.incr tl.c_switched
+  | Ev.Send -> Metrics.incr tl.c_sent
+  | Ev.Deliver -> Metrics.incr tl.c_delivered
+  | Ev.Drop -> Metrics.incr tl.c_dropped
+  | Ev.Link_failure -> Metrics.incr tl.c_link_failures
+  | Ev.Teardown -> ()
+
+let tel_msg t kind ~peer (m : Msg.t) =
+  match t.n_tel with
+  | None -> ()
+  | Some tl ->
+    if Tel.enabled tl.tl then begin
+      Mutex.lock tl.tel_lock;
+      tel_counter tl kind;
+      Tel.record tl.tl tl.tr
+        ~time:(Unix.gettimeofday ())
+        ~kind ~peer ~id:(Ev.id_of_msg m) ~app:m.Msg.app ~mseq:m.Msg.seq
+        ~size:(Msg.size m);
+      Mutex.unlock tl.tel_lock
+    end
+
+let tel_event t kind ~peer =
+  match t.n_tel with
+  | None -> ()
+  | Some tl ->
+    if Tel.enabled tl.tl then begin
+      Mutex.lock tl.tel_lock;
+      tel_counter tl kind;
+      Tel.record tl.tl tl.tr
+        ~time:(Unix.gettimeofday ())
+        ~kind ~peer ~id:Ev.no_id ~app:0 ~mseq:0 ~size:0;
+      Mutex.unlock tl.tel_lock
+    end
 
 let id t = t.nid
 let messages_processed t = t.processed
@@ -111,10 +171,11 @@ let receiver_loop t ?bytes ?stream peer fd buf =
   let chunk = Bytes.create 65536 in
   let running = ref true in
   (* messages already complete in the handed-over stream *)
-  (try
-     List.iter
-       (fun m -> if not (Squeue.push buf m) then running := false)
-       (Codec.Stream.drain stream)
+  let ingest m =
+    if Squeue.push buf m then tel_msg t Ev.Deliver ~peer m
+    else running := false
+  in
+  (try List.iter ingest (Codec.Stream.drain stream)
    with Codec.Malformed _ -> running := false);
   while !running do
     (match Unix.read fd chunk 0 (Bytes.length chunk) with
@@ -124,9 +185,7 @@ let receiver_loop t ?bytes ?stream peer fd buf =
       | Some c -> Atomic.set c (Atomic.get c + n)
       | None -> ());
       Codec.Stream.feed stream ~len:n chunk;
-      List.iter
-        (fun m -> if not (Squeue.push buf m) then running := false)
-        (Codec.Stream.drain stream)
+      List.iter ingest (Codec.Stream.drain stream)
     | exception Unix.Unix_error _ -> running := false
     | exception Codec.Malformed _ -> running := false)
   done;
@@ -134,10 +193,9 @@ let receiver_loop t ?bytes ?stream peer fd buf =
   ignore
     (Squeue.try_push buf (Msg.with_params ~mtype:Mt.Link_failed ~origin:peer 0 0));
   Squeue.close buf;
-  ignore t;
   (try Unix.close fd with Unix.Unix_error _ -> ())
 
-let sender_loop oc =
+let sender_loop t oc =
   let running = ref true in
   while !running do
     match Squeue.pop oc.oc_buf with
@@ -148,9 +206,11 @@ let sender_loop oc =
            and the same buffer is written on every link *)
         let wire = Codec.wire m in
         write_all oc.oc_fd wire;
-        Atomic.set oc.oc_bytes (Atomic.get oc.oc_bytes + Bytes.length wire)
+        Atomic.set oc.oc_bytes (Atomic.get oc.oc_bytes + Bytes.length wire);
+        tel_msg t Ev.Send ~peer:oc.oc_peer m
       with Unix.Unix_error _ ->
         oc.oc_dead <- true;
+        tel_msg t Ev.Drop ~peer:oc.oc_peer m;
         running := false)
   done;
   (try Unix.close oc.oc_fd with Unix.Unix_error _ -> ())
@@ -189,7 +249,7 @@ let ensure_out t peer =
         oc_since = Unix.gettimeofday ();
       }
     in
-    let oc = { oc with oc_thread = Thread.create (fun () -> sender_loop oc) () } in
+    let oc = { oc with oc_thread = Thread.create (fun () -> sender_loop t oc) () } in
     with_lock t (fun () -> t.outs <- oc :: t.outs);
     oc
 
@@ -197,7 +257,8 @@ let connect t peer = ignore (ensure_out t peer)
 
 let send t m peer =
   let oc = ensure_out t peer in
-  ignore (Squeue.push oc.oc_buf m)
+  if Squeue.push oc.oc_buf m then tel_msg t Ev.Enqueue ~peer m
+  else tel_msg t Ev.Drop ~peer m
 
 (* ------------------------------------------------------------------ *)
 (* The algorithm context                                               *)
@@ -206,7 +267,10 @@ let make_ctx t : Alg.ctx =
   {
     Alg.self = t.nid;
     now = Unix.gettimeofday;
-    send = (fun m dst -> try send t m dst with Unix.Unix_error _ -> ());
+    send =
+      (fun m dst ->
+        try send t m dst
+        with Unix.Unix_error _ -> tel_msg t Ev.Drop ~peer:dst m);
     can_send =
       (fun dst ->
         match
@@ -279,6 +343,7 @@ let make_ctx t : Alg.ctx =
 
 let dispatch t ctx (m : Msg.t) =
   t.processed <- t.processed + 1;
+  tel_msg t Ev.Switch ~peer:m.Msg.origin m;
   if Mt.is_data m.Msg.mtype then begin
     let prev =
       match Hashtbl.find_opt t.app_bytes_tbl m.app with Some b -> b | None -> 0
@@ -288,10 +353,17 @@ let dispatch t ctx (m : Msg.t) =
     | Alg.Consume | Alg.Hold -> ()
     | Alg.Forward dests ->
       List.iter
-        (fun d -> try send t m d with Unix.Unix_error _ -> ())
+        (fun d ->
+          try send t m d
+          with Unix.Unix_error _ -> tel_msg t Ev.Drop ~peer:d m)
         dests
   end
-  else ignore (t.algo.Alg.process ctx m)
+  else begin
+    if m.Msg.mtype = Mt.Link_failed then
+      (* the same event the simulator's engine emits on link failure *)
+      tel_event t Ev.Link_failure ~peer:m.Msg.origin;
+    ignore (t.algo.Alg.process ctx m)
+  end
 
 let run_timers t ctx =
   ignore ctx;
@@ -408,7 +480,8 @@ let engine_loop t =
 
 (* ------------------------------------------------------------------ *)
 
-let start ?(host = "127.0.0.1") ?(port = 0) ?(buffer_capacity = 16) algo =
+let start ?(host = "127.0.0.1") ?(port = 0) ?(buffer_capacity = 16) ?telemetry
+    algo =
   if buffer_capacity <= 0 then invalid_arg "Rnode.start: buffer_capacity";
   let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
@@ -439,6 +512,24 @@ let start ?(host = "127.0.0.1") ?(port = 0) ?(buffer_capacity = 16) algo =
       engine_thread = None;
       accept_threads = [];
       rng = Random.State.make [| actual_port |];
+      n_tel =
+        (match telemetry with
+        | None -> None
+        | Some tl ->
+          let m = Tel.metrics tl in
+          let scope = NI.to_string nid in
+          Some
+            {
+              tl;
+              tr = Tel.tracer tl nid;
+              tel_lock = Mutex.create ();
+              c_enqueued = Metrics.counter m ~scope "enqueued";
+              c_switched = Metrics.counter m ~scope "switched";
+              c_sent = Metrics.counter m ~scope "sent";
+              c_delivered = Metrics.counter m ~scope "delivered";
+              c_dropped = Metrics.counter m ~scope "dropped";
+              c_link_failures = Metrics.counter m ~scope "link_failures";
+            });
     }
   in
   t.engine_thread <- Some (Thread.create (fun () -> engine_loop t) ());
@@ -447,6 +538,7 @@ let start ?(host = "127.0.0.1") ?(port = 0) ?(buffer_capacity = 16) algo =
 let shutdown t =
   if not t.stopping then begin
     t.stopping <- true;
+    tel_event t Ev.Teardown ~peer:Tracer.nil_peer;
     (match t.engine_thread with Some th -> Thread.join th | None -> ());
     (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
     let outs = with_lock t (fun () -> t.outs) in

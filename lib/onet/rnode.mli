@@ -25,11 +25,17 @@ val start :
   ?host:string ->
   ?port:int ->
   ?buffer_capacity:int ->
+  ?telemetry:Iov_telemetry.Telemetry.t ->
   Iov_core.Algorithm.t ->
   t
 (** Binds (default [127.0.0.1], ephemeral port), spawns the engine
     thread and returns. [buffer_capacity] (messages, default 16) sizes
-    each receiver/sender buffer.
+    each receiver/sender buffer. [telemetry] attaches a telemetry
+    deployment sharing the simulator's event vocabulary: the node
+    records enqueue/switch/send/deliver/drop/link-failure/teardown
+    events into its flight recorder (guarded by a dedicated mutex — the
+    runtime is multi-threaded, unlike the simulator) and keeps counters
+    scoped by its [ip:port].
     @raise Unix.Unix_error on bind failure. *)
 
 val id : t -> Iov_msg.Node_id.t

@@ -1,0 +1,66 @@
+module NI = Iov_msg.Node_id
+module Msg = Iov_msg.Message
+
+type kind =
+  | Enqueue
+  | Switch
+  | Send
+  | Deliver
+  | Drop
+  | Link_failure
+  | Teardown
+
+let all = [ Enqueue; Switch; Send; Deliver; Drop; Link_failure; Teardown ]
+
+let to_int = function
+  | Enqueue -> 0
+  | Switch -> 1
+  | Send -> 2
+  | Deliver -> 3
+  | Drop -> 4
+  | Link_failure -> 5
+  | Teardown -> 6
+
+let of_int = function
+  | 0 -> Enqueue
+  | 1 -> Switch
+  | 2 -> Send
+  | 3 -> Deliver
+  | 4 -> Drop
+  | 5 -> Link_failure
+  | 6 -> Teardown
+  | n -> invalid_arg ("Event.of_int: " ^ string_of_int n)
+
+let to_string = function
+  | Enqueue -> "enqueue"
+  | Switch -> "switch"
+  | Send -> "send"
+  | Deliver -> "deliver"
+  | Drop -> "drop"
+  | Link_failure -> "link-failure"
+  | Teardown -> "domino-teardown"
+
+let pp fmt k = Format.pp_print_string fmt (to_string k)
+
+(* A splitmix-style finalizer over OCaml's native int. Multiplication
+   wraps, which is fine: determinism on 64-bit platforms is all the
+   trace needs. Constants chosen odd and below 2^62. *)
+let mix x =
+  let x = x lxor (x lsr 29) in
+  let x = x * 0x1b873593a5a5a5b in
+  let x = x lxor (x lsr 32) in
+  let x = x * 0x27d4eb2f165667c5 in
+  let x = x lxor (x lsr 29) in
+  x land max_int
+
+let no_id = 0
+
+let id ~origin ~app ~seq =
+  let h = Int32.to_int origin.NI.ip land 0xffffffff in
+  let h = mix (h lxor (origin.NI.port lsl 32)) in
+  let h = mix (h lxor app) in
+  let h = mix (h lxor seq) in
+  (* 0 is reserved for "no message attached" *)
+  if h = no_id then 1 else h
+
+let id_of_msg (m : Msg.t) = id ~origin:m.Msg.origin ~app:m.Msg.app ~seq:m.Msg.seq

@@ -1,0 +1,44 @@
+(** The telemetry event vocabulary and the causal trace-id scheme.
+
+    Every structured event an engine emits belongs to one of a small,
+    fixed set of kinds; both runtimes (the simulator and the real
+    sockets engine) speak exactly this vocabulary, so a trace collected
+    on either can be read by the same tools.
+
+    A {e trace id} names one logical message as it crosses the overlay.
+    It is derived deterministically from the immutable message header
+    fields [(origin, app, seq)] — the same triple every hop sees — so
+    one message's path can be reassembled across nodes without adding a
+    single byte to the 24-byte wire header. *)
+
+type kind =
+  | Enqueue  (** message placed into a sender buffer *)
+  | Switch  (** message popped from a receiver buffer and processed *)
+  | Send  (** transmission started on a link *)
+  | Deliver  (** transmission arrived in the peer's receiver buffer *)
+  | Drop  (** message lost (full/closed buffers, dead peers) *)
+  | Link_failure  (** a link failure surfaced to the engine *)
+  | Teardown  (** node termination (the paper's domino teardown) *)
+
+val all : kind list
+
+val to_int : kind -> int
+val of_int : int -> kind
+(** @raise Invalid_argument on unknown codes. *)
+
+val to_string : kind -> string
+(** The stable JSONL name ([Teardown] renders as ["domino-teardown"]). *)
+
+val pp : Format.formatter -> kind -> unit
+
+val id : origin:Iov_msg.Node_id.t -> app:int -> seq:int -> int
+(** [id ~origin ~app ~seq] is the non-negative 62-bit trace id of the
+    message with that header triple. Pure integer mixing — allocation
+    free, and identical on every node that handles the message. *)
+
+val id_of_msg : Iov_msg.Message.t -> int
+(** {!id} over a message's own header fields. *)
+
+val no_id : int
+(** The trace id used for events not tied to a message (link failures,
+    teardowns): 0. *)

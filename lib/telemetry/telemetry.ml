@@ -1,0 +1,107 @@
+module NI = Iov_msg.Node_id
+
+type t = {
+  m : Metrics.t;
+  tracers : Tracer.t NI.Tbl.t;
+  ring_capacity : int;
+  mutable on : bool;
+  mutable gseq : int;
+}
+
+let create ?(ring_capacity = 4096) ?(enabled = true) () =
+  if ring_capacity < 1 then invalid_arg "Telemetry.create: ring_capacity";
+  {
+    m = Metrics.create ();
+    tracers = NI.Tbl.create 16;
+    ring_capacity;
+    on = enabled;
+    gseq = 0;
+  }
+
+let enabled t = t.on
+let set_enabled t v = t.on <- v
+let metrics t = t.m
+
+let tracer t ni =
+  match NI.Tbl.find_opt t.tracers ni with
+  | Some tr -> tr
+  | None ->
+    let tr = Tracer.create ~scope:ni ~capacity:t.ring_capacity in
+    NI.Tbl.add t.tracers ni tr;
+    tr
+
+let record t tr ~time ~kind ~peer ~id ~app ~mseq ~size =
+  if t.on then begin
+    let g = t.gseq in
+    t.gseq <- g + 1;
+    Tracer.record tr ~gseq:g ~time ~kind ~peer ~id ~app ~mseq ~size
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Query                                                               *)
+
+type event = {
+  gseq : int;
+  time : float;
+  node : NI.t;
+  kind : Event.kind;
+  peer : NI.t option;
+  id : int;
+  app : int;
+  mseq : int;
+  size : int;
+}
+
+let events t =
+  let acc = ref [] in
+  NI.Tbl.iter
+    (fun node tr ->
+      Tracer.iter tr (fun ~gseq ~time ~kind ~peer ~id ~app ~mseq ~size ->
+          let peer =
+            if NI.equal peer Tracer.nil_peer then None else Some peer
+          in
+          acc := { gseq; time; node; kind; peer; id; app; mseq; size } :: !acc))
+    t.tracers;
+  List.sort (fun a b -> Int.compare a.gseq b.gseq) !acc
+
+let events_for t ~id = List.filter (fun e -> e.id = id) (events t)
+
+let total_events (t : t) = t.gseq
+
+(* ------------------------------------------------------------------ *)
+(* Sinks                                                               *)
+
+let event_line buf (e : event) =
+  Buffer.add_string buf
+    (Printf.sprintf "{\"seq\":%d,\"t\":%.9f,\"node\":%S,\"ev\":%S" e.gseq
+       e.time (NI.to_string e.node)
+       (Event.to_string e.kind));
+  if e.id <> Event.no_id then
+    Buffer.add_string buf (Printf.sprintf ",\"id\":\"%x\"" e.id);
+  (match e.peer with
+  | Some p -> Buffer.add_string buf (Printf.sprintf ",\"peer\":%S" (NI.to_string p))
+  | None -> ());
+  Buffer.add_string buf
+    (Printf.sprintf ",\"app\":%d,\"mseq\":%d,\"size\":%d}\n" e.app e.mseq e.size)
+
+let dump_jsonl t =
+  let buf = Buffer.create 4096 in
+  List.iter (event_line buf) (events t);
+  Buffer.contents buf
+
+let save_jsonl t path =
+  let evs = events t in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let buf = Buffer.create 4096 in
+      List.iter
+        (fun e ->
+          Buffer.clear buf;
+          event_line buf e;
+          output_string oc (Buffer.contents buf))
+        evs;
+      List.length evs)
+
+let digest t = Digest.to_hex (Digest.string (dump_jsonl t))

@@ -1,0 +1,79 @@
+(** The telemetry deployment object: one metrics registry plus one
+    flight recorder per node, shared by every engine of a run.
+
+    Pass one [Telemetry.t] to [Network.create] (simulator) or
+    [Rnode.start] (real sockets) and the engines populate it with the
+    shared event vocabulary ({!Event.kind}) and per-node metrics.
+    Created [~enabled:false] (or toggled off), every {!record} is a
+    single branch — telemetry stays compiled into the hot path at
+    negligible cost.
+
+    Under the deterministic simulator, the same seed yields a
+    byte-identical {!dump_jsonl}, which makes the trace itself a
+    regression oracle ({!digest}). *)
+
+type t
+
+val create : ?ring_capacity:int -> ?enabled:bool -> unit -> t
+(** [ring_capacity] (default 4096) sizes each node's flight recorder;
+    [enabled] defaults to [true]. *)
+
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+
+val metrics : t -> Metrics.t
+
+val tracer : t -> Iov_msg.Node_id.t -> Tracer.t
+(** The node's flight recorder, created on first use. Registration
+    path — engines call it once per node, at setup. *)
+
+val record :
+  t ->
+  Tracer.t ->
+  time:float ->
+  kind:Event.kind ->
+  peer:Iov_msg.Node_id.t ->
+  id:int ->
+  app:int ->
+  mseq:int ->
+  size:int ->
+  unit
+(** Stamps the event with the deployment-global sequence number and
+    appends it to the recorder; a no-op branch when disabled.
+    Allocation free. *)
+
+(** {1 Query API (tests, debugging — not the hot path)} *)
+
+type event = {
+  gseq : int;  (** deployment-global order *)
+  time : float;
+  node : Iov_msg.Node_id.t;  (** recorder scope *)
+  kind : Event.kind;
+  peer : Iov_msg.Node_id.t option;
+  id : int;  (** trace id, 0 when none *)
+  app : int;
+  mseq : int;
+  size : int;
+}
+
+val events : t -> event list
+(** All retained events across all nodes, in global order. *)
+
+val events_for : t -> id:int -> event list
+(** One message's reassembled cross-node path. *)
+
+val total_events : t -> int
+(** Events ever recorded (including ring-overwritten ones). *)
+
+(** {1 Sinks} *)
+
+val dump_jsonl : t -> string
+(** One JSON object per line, in global event order. Deterministic:
+    same events, same bytes. *)
+
+val save_jsonl : t -> string -> int
+(** Writes {!dump_jsonl} to a file; returns the number of lines.
+    @raise Sys_error on unwritable paths. *)
+
+val digest : t -> string
+(** MD5 hex digest of {!dump_jsonl} — the regression oracle. *)

@@ -1,0 +1,63 @@
+module NI = Iov_msg.Node_id
+
+let nil_peer = NI.make ~ip:0l ~port:0
+
+type t = {
+  t_scope : NI.t;
+  cap : int;
+  kinds : int array;
+  times : float array;
+  gseqs : int array;
+  ids : int array;
+  peers : NI.t array;
+  apps : int array;
+  mseqs : int array;
+  sizes : int array;
+  mutable t_total : int;
+}
+
+let create ~scope ~capacity =
+  if capacity < 1 then invalid_arg "Tracer.create: capacity";
+  {
+    t_scope = scope;
+    cap = capacity;
+    kinds = Array.make capacity 0;
+    times = Array.make capacity 0.;
+    gseqs = Array.make capacity 0;
+    ids = Array.make capacity 0;
+    peers = Array.make capacity nil_peer;
+    apps = Array.make capacity 0;
+    mseqs = Array.make capacity 0;
+    sizes = Array.make capacity 0;
+    t_total = 0;
+  }
+
+let scope t = t.t_scope
+let capacity t = t.cap
+
+let record t ~gseq ~time ~kind ~peer ~id ~app ~mseq ~size =
+  let i = t.t_total mod t.cap in
+  Array.unsafe_set t.kinds i (Event.to_int kind);
+  Array.unsafe_set t.times i time;
+  Array.unsafe_set t.gseqs i gseq;
+  Array.unsafe_set t.ids i id;
+  Array.unsafe_set t.peers i peer;
+  Array.unsafe_set t.apps i app;
+  Array.unsafe_set t.mseqs i mseq;
+  Array.unsafe_set t.sizes i size;
+  t.t_total <- t.t_total + 1
+
+let length t = if t.t_total < t.cap then t.t_total else t.cap
+let total t = t.t_total
+let dropped t = t.t_total - length t
+
+let iter t f =
+  let n = length t in
+  let start = t.t_total - n in
+  for k = 0 to n - 1 do
+    let i = (start + k) mod t.cap in
+    f ~gseq:t.gseqs.(i) ~time:t.times.(i)
+      ~kind:(Event.of_int t.kinds.(i))
+      ~peer:t.peers.(i) ~id:t.ids.(i) ~app:t.apps.(i) ~mseq:t.mseqs.(i)
+      ~size:t.sizes.(i)
+  done

@@ -1,0 +1,58 @@
+(** The per-node flight recorder: a fixed-size ring buffer of
+    structured events.
+
+    All storage is preallocated at creation as parallel flat arrays —
+    one per event field — so {!record} performs only array stores and
+    never allocates, upholding the registry's hot-path rule. When the
+    ring is full the oldest events are overwritten; {!dropped} reports
+    how many were lost that way. *)
+
+type t
+
+val nil_peer : Iov_msg.Node_id.t
+(** The sentinel ([0.0.0.0:0]) for events with no peer. *)
+
+val create : scope:Iov_msg.Node_id.t -> capacity:int -> t
+(** @raise Invalid_argument if [capacity < 1]. *)
+
+val scope : t -> Iov_msg.Node_id.t
+val capacity : t -> int
+
+val record :
+  t ->
+  gseq:int ->
+  time:float ->
+  kind:Event.kind ->
+  peer:Iov_msg.Node_id.t ->
+  id:int ->
+  app:int ->
+  mseq:int ->
+  size:int ->
+  unit
+(** Appends one event. [gseq] is the deployment-global sequence number
+    (stamped by {!Telemetry.record}); [id] a trace id ({!Event.no_id}
+    when the event carries none); [peer] {!nil_peer} when absent;
+    [mseq] the message's header sequence number. Allocation free. *)
+
+val length : t -> int
+(** Events currently retained (at most [capacity]). *)
+
+val total : t -> int
+(** Events ever recorded. *)
+
+val dropped : t -> int
+(** [total - length]: events overwritten by ring wrap-around. *)
+
+val iter :
+  t ->
+  (gseq:int ->
+  time:float ->
+  kind:Event.kind ->
+  peer:Iov_msg.Node_id.t ->
+  id:int ->
+  app:int ->
+  mseq:int ->
+  size:int ->
+  unit) ->
+  unit
+(** Visits retained events oldest first. *)

@@ -298,6 +298,7 @@ let test_status_roundtrip () =
       downstreams = [ mk (NI.synthetic 2) 2048. 0; mk (NI.synthetic 3) 0. 5 ];
       bytes_lost = 77;
       messages_lost = 3;
+      metrics = None;
     }
   in
   let st' = Status.of_payload (Status.to_payload st) in
@@ -309,7 +310,91 @@ let test_status_roundtrip () =
   Alcotest.(check int) "lost msgs" 3 st'.Status.messages_lost;
   let u = List.hd st'.Status.upstreams in
   Alcotest.(check (float 0.)) "rate" 1024. u.Status.rate;
-  Alcotest.(check int) "queued" 3 u.Status.queued
+  Alcotest.(check int) "queued" 3 u.Status.queued;
+  Alcotest.(check bool) "no metrics" true (st'.Status.metrics = None)
+
+let base_status ?metrics () =
+  {
+    Status.node = NI.synthetic 9;
+    time = 12.25;
+    upstreams = [ { Status.peer = NI.synthetic 1; rate = 1024.; queued = 3;
+                    buffer_capacity = 5 } ];
+    downstreams = [];
+    bytes_lost = 0;
+    messages_lost = 0;
+    metrics;
+  }
+
+(* the trailing metrics extension rides along transparently *)
+let test_status_metrics_ext () =
+  let blob = Bytes.of_string "\x01opaque-metrics\x00\xffblob" in
+  let st = base_status ~metrics:blob () in
+  let st' = Status.of_payload (Status.to_payload st) in
+  (match st'.Status.metrics with
+  | Some b -> Alcotest.(check bytes) "blob intact" blob b
+  | None -> Alcotest.fail "metrics extension lost");
+  Alcotest.(check bool) "header fields intact" true
+    (NI.equal st'.Status.node (NI.synthetic 9))
+
+(* wire compatibility, both directions: a pre-extension payload (what
+   an old node emits — byte-identical to [metrics = None]) decodes with
+   [metrics = None]; an old reader, which stops after [messages_lost],
+   parses an extended payload without error and simply leaves the
+   trailing extension bytes unread *)
+let test_status_wire_compat () =
+  let old_payload = Status.to_payload (base_status ()) in
+  let st' = Status.of_payload old_payload in
+  Alcotest.(check bool) "old payload -> no metrics" true
+    (st'.Status.metrics = None);
+  let new_payload =
+    Status.to_payload (base_status ~metrics:(Bytes.of_string "xyz") ())
+  in
+  Alcotest.(check bool) "extension adds trailing bytes" true
+    (Bytes.length new_payload > Bytes.length old_payload);
+  (* the old reader: the common prefix is unchanged *)
+  Alcotest.(check bytes) "prefix unchanged" old_payload
+    (Bytes.sub new_payload 0 (Bytes.length old_payload));
+  let r = Wire.R.of_bytes new_payload in
+  ignore (Wire.R.node r);
+  ignore (Wire.R.float r);
+  let n_up = Wire.R.int32 r in
+  for _ = 1 to n_up do
+    ignore (Wire.R.node r); ignore (Wire.R.float r);
+    ignore (Wire.R.int32 r); ignore (Wire.R.int32 r)
+  done;
+  let n_down = Wire.R.int32 r in
+  Alcotest.(check int) "downs" 0 n_down;
+  Alcotest.(check int) "bytes_lost" 0 (Wire.R.int32 r);
+  Alcotest.(check int) "messages_lost" 0 (Wire.R.int32 r);
+  Alcotest.(check bool) "old reader leaves extension unread" true
+    (Wire.R.remaining r > 0)
+
+(* every builtin mtype survives a full message codec roundtrip with a
+   non-trivial payload — status reports travel as one of them *)
+let test_codec_all_mtypes () =
+  List.iter
+    (fun mtype ->
+      let payload =
+        if mtype = Mt.Status then
+          Status.to_payload
+            (base_status ~metrics:(Bytes.of_string "blob") ())
+        else Bytes.of_string (Mt.to_string mtype)
+      in
+      let m =
+        Msg.make ~mtype ~origin:(NI.synthetic 7) ~app:3 ~seq:11 payload
+      in
+      let m' = Codec.decode (Codec.encode m) in
+      Alcotest.(check bool) (Mt.to_string mtype) true (m'.Msg.mtype = mtype);
+      Alcotest.(check bytes)
+        (Mt.to_string mtype ^ " payload")
+        payload m'.Msg.payload;
+      if mtype = Mt.Status then
+        match (Status.of_payload m'.Msg.payload).Status.metrics with
+        | Some b ->
+          Alcotest.(check bytes) "status metrics through codec"
+            (Bytes.of_string "blob") b
+        | None -> Alcotest.fail "status metrics lost through codec")
+    (Mt.all_builtin @ [ Mt.Custom 99 ])
 
 let () =
   Alcotest.run "msg"
@@ -353,5 +438,11 @@ let () =
             test_wire_roundtrip;
           Alcotest.test_case "truncation" `Quick test_wire_truncated;
           Alcotest.test_case "status roundtrip" `Quick test_status_roundtrip;
+          Alcotest.test_case "status metrics extension" `Quick
+            test_status_metrics_ext;
+          Alcotest.test_case "status wire compatibility" `Quick
+            test_status_wire_compat;
+          Alcotest.test_case "all mtypes codec roundtrip" `Quick
+            test_codec_all_mtypes;
         ] );
     ]

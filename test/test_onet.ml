@@ -176,6 +176,65 @@ let test_rnode_peer_death_notifies () =
   Rnode.shutdown watcher;
   Alcotest.(check bool) "LinkFailed surfaced" true ok
 
+(* an abrupt peer close (raw socket vanishing mid-connection, no
+   graceful drain) must surface LinkFailed to the algorithm and leave
+   the matching link-failure event in the node's flight recorder *)
+let test_rnode_abrupt_close_telemetry () =
+  let tele = Iov_telemetry.Telemetry.create () in
+  let failures = ref 0 in
+  let watch (_ : Alg.ctx) (m : Msg.t) =
+    if m.Msg.mtype = Mt.Link_failed then incr failures;
+    Some Alg.Consume
+  in
+  let watcher =
+    Rnode.start ~telemetry:tele (Ialg.make ~name:"watch" watch)
+  in
+  let claimed = NI.of_string "127.0.0.1:45678" in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd
+    (Unix.ADDR_INET
+       (Unix.inet_addr_of_string "127.0.0.1", (Rnode.id watcher).NI.port));
+  let write_msg m =
+    let wire = Iov_msg.Codec.encode m in
+    ignore (Unix.write fd wire 0 (Bytes.length wire))
+  in
+  (* introduce ourselves under the claimed identity, then one data
+     message so the connection is fully registered before it dies *)
+  write_msg (Msg.with_params ~mtype:(Mt.Custom 900) ~origin:claimed 0 0);
+  write_msg (Msg.data ~origin:claimed ~app:1 ~seq:0 (Bytes.make 16 'y'));
+  let delivered = wait_for (fun () -> Rnode.app_bytes watcher ~app:1 > 0) in
+  Alcotest.(check bool) "delivered before close" true delivered;
+  Unix.close fd;
+  let ok = wait_for (fun () -> !failures >= 1) in
+  Alcotest.(check bool) "LinkFailed surfaced" true ok;
+  let events =
+    List.filter
+      (fun (e : Iov_telemetry.Telemetry.event) ->
+        e.Iov_telemetry.Telemetry.kind = Iov_telemetry.Event.Link_failure)
+      (Iov_telemetry.Telemetry.events tele)
+  in
+  Rnode.shutdown watcher;
+  (match events with
+  | [] -> Alcotest.fail "no link-failure telemetry event"
+  | e :: _ ->
+    Alcotest.(check bool) "recorded at the watcher" true
+      (NI.equal e.Iov_telemetry.Telemetry.node (Rnode.id watcher));
+    Alcotest.(check bool) "names the failed peer" true
+      (e.Iov_telemetry.Telemetry.peer = Some claimed));
+  let snap =
+    Iov_telemetry.Metrics.snapshot
+      ~scope:(NI.to_string (Rnode.id watcher))
+      (Iov_telemetry.Telemetry.metrics tele)
+  in
+  (match List.assoc_opt "link_failures" snap with
+  | Some (Iov_telemetry.Metrics.Counter n) ->
+    Alcotest.(check bool) "link_failures counter" true (n >= 1)
+  | _ -> Alcotest.fail "no link_failures counter");
+  match List.assoc_opt "delivered" snap with
+  | Some (Iov_telemetry.Metrics.Counter n) ->
+    Alcotest.(check bool) "delivered counter" true (n >= 1)
+  | _ -> Alcotest.fail "no delivered counter"
+
 let test_rnode_observer_bootstrap () =
   (* the portable observer algorithm served over real TCP: two nodes
      boot against it; the second learns about the first *)
@@ -241,6 +300,8 @@ let () =
             test_rnode_persistent_connection;
           Alcotest.test_case "peer death notification" `Quick
             test_rnode_peer_death_notifies;
+          Alcotest.test_case "abrupt close emits link-failure telemetry"
+            `Quick test_rnode_abrupt_close_telemetry;
           Alcotest.test_case "observer bootstrap over TCP" `Quick
             test_rnode_observer_bootstrap;
         ] );
