@@ -26,6 +26,8 @@ module Gf = Iov_gf256.Gf256
 module Linear = Iov_gf256.Linear
 module Cqueue = Iov_core.Cqueue
 module Heap = Iov_dsim.Heap
+module Scn = Iov_chaos.Scenario
+module Inv = Iov_chaos.Invariant
 
 (* ------------------------------------------------------------------ *)
 (* Micro-benchmarks                                                    *)
@@ -187,6 +189,48 @@ let bench_fanout_8way_telem =
          let telemetry = Iov_telemetry.Telemetry.create () in
          fanout_8way_run ~telemetry ()))
 
+(* compiling a churn-heavy chaos scenario: every churn interval and
+   victim pick is sampled here, at compile time, so this is the entire
+   stochastic cost of a deterministic chaos run *)
+let chaos_scenario =
+  Scn.parse
+    "scenario bench-churn seed=7\n\
+     churn nodes=* pick=8 start=1 stop=300 down=exp:5 up=const:2\n\
+     flap link=n1->n2 start=2 stop=120 period=const:4 down=const:1\n\
+     loss link=n2->n3 p=0.1 corrupt=0.02 at=3 clear=200\n\
+     expect no-delivery-after-teardown grace=0.5\n\
+     expect domino-completes within=2\n\
+     expect reconverge within=10\n\
+     expect min-events 100\n"
+
+let chaos_nodes = List.init 16 (fun i -> Printf.sprintf "n%d" (i + 1))
+
+let bench_chaos_compile =
+  Test.make ~name:"chaos/compile-churn-16"
+    (Staged.stage (fun () ->
+         ignore (Scn.compile chaos_scenario ~nodes:chaos_nodes)))
+
+(* checking the recovery invariants of the bundled smoke scenario over
+   its real telemetry trace; the simulated run happens once, at staging
+   time, so the measurement is the pure trace-checking pass *)
+let bench_chaos_check =
+  Test.make ~name:"chaos/invariant-check"
+    (Staged.stage
+       (let o =
+          match Iov_exp.Chaoslab.run_builtin ~quiet:true "smoke" with
+          | Some o -> o
+          | None -> assert false
+        in
+        let scenario = o.Iov_exp.Chaoslab.scenario in
+        let actions =
+          Scn.compile scenario ~nodes:[ "A"; "B"; "C"; "D"; "E"; "F"; "G" ]
+        in
+        let events =
+          Iov_telemetry.Telemetry.events o.Iov_exp.Chaoslab.telemetry
+        in
+        let horizon = o.Iov_exp.Chaoslab.horizon in
+        fun () -> ignore (Inv.check ~scenario ~actions ~horizon events)))
+
 let micro_tests =
   [
     bench_codec_encode;
@@ -202,6 +246,8 @@ let micro_tests =
     bench_switch_hop;
     bench_fanout_8way;
     bench_fanout_8way_telem;
+    bench_chaos_compile;
+    bench_chaos_check;
   ]
 
 let json_file = "BENCH_micro.json"

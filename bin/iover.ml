@@ -2,88 +2,102 @@
    reproduction by id, or all of them. *)
 
 let experiments :
-    (string * string * (quick:bool -> unit)) list =
+    (string * string * (quick:bool -> seed:int option -> unit)) list =
   [
     ( "fig5",
       "raw engine switching performance on a chain of virtual nodes",
-      fun ~quick ->
+      fun ~quick ~seed:_ ->
         let sizes = if quick then [ 2; 3; 4; 8 ] else Iov_exp.Fig5.default_sizes in
         ignore (Iov_exp.Fig5.run ~sizes ()) );
     ( "fig6",
       "engine correctness: emulation, back pressure, terminations",
-      fun ~quick:_ -> ignore (Iov_exp.Fig6.run ()) );
+      fun ~quick:_ ~seed:_ -> ignore (Iov_exp.Fig6.run ()) );
     ( "fig7",
       "bottleneck behaviour with large (10000-message) buffers",
-      fun ~quick:_ -> ignore (Iov_exp.Fig7.run ()) );
+      fun ~quick:_ ~seed:_ -> ignore (Iov_exp.Fig7.run ()) );
     ( "fig8",
       "network coding in GF(2^8) at node D",
-      fun ~quick:_ -> ignore (Iov_exp.Fig8.run ()) );
+      fun ~quick:_ ~seed:_ -> ignore (Iov_exp.Fig8.run ()) );
     ( "fig9",
       "tree construction + Table 3 on the 5-node session",
-      fun ~quick:_ -> ignore (Iov_exp.Fig9.run ()) );
+      fun ~quick:_ ~seed:_ -> ignore (Iov_exp.Fig9.run ()) );
     ( "fig11",
       "tree construction on 81 wide-area nodes",
-      fun ~quick ->
-        ignore (Iov_exp.Fig11.run ~n:(if quick then 30 else 81) ()) );
+      fun ~quick ~seed ->
+        ignore (Iov_exp.Fig11.run ?seed ~n:(if quick then 30 else 81) ()) );
     ( "fig12",
       "10-node and 81-node ns-aware topologies (Figs. 12-13)",
-      fun ~quick:_ -> ignore (Iov_exp.Fig12.run ()) );
+      fun ~quick:_ ~seed -> ignore (Iov_exp.Fig12.run ?seed ()) );
     ( "fig14",
       "a federated complex service + per-node stats (Figs. 14-15)",
-      fun ~quick:_ -> ignore (Iov_exp.Fig14.run ()) );
+      fun ~quick:_ ~seed -> ignore (Iov_exp.Fig14.run ?seed ()) );
     ( "fig16",
       "sAware overhead over time (30-node service overlay)",
-      fun ~quick:_ -> ignore (Iov_exp.Fig16.run ()) );
+      fun ~quick:_ ~seed -> ignore (Iov_exp.Fig16.run ?seed ()) );
     ( "fig17",
       "control overhead vs network size",
-      fun ~quick ->
+      fun ~quick ~seed ->
         let sizes = if quick then [ 5; 20; 40 ] else Iov_exp.Fig17.default_sizes in
-        ignore (Iov_exp.Fig17.run ~sizes ()) );
+        ignore (Iov_exp.Fig17.run ?seed ~sizes ()) );
     ( "fig18",
       "per-node overhead under heavy federation load",
-      fun ~quick:_ -> ignore (Iov_exp.Fig18.run ()) );
+      fun ~quick:_ ~seed -> ignore (Iov_exp.Fig18.run ?seed ()) );
     ( "fig19",
       "end-to-end bandwidth: sFlow vs fixed vs random",
-      fun ~quick ->
+      fun ~quick ~seed ->
         let sizes = if quick then [ 5; 10; 20 ] else Iov_exp.Fig19.default_sizes in
-        ignore (Iov_exp.Fig19.run ~sizes ()) );
+        ignore (Iov_exp.Fig19.run ?seed ~sizes ()) );
     ( "robustness",
       "failure injection + availability recovery (Section 3.1)",
-      fun ~quick ->
-        ignore (Iov_exp.Robustness.run ~n:(if quick then 12 else 20) ()) );
+      fun ~quick ~seed ->
+        ignore (Iov_exp.Robustness.run ?seed ~n:(if quick then 12 else 20) ()) );
+    ( "churn",
+      "availability vs churn rate across the tree strategies",
+      fun ~quick ~seed ->
+        ignore
+          (Iov_exp.Churnsweep.run ?seed
+             ~n:(if quick then 8 else 12)
+             ~rates:(if quick then [ 2.; 6. ] else [ 1.; 2.; 4.; 8. ])
+             ()) );
     ( "ablations",
       "design-choice sweeps: buffers, pipelining, CPU model",
-      fun ~quick:_ -> Iov_exp.Ablations.run_all () );
+      fun ~quick:_ ~seed:_ -> Iov_exp.Ablations.run_all () );
   ]
 
 open Cmdliner
 
+let seed_opt_arg =
+  let doc =
+    "Override the experiment's default random seed (experiments with no \
+     seeded randomness ignore it)."
+  in
+  Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"SEED" ~doc)
+
 let run_cmd =
   let id_arg =
-    let doc = "Experiment id (fig5..fig19), or 'all'." in
+    let doc = "Experiment id (fig5..fig19, robustness, churn), or 'all'." in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
   in
   let quick_arg =
     let doc = "Smaller workloads for a fast pass." in
     Arg.(value & flag & info [ "quick" ] ~doc)
   in
-  let run id quick =
-    let quick_flag = quick in
+  let run id quick seed =
     if id = "all" then begin
-      List.iter (fun (_, _, f) -> f ~quick:quick_flag) experiments;
+      List.iter (fun (_, _, f) -> f ~quick ~seed) experiments;
       `Ok ()
     end
     else
       match List.find_opt (fun (n, _, _) -> n = id) experiments with
       | Some (_, _, f) ->
-        f ~quick:quick_flag;
+        f ~quick ~seed;
         `Ok ()
       | None -> `Error (false, "unknown experiment: " ^ id)
   in
   let info =
     Cmd.info "run" ~doc:"Run a paper experiment reproduction by id."
   in
-  Cmd.v info Term.(ret (const run $ id_arg $ quick_arg))
+  Cmd.v info Term.(ret (const run $ id_arg $ quick_arg $ seed_opt_arg))
 
 let trace_cmd =
   let topo_arg =
@@ -152,10 +166,110 @@ let trace_cmd =
         (const run $ topo_arg $ n_arg $ seed_arg $ until_arg $ out_arg
        $ ring_arg))
 
+let chaos_cmd =
+  let name_arg =
+    let doc = "A bundled scenario name (see $(b,--list))." in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"NAME" ~doc)
+  in
+  let scenario_arg =
+    let doc = "Run the scenario in $(docv) (chaos text format)." in
+    Arg.(
+      value & opt (some string) None & info [ "scenario" ] ~docv:"FILE" ~doc)
+  in
+  let list_arg =
+    let doc = "List the bundled scenarios." in
+    Arg.(value & flag & info [ "list" ] ~doc)
+  in
+  let smoke_arg =
+    let doc =
+      "Run every bundled scenario and check that the regular ones pass \
+       while the deliberately-broken fixture is flagged; non-zero exit on \
+       any surprise (the CI gate)."
+    in
+    Arg.(value & flag & info [ "smoke" ] ~doc)
+  in
+  let topo_arg =
+    let doc =
+      "Workload for $(b,--scenario) files: 'fig6', 'chain', 'random', \
+       'session', 'session-unicast' or 'session-random'."
+    in
+    Arg.(value & opt string "fig6" & info [ "topo" ] ~docv:"W" ~doc)
+  in
+  let n_arg =
+    let doc = "Node count for sized workloads." in
+    Arg.(value & opt int 8 & info [ "n" ] ~docv:"N" ~doc)
+  in
+  let seed_arg =
+    let doc = "Workload seed (same scenario + seed => identical trace)." in
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let until_arg =
+    let doc = "Simulated seconds to run (default: scenario-derived)." in
+    Arg.(value & opt (some float) None & info [ "until" ] ~docv:"T" ~doc)
+  in
+  let out_arg =
+    let doc = "Write the run's JSONL telemetry trace to $(docv)." in
+    Arg.(
+      value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let run name scenario_file list smoke topo n seed until out =
+    let module C = Iov_exp.Chaoslab in
+    let finish (o : C.outcome) =
+      let tl = o.C.telemetry in
+      Printf.printf "%d events, digest %s\n"
+        (List.length (Iov_telemetry.Telemetry.events tl))
+        (Iov_telemetry.Telemetry.digest tl);
+      (match out with
+      | Some path ->
+        let lines = Iov_telemetry.Telemetry.save_jsonl tl path in
+        Printf.printf "wrote %d events to %s\n" lines path
+      | None -> ());
+      if C.Invariant.ok o.C.report then `Ok ()
+      else exit 1
+    in
+    if list then begin
+      List.iter
+        (fun (n, doc, _, _, _) -> Printf.printf "  %-16s %s\n" n doc)
+        C.builtins;
+      `Ok ()
+    end
+    else if smoke then if C.smoke ~seed () then `Ok () else exit 1
+    else
+      match (name, scenario_file) with
+      | Some name, None -> (
+        match C.run_builtin ~seed ?until name with
+        | Some o -> finish o
+        | None -> `Error (false, "unknown scenario: " ^ name))
+      | None, Some path -> (
+        match C.workload_of_string ~n topo with
+        | None -> `Error (false, "unknown workload: " ^ topo)
+        | Some workload -> (
+          match C.Scenario.parse_file path with
+          | scenario -> finish (C.run ~seed ?until ~workload scenario)
+          | exception C.Scenario.Parse_error (line, msg) ->
+            `Error (false, Printf.sprintf "%s:%d: %s" path line msg)))
+      | Some _, Some _ ->
+        `Error (false, "give either a scenario name or --scenario, not both")
+      | None, None ->
+        `Error (false, "nothing to do: give a name, --scenario, --list or --smoke")
+  in
+  let info =
+    Cmd.info "chaos"
+      ~doc:
+        "Run a deterministic fault-injection scenario against a simulated \
+         overlay and check its recovery invariants against the telemetry \
+         trace."
+  in
+  Cmd.v info
+    Term.(
+      ret
+        (const run $ name_arg $ scenario_arg $ list_arg $ smoke_arg $ topo_arg
+       $ n_arg $ seed_arg $ until_arg $ out_arg))
+
 let list_cmd =
   let run () =
     List.iter
-      (fun (n, doc, _) -> Printf.printf "  %-7s %s\n" n doc)
+      (fun (n, doc, _) -> Printf.printf "  %-10s %s\n" n doc)
       experiments
   in
   Cmd.v (Cmd.info "list" ~doc:"List the available experiments.")
@@ -166,6 +280,6 @@ let main =
     Cmd.info "iover" ~version:"1.0.0"
       ~doc:"iOverlay (Middleware 2004) reproduction harness."
   in
-  Cmd.group info [ run_cmd; trace_cmd; list_cmd ]
+  Cmd.group info [ run_cmd; trace_cmd; chaos_cmd; list_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,63 @@
+module Network = Iov_core.Network
+module NI = Iov_msg.Node_id
+module Tel = Iov_telemetry.Telemetry
+
+type installed = {
+  scenario : Scenario.t;
+  actions : (float * Scenario.action) list;
+  resolve : string -> NI.t option;
+}
+
+let apply_action ~net ~resolve ~spawn (action : Scenario.action) =
+  let with_node name f = match resolve name with Some ni -> f ni | None -> () in
+  let with_link src dst f =
+    match (resolve src, resolve dst) with
+    | Some s, Some d -> f s d
+    | _ -> ()
+  in
+  match action with
+  | Scenario.Kill_node name -> with_node name (Network.kill_node net)
+  | Scenario.Spawn_node name -> (
+    match spawn with Some f -> f name | None -> ())
+  | Scenario.Stall_link { src; dst; on } ->
+    with_link src dst (fun s d ->
+        try Network.stall_link net ~src:s ~dst:d on
+        with Invalid_argument _ -> (* link already torn down *) ())
+  | Scenario.Set_link_rate { src; dst; rate } ->
+    with_link src dst (fun s d ->
+        try Network.set_link_bandwidth net ~src:s ~dst:d rate
+        with Invalid_argument _ | Not_found -> ())
+  | Scenario.Set_loss { src; dst; p; corrupt } ->
+    with_link src dst (fun s d ->
+        try Network.set_link_loss net ~src:s ~dst:d ~corrupt p
+        with Invalid_argument _ -> ())
+  | Scenario.Set_partition [] -> Network.set_partition net None
+  | Scenario.Set_partition groups ->
+    (* resolve the cut at activation time, against the current nodes *)
+    let side = NI.Tbl.create 32 in
+    List.iteri
+      (fun i group ->
+        List.iter
+          (fun name ->
+            match resolve name with
+            | Some ni -> NI.Tbl.replace side ni i
+            | None -> ())
+          group)
+      groups;
+    Network.set_partition net
+      (Some
+         (fun a b ->
+           match (NI.Tbl.find_opt side a, NI.Tbl.find_opt side b) with
+           | Some i, Some j -> i <> j
+           | _ -> false))
+
+let install ~net ~resolve ?spawn ~nodes scenario =
+  let actions = Scenario.compile scenario ~nodes in
+  Driver.schedule_sim (Network.sim net)
+    ~apply:(apply_action ~net ~resolve ~spawn)
+    actions;
+  { scenario; actions; resolve }
+
+let check installed ~telemetry ~horizon =
+  Invariant.check ~scenario:installed.scenario ~resolve:installed.resolve
+    ~actions:installed.actions ~horizon (Tel.events telemetry)

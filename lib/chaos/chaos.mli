@@ -1,0 +1,46 @@
+(** The chaos engine's front door for the simulated runtime: compile a
+    scenario, install its schedule into a {!Iov_core.Network.t}, run
+    the simulation, then check the scenario's expectations against the
+    telemetry trace.
+
+    {[
+      let scenario = Scenario.parse_file "churn.chaos" in
+      let installed = Chaos.install ~net ~resolve ~nodes scenario in
+      Network.run net ~until:60.;
+      let report = Chaos.check installed ~telemetry ~horizon:60. in
+      if not (Invariant.ok report) then
+        print_string (Invariant.to_string report)
+    ]} *)
+
+type installed = {
+  scenario : Scenario.t;
+  actions : (float * Scenario.action) list;  (** the compiled schedule *)
+  resolve : string -> Iov_msg.Node_id.t option;
+}
+
+val install :
+  net:Iov_core.Network.t ->
+  resolve:(string -> Iov_msg.Node_id.t option) ->
+  ?spawn:(string -> unit) ->
+  nodes:string list ->
+  Scenario.t ->
+  installed
+(** Compiles the scenario over [nodes] (the expansion of [*] in churn
+    faults) and schedules every action on the network's simulator:
+    kills map to {!Iov_core.Network.kill_node}, respawns to [spawn]
+    (ignored when absent — supply a callback that re-adds the node and
+    re-joins its session), flaps to {!Iov_core.Network.stall_link},
+    degradations to {!Iov_core.Network.set_link_bandwidth}, loss to
+    {!Iov_core.Network.set_link_loss} and partitions to
+    {!Iov_core.Network.set_partition} (group cuts are resolved to node
+    ids when the partition activates). Names [resolve] maps to [None]
+    and links the engine no longer knows are skipped silently — a
+    scenario may name nodes that are already gone. *)
+
+val check :
+  installed ->
+  telemetry:Iov_telemetry.Telemetry.t ->
+  horizon:float ->
+  Invariant.report
+(** {!Invariant.check} over the installed schedule and the trace
+    collected so far. *)

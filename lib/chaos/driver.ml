@@ -1,0 +1,36 @@
+module Sim = Iov_dsim.Sim
+
+let src_log = Logs.Src.create "iov.chaos" ~doc:"iOverlay chaos driver"
+
+module Log = (val Logs.src_log src_log)
+
+let schedule_sim sim ~apply actions =
+  List.iter
+    (fun (time, action) ->
+      let time = Float.max time (Sim.now sim) in
+      ignore (Sim.schedule_at sim ~time (fun () -> apply action)))
+    actions
+
+let run_threaded ?(speedup = 1.0) ~apply actions =
+  if speedup <= 0. then invalid_arg "Driver.run_threaded: speedup";
+  Thread.create
+    (fun () ->
+      let t0 = Unix.gettimeofday () in
+      List.iter
+        (fun (time, action) ->
+          let due = t0 +. (time /. speedup) in
+          let rec wait () =
+            let dt = due -. Unix.gettimeofday () in
+            if dt > 0. then begin
+              Unix.sleepf dt;
+              wait ()
+            end
+          in
+          wait ();
+          try apply action
+          with exn ->
+            Log.warn (fun m ->
+                m "chaos action at t=%g raised %s" time
+                  (Printexc.to_string exn)))
+        actions)
+    ()

@@ -1,0 +1,32 @@
+(** Executing a compiled schedule against a runtime.
+
+    Two drivers share the same compiled [(time, action)] schedule:
+
+    - {!schedule_sim} plants every action into a discrete-event
+      simulator — the action fires at exactly its virtual time, keeping
+      the run (and its telemetry trace) deterministic;
+    - {!run_threaded} replays the schedule in wall-clock time from a
+      dedicated thread — the sockets-runtime driver, where [apply]
+      typically maps kills to [Rnode.kill] and has no simulator to
+      lean on. *)
+
+val schedule_sim :
+  Iov_dsim.Sim.t ->
+  apply:(Scenario.action -> unit) ->
+  (float * Scenario.action) list ->
+  unit
+(** Plants each action at its absolute virtual time (actions whose time
+    is already in the past fire immediately). [apply] runs inside the
+    simulation, so anything it touches stays deterministic. *)
+
+val run_threaded :
+  ?speedup:float ->
+  apply:(Scenario.action -> unit) ->
+  (float * Scenario.action) list ->
+  Thread.t
+(** Spawns a thread that sleeps to each action's offset from the moment
+    of the call (divided by [speedup], default 1.0 — pass e.g. 10. to
+    compress a long scenario into a short test) and invokes [apply].
+    Join the returned thread to wait for the schedule to finish;
+    exceptions from [apply] abort the thread silently, so [apply]
+    should catch what it cares about. *)

@@ -1,0 +1,367 @@
+module NI = Iov_msg.Node_id
+module Tel = Iov_telemetry.Telemetry
+module Ev = Iov_telemetry.Event
+
+type violation = {
+  v_node : NI.t option;
+  v_peer : NI.t option;
+  v_time : float;
+  v_gseq : int;
+  v_detail : string;
+}
+
+type line = { expect : Scenario.expect; violations : violation list }
+
+type report = {
+  scenario : string;
+  events_seen : int;
+  horizon : float;
+  lines : line list;
+}
+
+let ok r = List.for_all (fun l -> l.violations = []) r.lines
+let violations r = List.concat_map (fun l -> l.violations) r.lines
+
+(* keep reports readable when an engine is badly broken *)
+let max_listed = 40
+
+let cap vs =
+  let n = List.length vs in
+  if n <= max_listed then vs
+  else
+    List.filteri (fun i _ -> i < max_listed) vs
+    @ [
+        {
+          v_node = None;
+          v_peer = None;
+          v_time = 0.;
+          v_gseq = -1;
+          v_detail = Printf.sprintf "... and %d more" (n - max_listed);
+        };
+      ]
+
+let mk ?node ?peer ?(time = 0.) ?(gseq = -1) detail =
+  { v_node = node; v_peer = peer; v_time = time; v_gseq = gseq;
+    v_detail = detail }
+
+(* ------------------------------------------------------------------ *)
+(* Life cycles reconstructed from the trace                            *)
+
+(* One span of death: closed by a respawn or open to the horizon. *)
+type dead_span = {
+  d_from : float;
+  d_from_gseq : int;
+  mutable d_to : float;
+  mutable d_to_gseq : int;
+}
+
+let life_cycles events =
+  let tbl : dead_span list ref NI.Tbl.t = NI.Tbl.create 16 in
+  let spans_of n =
+    match NI.Tbl.find_opt tbl n with
+    | Some r -> r
+    | None ->
+      let r = ref [] in
+      NI.Tbl.add tbl n r;
+      r
+  in
+  List.iter
+    (fun (e : Tel.event) ->
+      match e.Tel.kind with
+      | Ev.Teardown ->
+        let r = spans_of e.Tel.node in
+        r :=
+          { d_from = e.Tel.time; d_from_gseq = e.Tel.gseq;
+            d_to = infinity; d_to_gseq = max_int }
+          :: !r
+      | Ev.Respawn -> (
+        let r = spans_of e.Tel.node in
+        match !r with
+        | span :: _ when span.d_to = infinity ->
+          span.d_to <- e.Tel.time;
+          span.d_to_gseq <- e.Tel.gseq
+        | _ -> ())
+      | _ -> ())
+    events;
+  (* chronological spans per node *)
+  NI.Tbl.iter (fun _ r -> r := List.rev !r) tbl;
+  tbl
+
+let spans cycles n =
+  match NI.Tbl.find_opt cycles n with Some r -> !r | None -> []
+
+let dead_between cycles n ~t0 ~t1 =
+  List.exists (fun s -> s.d_from <= t1 && s.d_to >= t0) (spans cycles n)
+
+let dead_at_gseq cycles n gseq =
+  List.exists
+    (fun s -> gseq > s.d_from_gseq && gseq < s.d_to_gseq)
+    (spans cycles n)
+
+let alive_at cycles n time =
+  not (List.exists (fun s -> s.d_from <= time && time < s.d_to)
+         (spans cycles n))
+
+(* ------------------------------------------------------------------ *)
+(* Individual checks                                                   *)
+
+let is_activity = function
+  | Ev.Enqueue | Ev.Switch | Ev.Send | Ev.Deliver -> true
+  | Ev.Drop | Ev.Link_failure | Ev.Teardown | Ev.Respawn -> false
+
+let check_no_delivery_after_teardown ~grace cycles events =
+  let vs = ref [] in
+  List.iter
+    (fun (e : Tel.event) ->
+      (* a dead engine must be silent *)
+      if is_activity e.Tel.kind && dead_at_gseq cycles e.Tel.node e.Tel.gseq
+      then
+        vs :=
+          mk ~node:e.Tel.node ~time:e.Tel.time ~gseq:e.Tel.gseq
+            (Printf.sprintf "dead node recorded a %s event"
+               (Ev.to_string e.Tel.kind))
+          :: !vs;
+      (* nothing is delivered from a node dead for longer than grace *)
+      match (e.Tel.kind, e.Tel.peer) with
+      | Ev.Deliver, Some peer ->
+        if
+          List.exists
+            (fun s ->
+              e.Tel.time > s.d_from +. grace && e.Tel.time < s.d_to)
+            (spans cycles peer)
+        then
+          vs :=
+            mk ~node:e.Tel.node ~peer ~time:e.Tel.time ~gseq:e.Tel.gseq
+              "delivery from a torn-down node past the grace period"
+            :: !vs
+      | _ -> ())
+    events;
+  List.rev !vs
+
+let check_domino ~within cycles events =
+  (* (consumer, dead) -> delivery times, and -> link-failure times *)
+  let deliveries = Hashtbl.create 256 in
+  let failures = Hashtbl.create 256 in
+  let push tbl key v =
+    match Hashtbl.find_opt tbl key with
+    | Some r -> r := v :: !r
+    | None -> Hashtbl.add tbl key (ref [ v ])
+  in
+  List.iter
+    (fun (e : Tel.event) ->
+      match (e.Tel.kind, e.Tel.peer) with
+      | Ev.Deliver, Some peer ->
+        push deliveries (e.Tel.node, peer) e.Tel.time
+      | Ev.Link_failure, Some peer ->
+        push failures (e.Tel.node, peer) e.Tel.time
+      | _ -> ())
+    events;
+  let vs = ref [] in
+  Hashtbl.iter
+    (fun (consumer, dead) times ->
+      List.iter
+        (fun span ->
+          let t_kill = span.d_from in
+          (* the consumer fed on [dead] during the life that just
+             ended; after the teardown it must hear about it *)
+          let last_feed =
+            List.fold_left
+              (fun acc t -> if t < t_kill then Float.max acc t else acc)
+              neg_infinity !times
+          in
+          if last_feed > neg_infinity && alive_at cycles consumer t_kill
+          then begin
+            let heard =
+              match Hashtbl.find_opt failures (consumer, dead) with
+              | Some fr ->
+                List.exists
+                  (fun t -> t >= last_feed && t <= t_kill +. within)
+                  !fr
+              | None -> false
+            in
+            let died_too =
+              dead_between cycles consumer ~t0:t_kill
+                ~t1:(t_kill +. within)
+            in
+            if (not heard) && not died_too then
+              vs :=
+                mk ~node:consumer ~peer:dead ~time:t_kill
+                  (Printf.sprintf
+                     "no link-failure within %gs of upstream teardown"
+                     within)
+                :: !vs
+          end)
+        (spans cycles dead))
+    deliveries;
+  List.rev !vs
+
+let check_reconverge ~within ~first_fault ~last_fault cycles events =
+  match (first_fault, last_fault) with
+  | Some first, Some last ->
+    let receivers = NI.Tbl.create 32 in
+    List.iter
+      (fun (e : Tel.event) ->
+        if e.Tel.kind = Ev.Deliver && e.Tel.time < first then
+          NI.Tbl.replace receivers e.Tel.node ())
+      events;
+    let recovered = NI.Tbl.create 32 in
+    List.iter
+      (fun (e : Tel.event) ->
+        if
+          e.Tel.kind = Ev.Deliver
+          && e.Tel.time >= last
+          && e.Tel.time <= last +. within
+        then NI.Tbl.replace recovered e.Tel.node ())
+      events;
+    NI.Tbl.fold
+      (fun n () acc ->
+        if spans cycles n <> [] && not (alive_at cycles n (last +. within))
+        then acc (* did not survive; nothing to re-converge *)
+        else if NI.Tbl.mem recovered n then acc
+        else
+          mk ~node:n ~time:(last +. within)
+            (Printf.sprintf
+               "pre-fault receiver silent for %gs after the last fault"
+               within)
+          :: acc)
+      receivers []
+  | _ -> []
+
+let check_throughput ~tol ~settle ~window ~first_fault ~last_fault ~horizon
+    cycles events =
+  match (first_fault, last_fault) with
+  | Some first, Some last ->
+    if horizon < last +. settle +. window then
+      [
+        mk ~time:horizon
+          (Printf.sprintf
+             "horizon %g leaves no settled %gs window after the last fault \
+              at %g"
+             horizon window last);
+      ]
+    else begin
+      let b0 = Float.max 0. (first -. window) in
+      let base = ref 0 and final = ref 0 in
+      List.iter
+        (fun (e : Tel.event) ->
+          if e.Tel.kind = Ev.Deliver && alive_at cycles e.Tel.node horizon
+          then begin
+            if e.Tel.time >= b0 && e.Tel.time < first then
+              base := !base + e.Tel.size;
+            if e.Tel.time >= horizon -. window then
+              final := !final + e.Tel.size
+          end)
+        events;
+      if !base = 0 then
+        [ mk ~time:first "no pre-fault traffic to compare against" ]
+      else if float_of_int !final < (1. -. tol) *. float_of_int !base then
+        [
+          mk ~time:horizon
+            (Printf.sprintf
+               "delivered %d bytes in the final %gs window vs %d pre-fault \
+                (tolerance %g)"
+               !final window !base tol);
+        ]
+      else []
+    end
+  | _ -> []
+
+let check_partition_silent ~resolve ~windows events =
+  let vs = ref [] in
+  List.iter
+    (fun (at, heal, groups) ->
+      (* map every resolvable member to its group index *)
+      let side = NI.Tbl.create 32 in
+      List.iteri
+        (fun i group ->
+          List.iter
+            (fun name ->
+              match resolve name with
+              | Some ni -> NI.Tbl.replace side ni i
+              | None -> ())
+            group)
+        groups;
+      List.iter
+        (fun (e : Tel.event) ->
+          if e.Tel.kind = Ev.Deliver && e.Tel.time > at && e.Tel.time < heal
+          then
+            match e.Tel.peer with
+            | Some peer -> (
+              match
+                (NI.Tbl.find_opt side e.Tel.node, NI.Tbl.find_opt side peer)
+              with
+              | Some i, Some j when i <> j ->
+                vs :=
+                  mk ~node:e.Tel.node ~peer ~time:e.Tel.time
+                    ~gseq:e.Tel.gseq "delivery crossed an active partition"
+                  :: !vs
+              | _ -> ())
+            | None -> ())
+        events)
+    windows;
+  List.rev !vs
+
+(* ------------------------------------------------------------------ *)
+
+let check ~(scenario : Scenario.t) ?(resolve = fun _ -> None) ~actions
+    ~horizon events =
+  let cycles = life_cycles events in
+  let span = Scenario.fault_span actions in
+  let first_fault = Option.map fst span in
+  let last_fault = Option.map snd span in
+  let lines =
+    List.map
+      (fun expect ->
+        let violations =
+          match expect with
+          | Scenario.No_delivery_after_teardown { grace } ->
+            check_no_delivery_after_teardown ~grace cycles events
+          | Scenario.Domino_completes { within } ->
+            check_domino ~within cycles events
+          | Scenario.Reconverge { within } ->
+            check_reconverge ~within ~first_fault ~last_fault cycles events
+          | Scenario.Throughput_recovers { tol; settle; window } ->
+            check_throughput ~tol ~settle ~window ~first_fault ~last_fault
+              ~horizon cycles events
+          | Scenario.Partition_silent ->
+            check_partition_silent ~resolve
+              ~windows:(Scenario.partition_windows scenario)
+              events
+          | Scenario.Min_events n ->
+            let seen = List.length events in
+            if seen < n then
+              [ mk (Printf.sprintf "only %d events in the trace" seen) ]
+            else []
+        in
+        { expect; violations = cap violations })
+      scenario.Scenario.expects
+  in
+  { scenario = scenario.Scenario.name; events_seen = List.length events;
+    horizon; lines }
+
+(* ------------------------------------------------------------------ *)
+
+let pp_violation fmt v =
+  let pp_ni fmt = function
+    | Some ni -> NI.pp fmt ni
+    | None -> Format.pp_print_string fmt "-"
+  in
+  Format.fprintf fmt "[t=%.3f gseq=%d] %a <- %a: %s" v.v_time v.v_gseq pp_ni
+    v.v_node pp_ni v.v_peer v.v_detail
+
+let pp_report fmt r =
+  let held = List.length (List.filter (fun l -> l.violations = []) r.lines) in
+  Format.fprintf fmt "scenario %s: %d/%d expectations hold (%d events, \
+                      horizon %gs)@."
+    r.scenario held (List.length r.lines) r.events_seen r.horizon;
+  List.iter
+    (fun l ->
+      let tag = if l.violations = [] then "ok  " else "FAIL" in
+      Format.fprintf fmt "  %s %s@." tag
+        (Scenario.expect_str l.expect);
+      List.iter
+        (fun v -> Format.fprintf fmt "       %a@." pp_violation v)
+        l.violations)
+    r.lines
+
+let to_string r = Format.asprintf "%a" pp_report r

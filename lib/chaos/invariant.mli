@@ -1,0 +1,59 @@
+(** Trace-checked recovery invariants.
+
+    The verification half of the chaos engine: given a scenario, its
+    compiled action schedule and the telemetry trace of the run, check
+    every expectation the scenario declares and report each violation
+    with the node, peer, time and global sequence number it anchors to.
+
+    The checker is a pure function of the trace — it never inspects
+    live engine state — so the same properties can be asserted on a
+    simulator run, a sockets run, or a JSONL file read back later. Node
+    liveness is reconstructed from the trace itself: a [domino-teardown]
+    event marks a node dead, a [respawn] event (or a compiled
+    [Spawn_node] action) marks it alive again. *)
+
+type violation = {
+  v_node : Iov_msg.Node_id.t option;
+  v_peer : Iov_msg.Node_id.t option;
+  v_time : float;
+  v_gseq : int;  (** -1 when the violation is not tied to one event *)
+  v_detail : string;
+}
+
+type line = {
+  expect : Scenario.expect;
+  violations : violation list;  (** empty = the expectation holds *)
+}
+
+type report = {
+  scenario : string;
+  events_seen : int;
+  horizon : float;
+  lines : line list;
+}
+
+val ok : report -> bool
+val violations : report -> violation list
+
+val check :
+  scenario:Scenario.t ->
+  ?resolve:(string -> Iov_msg.Node_id.t option) ->
+  actions:(float * Scenario.action) list ->
+  horizon:float ->
+  Iov_telemetry.Telemetry.event list ->
+  report
+(** [check ~scenario ~resolve ~actions ~horizon events] evaluates every
+    expectation of [scenario] against [events] (the run's telemetry in
+    global order, as {!Iov_telemetry.Telemetry.events} returns it).
+    [actions] must be the same compiled schedule that was installed
+    (fault times and spawn times are read from it); [horizon] is the
+    simulated/wall time the run ended at. [resolve] maps scenario node
+    names to engine ids — required for [partition-silent] (cuts are
+    declared by name); when it is absent or returns [None] the affected
+    groups are skipped. *)
+
+val pp_report : Format.formatter -> report -> unit
+(** Human-readable summary: one line per expectation, then every
+    violation indented under it. *)
+
+val to_string : report -> string

@@ -1,0 +1,496 @@
+type dist = Const of float | Uniform of float * float | Exp of float
+
+(* Draws are clamped to a small positive floor so schedules always make
+   progress even under degenerate distributions. *)
+let sample rng = function
+  | Const x -> Float.max 0. x
+  | Uniform (a, b) ->
+    let lo = Float.min a b and hi = Float.max a b in
+    lo +. Random.State.float rng (Float.max 0. (hi -. lo))
+  | Exp mean ->
+    if mean <= 0. then 0.
+    else
+      let u = Random.State.float rng 1.0 in
+      -.mean *. log (1. -. u)
+
+type fault =
+  | Kill of { node : string; at : float }
+  | Churn of {
+      nodes : string list;
+      pick : int option;
+      start : float;
+      stop : float;
+      down_after : dist;
+      up_after : dist;
+    }
+  | Flap of {
+      src : string;
+      dst : string;
+      start : float;
+      stop : float;
+      period : dist;
+      down : dist;
+    }
+  | Degrade of {
+      src : string;
+      dst : string;
+      rate : float;
+      at : float;
+      restore : float option;
+    }
+  | Loss of {
+      src : string;
+      dst : string;
+      p : float;
+      corrupt : float;
+      at : float;
+      clear : float option;
+    }
+  | Partition of {
+      groups : string list list;
+      at : float;
+      heal : float option;
+    }
+
+type expect =
+  | No_delivery_after_teardown of { grace : float }
+  | Domino_completes of { within : float }
+  | Reconverge of { within : float }
+  | Throughput_recovers of { tol : float; settle : float; window : float }
+  | Partition_silent
+  | Min_events of int
+
+type t = {
+  name : string;
+  seed : int;
+  faults : fault list;
+  expects : expect list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Compilation                                                         *)
+
+type action =
+  | Kill_node of string
+  | Spawn_node of string
+  | Stall_link of { src : string; dst : string; on : bool }
+  | Set_link_rate of { src : string; dst : string; rate : float }
+  | Set_loss of { src : string; dst : string; p : float; corrupt : float }
+  | Set_partition of string list list
+
+(* expand ["*"] while keeping first-occurrence order, duplicates out *)
+let expand_nodes ~nodes ns =
+  let seen = Hashtbl.create 16 in
+  List.concat_map (fun n -> if n = "*" then nodes else [ n ]) ns
+  |> List.filter (fun n ->
+         if Hashtbl.mem seen n then false
+         else begin
+           Hashtbl.add seen n ();
+           true
+         end)
+
+let shuffle rng arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+(* a churned node must stay down at least as long as failure detection
+   plausibly takes; zero-length outages would be invisible *)
+let min_interval = 1e-3
+
+let compile t ~nodes =
+  let rng = Random.State.make [| t.seed; 0xc4a05 |] in
+  let acts = ref [] in
+  let emit time a = acts := (Float.max 0. time, a) :: !acts in
+  List.iter
+    (fun fault ->
+      match fault with
+      | Kill { node; at } -> emit at (Kill_node node)
+      | Churn { nodes = ns; pick; start; stop; down_after; up_after } ->
+        let candidates = Array.of_list (expand_nodes ~nodes ns) in
+        let victims =
+          match pick with
+          | Some k when k < Array.length candidates ->
+            shuffle rng candidates;
+            Array.sub candidates 0 (Stdlib.max 0 k)
+          | _ -> candidates
+        in
+        Array.iter
+          (fun v ->
+            let budget = ref 10_000 in
+            let t_kill =
+              ref (start +. Float.max min_interval (sample rng down_after))
+            in
+            while !t_kill < stop && !budget > 0 do
+              decr budget;
+              emit !t_kill (Kill_node v);
+              let t_up =
+                !t_kill +. Float.max min_interval (sample rng up_after)
+              in
+              (* the respawn always happens — scenarios end healed *)
+              emit t_up (Spawn_node v);
+              t_kill :=
+                t_up +. Float.max min_interval (sample rng down_after)
+            done)
+          victims
+      | Flap { src; dst; start; stop; period; down } ->
+        let budget = ref 10_000 in
+        let t_down =
+          ref (start +. Float.max min_interval (sample rng period))
+        in
+        while !t_down < stop && !budget > 0 do
+          decr budget;
+          emit !t_down (Stall_link { src; dst; on = true });
+          let t_up = !t_down +. Float.max min_interval (sample rng down) in
+          emit t_up (Stall_link { src; dst; on = false });
+          t_down := t_up +. Float.max min_interval (sample rng period)
+        done
+      | Degrade { src; dst; rate; at; restore } -> (
+        emit at (Set_link_rate { src; dst; rate });
+        match restore with
+        | Some r -> emit r (Set_link_rate { src; dst; rate = infinity })
+        | None -> ())
+      | Loss { src; dst; p; corrupt; at; clear } -> (
+        emit at (Set_loss { src; dst; p; corrupt });
+        match clear with
+        | Some c -> emit c (Set_loss { src; dst; p = 0.; corrupt = 0. })
+        | None -> ())
+      | Partition { groups; at; heal } -> (
+        emit at (Set_partition groups);
+        match heal with Some h -> emit h (Set_partition []) | None -> ()))
+    t.faults;
+  List.stable_sort
+    (fun (a, _) (b, _) -> Float.compare a b)
+    (List.rev !acts)
+
+let fault_span = function
+  | [] -> None
+  | (t0, _) :: _ as acts ->
+    Some (List.fold_left (fun (a, b) (t, _) -> (Float.min a t, Float.max b t))
+            (t0, t0) acts)
+
+let partition_windows t =
+  List.filter_map
+    (function
+      | Partition { groups; at; heal } ->
+        Some (at, Option.value heal ~default:infinity, groups)
+      | _ -> None)
+    t.faults
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+
+(* exact float round-trip in the friendliest form available *)
+let fstr f =
+  if Float.is_integer f && Float.abs f < 1e9 then Printf.sprintf "%.0f" f
+  else
+    let s = Printf.sprintf "%.12g" f in
+    if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+let dist_str = function
+  | Const x -> "const:" ^ fstr x
+  | Uniform (a, b) -> Printf.sprintf "uniform:%s:%s" (fstr a) (fstr b)
+  | Exp m -> "exp:" ^ fstr m
+
+let link_str src dst = src ^ "->" ^ dst
+let groups_str groups = String.concat "|" (List.map (String.concat ",") groups)
+
+let fault_str = function
+  | Kill { node; at } -> Printf.sprintf "kill node=%s at=%s" node (fstr at)
+  | Churn { nodes; pick; start; stop; down_after; up_after } ->
+    Printf.sprintf "churn nodes=%s%s start=%s stop=%s down=%s up=%s"
+      (String.concat "," nodes)
+      (match pick with Some k -> Printf.sprintf " pick=%d" k | None -> "")
+      (fstr start) (fstr stop) (dist_str down_after) (dist_str up_after)
+  | Flap { src; dst; start; stop; period; down } ->
+    Printf.sprintf "flap link=%s start=%s stop=%s period=%s down=%s"
+      (link_str src dst) (fstr start) (fstr stop) (dist_str period)
+      (dist_str down)
+  | Degrade { src; dst; rate; at; restore } ->
+    Printf.sprintf "degrade link=%s rate=%s at=%s%s" (link_str src dst)
+      (fstr rate) (fstr at)
+      (match restore with Some r -> " restore=" ^ fstr r | None -> "")
+  | Loss { src; dst; p; corrupt; at; clear } ->
+    Printf.sprintf "loss link=%s p=%s%s at=%s%s" (link_str src dst) (fstr p)
+      (if corrupt > 0. then " corrupt=" ^ fstr corrupt else "")
+      (fstr at)
+      (match clear with Some c -> " clear=" ^ fstr c | None -> "")
+  | Partition { groups; at; heal } ->
+    Printf.sprintf "partition groups=%s at=%s%s" (groups_str groups)
+      (fstr at)
+      (match heal with Some h -> " heal=" ^ fstr h | None -> "")
+
+let expect_str = function
+  | No_delivery_after_teardown { grace } ->
+    Printf.sprintf "expect no-delivery-after-teardown grace=%s" (fstr grace)
+  | Domino_completes { within } ->
+    Printf.sprintf "expect domino-completes within=%s" (fstr within)
+  | Reconverge { within } ->
+    Printf.sprintf "expect reconverge within=%s" (fstr within)
+  | Throughput_recovers { tol; settle; window } ->
+    Printf.sprintf "expect throughput-recovers tol=%s settle=%s window=%s"
+      (fstr tol) (fstr settle) (fstr window)
+  | Partition_silent -> "expect partition-silent"
+  | Min_events n -> Printf.sprintf "expect min-events %d" n
+
+let to_string t =
+  String.concat "\n"
+    (Printf.sprintf "scenario %s seed=%d" t.name t.seed
+     :: (List.map fault_str t.faults @ List.map expect_str t.expects))
+  ^ "\n"
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+
+exception Parse_error of int * string
+
+let fail ln fmt = Printf.ksprintf (fun s -> raise (Parse_error (ln, s))) fmt
+
+let split_char c s =
+  String.split_on_char c s |> List.filter (fun x -> x <> "")
+
+let kv_of_tokens ln toks =
+  List.map
+    (fun tok ->
+      match String.index_opt tok '=' with
+      | Some i ->
+        ( String.sub tok 0 i,
+          String.sub tok (i + 1) (String.length tok - i - 1) )
+      | None -> fail ln "expected key=value, got %S" tok)
+    toks
+
+let get ln kvs key =
+  match List.assoc_opt key kvs with
+  | Some v -> v
+  | None -> fail ln "missing %s=" key
+
+let get_opt kvs key = List.assoc_opt key kvs
+
+let parse_float ln key s =
+  match float_of_string_opt s with
+  | Some f when Float.is_nan f -> fail ln "%s: not a number" key
+  | Some f -> f
+  | None -> fail ln "%s: bad number %S" key s
+
+let parse_int ln key s =
+  match int_of_string_opt s with
+  | Some i -> i
+  | None -> fail ln "%s: bad integer %S" key s
+
+let parse_prob ln key s =
+  let p = parse_float ln key s in
+  if p < 0. || p > 1. then fail ln "%s: probability outside [0,1]" key;
+  p
+
+let parse_dist ln key s =
+  match String.split_on_char ':' s with
+  | [ "const"; x ] -> Const (parse_float ln key x)
+  | [ "uniform"; a; b ] ->
+    Uniform (parse_float ln key a, parse_float ln key b)
+  | [ "exp"; m ] -> Exp (parse_float ln key m)
+  | _ -> fail ln "%s: bad distribution %S (const:X|uniform:A:B|exp:MEAN)" key s
+
+let parse_link ln s =
+  match
+    String.index_opt s '-' |> Option.map (fun i -> i)
+  with
+  | Some i
+    when i + 1 < String.length s
+         && s.[i + 1] = '>' && i > 0
+         && i + 2 < String.length s ->
+    (String.sub s 0 i, String.sub s (i + 2) (String.length s - i - 2))
+  | _ -> fail ln "bad link %S (want SRC->DST)" s
+
+let parse_groups ln s =
+  let groups = split_char '|' s |> List.map (split_char ',') in
+  if List.length groups < 2 then
+    fail ln "partition needs at least two groups";
+  if List.exists (fun g -> g = []) groups then
+    fail ln "partition has an empty group";
+  groups
+
+let window ln kvs =
+  let start = parse_float ln "start" (get ln kvs "start") in
+  let stop = parse_float ln "stop" (get ln kvs "stop") in
+  if stop <= start then fail ln "stop must be after start";
+  (start, stop)
+
+let parse_line ln acc line =
+  match split_char ' ' (String.map (fun c -> if c = '\t' then ' ' else c) line)
+  with
+  | [] -> acc
+  | directive :: rest -> (
+    let name, seed, faults, expects = acc in
+    match directive with
+    | "scenario" -> (
+      match rest with
+      | sname :: kv_toks ->
+        let kvs = kv_of_tokens ln kv_toks in
+        let seed = parse_int ln "seed" (get ln kvs "seed") in
+        (sname, seed, faults, expects)
+      | [] -> fail ln "scenario needs a name")
+    | "kill" ->
+      let kvs = kv_of_tokens ln rest in
+      let f =
+        Kill
+          {
+            node = get ln kvs "node";
+            at = parse_float ln "at" (get ln kvs "at");
+          }
+      in
+      (name, seed, f :: faults, expects)
+    | "churn" ->
+      let kvs = kv_of_tokens ln rest in
+      let start, stop = window ln kvs in
+      let f =
+        Churn
+          {
+            nodes = split_char ',' (get ln kvs "nodes");
+            pick = Option.map (parse_int ln "pick") (get_opt kvs "pick");
+            start;
+            stop;
+            down_after = parse_dist ln "down" (get ln kvs "down");
+            up_after = parse_dist ln "up" (get ln kvs "up");
+          }
+      in
+      (name, seed, f :: faults, expects)
+    | "flap" ->
+      let kvs = kv_of_tokens ln rest in
+      let src, dst = parse_link ln (get ln kvs "link") in
+      let start, stop = window ln kvs in
+      let f =
+        Flap
+          {
+            src;
+            dst;
+            start;
+            stop;
+            period = parse_dist ln "period" (get ln kvs "period");
+            down = parse_dist ln "down" (get ln kvs "down");
+          }
+      in
+      (name, seed, f :: faults, expects)
+    | "degrade" ->
+      let kvs = kv_of_tokens ln rest in
+      let src, dst = parse_link ln (get ln kvs "link") in
+      let rate = parse_float ln "rate" (get ln kvs "rate") in
+      if rate <= 0. then fail ln "rate must be positive";
+      let f =
+        Degrade
+          {
+            src;
+            dst;
+            rate;
+            at = parse_float ln "at" (get ln kvs "at");
+            restore =
+              Option.map (parse_float ln "restore") (get_opt kvs "restore");
+          }
+      in
+      (name, seed, f :: faults, expects)
+    | "loss" ->
+      let kvs = kv_of_tokens ln rest in
+      let src, dst = parse_link ln (get ln kvs "link") in
+      let f =
+        Loss
+          {
+            src;
+            dst;
+            p = parse_prob ln "p" (get ln kvs "p");
+            corrupt =
+              (match get_opt kvs "corrupt" with
+              | Some c -> parse_prob ln "corrupt" c
+              | None -> 0.);
+            at = parse_float ln "at" (get ln kvs "at");
+            clear = Option.map (parse_float ln "clear") (get_opt kvs "clear");
+          }
+      in
+      (name, seed, f :: faults, expects)
+    | "partition" ->
+      let kvs = kv_of_tokens ln rest in
+      let f =
+        Partition
+          {
+            groups = parse_groups ln (get ln kvs "groups");
+            at = parse_float ln "at" (get ln kvs "at");
+            heal = Option.map (parse_float ln "heal") (get_opt kvs "heal");
+          }
+      in
+      (name, seed, f :: faults, expects)
+    | "expect" -> (
+      match rest with
+      | [] -> fail ln "expect needs a property name"
+      | prop :: args ->
+        let e =
+          match prop with
+          | "no-delivery-after-teardown" ->
+            let kvs = kv_of_tokens ln args in
+            No_delivery_after_teardown
+              {
+                grace =
+                  (match get_opt kvs "grace" with
+                  | Some g -> parse_float ln "grace" g
+                  | None -> 0.5);
+              }
+          | "domino-completes" ->
+            let kvs = kv_of_tokens ln args in
+            Domino_completes
+              { within = parse_float ln "within" (get ln kvs "within") }
+          | "reconverge" ->
+            let kvs = kv_of_tokens ln args in
+            Reconverge
+              { within = parse_float ln "within" (get ln kvs "within") }
+          | "throughput-recovers" ->
+            let kvs = kv_of_tokens ln args in
+            Throughput_recovers
+              {
+                tol = parse_prob ln "tol" (get ln kvs "tol");
+                settle =
+                  (match get_opt kvs "settle" with
+                  | Some s -> parse_float ln "settle" s
+                  | None -> 5.);
+                window =
+                  (match get_opt kvs "window" with
+                  | Some w -> parse_float ln "window" w
+                  | None -> 5.);
+              }
+          | "partition-silent" -> Partition_silent
+          | "min-events" -> (
+            match args with
+            | [ n ] -> Min_events (parse_int ln "min-events" n)
+            | _ -> fail ln "expect min-events N")
+          | p -> fail ln "unknown expectation %S" p
+        in
+        (name, seed, faults, e :: expects))
+    | d -> fail ln "unknown directive %S" d)
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let strip line =
+    let line =
+      match String.index_opt line '#' with
+      | Some i -> String.sub line 0 i
+      | None -> line
+    in
+    String.trim line
+  in
+  let _, acc =
+    List.fold_left
+      (fun (ln, acc) raw -> (ln + 1, parse_line ln acc (strip raw)))
+      (1, ("", min_int, [], []))
+      lines
+  in
+  let name, seed, faults, expects = acc in
+  if name = "" then
+    raise (Parse_error (1, "missing 'scenario <name> seed=<int>' header"));
+  { name; seed; faults = List.rev faults; expects = List.rev expects }
+
+let parse_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> parse (really_input_string ic (in_channel_length ic)))

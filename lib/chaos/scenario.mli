@@ -1,0 +1,162 @@
+(** Declarative, seeded chaos scenarios.
+
+    A scenario names a set of {e faults} (when and what to break) and a
+    set of {e expectations} (what must still hold afterwards, checked
+    against the telemetry trace by {!Invariant}). Scenarios are plain
+    data with a line-oriented text syntax, so they can be written by
+    hand, stored in files, printed back canonically, and — crucially —
+    {e compiled} into a flat, fully deterministic schedule of primitive
+    actions: every stochastic choice (churn intervals, victim picks) is
+    sampled at compile time from the scenario's own seed, never at run
+    time. Running the same scenario twice against the same seeded
+    simulation therefore produces byte-identical telemetry traces.
+
+    {2 Text syntax}
+
+    One directive per line; [#] starts a comment. Durations are
+    seconds; distributions are [const:X], [uniform:A:B] or [exp:MEAN];
+    links are [SRC->DST]; node lists are comma-separated names and [*]
+    means "every node the compiler is given".
+
+    {v
+    scenario churn-demo seed=7
+    kill node=B at=5
+    churn nodes=* pick=3 start=10 stop=40 down=exp:6 up=const:4
+    flap link=A->B start=8 stop=20 period=const:4 down=const:1
+    degrade link=A->C rate=51200 at=12 restore=30
+    loss link=D->E p=0.2 corrupt=0.05 at=5 clear=25
+    partition groups=A,B|C,D,E at=15 heal=22
+    expect no-delivery-after-teardown grace=0.5
+    expect domino-completes within=2
+    expect reconverge within=20
+    expect throughput-recovers tol=0.3 settle=10 window=5
+    expect partition-silent
+    expect min-events 1000
+    v} *)
+
+type dist =
+  | Const of float
+  | Uniform of float * float
+  | Exp of float  (** exponential with the given mean *)
+
+val sample : Random.State.t -> dist -> float
+(** One draw; always finite and [>= 0]. *)
+
+type fault =
+  | Kill of { node : string; at : float }
+      (** one abrupt node failure, never revived by the scenario *)
+  | Churn of {
+      nodes : string list;  (** candidate victims; [["*"]] = all *)
+      pick : int option;  (** how many candidates churn (default all) *)
+      start : float;
+      stop : float;  (** no kill is scheduled at or after [stop] *)
+      down_after : dist;  (** up-time before each kill *)
+      up_after : dist;  (** down-time before the respawn *)
+    }
+  | Flap of {
+      src : string;
+      dst : string;
+      start : float;
+      stop : float;
+      period : dist;  (** up-time between outages *)
+      down : dist;  (** outage length (link stalled) *)
+    }
+  | Degrade of {
+      src : string;
+      dst : string;
+      rate : float;  (** bytes/second while degraded *)
+      at : float;
+      restore : float option;  (** back to unconstrained at this time *)
+    }
+  | Loss of {
+      src : string;
+      dst : string;
+      p : float;
+      corrupt : float;
+      at : float;
+      clear : float option;
+    }
+  | Partition of {
+      groups : string list list;  (** disjoint groups; cross-group cut *)
+      at : float;
+      heal : float option;
+    }
+
+type expect =
+  | No_delivery_after_teardown of { grace : float }
+      (** a dead node records no activity, and nothing anywhere is
+          delivered from it more than [grace] seconds past its
+          teardown *)
+  | Domino_completes of { within : float }
+      (** every live consumer of a dead node's traffic learns of the
+          failure (or dies itself) within [within] seconds *)
+  | Reconverge of { within : float }
+      (** every surviving pre-fault receiver delivers again within
+          [within] seconds of the last fault *)
+  | Throughput_recovers of { tol : float; settle : float; window : float }
+      (** end-of-run delivered bytes/s over the final [window] is at
+          least [(1 - tol)] of the pre-fault rate, once [settle]
+          seconds have passed since the last fault *)
+  | Partition_silent
+      (** no delivery ever crosses an active partition cut *)
+  | Min_events of int
+      (** the trace holds at least this many events — guards the other
+          checks against passing vacuously on an idle run *)
+
+type t = {
+  name : string;
+  seed : int;
+  faults : fault list;
+  expects : expect list;
+}
+
+(** {1 Compilation} *)
+
+(** The primitive, schedulable fault actions. Node and link endpoints
+    stay symbolic (names) so one compiled schedule can drive either
+    runtime; {!Chaos.install} resolves them against the simulator,
+    {!Driver.run_threaded} against whatever the caller maps names to. *)
+type action =
+  | Kill_node of string
+  | Spawn_node of string  (** revive a churned node *)
+  | Stall_link of { src : string; dst : string; on : bool }
+  | Set_link_rate of { src : string; dst : string; rate : float }
+      (** [infinity] restores an unconstrained link *)
+  | Set_loss of { src : string; dst : string; p : float; corrupt : float }
+  | Set_partition of string list list  (** [[]] heals *)
+
+val compile : t -> nodes:string list -> (float * action) list
+(** Expands every fault into timed primitive actions, sampling all
+    distributions and victim choices from a fresh
+    [Random.State] seeded with the scenario seed — pure: same scenario,
+    same [nodes], same schedule. The result is sorted by time (stable:
+    equal-time actions keep fault order). [nodes] supplies the
+    expansion of [*] and is also consulted by [pick]. *)
+
+val fault_span : (float * 'a) list -> (float * float) option
+(** [(first, last)] action times of a compiled schedule. *)
+
+val partition_windows : t -> (float * float * string list list) list
+(** [(at, heal, groups)] for every partition fault; a missing heal is
+    [infinity]. *)
+
+(** {1 Text format} *)
+
+exception Parse_error of int * string
+(** Line number (1-based) and what went wrong. *)
+
+val parse : string -> t
+(** Parses the text form. @raise Parse_error on malformed input. *)
+
+val parse_file : string -> t
+(** @raise Parse_error and [Sys_error]. *)
+
+val to_string : t -> string
+(** Canonical text form; [parse (to_string s)] equals [s] up to float
+    formatting. *)
+
+val fault_str : fault -> string
+val expect_str : expect -> string
+(** The directive lines of the text form, one at a time. *)
+
+val pp : Format.formatter -> t -> unit

@@ -60,6 +60,8 @@ type link = {
   meter : Meter.t;
   mutable l_closed : bool;
   mutable stalled : bool;
+  mutable loss_p : float; (* per-transmission loss probability *)
+  mutable corrupt_p : float; (* per-transmission corruption probability *)
   mutable draining : bool; (* graceful disconnect requested *)
   mutable pending_fanout : (Msg.t * NI.t list) option;
   mutable pumping : bool;
@@ -108,6 +110,9 @@ and t = {
   pipeline_depth : int;
   dflt_host : host;
   tele : Tel.t option;
+  mutable partition : (NI.t -> NI.t -> bool) option;
+      (* active network partition: [cut a b] means traffic a -> b is
+         blackholed at delivery time *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -142,6 +147,7 @@ let create ?(seed = 42) ?(default_latency = 0.001) ?(buffer_capacity = 5)
     pipeline_depth;
     dflt_host = make_host "default";
     tele = telemetry;
+    partition = None;
   }
 
 let telemetry t = t.tele
@@ -317,6 +323,8 @@ and ensure_link src dst_id =
           meter = Meter.create ~window:t.report_period ();
           l_closed = false;
           stalled = false;
+          loss_p = 0.;
+          corrupt_p = 0.;
           draining = false;
           pending_fanout = None;
           pumping = false;
@@ -484,22 +492,49 @@ and send_data n m dst_id =
       pump_link l
     end
 
+and partitioned t a b =
+  match t.partition with Some cut -> cut a b | None -> false
+
 and deliver l m =
   l.reserved_slots <- l.reserved_slots - 1;
   let t = l.l_src.n_net in
   let dst = l.l_dst in
-  if l.l_closed || dst.n_state <> `Alive then begin
+  let lose () =
     dst.bytes_lost <- dst.bytes_lost + Msg.size m;
     dst.msgs_lost <- dst.msgs_lost + 1;
     tel_drop dst ~peer:l.l_src.n_id m
-  end
-  else if l.stalled then begin
+  in
+  if l.l_closed || dst.n_state <> `Alive then lose ()
+  else if l.stalled then
     (* hung peer: bytes vanish without reaching the application *)
-    dst.bytes_lost <- dst.bytes_lost + Msg.size m;
-    dst.msgs_lost <- dst.msgs_lost + 1;
-    tel_drop dst ~peer:l.l_src.n_id m
-  end
+    lose ()
+  else if partitioned t l.l_src.n_id dst.n_id then
+    (* an active partition blackholes the link without closing it *)
+    lose ()
+  else if
+    l.loss_p > 0. && Random.State.float (Sim.rng t.sim) 1.0 < l.loss_p
+  then
+    (* injected stochastic loss (chaos); deterministic under the sim *)
+    lose ()
   else begin
+    let m =
+      if
+        l.corrupt_p > 0.
+        && Bytes.length m.Msg.payload > 0
+        && Random.State.float (Sim.rng t.sim) 1.0 < l.corrupt_p
+      then begin
+        (* flip one payload bit in a private copy: the sender's bytes
+           may still ride other links of a zero-copy fanout *)
+        let c = Msg.clone m in
+        let i =
+          Random.State.int (Sim.rng t.sim) (Bytes.length c.Msg.payload)
+        in
+        Bytes.set c.Msg.payload i
+          (Char.chr (Char.code (Bytes.get c.Msg.payload i) lxor 0x40));
+        c
+      end
+      else m
+    in
     let ok = Cqueue.push l.recv_buf m in
     assert ok;
     Meter.record l.meter ~now:(Sim.now t.sim) ~bytes:(Msg.size m);
@@ -527,6 +562,16 @@ and control_send t ~from m dst_id =
          | Some handler -> handler m
          | None -> (
            match find_node t dst_id with
+           | Some dst
+             when dst.n_state = `Alive
+                  && (match from with
+                     | Some src -> partitioned t src.n_id dst_id
+                     | None -> false) ->
+             (* node-to-node control traffic cannot cross an active
+                partition; it vanishes like its TCP segments would.
+                Observer/endpoint traffic ([from = None]) models the
+                out-of-band control channel and is never cut. *)
+             ()
            | Some dst when dst.n_state = `Alive ->
              bump dst.ctl_recv m.Msg.mtype (Msg.size m);
              Queue.push m dst.control_q;
@@ -621,19 +666,22 @@ and engine_handle_link_failed n (m : Msg.t) =
     | None -> ()))
 
 and close_out_link n l =
-  if not l.l_closed then begin
-    l.l_closed <- true;
-    (* everything still queued on our side is lost *)
-    let count m =
-      n.bytes_lost <- n.bytes_lost + Msg.size m;
-      n.msgs_lost <- n.msgs_lost + 1;
-      tel_drop n ~peer:l.l_dst.n_id m
-    in
-    Cqueue.iter count l.send_buf;
-    Queue.iter count l.overflow;
-    Cqueue.clear l.send_buf;
-    Queue.clear l.overflow
-  end;
+  l.l_closed <- true;
+  (* Everything still queued on our side is lost. Counted even when the
+     link is already marked closed: the peer's teardown marks the shared
+     record but only accounts for its own receiver side, so the sender's
+     queues must be drained into [n]'s loss counters here. Double
+     counting is impossible — every caller reaches this through
+     [out_links], and the removal below makes the call unique. *)
+  let count m =
+    n.bytes_lost <- n.bytes_lost + Msg.size m;
+    n.msgs_lost <- n.msgs_lost + 1;
+    tel_drop n ~peer:l.l_dst.n_id m
+  in
+  Cqueue.iter count l.send_buf;
+  Queue.iter count l.overflow;
+  Cqueue.clear l.send_buf;
+  Queue.clear l.overflow;
   NI.Tbl.remove n.out_links l.l_dst.n_id;
   n.n_host.threads <- n.n_host.threads - 1;
   (* a dead destination no longer blocks pending fanouts *)
@@ -1028,8 +1076,17 @@ let make_ctx n : Algorithm.ctx =
 
 let add_node t ?host ?(bw = Bwspec.unconstrained) ?buffer_capacity ?observer
     ~id:n_id algo =
-  if NI.Tbl.mem t.nodes_tbl n_id then
-    invalid_arg ("Network.add_node: duplicate id " ^ NI.to_string n_id);
+  let revived =
+    match NI.Tbl.find_opt t.nodes_tbl n_id with
+    | Some old when old.n_state = `Terminated ->
+      (* churn respawn: the dead incarnation is replaced by a fresh
+         engine under the same id — peers treat it as a new node *)
+      NI.Tbl.remove t.nodes_tbl n_id;
+      true
+    | Some _ ->
+      invalid_arg ("Network.add_node: duplicate id " ^ NI.to_string n_id)
+    | None -> false
+  in
   if NI.Tbl.mem t.endpoints n_id then
     invalid_arg ("Network.add_node: id is an endpoint " ^ NI.to_string n_id);
   let h = match host with Some h -> h | None -> t.dflt_host in
@@ -1087,6 +1144,7 @@ let add_node t ?host ?(bw = Bwspec.unconstrained) ?buffer_capacity ?observer
   in
   n.n_ctx <- Some (make_ctx n);
   NI.Tbl.add t.nodes_tbl n_id n;
+  if revived then tel_event n Ev.Respawn ~peer:Tracer.nil_peer;
   h.threads <- h.threads + 1 (* the engine thread *);
   (* periodic engine work; nodes tick out of phase to avoid lockstep *)
   let phase =
@@ -1259,3 +1317,30 @@ let stall_link t ~src ~dst v =
   match find_link t ~src ~dst with
   | Some l -> l.stalled <- v
   | None -> invalid_arg "Network.stall_link: no such link"
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection (chaos)                                             *)
+
+let kill_node = terminate
+
+let set_partition t cut = t.partition <- cut
+
+let is_partitioned t a b = partitioned t a b
+
+let set_link_loss t ~src ~dst ?(corrupt = 0.) p =
+  if not (p >= 0. && p <= 1.) then invalid_arg "Network.set_link_loss: p";
+  if not (corrupt >= 0. && corrupt <= 1.) then
+    invalid_arg "Network.set_link_loss: corrupt";
+  match find_node t src with
+  | None -> invalid_arg "Network.set_link_loss: no such node"
+  | Some n -> (
+    match ensure_link n dst with
+    | Some l ->
+      l.loss_p <- p;
+      l.corrupt_p <- corrupt
+    | None -> (* dead endpoint: the link is already failing entirely *) ())
+
+let link_loss t ~src ~dst =
+  match find_link t ~src ~dst with
+  | Some l -> Some (l.loss_p, l.corrupt_p)
+  | None -> None

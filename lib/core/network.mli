@@ -91,7 +91,11 @@ val add_node :
   node
 (** Starts a node. If [observer] is given, the engine sends a [boot]
     request to it at start-up and reports status on demand.
-    @raise Invalid_argument if the id is already in use. *)
+
+    An id whose previous holder was terminated may be reused: the fresh
+    node replaces the dead incarnation (recorded as a [respawn]
+    telemetry event) — this is how chaos churn schedules bring nodes
+    back. @raise Invalid_argument if the id is in use by a live node. *)
 
 val node : t -> Iov_msg.Node_id.t -> node
 (** @raise Not_found for unknown ids. *)
@@ -153,8 +157,11 @@ val link_weight : t -> src:Iov_msg.Node_id.t -> dst:Iov_msg.Node_id.t -> int
 val terminate : t -> Iov_msg.Node_id.t -> unit
 (** Kills a node: all its links fail; peers detect the failure after
     [detect_delay] and are notified through [LinkFailed] messages;
-    buffered messages are counted as lost. Terminating an already-dead
-    node is a no-op. *)
+    buffered messages are counted as lost. Idempotent: terminating an
+    already-dead (or unknown) node is a complete no-op — no loss is
+    re-counted and no second [domino-teardown] event is emitted.
+    {!kill_node} is the same operation under its fault-injection
+    name. *)
 
 val inject_control : t -> Iov_msg.Message.t -> Iov_msg.Node_id.t -> unit
 (** Delivers a control message to a node immediately (no latency); for
@@ -192,8 +199,48 @@ val lost : t -> Iov_msg.Node_id.t -> int * int
 val make_status : t -> Iov_msg.Node_id.t -> Iov_msg.Status.t option
 (** The engine-composed status snapshot (as sent to the observer). *)
 
-(** {1 Failure injection (tests)} *)
+(** {1 Failure injection}
+
+    The fault-injection surface of the engine. These entry points are
+    consumed by the {!module:Iov_chaos} subsystem (seeded scenarios
+    compiled to scheduled faults), by the experiments, and by tests.
+    All of them draw any randomness from the simulator's seeded rng, so
+    a seeded run with injected faults remains fully deterministic. *)
+
+val kill_node : t -> Iov_msg.Node_id.t -> unit
+(** Abrupt node failure — an alias of {!terminate}, and like it
+    idempotent: double kills and kills racing a Domino-Effect teardown
+    neither double-count losses nor emit duplicate teardown events. *)
 
 val stall_link : t -> src:Iov_msg.Node_id.t -> dst:Iov_msg.Node_id.t -> bool -> unit
 (** A stalled link silently discards transmissions — emulating a hung
-    peer, to exercise inactivity-based failure detection. *)
+    peer, to exercise inactivity-based failure detection.
+    @raise Invalid_argument for unknown links. *)
+
+val set_partition : t -> (Iov_msg.Node_id.t -> Iov_msg.Node_id.t -> bool) option -> unit
+(** Installs (or, with [None], heals) a network partition. While
+    active, any data transmission or node-to-node control message from
+    [a] to [b] with [cut a b = true] is blackholed at delivery time:
+    data losses are counted at the destination as usual, links stay
+    open (TCP keeps trying), and traffic resumes untouched once the
+    partition heals. Observer/endpoint control traffic models the
+    out-of-band management channel and is never cut. *)
+
+val is_partitioned : t -> Iov_msg.Node_id.t -> Iov_msg.Node_id.t -> bool
+(** Whether the active partition (if any) cuts [a -> b]. *)
+
+val set_link_loss : t -> src:Iov_msg.Node_id.t -> dst:Iov_msg.Node_id.t ->
+  ?corrupt:float -> float -> unit
+(** [set_link_loss t ~src ~dst ~corrupt p] makes each transmission on
+    the link independently vanish with probability [p] (counted as lost
+    at the destination), and each delivered payload get one bit flipped
+    in a private copy with probability [corrupt] (default 0 — the copy
+    keeps zero-copy fanout payloads shared by other links intact).
+    Creates the connection if absent; [p = 0.] restores a clean link.
+    Draws come from the simulator rng: deterministic under a seed.
+    @raise Invalid_argument if a probability is outside [0, 1] or [src]
+    is unknown. *)
+
+val link_loss : t -> src:Iov_msg.Node_id.t -> dst:Iov_msg.Node_id.t ->
+  (float * float) option
+(** The link's current [(loss, corruption)] probabilities. *)

@@ -1,0 +1,347 @@
+module Network = Iov_core.Network
+module Bwspec = Iov_core.Bwspec
+module Topo = Iov_topo.Topo
+module Planetlab = Iov_topo.Planetlab
+module NI = Iov_msg.Node_id
+module Tel = Iov_telemetry.Telemetry
+module Sim = Iov_dsim.Sim
+module Scenario = Iov_chaos.Scenario
+module Invariant = Iov_chaos.Invariant
+module Chaos = Iov_chaos.Chaos
+module Flood = Iov_algos.Flood
+module Source = Iov_algos.Source
+module Tree = Iov_algos.Tree
+module Observer = Iov_observer.Observer
+
+type workload =
+  | Flood_fig6
+  | Flood_chain of int
+  | Flood_random of int
+  | Session of { n : int; strategy : Tree.strategy }
+
+let workload_of_string ~n = function
+  | "fig6" -> Some Flood_fig6
+  | "chain" -> Some (Flood_chain n)
+  | "random" -> Some (Flood_random n)
+  | "session" | "session-ns" -> Some (Session { n; strategy = Tree.Ns_aware })
+  | "session-unicast" -> Some (Session { n; strategy = Tree.Unicast })
+  | "session-random" -> Some (Session { n; strategy = Tree.Random })
+  | _ -> None
+
+type outcome = {
+  scenario : Scenario.t;
+  workload : workload;
+  report : Invariant.report;
+  telemetry : Tel.t;
+  horizon : float;
+}
+
+(* {1 Flood workloads} *)
+
+let flood_app = 1
+
+(* Timer-paced rather than back-to-back: a rate source keeps emitting to
+   every destination no matter what happened to the link in between, so
+   traffic to a churned-and-respawned node resumes by itself. 48 KBps
+   per stream keeps even fig6's busiest node (E carries 6 stream copies)
+   under its 400 KBps budget, so no queue grows without bound. *)
+let flood_rate = 48. *. 1024.
+
+(* Flooding has no duplicate suppression, so it must only ever run on an
+   acyclic graph: keep the forward edges of the ring-based random graph
+   (the ring's chain part preserves connectivity from the first node). *)
+let dagify (topo : Topo.t) =
+  let idx = Hashtbl.create 16 in
+  List.iteri (fun i s -> Hashtbl.replace idx s.Topo.name i) topo.Topo.specs;
+  let fwd (a, b) = Hashtbl.find idx a < Hashtbl.find idx b in
+  { topo with Topo.edges = List.filter fwd topo.Topo.edges }
+
+let build_flood ?(seed = 42) ?telemetry ~topo ~source () =
+  let net = Network.create ~seed ~buffer_capacity:50 ?telemetry () in
+  let floods : (string, Flood.t) Hashtbl.t = Hashtbl.create 16 in
+  let src_downs = List.map (Topo.node topo) (Topo.downstreams topo source) in
+  let src =
+    Source.create ~pacing:(`Rate flood_rate) ~app:flood_app ~dests:src_downs ()
+  in
+  let alg_for name =
+    if name = source then Source.algorithm src
+    else begin
+      let f = Flood.create () in
+      Flood.set_route f ~app:flood_app
+        ~upstreams:(List.map (Topo.node topo) (Topo.upstreams topo name))
+        ~downstreams:(List.map (Topo.node topo) (Topo.downstreams topo name))
+        ();
+      Hashtbl.replace floods name f;
+      Flood.algorithm f
+    end
+  in
+  List.iter
+    (fun name ->
+      let spec = Topo.spec topo name in
+      ignore
+        (Network.add_node net ~bw:spec.Topo.bw ~id:spec.Topo.nid (alg_for name)))
+    (Topo.names topo);
+  List.iter (fun (a, b) -> Network.connect net a b) (Topo.edge_ids topo);
+  let alive name =
+    match Network.find_node net (Topo.node topo name) with
+    | Some nd -> Network.is_alive nd
+    | None -> false
+  in
+  let spawn name =
+    if
+      List.mem name (Topo.names topo)
+      && name <> source
+      && not (alive name)
+    then begin
+      let spec = Topo.spec topo name in
+      ignore
+        (Network.add_node net ~bw:spec.Topo.bw ~id:spec.Topo.nid (alg_for name));
+      (* config repair, as an operator would after replacing a failed
+         box: reinstate every live node's static routes (the Domino
+         Effect pruned the dead node out of them) and re-open the live
+         edges *)
+      List.iter
+        (fun n ->
+          if n <> source && alive n then
+            match Hashtbl.find_opt floods n with
+            | Some f ->
+              Flood.set_route f ~app:flood_app
+                ~upstreams:(List.map (Topo.node topo) (Topo.upstreams topo n))
+                ~downstreams:
+                  (List.map (Topo.node topo) (Topo.downstreams topo n))
+                ()
+            | None -> ())
+        (Topo.names topo);
+      List.iter
+        (fun (a, b) ->
+          if alive a && alive b then
+            Network.connect net (Topo.node topo a) (Topo.node topo b))
+        topo.Topo.edges
+    end
+  in
+  (net, spawn)
+
+(* {1 Session workload} *)
+
+type session = {
+  s_net : Network.t;
+  s_resolve : string -> NI.t option;
+  s_spawn : string -> unit;
+  s_nodes : string list;
+  s_members : (string * NI.t * Tree.t ref) list;
+  s_source : NI.t;
+  s_app : int;
+  s_join_horizon : float;
+}
+
+let session_app = 31
+
+let build_session ?(seed = 42) ?telemetry ~strategy ~n () =
+  if n < 3 then invalid_arg "Chaoslab.build_session: n < 3";
+  let pl = Planetlab.generate ~seed ~n () in
+  let net = Network.create ~seed ~buffer_capacity:500 ?telemetry () in
+  Network.set_latency_fn net (Planetlab.latency pl);
+  let obs = Observer.create ~boot_subset:10 net in
+  let members =
+    List.mapi
+      (fun i nd ->
+        let bw =
+          if i = 0 then Bwspec.total_only (100. *. 1024.) else nd.Planetlab.bw
+        in
+        let t =
+          Tree.create ~strategy ~last_mile:(Bwspec.last_mile bw)
+            ~app:session_app ~rejoin:true ()
+        in
+        ignore
+          (Network.add_node net ~bw ~observer:(Observer.id obs)
+             ~id:nd.Planetlab.nid (Tree.algorithm t));
+        ("n" ^ string_of_int i, nd.Planetlab.nid, ref t, bw))
+      (Planetlab.nodes pl)
+  in
+  let sim = Network.sim net in
+  let at time f = ignore (Sim.schedule_at sim ~time f) in
+  let source =
+    match members with (_, nid, _, _) :: _ -> nid | [] -> assert false
+  in
+  at 1.0 (fun () -> Observer.deploy_source obs source ~app:session_app);
+  List.iteri
+    (fun i (_, nid, _, _) ->
+      if i > 0 then
+        at
+          (2.0 +. float_of_int i)
+          (fun () -> Observer.join obs nid ~app:session_app))
+    members;
+  let alive nid =
+    match Network.find_node net nid with
+    | Some nd -> Network.is_alive nd
+    | None -> false
+  in
+  let spawn name =
+    match
+      List.find_opt (fun (n', _, _, _) -> String.equal n' name) members
+    with
+    | Some (_, nid, tref, bw) when not (alive nid) ->
+      let t =
+        Tree.create ~strategy ~last_mile:(Bwspec.last_mile bw)
+          ~app:session_app ~rejoin:true ()
+      in
+      tref := t;
+      ignore
+        (Network.add_node net ~bw ~observer:(Observer.id obs) ~id:nid
+           (Tree.algorithm t));
+      (* give the boot round-trip a beat, then re-join the session *)
+      ignore
+        (Sim.schedule sim ~delay:1.0 (fun () ->
+             if alive nid then Observer.join obs nid ~app:session_app))
+    | _ -> ()
+  in
+  {
+    s_net = net;
+    s_resolve =
+      (fun name ->
+        List.find_map
+          (fun (n', nid, _, _) ->
+            if String.equal n' name then Some nid else None)
+          members);
+    s_spawn = spawn;
+    s_nodes =
+      List.filteri (fun i _ -> i > 0)
+        (List.map (fun (n', _, _, _) -> n') members);
+    s_members = List.map (fun (n', nid, tref, _) -> (n', nid, tref)) members;
+    s_source = source;
+    s_app = session_app;
+    s_join_horizon = 2.0 +. float_of_int n +. 15.;
+  }
+
+(* {1 Running a scenario against a workload} *)
+
+let run ?(quiet = false) ?(seed = 42) ?(ring = 16384) ?until ~workload scenario
+    =
+  let tel = Tel.create ~ring_capacity:ring () in
+  let net, resolve, spawn, nodes =
+    match workload with
+    | Flood_fig6 | Flood_chain _ | Flood_random _ ->
+      let topo, source =
+        match workload with
+        | Flood_fig6 -> (Topo.fig6 (), "A")
+        | Flood_chain n -> (Topo.chain ~n:(max 2 n), "n1")
+        | Flood_random n ->
+          let t = dagify (Topo.random_graph ~seed ~n:(max 3 n) ~degree:3 ()) in
+          (t, List.hd (Topo.names t))
+        | Session _ -> assert false
+      in
+      let net, spawn = build_flood ~seed ~telemetry:tel ~topo ~source () in
+      let resolve name =
+        match Topo.node topo name with
+        | id -> Some id
+        | exception Not_found -> None
+      in
+      (net, resolve, spawn, List.filter (fun x -> x <> source) (Topo.names topo))
+    | Session { n; strategy } ->
+      let s = build_session ~seed ~telemetry:tel ~strategy ~n () in
+      (s.s_net, s.s_resolve, s.s_spawn, s.s_nodes)
+  in
+  let installed = Chaos.install ~net ~resolve ~spawn ~nodes scenario in
+  let horizon =
+    match until with
+    | Some u -> u
+    | None -> (
+      match Scenario.fault_span installed.Chaos.actions with
+      | Some (_, last) -> last +. 30.
+      | None -> 30.)
+  in
+  Network.run net ~until:horizon;
+  let report = Chaos.check installed ~telemetry:tel ~horizon in
+  if not quiet then print_string (Invariant.to_string report);
+  { scenario; workload; report; telemetry = tel; horizon }
+
+(* {1 Bundled scenarios} *)
+
+let broken_fixture = "broken-oracle"
+
+let builtins =
+  List.map
+    (fun (name, doc, w, text, until) -> (name, doc, w, Scenario.parse text, until))
+    [
+      ( "smoke",
+        "two kills on fig6: the dead stay silent, the Domino completes",
+        Flood_fig6,
+        "scenario smoke seed=42\n" ^ "kill node=G at=3\n"
+        ^ "kill node=B at=5\n"
+        ^ "expect no-delivery-after-teardown grace=0.5\n"
+        ^ "expect domino-completes within=2\n" ^ "expect min-events 200\n",
+        15. );
+      ( "partition-heal",
+        "cut fig6 in two for 4 s: silence across the cut, throughput back",
+        Flood_fig6,
+        "scenario partition-heal seed=42\n"
+        ^ "partition groups=A,B|C,D,E,F,G at=4 heal=8\n"
+        ^ "expect partition-silent\n"
+        ^ "expect throughput-recovers tol=0.5 settle=6 window=3\n"
+        ^ "expect min-events 200\n",
+        20. );
+      ( "degrade-restore",
+        "squeeze A->B and make E->G lossy, then restore: throughput back",
+        Flood_fig6,
+        "scenario degrade-restore seed=42\n"
+        ^ "degrade link=A->B rate=10240 at=4 restore=10\n"
+        ^ "loss link=E->G p=0.25 at=4 clear=10\n"
+        ^ "expect throughput-recovers tol=0.5 settle=8 window=3\n"
+        ^ "expect min-events 200\n",
+        22. );
+      ( "churn-flood",
+        "two of fig6's lower nodes churn for 12 s; the overlay reconverges",
+        Flood_fig6,
+        "scenario churn-flood seed=7\n"
+        ^ "churn nodes=D,E,F,G pick=2 start=4 stop=16 down=exp:4 up=const:2\n"
+        ^ "expect no-delivery-after-teardown grace=0.5\n"
+        ^ "expect domino-completes within=2\n" ^ "expect reconverge within=12\n"
+        ^ "expect min-events 200\n",
+        32. );
+      ( "churn-session",
+        "three members of a 12-node ns-aware session churn; all rejoin",
+        Session { n = 12; strategy = Tree.Ns_aware },
+        "scenario churn-session seed=11\n"
+        ^ "churn nodes=* pick=3 start=32 stop=60 down=exp:6 up=const:5\n"
+        ^ "expect no-delivery-after-teardown grace=2\n"
+        ^ "expect reconverge within=40\n" ^ "expect min-events 500\n",
+        115. );
+      ( broken_fixture,
+        "kills both of D's upstreams yet expects recovery: the checker "
+        ^ "must flag this one",
+        Flood_fig6,
+        "scenario broken-oracle seed=42\n" ^ "kill node=B at=3\n"
+        ^ "kill node=C at=3\n" ^ "expect reconverge within=5\n"
+        ^ "expect throughput-recovers tol=0.2 settle=5 window=3\n"
+        ^ "expect min-events 100\n",
+        20. );
+    ]
+
+let find_builtin name =
+  List.find_map
+    (fun (n, doc, w, sc, u) -> if n = name then Some (doc, w, sc, u) else None)
+    builtins
+
+let run_builtin ?quiet ?seed ?until name =
+  match find_builtin name with
+  | None -> None
+  | Some (_doc, w, sc, default_until) ->
+    let until = match until with Some u -> u | None -> default_until in
+    Some (run ?quiet ?seed ~until ~workload:w sc)
+
+let smoke ?(quiet = false) ?(seed = 42) () =
+  List.fold_left
+    (fun acc (name, _doc, w, sc, until) ->
+      let o = run ~quiet:true ~seed ~until ~workload:w sc in
+      let passed = Invariant.ok o.report in
+      let expect_fail = name = broken_fixture in
+      let good = if expect_fail then not passed else passed in
+      if not quiet then begin
+        Printf.printf "%-18s %s%s\n" name
+          (if good then "ok" else "FAIL")
+          (if expect_fail then "  (deliberately broken: flagged as it must be)"
+           else "");
+        if not good then print_string (Invariant.to_string o.report)
+      end;
+      acc && good)
+    true builtins

@@ -1,0 +1,95 @@
+(** The chaos laboratory: ready-made workloads to aim scenarios at,
+    bundled scenarios (including a deliberately-broken fixture that the
+    checker must flag), and the smoke suite the CI gate runs.
+
+    A workload builds a telemetry-instrumented simulated overlay and
+    hands the chaos engine everything it needs: the name→id mapping, a
+    respawn callback that re-adds a churned node (and repairs its
+    static routes / re-joins its session), and the candidate set that
+    [nodes=*] expands to. *)
+
+module Scenario = Iov_chaos.Scenario
+module Invariant = Iov_chaos.Invariant
+
+type workload =
+  | Flood_fig6  (** the paper's 7-node correctness topology, flooding *)
+  | Flood_chain of int  (** a flooding chain of [n] nodes *)
+  | Flood_random of int  (** a random degree-3 flooding digraph *)
+  | Session of { n : int; strategy : Iov_algos.Tree.strategy }
+      (** a Planetlab-latency tree session with [rejoin] enabled *)
+
+val workload_of_string : n:int -> string -> workload option
+(** Parses ["fig6"], ["chain"], ["random"], ["session"],
+    ["session-unicast"], ["session-random"]. *)
+
+type outcome = {
+  scenario : Scenario.t;
+  workload : workload;
+  report : Invariant.report;
+  telemetry : Iov_telemetry.Telemetry.t;
+  horizon : float;
+}
+
+val run :
+  ?quiet:bool ->
+  ?seed:int ->
+  ?ring:int ->
+  ?until:float ->
+  workload:workload ->
+  Scenario.t ->
+  outcome
+(** Builds the workload (network seeded with [seed], default 42),
+    installs the scenario, runs to [until] (default: 30 s past the last
+    scheduled action) and checks the scenario's expectations against
+    the trace. Fully deterministic: the same scenario, workload and
+    seed produce a byte-identical telemetry trace — compare
+    [Telemetry.digest]. *)
+
+(** {1 Bundled scenarios} *)
+
+val builtins : (string * string * workload * Scenario.t * float) list
+(** [(name, doc, workload, scenario, until)]. Includes
+    {!broken_fixture}. *)
+
+val find_builtin : string -> (string * workload * Scenario.t * float) option
+(** [(doc, workload, scenario, until)] for a builtin name. *)
+
+val run_builtin : ?quiet:bool -> ?seed:int -> ?until:float -> string ->
+  outcome option
+
+val broken_fixture : string
+(** The name of the deliberately-broken bundled scenario: it kills both
+    upstreams of fig6's node D so the Domino Effect darkens the whole
+    right half, while still {e expecting} reconvergence and throughput
+    recovery. A healthy invariant checker must fail it. *)
+
+val smoke : ?quiet:bool -> ?seed:int -> unit -> bool
+(** Runs every bundled scenario: true iff all regular scenarios pass
+    their expectations {e and} the broken fixture is flagged. The CI
+    gate ([iover chaos --smoke]). *)
+
+(** {1 Session workloads, exposed for the churn sweep} *)
+
+type session = {
+  s_net : Iov_core.Network.t;
+  s_resolve : string -> Iov_msg.Node_id.t option;
+  s_spawn : string -> unit;
+  s_nodes : string list;  (** churn candidates: every member but the source *)
+  s_members : (string * Iov_msg.Node_id.t * Iov_algos.Tree.t ref) list;
+  s_source : Iov_msg.Node_id.t;
+  s_app : int;
+  s_join_horizon : float;  (** when the session should be converged *)
+}
+
+val build_session :
+  ?seed:int ->
+  ?telemetry:Iov_telemetry.Telemetry.t ->
+  strategy:Iov_algos.Tree.strategy ->
+  n:int ->
+  unit ->
+  session
+(** A Planetlab session of [n] members (member 0 is the source,
+    deployed at t=1; joins staggered one second apart), trees created
+    with [rejoin:true] and wired to an observer. [s_spawn] re-adds a
+    dead member with a fresh tree instance and re-joins it after its
+    boot round-trip. *)

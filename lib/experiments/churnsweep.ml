@@ -1,0 +1,140 @@
+module Network = Iov_core.Network
+module NI = Iov_msg.Node_id
+module Sim = Iov_dsim.Sim
+module Tree = Iov_algos.Tree
+module Scenario = Iov_chaos.Scenario
+module Chaos = Iov_chaos.Chaos
+module Table = Iov_stats.Table
+
+type row = {
+  strategy : Tree.strategy;
+  rate_per_min : float;
+  kills : int;
+  availability : float;
+  rejoins : int;
+}
+
+let sample_period = 2.
+
+let cell ~n ~seed ~measure ~down_time strategy rate =
+  let s = Chaoslab.build_session ~seed ~strategy ~n () in
+  let net = s.Chaoslab.s_net in
+  let sim = Network.sim net in
+  let start = s.Chaoslab.s_join_horizon +. 3. in
+  let stop = start +. measure in
+  (* every non-source member churns; pick the mean up-time so the
+     aggregate kill rate over the session matches the request *)
+  let mean_up =
+    Stdlib.max 4. ((float_of_int (n - 1) *. 60. /. rate) -. down_time)
+  in
+  let scenario =
+    {
+      Scenario.name = "churn-sweep";
+      seed;
+      faults =
+        [
+          Scenario.Churn
+            {
+              nodes = [ "*" ];
+              pick = None;
+              start;
+              stop;
+              down_after = Scenario.Exp mean_up;
+              up_after = Scenario.Const down_time;
+            };
+        ];
+      expects = [];
+    }
+  in
+  let installed =
+    Chaos.install ~net ~resolve:s.Chaoslab.s_resolve ~spawn:s.Chaoslab.s_spawn
+      ~nodes:s.Chaoslab.s_nodes scenario
+  in
+  (* availability sampling, byte deltas per member per window *)
+  let last_bytes = Hashtbl.create n in
+  let acc = ref 0. and samples = ref 0 in
+  let receivers = List.filter (fun (n', _, _) -> n' <> "n0") s.Chaoslab.s_members in
+  let denom = float_of_int (List.length receivers) in
+  let take_sample () =
+    let receiving = ref 0 in
+    List.iter
+      (fun (_, nid, _) ->
+        let bytes = Network.app_bytes net nid ~app:s.Chaoslab.s_app in
+        let prev =
+          match Hashtbl.find_opt last_bytes nid with Some b -> b | None -> 0
+        in
+        Hashtbl.replace last_bytes nid bytes;
+        if bytes - prev > 0 then incr receiving)
+      receivers;
+    acc := !acc +. (float_of_int !receiving /. denom);
+    incr samples
+  in
+  let rec sampler time =
+    if time <= stop then
+      ignore
+        (Sim.schedule_at sim ~time (fun () ->
+             take_sample ();
+             sampler (time +. sample_period)))
+  in
+  (* prime the byte counters one period early so the first window has a
+     baseline *)
+  ignore
+    (Sim.schedule_at sim
+       ~time:(start -. sample_period)
+       (fun () ->
+         List.iter
+           (fun (_, nid, _) ->
+             Hashtbl.replace last_bytes nid
+               (Network.app_bytes net nid ~app:s.Chaoslab.s_app))
+           receivers;
+         sampler start));
+  Network.run net ~until:(stop +. 10.);
+  let kills =
+    List.length
+      (List.filter
+         (fun (_, a) ->
+           match a with Scenario.Kill_node _ -> true | _ -> false)
+         installed.Chaos.actions)
+  in
+  let rejoins =
+    List.fold_left
+      (fun total (_, _, tref) -> total + Tree.rejoins !tref)
+      0 s.Chaoslab.s_members
+  in
+  {
+    strategy;
+    rate_per_min = rate;
+    kills;
+    availability = (if !samples = 0 then 0. else !acc /. float_of_int !samples);
+    rejoins;
+  }
+
+let run ?(quiet = false) ?(n = 12) ?(seed = 17) ?(rates = [ 1.; 2.; 4.; 8. ])
+    ?(measure = 90.) ?(down_time = 6.) () =
+  if n < 3 then invalid_arg "Churnsweep.run: n < 3";
+  let rows =
+    List.concat_map
+      (fun strategy ->
+        List.map (cell ~n ~seed ~measure ~down_time strategy) rates)
+      [ Tree.Unicast; Tree.Random; Tree.Ns_aware ]
+  in
+  if not quiet then begin
+    Printf.printf
+      "== Availability under churn: %d-node sessions, %.0f s of churn per \
+       cell ==\n"
+      n measure;
+    Table.print
+      ~header:[ "strategy"; "kills/min"; "kills"; "availability"; "rejoins" ]
+      (List.map
+         (fun r ->
+           [
+             Tree.strategy_name r.strategy;
+             Table.f1 r.rate_per_min;
+             string_of_int r.kills;
+             Printf.sprintf "%.3f" r.availability;
+             string_of_int r.rejoins;
+           ])
+         rows);
+    print_newline ()
+  end;
+  rows

@@ -1,0 +1,32 @@
+(** Availability under sustained churn, across the tree-construction
+    strategies.
+
+    For each strategy and each target churn rate (node kills per
+    minute, aggregated over the whole session), a Planetlab session is
+    built with {!Chaoslab.build_session}, a seeded churn scenario is
+    compiled to hit that rate, and availability is sampled while the
+    churn runs: the mean fraction of non-source members that received
+    application data in each 2 s window (a dead member counts as not
+    receiving). *)
+
+type row = {
+  strategy : Iov_algos.Tree.strategy;
+  rate_per_min : float;  (** requested aggregate kill rate *)
+  kills : int;  (** kills the compiled schedule actually contains *)
+  availability : float;  (** mean receiving fraction over the window *)
+  rejoins : int;  (** rejoin events seen by the live tree incarnations *)
+}
+
+val run :
+  ?quiet:bool ->
+  ?n:int ->
+  ?seed:int ->
+  ?rates:float list ->
+  ?measure:float ->
+  ?down_time:float ->
+  unit ->
+  row list
+(** Defaults: [n = 12] members, [seed = 17], [rates = [1; 2; 4; 8]]
+    kills/minute, [measure = 90] seconds of churn per cell,
+    [down_time = 6] seconds down per kill. Prints a table unless
+    [quiet]. *)

@@ -84,7 +84,7 @@ let tel_counter tl = function
   | Ev.Deliver -> Metrics.incr tl.c_delivered
   | Ev.Drop -> Metrics.incr tl.c_dropped
   | Ev.Link_failure -> Metrics.incr tl.c_link_failures
-  | Ev.Teardown -> ()
+  | Ev.Teardown | Ev.Respawn -> ()
 
 let tel_msg t kind ~peer (m : Msg.t) =
   match t.n_tel with
@@ -556,4 +556,27 @@ let shutdown t =
         Thread.join ic.ic_thread)
       ins;
     List.iter Thread.join (with_lock t (fun () -> t.accept_threads))
+  end
+
+let kill t =
+  if not t.stopping then begin
+    (* slam every socket before the orderly teardown: peers observe the
+       failure immediately (reset/EOF on their next operation) and
+       whatever was queued for transmission is lost — an abrupt process
+       death rather than a drain. [shutdown] then reaps the threads and
+       records the teardown event as usual. *)
+    let outs, ins =
+      with_lock t (fun () -> (t.outs, t.ins @ List.map snd t.pending_ins))
+    in
+    List.iter
+      (fun oc ->
+        try Unix.shutdown oc.oc_fd Unix.SHUTDOWN_ALL
+        with Unix.Unix_error _ -> ())
+      outs;
+    List.iter
+      (fun ic ->
+        try Unix.shutdown ic.ic_fd Unix.SHUTDOWN_ALL
+        with Unix.Unix_error _ -> ())
+      ins;
+    shutdown t
   end

@@ -65,3 +65,8 @@ val link_bytes : t -> [ `In | `Out ] -> Iov_msg.Node_id.t -> int
 
 val shutdown : t -> unit
 (** Graceful: closes connections, joins all threads. Idempotent. *)
+
+val kill : t -> unit
+(** Abrupt failure for chaos injection: slams every socket shut first —
+    peers observe the death immediately and queued messages are lost —
+    then reaps the threads like {!shutdown}. Idempotent. *)

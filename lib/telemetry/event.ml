@@ -9,8 +9,10 @@ type kind =
   | Drop
   | Link_failure
   | Teardown
+  | Respawn
 
-let all = [ Enqueue; Switch; Send; Deliver; Drop; Link_failure; Teardown ]
+let all =
+  [ Enqueue; Switch; Send; Deliver; Drop; Link_failure; Teardown; Respawn ]
 
 let to_int = function
   | Enqueue -> 0
@@ -20,6 +22,7 @@ let to_int = function
   | Drop -> 4
   | Link_failure -> 5
   | Teardown -> 6
+  | Respawn -> 7
 
 let of_int = function
   | 0 -> Enqueue
@@ -29,6 +32,7 @@ let of_int = function
   | 4 -> Drop
   | 5 -> Link_failure
   | 6 -> Teardown
+  | 7 -> Respawn
   | n -> invalid_arg ("Event.of_int: " ^ string_of_int n)
 
 let to_string = function
@@ -39,6 +43,7 @@ let to_string = function
   | Drop -> "drop"
   | Link_failure -> "link-failure"
   | Teardown -> "domino-teardown"
+  | Respawn -> "respawn"
 
 let pp fmt k = Format.pp_print_string fmt (to_string k)
 

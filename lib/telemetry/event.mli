@@ -19,6 +19,8 @@ type kind =
   | Drop  (** message lost (full/closed buffers, dead peers) *)
   | Link_failure  (** a link failure surfaced to the engine *)
   | Teardown  (** node termination (the paper's domino teardown) *)
+  | Respawn
+      (** a terminated node's id came back to life (chaos churn) *)
 
 val all : kind list
 

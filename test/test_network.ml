@@ -341,6 +341,167 @@ let test_terminate_idempotent () =
   Network.run net ~until:1.;
   Alcotest.(check bool) "dead" false (Network.is_alive (Network.node net (id 1)))
 
+let teardowns tl nid =
+  List.filter
+    (fun (e : Iov_telemetry.Telemetry.event) ->
+      e.kind = Iov_telemetry.Event.Teardown && NI.equal e.node nid)
+    (Iov_telemetry.Telemetry.events tl)
+
+let test_double_kill_counts_once () =
+  (* killing a node twice (or killing it again after the Domino Effect
+     already tore it down) must neither re-count losses nor emit a
+     second teardown event *)
+  let tl = Iov_telemetry.Telemetry.create () in
+  let net = Network.create ~buffer_capacity:5 ~telemetry:tl () in
+  let _ = source_node net 1 ~dests:[ 2 ] in
+  let _ =
+    flood_node net ~bw:(Bwspec.make ~down:(kbps 10.) ()) 2 ~ups:[ 1 ] ~downs:[]
+  in
+  Network.run net ~until:5.;
+  Network.kill_node net (id 2);
+  (* let every in-flight (pipelined) transmission land before sampling:
+     at 10 KBps the reserved slots keep draining for a few seconds *)
+  Network.run net ~until:12.;
+  let lost2 = Network.lost net (id 2) in
+  let lost1 = Network.lost net (id 1) in
+  Network.kill_node net (id 2);
+  Network.kill_node net (id 2);
+  Network.run net ~until:14.;
+  Alcotest.(check (pair int int)) "victim losses stable" lost2
+    (Network.lost net (id 2));
+  Alcotest.(check (pair int int)) "peer losses stable" lost1
+    (Network.lost net (id 1));
+  Alcotest.(check int) "exactly one teardown event" 1
+    (List.length (teardowns tl (id 2)))
+
+let test_peer_death_counts_sender_backlog () =
+  (* the victim's peers hold queued messages for it; once the failure is
+     detected those are lost and must be counted at the sender (they
+     were previously leaked when the victim's side closed the link
+     first) *)
+  let net = Network.create ~buffer_capacity:5 () in
+  let _ = source_node net 1 ~dests:[ 2 ] in
+  let _ =
+    flood_node net ~bw:(Bwspec.make ~down:(kbps 10.) ()) 2 ~ups:[ 1 ] ~downs:[]
+  in
+  Network.run net ~until:5.;
+  Network.terminate net (id 2);
+  Network.run net ~until:7.;
+  let bytes, msgs = Network.lost net (id 1) in
+  Alcotest.(check bool) "sender's queued bytes counted" true (bytes > 0);
+  Alcotest.(check bool) "sender's queued messages counted" true (msgs > 0)
+
+let test_partition_blocks_and_heals () =
+  let net = Network.create () in
+  let _ = source_node net 1 ~dests:[ 2 ] in
+  let _ = flood_node net 2 ~ups:[ 1 ] ~downs:[] in
+  Network.run net ~until:3.;
+  let before = Network.app_bytes net (id 2) ~app in
+  Network.set_partition net
+    (Some (fun a b -> NI.equal a (id 1) && NI.equal b (id 2)));
+  Alcotest.(check bool) "cut visible" true
+    (Network.is_partitioned net (id 1) (id 2));
+  Network.run net ~until:6.;
+  let during = Network.app_bytes net (id 2) ~app in
+  let lost_b, _ = Network.lost net (id 2) in
+  (* only in-flight transmissions may still land; the flow is dead *)
+  Alcotest.(check bool) "delivery stopped" true (during - before < 20_000);
+  Alcotest.(check bool) "blackholed bytes counted" true (lost_b > 0);
+  Alcotest.(check bool) "link stays open" true
+    (Network.link_exists net ~src:(id 1) ~dst:(id 2));
+  Network.set_partition net None;
+  Network.run net ~until:9.;
+  Alcotest.(check bool) "flow resumes after heal" true
+    (Network.app_bytes net (id 2) ~app - during > 50_000)
+
+let test_link_loss_drops () =
+  let net = Network.create ~seed:7 () in
+  let _ = source_node net ~bw:(Bwspec.total_only (kbps 100.)) 1 ~dests:[ 2 ] in
+  let _ = flood_node net 2 ~ups:[ 1 ] ~downs:[] in
+  Network.set_link_loss net ~src:(id 1) ~dst:(id 2) 0.5;
+  Alcotest.(check (option (pair (float 0.) (float 0.)))) "probabilities stored"
+    (Some (0.5, 0.)) (Network.link_loss net ~src:(id 1) ~dst:(id 2));
+  Network.run net ~until:10.;
+  let _, lost_m = Network.lost net (id 2) in
+  let delivered = Network.app_bytes net (id 2) ~app in
+  Alcotest.(check bool) "some messages vanish" true (lost_m > 20);
+  Alcotest.(check bool) "some messages survive" true (delivered > 0);
+  (* the loss draw is seeded: roughly half the traffic disappears *)
+  let total = float_of_int (lost_m * (5 * 1024) + delivered) in
+  let frac = float_of_int delivered /. total in
+  Alcotest.(check bool) "roughly half lost" true (frac > 0.3 && frac < 0.7);
+  Alcotest.check_raises "probability validated"
+    (Invalid_argument "Network.set_link_loss: p") (fun () ->
+      Network.set_link_loss net ~src:(id 1) ~dst:(id 2) 1.5)
+
+let test_corruption_uses_private_copy () =
+  (* one lossy branch of a zero-copy fanout: the clean branch must keep
+     the source's physical buffer, the corrupted branch must get a
+     modified private copy *)
+  let net = Network.create ~seed:5 () in
+  let got3 = ref [] and got4 = ref [] in
+  let recorder cell =
+    Ialg.make ~name:"r" (fun _ m ->
+        if m.Msg.mtype = Mt.Data then cell := m.Msg.payload :: !cell;
+        Some Alg.Consume)
+  in
+  let ctxr = ref None in
+  ignore
+    (Network.add_node net ~id:(id 1)
+       (Ialg.make ~name:"s" ~on_start:(fun c -> ctxr := Some c) (fun _ _ ->
+            Some Alg.Consume)));
+  let f = Flood.create () in
+  Flood.set_route f ~app ~upstreams:[ id 1 ] ~downstreams:[ id 3; id 4 ] ();
+  ignore (Network.add_node net ~id:(id 2) (Flood.algorithm f));
+  ignore (Network.add_node net ~id:(id 3) (recorder got3));
+  ignore (Network.add_node net ~id:(id 4) (recorder got4));
+  Network.run net ~until:0.1;
+  Network.set_link_loss net ~src:(id 2) ~dst:(id 3) ~corrupt:1.0 0.;
+  let payload = Bytes.of_string "bits on the wire" in
+  (Option.get !ctxr).Alg.send
+    (Msg.data ~origin:(id 1) ~app ~seq:0 payload)
+    (id 2);
+  Network.run net ~until:2.;
+  match (!got3, !got4) with
+  | [ corrupted ], [ clean ] ->
+    Alcotest.(check bool) "clean branch shares the buffer" true
+      (clean == payload);
+    Alcotest.(check bool) "corrupted branch got a copy" true
+      (corrupted != payload);
+    Alcotest.(check bool) "exactly a one-byte flip" true
+      (Bytes.length corrupted = Bytes.length payload
+      && corrupted <> payload)
+  | a, b -> Alcotest.failf "expected 1+1 deliveries, got %d and %d"
+              (List.length a) (List.length b)
+
+let test_respawn_reuses_id () =
+  let tl = Iov_telemetry.Telemetry.create () in
+  let net = Network.create ~telemetry:tl () in
+  let _ = source_node net 1 ~dests:[ 2 ] in
+  let _ = flood_node net 2 ~ups:[ 1 ] ~downs:[] in
+  Network.run net ~until:2.;
+  Network.kill_node net (id 2);
+  Network.run net ~until:3.;
+  let before = Network.app_bytes net (id 2) ~app in
+  (* same id comes back: accepted, recorded as a respawn *)
+  let _ = flood_node net 2 ~ups:[ 1 ] ~downs:[] in
+  Network.connect net (id 1) (id 2);
+  Network.run net ~until:4.;
+  Alcotest.(check bool) "alive again" true
+    (Network.is_alive (Network.node net (id 2)));
+  let respawns =
+    List.filter
+      (fun (e : Iov_telemetry.Telemetry.event) ->
+        e.kind = Iov_telemetry.Event.Respawn && NI.equal e.node (id 2))
+      (Iov_telemetry.Telemetry.events tl)
+  in
+  Alcotest.(check int) "one respawn event" 1 (List.length respawns);
+  ignore before;
+  (* a live id is still rejected *)
+  match Network.add_node net ~id:(id 2) Alg.null with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "live duplicate accepted"
+
 (* ------------------------------------------------------------------ *)
 (* Control path and metering *)
 
@@ -786,6 +947,16 @@ let () =
             test_inactivity_detection;
           Alcotest.test_case "terminate idempotent" `Quick
             test_terminate_idempotent;
+          Alcotest.test_case "double kill counts once" `Quick
+            test_double_kill_counts_once;
+          Alcotest.test_case "peer death counts sender backlog" `Quick
+            test_peer_death_counts_sender_backlog;
+          Alcotest.test_case "partition blocks and heals" `Quick
+            test_partition_blocks_and_heals;
+          Alcotest.test_case "link loss" `Quick test_link_loss_drops;
+          Alcotest.test_case "corruption keeps fanout intact" `Quick
+            test_corruption_uses_private_copy;
+          Alcotest.test_case "respawn reuses id" `Quick test_respawn_reuses_id;
         ] );
       ( "control",
         [
