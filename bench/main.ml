@@ -231,6 +231,37 @@ let bench_chaos_check =
         let horizon = o.Iov_exp.Chaoslab.horizon in
         fun () -> ignore (Inv.check ~scenario ~actions ~horizon events)))
 
+(* the multipath receiver's per-message dedup decision, steady state:
+   a sliding window absorbing an in-order stream with every fourth
+   sequence a duplicate (roughly what k=2 dissemination delivers) *)
+let bench_route_dedup =
+  Test.make ~name:"routing/dedup-admit"
+    (Staged.stage
+       (let d = Iov_routing.Dedup.create () in
+        let seq = ref 0 in
+        fun () ->
+          incr seq;
+          ignore (Iov_routing.Dedup.admit d !seq);
+          if !seq land 3 = 0 then ignore (Iov_routing.Dedup.admit d !seq)))
+
+(* the gossiped neighbor-table graph of routelab's 16-node overlay *)
+let route_graph =
+  let n = 16 in
+  List.init n (fun i ->
+      ( NI.synthetic (i + 1),
+        List.map
+          (fun d -> NI.synthetic (((i + d) mod n) + 1))
+          [ 1; 2; n - 1; n - 2 ] ))
+
+(* the source-side path computation a session (re)establishment pays:
+   two edge-disjoint paths across the ring-plus-chords overlay *)
+let bench_route_kpaths =
+  Test.make ~name:"routing/k-disjoint-16"
+    (Staged.stage (fun () ->
+         ignore
+           (Iov_routing.Path.k_disjoint route_graph ~k:2
+              ~src:(NI.synthetic 1) ~dst:(NI.synthetic 9) ())))
+
 let micro_tests =
   [
     bench_codec_encode;
@@ -248,6 +279,8 @@ let micro_tests =
     bench_fanout_8way_telem;
     bench_chaos_compile;
     bench_chaos_check;
+    bench_route_dedup;
+    bench_route_kpaths;
   ]
 
 let json_file = "BENCH_micro.json"

@@ -229,7 +229,7 @@ let chaos_cmd =
     in
     if list then begin
       List.iter
-        (fun (n, doc, _, _, _) -> Printf.printf "  %-16s %s\n" n doc)
+        (fun (n, doc, _, _, _, _) -> Printf.printf "  %-16s %s\n" n doc)
         C.builtins;
       `Ok ()
     end
@@ -266,6 +266,61 @@ let chaos_cmd =
         (const run $ name_arg $ scenario_arg $ list_arg $ smoke_arg $ topo_arg
        $ n_arg $ seed_arg $ until_arg $ out_arg))
 
+let route_cmd =
+  let n_arg =
+    let doc = "Overlay size (ring-plus-chords)." in
+    Arg.(value & opt int 16 & info [ "n" ] ~docv:"N" ~doc)
+  in
+  let seed_arg =
+    let doc = "Simulation seed (same seed => identical tables)." in
+    Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let k_arg =
+    let doc =
+      "Comma-separated multipath widths to compare (besides the single-tree \
+       and backpressure variants)."
+    in
+    Arg.(value & opt string "2,3" & info [ "k" ] ~docv:"K,K,..." ~doc)
+  in
+  let kill_arg =
+    let doc = "Simulated time of the mid-session kill." in
+    Arg.(value & opt float 8.0 & info [ "kill-at" ] ~docv:"T" ~doc)
+  in
+  let smoke_arg =
+    let doc =
+      "Fast CI gate: assert k=2 multipath keeps >= 90% of its pre-kill \
+       goodput while the single-tree baseline drops to zero; non-zero exit \
+       otherwise."
+    in
+    Arg.(value & flag & info [ "smoke" ] ~doc)
+  in
+  let run n seed ks kill_at smoke =
+    let module R = Iov_exp.Routelab in
+    if smoke then if R.smoke () then `Ok () else exit 1
+    else
+      let widths =
+        String.split_on_char ',' ks
+        |> List.filter_map (fun s -> int_of_string_opt (String.trim s))
+        |> List.filter (fun k -> k >= 1 && k <= 8)
+      in
+      if widths = [] then `Error (false, "no valid multipath widths in: " ^ ks)
+      else begin
+        let variants =
+          [ R.Static; R.Backpressure ] @ List.map (fun k -> R.Multi k) widths
+        in
+        ignore (R.run ~seed ~n ~kill_at ~variants ());
+        `Ok ()
+      end
+  in
+  let info =
+    Cmd.info "route"
+      ~doc:
+        "Compare adaptive routing disciplines (single-tree, backpressure, \
+         k-multipath) under a mid-session failure."
+  in
+  Cmd.v info
+    Term.(ret (const run $ n_arg $ seed_arg $ k_arg $ kill_arg $ smoke_arg))
+
 let list_cmd =
   let run () =
     List.iter
@@ -280,6 +335,6 @@ let main =
     Cmd.info "iover" ~version:"1.0.0"
       ~doc:"iOverlay (Middleware 2004) reproduction harness."
   in
-  Cmd.group info [ run_cmd; trace_cmd; chaos_cmd; list_cmd ]
+  Cmd.group info [ run_cmd; trace_cmd; chaos_cmd; route_cmd; list_cmd ]
 
 let () = exit (Cmd.eval main)

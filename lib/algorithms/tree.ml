@@ -192,6 +192,12 @@ let neighbor_stress_of t peer =
   | Some s -> s
   | None -> infinity
 
+(* Equal stress is common (fresh members all advertise the same
+   degree/bandwidth ratio), and the candidate list's order depends on
+   join history — so ties must not be broken by arrival order, or two
+   runs of the same overlay redirect joiners differently. Lowest node
+   id wins a tie, making the choice a pure function of the stress
+   table. *)
 let min_stress_neighbor t =
   let candidates =
     (match t.parent with Some p -> [ p ] | None -> []) @ t.children
@@ -200,7 +206,9 @@ let min_stress_neighbor t =
     (fun acc peer ->
       let s = neighbor_stress_of t peer in
       match acc with
-      | Some (_, best) when best <= s -> acc
+      | Some (best_peer, best)
+        when best < s || (best = s && NI.compare best_peer peer <= 0) ->
+        acc
       | _ -> Some (peer, s))
     None candidates
 

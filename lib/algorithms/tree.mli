@@ -63,6 +63,13 @@ val stress : t -> float
 (** Node stress in the paper's unit: degree / (last-mile bandwidth in
     100-KBps units). *)
 
+val min_stress_neighbor : t -> (Iov_msg.Node_id.t * float) option
+(** The tree neighbour (parent or a child) with the lowest advertised
+    stress — the redirect target an [Ns_aware] member offers a joiner.
+    Equal stress breaks to the lowest node id, so the pick depends only
+    on the stress table, never on join order. [None] when the member
+    has no tree neighbours. *)
+
 val session_source : t -> Iov_msg.Node_id.t option
 (** The source learned from [sAnnounce], if any. *)
 

@@ -107,6 +107,9 @@ let alive_at cycles n time =
 
 let is_activity = function
   | Ev.Enqueue | Ev.Switch | Ev.Send | Ev.Deliver -> true
+  (* routing-control events count as activity: a dead engine must not
+     repair paths or absorb duplicates either *)
+  | Ev.Route_change | Ev.Path_switch | Ev.Dup_suppressed -> true
   | Ev.Drop | Ev.Link_failure | Ev.Teardown | Ev.Respawn -> false
 
 let check_no_delivery_after_teardown ~grace cycles events =
@@ -266,6 +269,117 @@ let check_throughput ~tol ~settle ~window ~first_fault ~last_fault ~horizon
     end
   | _ -> []
 
+(* Unique terminal goodput of a node over [t0, t1): the data bytes it
+   switched, minus the bytes it re-enqueued downstream (an interior hop
+   forwards what it switches, a sink does not) and minus suppressed
+   duplicate copies. Positive only where traffic terminates — a
+   trace-only sink detector needing no workload knowledge. Control
+   traffic (app 0 — hellos, link-state floods) is consumed everywhere
+   and would register every router as a small sink, so it is excluded:
+   only application streams count as goodput. *)
+let sink_bytes events ~node ~t0 ~t1 =
+  let sw = ref 0 and enq = ref 0 and dup = ref 0 in
+  List.iter
+    (fun (e : Tel.event) ->
+      if
+        e.Tel.app <> 0
+        && NI.equal e.Tel.node node
+        && e.Tel.time >= t0 && e.Tel.time < t1
+      then
+        match e.Tel.kind with
+        | Ev.Switch -> sw := !sw + e.Tel.size
+        | Ev.Enqueue -> enq := !enq + e.Tel.size
+        | Ev.Dup_suppressed -> dup := !dup + e.Tel.size
+        | _ -> ())
+    events;
+  max 0 (!sw - !enq - !dup)
+
+let check_reroute ~ratio ~within ~window ~resolve ~actions ~horizon cycles
+    events =
+  let kills =
+    List.filter_map
+      (fun (t, a) ->
+        match a with Scenario.Kill_node n -> Some (t, n) | _ -> None)
+      actions
+  in
+  let nodes = NI.Tbl.create 32 in
+  List.iter
+    (fun (e : Tel.event) -> NI.Tbl.replace nodes e.Tel.node ())
+    events;
+  List.concat_map
+    (fun (t_kill, victim_name) ->
+      if horizon < t_kill +. within then
+        [
+          mk ~time:horizon
+            (Printf.sprintf
+               "horizon %g leaves no %gs reroute window after the kill at %g"
+               horizon within t_kill);
+        ]
+      else begin
+        let deadline = t_kill +. within in
+        let sink_violations =
+          NI.Tbl.fold
+            (fun n () acc ->
+              if not (alive_at cycles n deadline) then acc
+              else begin
+                let pre =
+                  sink_bytes events ~node:n ~t0:(t_kill -. window) ~t1:t_kill
+                in
+                if pre = 0 then acc
+                else begin
+                  let post =
+                    sink_bytes events ~node:n ~t0:(deadline -. window)
+                      ~t1:deadline
+                  in
+                  if float_of_int post < ratio *. float_of_int pre then
+                    mk ~node:n ~time:deadline
+                      (Printf.sprintf
+                         "sink received %d bytes in the %gs window after \
+                          the kill at %g vs %d before (ratio %g)"
+                         post window t_kill pre ratio)
+                    :: acc
+                  else acc
+                end
+              end)
+            nodes []
+        in
+        (* if the victim was carrying traffic, somebody must visibly
+           repair: a route-change or path-switch inside the window *)
+        let victim_carried =
+          match resolve victim_name with
+          | None -> false
+          | Some ni ->
+            List.exists
+              (fun (e : Tel.event) ->
+                NI.equal e.Tel.node ni
+                && e.Tel.kind = Ev.Switch
+                && e.Tel.time >= t_kill -. window
+                && e.Tel.time < t_kill)
+              events
+        in
+        let rerouted =
+          List.exists
+            (fun (e : Tel.event) ->
+              (e.Tel.kind = Ev.Route_change || e.Tel.kind = Ev.Path_switch)
+              && e.Tel.time > t_kill
+              && e.Tel.time <= deadline)
+            events
+        in
+        let activity_violations =
+          if victim_carried && not rerouted then
+            [
+              mk ~time:deadline
+                (Printf.sprintf
+                   "no route-change or path-switch within %gs of the kill \
+                    of %s at %g"
+                   within victim_name t_kill);
+            ]
+          else []
+        in
+        List.rev sink_violations @ activity_violations
+      end)
+    kills
+
 let check_partition_silent ~resolve ~windows events =
   let vs = ref [] in
   List.iter
@@ -323,6 +437,9 @@ let check ~(scenario : Scenario.t) ?(resolve = fun _ -> None) ~actions
           | Scenario.Throughput_recovers { tol; settle; window } ->
             check_throughput ~tol ~settle ~window ~first_fault ~last_fault
               ~horizon cycles events
+          | Scenario.Reroute_recovers { ratio; within; window } ->
+            check_reroute ~ratio ~within ~window ~resolve ~actions ~horizon
+              cycles events
           | Scenario.Partition_silent ->
             check_partition_silent ~resolve
               ~windows:(Scenario.partition_windows scenario)

@@ -57,6 +57,7 @@ type expect =
   | Domino_completes of { within : float }
   | Reconverge of { within : float }
   | Throughput_recovers of { tol : float; settle : float; window : float }
+  | Reroute_recovers of { ratio : float; within : float; window : float }
   | Partition_silent
   | Min_events of int
 
@@ -233,6 +234,9 @@ let expect_str = function
   | Throughput_recovers { tol; settle; window } ->
     Printf.sprintf "expect throughput-recovers tol=%s settle=%s window=%s"
       (fstr tol) (fstr settle) (fstr window)
+  | Reroute_recovers { ratio; within; window } ->
+    Printf.sprintf "expect reroute-recovers ratio=%s within=%s window=%s"
+      (fstr ratio) (fstr within) (fstr window)
   | Partition_silent -> "expect partition-silent"
   | Min_events n -> Printf.sprintf "expect min-events %d" n
 
@@ -457,6 +461,20 @@ let parse_line ln acc line =
                   (match get_opt kvs "window" with
                   | Some w -> parse_float ln "window" w
                   | None -> 5.);
+              }
+          | "reroute-recovers" ->
+            let kvs = kv_of_tokens ln args in
+            Reroute_recovers
+              {
+                ratio = parse_prob ln "ratio" (get ln kvs "ratio");
+                within =
+                  (match get_opt kvs "within" with
+                  | Some s -> parse_float ln "within" s
+                  | None -> 5.);
+                window =
+                  (match get_opt kvs "window" with
+                  | Some w -> parse_float ln "window" w
+                  | None -> 2.);
               }
           | "partition-silent" -> Partition_silent
           | "min-events" -> (

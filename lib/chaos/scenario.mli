@@ -30,6 +30,7 @@
     expect domino-completes within=2
     expect reconverge within=20
     expect throughput-recovers tol=0.3 settle=10 window=5
+    expect reroute-recovers ratio=0.9 within=5 window=2
     expect partition-silent
     expect min-events 1000
     v} *)
@@ -97,6 +98,15 @@ type expect =
       (** end-of-run delivered bytes/s over the final [window] is at
           least [(1 - tol)] of the pre-fault rate, once [settle]
           seconds have passed since the last fault *)
+  | Reroute_recovers of { ratio : float; within : float; window : float }
+      (** adaptive-routing recovery, judged on unique terminal goodput
+          (switched bytes minus re-enqueued and duplicate-suppressed
+          bytes): after each node kill, every surviving sink that was
+          receiving during the [window] seconds before the kill must
+          receive at least [ratio] of that rate in the window ending
+          [within] seconds after it — and if the victim itself carried
+          traffic, some router must log a route-change or path-switch
+          in between *)
   | Partition_silent
       (** no delivery ever crosses an active partition cut *)
   | Min_events of int

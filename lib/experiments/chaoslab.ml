@@ -18,6 +18,7 @@ type workload =
   | Flood_chain of int
   | Flood_random of int
   | Session of { n : int; strategy : Tree.strategy }
+  | Route of { n : int; mode : Iov_routing.Router.mode }
 
 let workload_of_string ~n = function
   | "fig6" -> Some Flood_fig6
@@ -26,6 +27,9 @@ let workload_of_string ~n = function
   | "session" | "session-ns" -> Some (Session { n; strategy = Tree.Ns_aware })
   | "session-unicast" -> Some (Session { n; strategy = Tree.Unicast })
   | "session-random" -> Some (Session { n; strategy = Tree.Random })
+  | "route" -> Some (Route { n; mode = Iov_routing.Router.Multipath 2 })
+  | "route-bp" -> Some (Route { n; mode = Iov_routing.Router.Backpressure })
+  | "route-static" -> Some (Route { n; mode = Iov_routing.Router.Static })
   | _ -> None
 
 type outcome = {
@@ -213,6 +217,31 @@ let build_session ?(seed = 42) ?telemetry ~strategy ~n () =
     s_join_horizon = 2.0 +. float_of_int n +. 15.;
   }
 
+(* {1 Route workload} *)
+
+(* Routers keep no rejoin protocol, so the spawn callback is inert:
+   route scenarios are about reroute-around, not respawn. *)
+let build_route ?(seed = 42) ?telemetry ~mode ~n () =
+  let nb = Routelab.build ~seed ?telemetry ~mode ~n () in
+  let name i = "n" ^ string_of_int i in
+  let resolve nm =
+    let k = Array.length nb.Routelab.r_ids in
+    let rec find i =
+      if i >= k then None
+      else if String.equal (name i) nm then Some nb.Routelab.r_ids.(i)
+      else find (i + 1)
+    in
+    find 0
+  in
+  let nodes =
+    List.filter_map
+      (fun i ->
+        if i = nb.Routelab.r_src || i = nb.Routelab.r_dst then None
+        else Some (name i))
+      (List.init (Array.length nb.Routelab.r_ids) Fun.id)
+  in
+  (nb.Routelab.r_net, resolve, (fun _ -> ()), nodes)
+
 (* {1 Running a scenario against a workload} *)
 
 let run ?(quiet = false) ?(seed = 42) ?(ring = 16384) ?until ~workload scenario
@@ -228,7 +257,7 @@ let run ?(quiet = false) ?(seed = 42) ?(ring = 16384) ?until ~workload scenario
         | Flood_random n ->
           let t = dagify (Topo.random_graph ~seed ~n:(max 3 n) ~degree:3 ()) in
           (t, List.hd (Topo.names t))
-        | Session _ -> assert false
+        | Session _ | Route _ -> assert false
       in
       let net, spawn = build_flood ~seed ~telemetry:tel ~topo ~source () in
       let resolve name =
@@ -240,6 +269,7 @@ let run ?(quiet = false) ?(seed = 42) ?(ring = 16384) ?until ~workload scenario
     | Session { n; strategy } ->
       let s = build_session ~seed ~telemetry:tel ~strategy ~n () in
       (s.s_net, s.s_resolve, s.s_spawn, s.s_nodes)
+    | Route { n; mode } -> build_route ~seed ~telemetry:tel ~mode ~n ()
   in
   let installed = Chaos.install ~net ~resolve ~spawn ~nodes scenario in
   let horizon =
@@ -259,10 +289,11 @@ let run ?(quiet = false) ?(seed = 42) ?(ring = 16384) ?until ~workload scenario
 
 let broken_fixture = "broken-oracle"
 
-let builtins =
-  List.map
-    (fun (name, doc, w, text, until) -> (name, doc, w, Scenario.parse text, until))
-    [
+(* (name, doc, workload, text, until, expect_fail): a fixture with
+   [expect_fail] is deliberately broken — the smoke suite passes only
+   if the checker flags it. *)
+let builtin_specs =
+  [
       ( "smoke",
         "two kills on fig6: the dead stay silent, the Domino completes",
         Flood_fig6,
@@ -270,7 +301,8 @@ let builtins =
         ^ "kill node=B at=5\n"
         ^ "expect no-delivery-after-teardown grace=0.5\n"
         ^ "expect domino-completes within=2\n" ^ "expect min-events 200\n",
-        15. );
+        15.,
+        false );
       ( "partition-heal",
         "cut fig6 in two for 4 s: silence across the cut, throughput back",
         Flood_fig6,
@@ -279,7 +311,8 @@ let builtins =
         ^ "expect partition-silent\n"
         ^ "expect throughput-recovers tol=0.5 settle=6 window=3\n"
         ^ "expect min-events 200\n",
-        20. );
+        20.,
+        false );
       ( "degrade-restore",
         "squeeze A->B and make E->G lossy, then restore: throughput back",
         Flood_fig6,
@@ -288,7 +321,8 @@ let builtins =
         ^ "loss link=E->G p=0.25 at=4 clear=10\n"
         ^ "expect throughput-recovers tol=0.5 settle=8 window=3\n"
         ^ "expect min-events 200\n",
-        22. );
+        22.,
+        false );
       ( "churn-flood",
         "two of fig6's lower nodes churn for 12 s; the overlay reconverges",
         Flood_fig6,
@@ -297,7 +331,8 @@ let builtins =
         ^ "expect no-delivery-after-teardown grace=0.5\n"
         ^ "expect domino-completes within=2\n" ^ "expect reconverge within=12\n"
         ^ "expect min-events 200\n",
-        32. );
+        32.,
+        false );
       ( "churn-session",
         "three members of a 12-node ns-aware session churn; all rejoin",
         Session { n = 12; strategy = Tree.Ns_aware },
@@ -305,7 +340,26 @@ let builtins =
         ^ "churn nodes=* pick=3 start=32 stop=60 down=exp:6 up=const:5\n"
         ^ "expect no-delivery-after-teardown grace=2\n"
         ^ "expect reconverge within=40\n" ^ "expect min-events 500\n",
-        115. );
+        115.,
+        false );
+      ( "reroute",
+        "k=2 multipath routing: kill the primary first hop, the sink "
+        ^ "must keep >= 90% of its goodput",
+        Route { n = 12; mode = Iov_routing.Router.Multipath 2 },
+        "scenario reroute seed=7\n" ^ "kill node=n2 at=8\n"
+        ^ "expect reroute-recovers ratio=0.9 within=5 window=2\n"
+        ^ "expect min-events 500\n",
+        14.,
+        false );
+      ( "reroute-broken",
+        "the same kill against the pinned single-tree baseline, which "
+        ^ "cannot reroute: the checker must flag it",
+        Route { n = 12; mode = Iov_routing.Router.Static },
+        "scenario reroute-broken seed=7\n" ^ "kill node=n2 at=8\n"
+        ^ "expect reroute-recovers ratio=0.9 within=5 window=2\n"
+        ^ "expect min-events 500\n",
+        14.,
+        true );
       ( broken_fixture,
         "kills both of D's upstreams yet expects recovery: the checker "
         ^ "must flag this one",
@@ -314,27 +368,34 @@ let builtins =
         ^ "kill node=C at=3\n" ^ "expect reconverge within=5\n"
         ^ "expect throughput-recovers tol=0.2 settle=5 window=3\n"
         ^ "expect min-events 100\n",
-        20. );
+        20.,
+        true );
     ]
+
+let builtins =
+  List.map
+    (fun (name, doc, w, text, until, expect_fail) ->
+      (name, doc, w, Scenario.parse text, until, expect_fail))
+    builtin_specs
 
 let find_builtin name =
   List.find_map
-    (fun (n, doc, w, sc, u) -> if n = name then Some (doc, w, sc, u) else None)
+    (fun (n, doc, w, sc, u, ef) ->
+      if n = name then Some (doc, w, sc, u, ef) else None)
     builtins
 
 let run_builtin ?quiet ?seed ?until name =
   match find_builtin name with
   | None -> None
-  | Some (_doc, w, sc, default_until) ->
+  | Some (_doc, w, sc, default_until, _ef) ->
     let until = match until with Some u -> u | None -> default_until in
     Some (run ?quiet ?seed ~until ~workload:w sc)
 
 let smoke ?(quiet = false) ?(seed = 42) () =
   List.fold_left
-    (fun acc (name, _doc, w, sc, until) ->
+    (fun acc (name, _doc, w, sc, until, expect_fail) ->
       let o = run ~quiet:true ~seed ~until ~workload:w sc in
       let passed = Invariant.ok o.report in
-      let expect_fail = name = broken_fixture in
       let good = if expect_fail then not passed else passed in
       if not quiet then begin
         Printf.printf "%-18s %s%s\n" name

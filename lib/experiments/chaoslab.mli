@@ -17,10 +17,16 @@ type workload =
   | Flood_random of int  (** a random degree-3 flooding digraph *)
   | Session of { n : int; strategy : Iov_algos.Tree.strategy }
       (** a Planetlab-latency tree session with [rejoin] enabled *)
+  | Route of { n : int; mode : Iov_routing.Router.mode }
+      (** the {!Routelab} ring-plus-chords overlay: one adaptive router
+          per node and a constant-rate session across it. Routers have
+          no respawn protocol, so the spawn callback is inert — aim
+          kill faults at these, not churn. *)
 
 val workload_of_string : n:int -> string -> workload option
 (** Parses ["fig6"], ["chain"], ["random"], ["session"],
-    ["session-unicast"], ["session-random"]. *)
+    ["session-unicast"], ["session-random"], ["route"] (multipath
+    k=2), ["route-bp"], ["route-static"]. *)
 
 type outcome = {
   scenario : Scenario.t;
@@ -47,12 +53,16 @@ val run :
 
 (** {1 Bundled scenarios} *)
 
-val builtins : (string * string * workload * Scenario.t * float) list
-(** [(name, doc, workload, scenario, until)]. Includes
-    {!broken_fixture}. *)
+val builtins : (string * string * workload * Scenario.t * float * bool) list
+(** [(name, doc, workload, scenario, until, expect_fail)]. A scenario
+    with [expect_fail] set is deliberately broken: the smoke suite
+    passes only when the checker flags it. Includes {!broken_fixture}
+    and the routing pair ["reroute"] / ["reroute-broken"]. *)
 
-val find_builtin : string -> (string * workload * Scenario.t * float) option
-(** [(doc, workload, scenario, until)] for a builtin name. *)
+val find_builtin :
+  string -> (string * workload * Scenario.t * float * bool) option
+(** [(doc, workload, scenario, until, expect_fail)] for a builtin
+    name. *)
 
 val run_builtin : ?quiet:bool -> ?seed:int -> ?until:float -> string ->
   outcome option

@@ -1,0 +1,226 @@
+module Network = Iov_core.Network
+module Bwspec = Iov_core.Bwspec
+module Sim = Iov_dsim.Sim
+module NI = Iov_msg.Node_id
+module Router = Iov_routing.Router
+module Path = Iov_routing.Path
+module Planetlab = Iov_topo.Planetlab
+module Table = Iov_stats.Table
+
+type variant = Static | Backpressure | Multi of int
+
+let variant_name = function
+  | Static -> "single-tree"
+  | Backpressure -> "backpressure"
+  | Multi k -> Printf.sprintf "multipath k=%d" k
+
+let mode_of_variant = function
+  | Static -> Router.Static
+  | Backpressure -> Router.Backpressure
+  | Multi k -> Router.Multipath k
+
+type row = {
+  variant : variant;
+  pre_rate : float;
+  post_rate : float;
+  recovery : float;
+  dups : int;
+  route_changes : int;
+  path_switches : int;
+  nacks : int;
+  retransmits : int;
+}
+
+type result = {
+  rows : row list;
+  n : int;
+  seed : int;
+  victim : string;
+  kill_at : float;
+}
+
+type net = {
+  r_net : Network.t;
+  r_ids : NI.t array;
+  r_routers : Router.t array;
+  r_app : int;
+  r_src : int;
+  r_dst : int;
+}
+
+let route_app = 7
+
+(* Ring plus chords: node i links to i±1 and i±2 (mod n). Degree 4
+   everywhere, so two edge-disjoint paths exist between any pair. *)
+let edges n =
+  List.concat_map
+    (fun i -> [ (i, (i + 1) mod n); (i, (i + 2) mod n) ])
+    (List.init n Fun.id)
+
+let build ?(seed = 7) ?telemetry ?(rate = 16. *. 1024.) ?(open_at = 1.0)
+    ~mode ~n () =
+  if n < 5 then invalid_arg "Routelab.build: n < 5";
+  let pl = Planetlab.generate ~seed ~n () in
+  let net = Network.create ~seed ~buffer_capacity:64 ?telemetry () in
+  Network.set_latency_fn net (Planetlab.latency pl);
+  let nds = Array.of_list (Planetlab.nodes pl) in
+  let ids = Array.map (fun nd -> nd.Planetlab.nid) nds in
+  let neighbor_idx i =
+    List.sort_uniq compare
+      [ (i + 1) mod n; (i + 2) mod n; (i + n - 1) mod n; (i + n - 2) mod n ]
+  in
+  let routers =
+    Array.mapi
+      (fun i nd ->
+        let r =
+          Router.create ?telemetry ~self:ids.(i) ~mode
+            ~neighbors:(List.map (fun j -> ids.(j)) (neighbor_idx i))
+            ()
+        in
+        (* the source pushes k copies of the stream; give it headroom
+           beyond the PlanetLab last-mile draw *)
+        let bw =
+          if i = 0 then Bwspec.total_only (200. *. 1024.) else nd.Planetlab.bw
+        in
+        ignore (Network.add_node net ~bw ~id:ids.(i) (Router.algorithm r));
+        r)
+      nds
+  in
+  List.iter
+    (fun (a, b) ->
+      Network.connect net ids.(a) ids.(b);
+      Network.connect net ids.(b) ids.(a))
+    (edges n);
+  let src = 0 and dst = n / 2 in
+  ignore
+    (Sim.schedule_at (Network.sim net) ~time:open_at (fun () ->
+         Router.open_session routers.(src)
+           (Network.ctx (Network.node net ids.(src)))
+           ~app:route_app ~dst:ids.(dst) ~rate ~payload_size:1024 ()));
+  { r_net = net; r_ids = ids; r_routers = routers; r_app = route_app;
+    r_src = src; r_dst = dst }
+
+(* The node every variant kills: the first hop of the canonical
+   primary path, computed over the full topology — identical for every
+   variant, so the comparison is apples to apples. *)
+let victim_index nb =
+  let n = Array.length nb.r_ids in
+  let g =
+    List.init n (fun i ->
+        (nb.r_ids.(i),
+         List.filter_map
+           (fun (a, b) ->
+             if a = i then Some nb.r_ids.(b)
+             else if b = i then Some nb.r_ids.(a)
+             else None)
+           (edges n)))
+  in
+  match
+    Path.shortest g ~src:nb.r_ids.(nb.r_src) ~dst:nb.r_ids.(nb.r_dst) ()
+  with
+  | Some (first :: _) ->
+    let idx = ref 1 in
+    Array.iteri (fun i id -> if NI.equal id first then idx := i) nb.r_ids;
+    !idx
+  | _ -> 1
+
+let run_variant ~seed ~n ~kill_at ~settle ~window variant =
+  let nb = build ~seed ~mode:(mode_of_variant variant) ~n () in
+  let sim = Network.sim nb.r_net in
+  let victim = victim_index nb in
+  let rx () = (Router.stats nb.r_routers.(nb.r_dst)).Router.delivered_bytes in
+  let b0 = ref 0 and b1 = ref 0 and b2 = ref 0 and b3 = ref 0 in
+  let at time f = ignore (Sim.schedule_at sim ~time f) in
+  at (kill_at -. window) (fun () -> b0 := rx ());
+  at kill_at (fun () ->
+      b1 := rx ();
+      Network.kill_node nb.r_net nb.r_ids.(victim));
+  at (kill_at +. settle -. window) (fun () -> b2 := rx ());
+  at (kill_at +. settle) (fun () -> b3 := rx ());
+  Network.run ~until:(kill_at +. settle +. 0.5) nb.r_net;
+  let pre = float_of_int (!b1 - !b0) /. window in
+  let post = float_of_int (!b3 - !b2) /. window in
+  let sum f = Array.fold_left (fun acc r -> acc + f (Router.stats r)) 0 in
+  let row =
+    {
+      variant;
+      pre_rate = pre;
+      post_rate = post;
+      recovery = (if pre > 0. then post /. pre else 0.);
+      dups = (Router.stats nb.r_routers.(nb.r_dst)).Router.dups;
+      route_changes = sum (fun s -> s.Router.route_changes) nb.r_routers;
+      path_switches = sum (fun s -> s.Router.path_switches) nb.r_routers;
+      nacks = (Router.stats nb.r_routers.(nb.r_dst)).Router.nacks;
+      retransmits =
+        (Router.stats nb.r_routers.(nb.r_src)).Router.retransmits;
+    }
+  in
+  (row, victim)
+
+let default_variants = [ Static; Backpressure; Multi 2; Multi 3 ]
+
+let run ?(quiet = false) ?(seed = 7) ?(n = 16) ?(kill_at = 8.0)
+    ?(settle = 4.0) ?(window = 2.0) ?(variants = default_variants) () =
+  let rows_and_victims =
+    List.map (run_variant ~seed ~n ~kill_at ~settle ~window) variants
+  in
+  let rows = List.map fst rows_and_victims in
+  let victim =
+    match rows_and_victims with (_, v) :: _ -> v | [] -> 1
+  in
+  let result =
+    {
+      rows;
+      n;
+      seed;
+      victim = Printf.sprintf "n%d" victim;
+      kill_at;
+    }
+  in
+  if not quiet then begin
+    Printf.printf
+      "routelab: n=%d seed=%d, kill %s (primary first hop) at t=%.1fs\n"
+      n seed result.victim kill_at;
+    Table.print
+      ~header:
+        [ "variant"; "pre KB/s"; "post KB/s"; "recovery"; "dups";
+          "reroutes"; "switches"; "nacks"; "rexmit" ]
+      (List.map
+         (fun r ->
+           [
+             variant_name r.variant;
+             Table.f1 (r.pre_rate /. 1024.);
+             Table.f1 (r.post_rate /. 1024.);
+             Printf.sprintf "%3.0f%%" (100. *. r.recovery);
+             string_of_int r.dups;
+             string_of_int r.route_changes;
+             string_of_int r.path_switches;
+             string_of_int r.nacks;
+             string_of_int r.retransmits;
+           ])
+         rows)
+  end;
+  result
+
+let smoke () =
+  let r =
+    run ~quiet:true ~seed:7 ~n:10 ~kill_at:5.0 ~settle:3.0 ~window:1.5
+      ~variants:[ Static; Multi 2 ] ()
+  in
+  let find v =
+    List.find (fun row -> row.variant = v) r.rows
+  in
+  let static = find Static and multi = find (Multi 2) in
+  let ok_static = static.pre_rate > 0. && static.post_rate = 0. in
+  let ok_multi = multi.pre_rate > 0. && multi.recovery >= 0.9 in
+  Printf.printf
+    "routelab smoke: single-tree %.1f -> %.1f KB/s (%s), k=2 %.1f -> %.1f \
+     KB/s recovery %.0f%% (%s)\n"
+    (static.pre_rate /. 1024.)
+    (static.post_rate /. 1024.)
+    (if ok_static then "drops, ok" else "FAIL: expected 0")
+    (multi.pre_rate /. 1024.)
+    (multi.post_rate /. 1024.)
+    (100. *. multi.recovery)
+    (if ok_multi then "ok" else "FAIL: expected >= 90%");
+  ok_static && ok_multi

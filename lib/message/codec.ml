@@ -37,7 +37,11 @@ let wire m =
 let decode_at buf off =
   let avail = Bytes.length buf - off in
   if avail < header_size then raise (Malformed "truncated header");
-  let mtype = Mtype.of_int (Int32.to_int (Bytes.get_int32_be buf off)) in
+  let mtype =
+    match Mtype.of_int (Int32.to_int (Bytes.get_int32_be buf off)) with
+    | m -> m
+    | exception Invalid_argument _ -> raise (Malformed "unknown message type")
+  in
   let ip = Bytes.get_int32_be buf (off + 4) in
   let port = Int32.to_int (Bytes.get_int32_be buf (off + 8)) in
   if port < 0 || port > 0xffff then raise (Malformed "bad port");

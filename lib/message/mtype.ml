@@ -25,6 +25,14 @@ type t =
 
 let custom_base = 1000
 
+let custom n =
+  if n < 0 then
+    invalid_arg
+      (Printf.sprintf
+         "Mtype.custom: tag %d would encode below custom_base (%d)" n
+         custom_base);
+  Custom n
+
 let to_int = function
   | Data -> 0
   | Boot -> 1
@@ -48,7 +56,13 @@ let to_int = function
   | S_assign -> 19
   | Set_bandwidth -> 20
   | Terminate_node -> 21
-  | Custom n -> custom_base + n
+  | Custom n ->
+    (* a negative tag would encode into (or below) the builtin range and
+       decode as an unrelated type — reject it rather than alias *)
+    if n < 0 then
+      invalid_arg
+        (Printf.sprintf "Mtype.to_int: custom tag %d below custom_base" n);
+    custom_base + n
 
 let of_int = function
   | 0 -> Data
@@ -73,7 +87,13 @@ let of_int = function
   | 19 -> S_assign
   | 20 -> Set_bandwidth
   | 21 -> Terminate_node
-  | n -> Custom (n - custom_base)
+  | n ->
+    (* codes in the gap between the builtins and [custom_base] (and
+       negative codes) are produced by no [to_int]: refuse them instead
+       of fabricating a [Custom] with an unencodable negative tag *)
+    if n < custom_base then
+      invalid_arg (Printf.sprintf "Mtype.of_int: unknown control code %d" n);
+    Custom (n - custom_base)
 
 let is_data = function Data -> true | _ -> false
 let is_control t = not (is_data t)

@@ -32,9 +32,23 @@ type t =
   | Terminate_node  (** observer -> node: terminate the whole node *)
   | Custom of int  (** algorithm-specific control type *)
 
+val custom_base : int
+(** First wire code of the [Custom] range (1000): [Custom n] encodes as
+    [custom_base + n]. *)
+
+val custom : int -> t
+(** Checked construction of algorithm-specific types. @raise
+    Invalid_argument on a negative tag, which would encode into the
+    builtin code range and decode as an unrelated type. *)
+
 val to_int : t -> int
+(** @raise Invalid_argument on a [Custom] tag below 0 (its code would
+    fall below {!custom_base}) — build custom types with {!custom}. *)
+
 val of_int : int -> t
-(** Total: unknown codes decode as [Custom]. *)
+(** Codes at or above {!custom_base} decode as [Custom]; codes in the
+    unassigned gap between the builtins and {!custom_base} come from no
+    encoder. @raise Invalid_argument on such unknown codes. *)
 
 val is_data : t -> bool
 

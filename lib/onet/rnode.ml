@@ -84,7 +84,9 @@ let tel_counter tl = function
   | Ev.Deliver -> Metrics.incr tl.c_delivered
   | Ev.Drop -> Metrics.incr tl.c_dropped
   | Ev.Link_failure -> Metrics.incr tl.c_link_failures
-  | Ev.Teardown | Ev.Respawn -> ()
+  | Ev.Teardown | Ev.Respawn | Ev.Route_change | Ev.Path_switch
+  | Ev.Dup_suppressed ->
+    ()
 
 let tel_msg t kind ~peer (m : Msg.t) =
   match t.n_tel with

@@ -1,0 +1,72 @@
+type verdict = [ `Fresh | `Dup ]
+
+type t = {
+  window : int;
+  seen : Bytes.t; (* bitmap, one bit per sequence in the window *)
+  mutable base : int; (* lowest sequence the bitmap still covers *)
+  mutable hi : int; (* highest sequence admitted; -1 initially *)
+  mutable fresh : int;
+  mutable dups : int;
+}
+
+let create ?(window = 1024) () =
+  if window < 1 then invalid_arg "Dedup.create: window";
+  {
+    window;
+    seen = Bytes.make ((window + 7) / 8) '\000';
+    base = 0;
+    hi = -1;
+    fresh = 0;
+    dups = 0;
+  }
+
+let bit_get t seq =
+  let i = seq mod t.window in
+  Char.code (Bytes.unsafe_get t.seen (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let bit_set t seq v =
+  let i = seq mod t.window in
+  let b = Char.code (Bytes.unsafe_get t.seen (i lsr 3)) in
+  let mask = 1 lsl (i land 7) in
+  let b = if v then b lor mask else b land lnot mask in
+  Bytes.unsafe_set t.seen (i lsr 3) (Char.chr b)
+
+let admit t seq =
+  if seq < 0 then invalid_arg "Dedup.admit: negative sequence";
+  if seq < t.base then begin
+    (* fell off the window: a straggler copy, suppress *)
+    t.dups <- t.dups + 1;
+    `Dup
+  end
+  else begin
+    if seq >= t.base + t.window then begin
+      (* slide forward, clearing the bits the window vacates *)
+      let nbase = seq - t.window + 1 in
+      let steps = min (nbase - t.base) t.window in
+      for s = t.base to t.base + steps - 1 do
+        bit_set t s false
+      done;
+      t.base <- nbase
+    end;
+    if bit_get t seq then begin
+      t.dups <- t.dups + 1;
+      `Dup
+    end
+    else begin
+      bit_set t seq true;
+      if seq > t.hi then t.hi <- seq;
+      t.fresh <- t.fresh + 1;
+      `Fresh
+    end
+  end
+
+let missing t =
+  let acc = ref [] in
+  for seq = t.hi - 1 downto max t.base 0 do
+    if not (bit_get t seq) then acc := seq :: !acc
+  done;
+  !acc
+
+let highest t = t.hi
+let fresh_count t = t.fresh
+let dup_count t = t.dups

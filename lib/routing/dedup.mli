@@ -1,0 +1,38 @@
+(** Sliding-window duplicate suppression for multipath receivers.
+
+    A k-path disseminator delivers up to k copies of every sequence
+    number; the receiver must pass each sequence to the application
+    exactly once. The window is a fixed-size bitmap over recent
+    sequence numbers: admission is O(1) and allocation free, and the
+    window slides forward with the highest sequence seen, so memory
+    stays bounded no matter how long the stream runs.
+
+    Sequences more than [window] behind the highest seen are outside
+    the bitmap and are conservatively reported [`Dup] — a late copy is
+    suppressed rather than double-delivered, which is the safe side of
+    the exactly-once contract (the disseminator's redundancy, not this
+    window, is what makes delivery complete). *)
+
+type t
+
+type verdict = [ `Fresh  (** first copy — deliver *) | `Dup  (** suppress *) ]
+
+val create : ?window:int -> unit -> t
+(** [window] (default 1024) is the bitmap span in sequence numbers.
+    @raise Invalid_argument if it is < 1. *)
+
+val admit : t -> int -> verdict
+(** [admit t seq] records a received copy of [seq] (any non-negative
+    integer, in any order) and says whether it is the first.
+    @raise Invalid_argument on a negative sequence. *)
+
+val missing : t -> int list
+(** Unseen sequence numbers between the window base and the highest
+    sequence admitted, ascending — the retransmit shopping list a
+    receiver turns into a nack. Empty when the stream has no gaps. *)
+
+val highest : t -> int
+(** Highest sequence admitted so far; -1 initially. *)
+
+val fresh_count : t -> int
+val dup_count : t -> int

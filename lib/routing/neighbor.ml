@@ -1,0 +1,134 @@
+module NI = Iov_msg.Node_id
+module Msg = Iov_msg.Message
+module Mt = Iov_msg.Mtype
+module Wire = Iov_msg.Wire
+
+let hello_kind = Mt.custom 110
+let lsa_kind = Mt.custom 111
+
+type entry = {
+  e_peer : NI.t;
+  mutable last_seen : float;
+  mutable cost : float;
+  mutable e_backlog : int;
+}
+
+type t = {
+  self : NI.t;
+  period : float;
+  dead_after : float;
+  alpha : float;
+  mutable entries : entry list; (* ascending by peer id; degree-sized *)
+  lsdb : (int * NI.t list) NI.Tbl.t; (* origin -> (version, neighbors) *)
+  mutable version : int;
+  mutable backlog : int;
+}
+
+let create ?(hello_period = 0.25) ?(dead_factor = 3.0) ?(alpha = 0.125) ~self
+    () =
+  if hello_period <= 0. then invalid_arg "Neighbor.create: hello_period";
+  if dead_factor <= 1. then invalid_arg "Neighbor.create: dead_factor";
+  if alpha <= 0. || alpha > 1. then invalid_arg "Neighbor.create: alpha";
+  {
+    self;
+    period = hello_period;
+    dead_after = dead_factor *. hello_period;
+    alpha;
+    entries = [];
+    lsdb = NI.Tbl.create 16;
+    version = 0;
+    backlog = 0;
+  }
+
+let hello_period t = t.period
+let peers t = List.map (fun e -> e.e_peer) t.entries
+let find t peer = List.find_opt (fun e -> NI.equal e.e_peer peer) t.entries
+let is_peer t peer = find t peer <> None
+
+let cost t peer =
+  match find t peer with Some e -> e.cost | None -> infinity
+
+let backlog_of t peer =
+  match find t peer with Some e -> e.e_backlog | None -> 0
+
+let set_backlog t n = t.backlog <- n
+
+let graph t =
+  let rows =
+    NI.Tbl.fold (fun origin (_, nbrs) acc -> (origin, nbrs) :: acc) t.lsdb []
+  in
+  let rows = (t.self, peers t) :: rows in
+  List.sort (fun (a, _) (b, _) -> NI.compare a b) rows
+
+(* -- wire forms ---------------------------------------------------- *)
+
+let hello t ~now =
+  let w = Wire.W.create () in
+  Wire.W.float w now;
+  Wire.W.int32 w t.backlog;
+  Msg.control ~mtype:hello_kind ~origin:t.self (Wire.W.contents w)
+
+let lsa t =
+  let w = Wire.W.create () in
+  Wire.W.node w t.self;
+  Wire.W.int32 w t.version;
+  Wire.W.nodes w (peers t);
+  Msg.control ~mtype:lsa_kind ~origin:t.self (Wire.W.contents w)
+
+let bump_version t = t.version <- t.version + 1
+
+(* -- ingestion ----------------------------------------------------- *)
+
+let insert_sorted t e =
+  let rec ins = function
+    | [] -> [ e ]
+    | x :: _ as l when NI.compare e.e_peer x.e_peer < 0 -> e :: l
+    | x :: rest -> x :: ins rest
+  in
+  t.entries <- ins t.entries
+
+let on_hello t ~now (m : Msg.t) =
+  let r = Wire.R.of_bytes m.Msg.payload in
+  let sent = Wire.R.float r in
+  let backlog = Wire.R.int32 r in
+  let sample = Float.max 0. (now -. sent) in
+  match find t m.Msg.origin with
+  | Some e ->
+    e.last_seen <- now;
+    e.e_backlog <- backlog;
+    e.cost <- ((1. -. t.alpha) *. e.cost) +. (t.alpha *. sample);
+    `Known
+  | None ->
+    insert_sorted t
+      { e_peer = m.Msg.origin; last_seen = now; cost = sample;
+        e_backlog = backlog };
+    `New
+
+let on_lsa t (m : Msg.t) =
+  let r = Wire.R.of_bytes m.Msg.payload in
+  let origin = Wire.R.node r in
+  let version = Wire.R.int32 r in
+  let nbrs = Wire.R.nodes r in
+  if NI.equal origin t.self then `Stale
+  else begin
+    match NI.Tbl.find_opt t.lsdb origin with
+    | Some (v, _) when v >= version -> `Stale
+    | _ ->
+      NI.Tbl.replace t.lsdb origin (version, nbrs);
+      `Fresh
+  end
+
+(* -- liveness ------------------------------------------------------ *)
+
+let expire t ~now =
+  let dead, live =
+    List.partition (fun e -> now -. e.last_seen > t.dead_after) t.entries
+  in
+  t.entries <- live;
+  List.map (fun e -> e.e_peer) dead
+
+let remove t peer =
+  let n = List.length t.entries in
+  t.entries <- List.filter (fun e -> not (NI.equal e.e_peer peer)) t.entries;
+  NI.Tbl.remove t.lsdb peer;
+  List.length t.entries < n

@@ -1,0 +1,81 @@
+(** The adaptive router's neighbor table and link-state database.
+
+    Liveness and link quality are learned entirely in-band, over the
+    engine's control path, using two [Custom] message types:
+
+    - {e hello} ({!hello_kind}) — periodic heartbeats to every link
+      peer, carrying the sender's clock and its current forwarding
+      backlog. Receipt refreshes liveness, folds the observed one-way
+      delay into a smoothed link cost (EWMA), and records the peer's
+      backlog for the backpressure forwarder.
+    - {e link-state} ({!lsa_kind}) — each node periodically floods its
+      own neighbor list under a monotonic version number; receivers
+      keep the highest version per origin and re-flood only fresh
+      advertisements, so the flood terminates. The union of stored
+      advertisements is the topology snapshot {!graph} hands to
+      {!Path}.
+
+    A peer is presumed dead once {!expire} finds no hello within the
+    dead interval, or immediately upon an engine [LinkFailed]
+    notification ({!remove}). Either way the own-row advertisement
+    changes, the version bumps, and the next flood spreads the news. *)
+
+type t
+
+val hello_kind : Iov_msg.Mtype.t
+val lsa_kind : Iov_msg.Mtype.t
+
+val create :
+  ?hello_period:float -> ?dead_factor:float -> ?alpha:float ->
+  self:Iov_msg.Node_id.t -> unit -> t
+(** [hello_period] (default 0.25 s) paces heartbeats and expiry scans;
+    a peer silent for [dead_factor] (default 3.0) periods is expired.
+    [alpha] (default 0.125, RFC 6298's gain) smooths the per-link cost. *)
+
+val hello_period : t -> float
+
+val peers : t -> Iov_msg.Node_id.t list
+(** Live neighbors, ascending by id. *)
+
+val is_peer : t -> Iov_msg.Node_id.t -> bool
+val cost : t -> Iov_msg.Node_id.t -> float
+(** Smoothed one-way delay to a live neighbor (seconds); +inf for
+    unknown peers. *)
+
+val backlog_of : t -> Iov_msg.Node_id.t -> int
+(** The neighbor's last advertised forwarding backlog (messages); 0
+    for unknown peers. *)
+
+val set_backlog : t -> int -> unit
+(** Our own backlog, advertised in subsequent hellos. *)
+
+val graph : t -> Path.graph
+(** The current topology snapshot: our own live neighbor row plus
+    every stored advertisement, deterministically ordered. *)
+
+val hello : t -> now:float -> Iov_msg.Message.t
+(** A heartbeat ready to send to each link peer. *)
+
+val lsa : t -> Iov_msg.Message.t
+(** Our own advertisement at the current version. Bump with
+    {!bump_version} when the neighbor set changed. *)
+
+val bump_version : t -> unit
+
+val on_hello : t -> now:float -> Iov_msg.Message.t -> [ `Known | `New ]
+(** Fold a received heartbeat in; [`New] means a first-contact peer
+    joined the table (worth a version bump and fresh flood). *)
+
+val on_lsa : t -> Iov_msg.Message.t -> [ `Fresh | `Stale ]
+(** Fold a received advertisement into the database. [`Fresh] means it
+    carried a new version and should be re-flooded to our peers. *)
+
+val expire : t -> now:float -> Iov_msg.Node_id.t list
+(** Drop peers whose last hello is older than the dead interval;
+    returns them (callers bump the version when non-empty). *)
+
+val remove : t -> Iov_msg.Node_id.t -> bool
+(** Immediate removal on an engine failure notification: drops the
+    peer from the table {e and} its advertisement from the database
+    (a dead node must not linger as a path candidate). True if the
+    peer was in the table. *)

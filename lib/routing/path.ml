@@ -1,0 +1,117 @@
+module NI = Iov_msg.Node_id
+
+type graph = (NI.t * NI.t list) list
+
+module Edge = struct
+  type t = NI.t * NI.t
+
+  (* undirected: store with the lower endpoint first *)
+  let canon (a, b) = if NI.compare a b <= 0 then (a, b) else (b, a)
+
+  let compare x y =
+    let ax, bx = canon x and ay, by = canon y in
+    match NI.compare ax ay with 0 -> NI.compare bx by | c -> c
+end
+
+module ESet = Set.Make (Edge)
+
+(* Symmetrized, sorted, deduplicated adjacency minus [avoid] nodes and
+   [cut] edges. Sorting is what makes every computation deterministic
+   in the face of arbitrarily ordered gossip. *)
+let adjacency g ~avoid ~cut =
+  let avoid = List.sort_uniq NI.compare avoid in
+  let dropped n = List.exists (NI.equal n) avoid in
+  let tbl = Hashtbl.create 32 in
+  let add a b =
+    if (not (dropped a)) && (not (dropped b)) && not (NI.equal a b) then
+      if not (ESet.mem (a, b) cut) then begin
+        let prev = try Hashtbl.find tbl a with Not_found -> [] in
+        Hashtbl.replace tbl a (b :: prev)
+      end
+  in
+  List.iter
+    (fun (n, nbrs) ->
+      List.iter
+        (fun p ->
+          add n p;
+          add p n)
+        nbrs)
+    g;
+  Hashtbl.iter (fun n nbrs -> Hashtbl.replace tbl n (List.sort_uniq NI.compare nbrs)) tbl;
+  tbl
+
+let neighbors tbl n = try Hashtbl.find tbl n with Not_found -> []
+
+(* BFS from [src]; returns the predecessor map. Exploring sorted
+   adjacency from a FIFO yields lowest-id shortest-path trees. *)
+let bfs tbl src =
+  let pred = Hashtbl.create 32 in
+  Hashtbl.replace pred src src;
+  let q = Queue.create () in
+  Queue.add src q;
+  while not (Queue.is_empty q) do
+    let n = Queue.pop q in
+    List.iter
+      (fun p ->
+        if not (Hashtbl.mem pred p) then begin
+          Hashtbl.replace pred p n;
+          Queue.add p q
+        end)
+      (neighbors tbl n)
+  done;
+  pred
+
+let walk_back pred ~src ~dst =
+  if not (Hashtbl.mem pred dst) then None
+  else begin
+    let rec up acc n =
+      if NI.equal n src then acc else up (n :: acc) (Hashtbl.find pred n)
+    in
+    Some (up [] dst)
+  end
+
+let shortest g ?(avoid = []) ~src ~dst () =
+  let tbl = adjacency g ~avoid ~cut:ESet.empty in
+  walk_back (bfs tbl src) ~src ~dst
+
+let k_disjoint g ?(avoid = []) ~k ~src ~dst () =
+  if k < 1 then invalid_arg "Path.k_disjoint: k";
+  let rec extract acc cut i =
+    if i = k then List.rev acc
+    else begin
+      let tbl = adjacency g ~avoid ~cut in
+      match walk_back (bfs tbl src) ~src ~dst with
+      | None -> List.rev acc
+      | Some hops ->
+        let cut =
+          fst
+            (List.fold_left
+               (fun (cut, prev) hop -> (ESet.add (prev, hop) cut, hop))
+               (cut, src) hops)
+        in
+        extract (hops :: acc) cut (i + 1)
+    end
+  in
+  if NI.equal src dst then [] else extract [] ESet.empty 0
+
+let distances g ~dst =
+  let tbl = adjacency g ~avoid:[] ~cut:ESet.empty in
+  (* BFS from the destination over the (symmetric) graph gives hop
+     counts toward it *)
+  let dist = Hashtbl.create 32 in
+  Hashtbl.replace dist dst 0;
+  let q = Queue.create () in
+  Queue.add dst q;
+  while not (Queue.is_empty q) do
+    let n = Queue.pop q in
+    let d = Hashtbl.find dist n in
+    List.iter
+      (fun p ->
+        if not (Hashtbl.mem dist p) then begin
+          Hashtbl.replace dist p (d + 1);
+          Queue.add p q
+        end)
+      (neighbors tbl n)
+  done;
+  Hashtbl.fold (fun n d acc -> (n, d) :: acc) dist []
+  |> List.sort (fun (a, _) (b, _) -> NI.compare a b)

@@ -1,0 +1,45 @@
+(** Deterministic path computation over a gossiped topology snapshot.
+
+    All functions are pure and total over an adjacency-list graph. The
+    graph is treated as undirected (a link advertised by either end
+    connects both), matching the engine's persistent-connection model
+    where routed sessions pre-establish both directions. Determinism is
+    part of the contract: adjacency is explored in {!Iov_msg.Node_id}
+    order, so every node computing over the same snapshot derives the
+    same paths regardless of gossip arrival order. *)
+
+type graph = (Iov_msg.Node_id.t * Iov_msg.Node_id.t list) list
+(** Adjacency lists, as assembled from link-state gossip. Neither the
+    outer list nor the inner lists need to be sorted or symmetric. *)
+
+val shortest :
+  graph ->
+  ?avoid:Iov_msg.Node_id.t list ->
+  src:Iov_msg.Node_id.t ->
+  dst:Iov_msg.Node_id.t ->
+  unit ->
+  Iov_msg.Node_id.t list option
+(** BFS shortest path, as the hop list {e after} [src] up to and
+    including [dst] ([Some []] when [src = dst]). Nodes in [avoid] are
+    removed from the graph first. Ties break toward lower node ids. *)
+
+val k_disjoint :
+  graph ->
+  ?avoid:Iov_msg.Node_id.t list ->
+  k:int ->
+  src:Iov_msg.Node_id.t ->
+  dst:Iov_msg.Node_id.t ->
+  unit ->
+  Iov_msg.Node_id.t list list
+(** Up to [k] pairwise edge-disjoint paths from [src] to [dst], by
+    successive shortest-path extraction (each round removes the edges
+    the previous path used, in both directions). Returns fewer than [k]
+    paths when the graph runs out of disjoint capacity, and [[]] when
+    [dst] is unreachable. Paths are hop lists as in {!shortest}, in
+    extraction order — the first is a true shortest path. *)
+
+val distances :
+  graph -> dst:Iov_msg.Node_id.t -> (Iov_msg.Node_id.t * int) list
+(** BFS hop counts toward [dst] for every node that can reach it,
+    sorted by node id — the potential field the backpressure forwarder
+    descends. *)

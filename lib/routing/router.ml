@@ -1,0 +1,750 @@
+module Alg = Iov_core.Algorithm
+module Ialg = Iov_core.Ialgorithm
+module Msg = Iov_msg.Message
+module Mt = Iov_msg.Mtype
+module NI = Iov_msg.Node_id
+module Wire = Iov_msg.Wire
+module Tel = Iov_telemetry.Telemetry
+module Ev = Iov_telemetry.Event
+module Metrics = Iov_telemetry.Metrics
+module Tracer = Iov_telemetry.Tracer
+
+let setup_kind = Mt.custom 112
+let nack_kind = Mt.custom 113
+let open_kind = Mt.custom 114
+
+(* Wire framing: routed data payloads carry a one-byte path tag in
+   front of the application bytes, so interior nodes can key their
+   forwarding state by (app, path) without any header extension. *)
+let max_paths = 16
+let replay_size = 512
+let nack_batch = 64
+
+type mode = Static | Multipath of int | Backpressure
+
+type fwd = {
+  f_dst : NI.t;
+  mutable f_next : NI.t option; (* None: this node is the destination *)
+}
+
+type session = {
+  s_app : int;
+  s_dst : NI.t;
+  s_k : int; (* paths wanted; 1 for Static, 0 for Backpressure *)
+  s_rate : float;
+  s_size : int;
+  mutable s_paths : NI.t list list;
+  mutable s_seq : int;
+  mutable s_running : bool;
+  mutable s_timer : bool;
+  replay : Bytes.t option array; (* app payloads by seq mod replay_size *)
+  replay_tag : int array;
+}
+
+type rx = {
+  r_src : NI.t;
+  dd : Dedup.t;
+  mutable r_bytes : int;
+  mutable r_msgs : int;
+  mutable nack_armed : bool;
+  hists : Metrics.histogram option array; (* per-path rx histograms *)
+}
+
+type bp = {
+  b_dst : NI.t;
+  b_src : NI.t;
+  bq : Msg.t Queue.t;
+  mutable choice : NI.t option;
+  mutable d_gen : int; (* topology generation the cache was built at *)
+  mutable dists : (NI.t * int) list;
+}
+
+type t = {
+  t_self : NI.t;
+  t_mode : mode;
+  nb : Neighbor.t;
+  hysteresis : int;
+  dedup_window : int;
+  tbl : (int * int, fwd) Hashtbl.t; (* (app, path) -> forwarding entry *)
+  sessions : (int, session) Hashtbl.t;
+  rxs : (int, rx) Hashtbl.t;
+  bps : (int, bp) Hashtbl.t;
+  mutable dead : NI.t list; (* peers seen failing; avoided until gossip heals *)
+  mutable topo_gen : int;
+  mutable lsa_countdown : int;
+  tel : (Tel.t * Tracer.t) option;
+  (* stats *)
+  mutable st_dups : int;
+  mutable st_route_changes : int;
+  mutable st_path_switches : int;
+  mutable st_nacks : int;
+  mutable st_retransmits : int;
+  mutable st_unroutable : int;
+  seeds : NI.t list;
+}
+
+type stats = {
+  delivered_msgs : int;
+  delivered_bytes : int;
+  dups : int;
+  route_changes : int;
+  path_switches : int;
+  nacks : int;
+  retransmits : int;
+  unroutable : int;
+}
+
+let create ?telemetry ?(hello_period = 0.25) ?(neighbors = []) ?(hysteresis = 2)
+    ?(dedup_window = 1024) ~self ~mode () =
+  (match mode with
+  | Multipath k when k < 1 || k > max_paths ->
+    invalid_arg "Router.create: Multipath k out of range"
+  | _ -> ());
+  {
+    t_self = self;
+    t_mode = mode;
+    nb = Neighbor.create ~hello_period ~self ();
+    hysteresis;
+    dedup_window;
+    tbl = Hashtbl.create 8;
+    sessions = Hashtbl.create 4;
+    rxs = Hashtbl.create 4;
+    bps = Hashtbl.create 4;
+    dead = [];
+    topo_gen = 0;
+    lsa_countdown = 0;
+    tel = Option.map (fun tl -> (tl, Tel.tracer tl self)) telemetry;
+    st_dups = 0;
+    st_route_changes = 0;
+    st_path_switches = 0;
+    st_nacks = 0;
+    st_retransmits = 0;
+    st_unroutable = 0;
+    seeds = List.sort_uniq NI.compare neighbors;
+  }
+
+let self t = t.t_self
+let mode t = t.t_mode
+
+let stats t =
+  let delivered_msgs, delivered_bytes =
+    Hashtbl.fold
+      (fun _ rx (m, b) -> (m + rx.r_msgs, b + rx.r_bytes))
+      t.rxs (0, 0)
+  in
+  {
+    delivered_msgs;
+    delivered_bytes;
+    dups = t.st_dups;
+    route_changes = t.st_route_changes;
+    path_switches = t.st_path_switches;
+    nacks = t.st_nacks;
+    retransmits = t.st_retransmits;
+    unroutable = t.st_unroutable;
+  }
+
+let paths t ~app =
+  match Hashtbl.find_opt t.sessions app with
+  | None -> []
+  | Some s -> s.s_paths
+
+let established t ~app =
+  match Hashtbl.find_opt t.sessions app with
+  | None -> 0
+  | Some s -> (
+    match t.t_mode with
+    | Backpressure -> if s.s_running then 1 else 0
+    | _ -> List.length s.s_paths)
+
+(* -- telemetry ----------------------------------------------------- *)
+
+let tel_event t (ctx : Alg.ctx) kind ~peer ~id ~app ~mseq ~size =
+  match t.tel with
+  | None -> ()
+  | Some (tl, tr) ->
+    Tel.record tl tr ~time:(ctx.now ()) ~kind ~peer ~id ~app ~mseq ~size
+
+let rx_hist t rx path =
+  match t.tel with
+  | None -> None
+  | Some (tl, _) -> (
+    if path < 0 || path >= max_paths then None
+    else
+      match rx.hists.(path) with
+      | Some _ as h -> h
+      | None ->
+        let h =
+          Metrics.histogram (Tel.metrics tl)
+            ~scope:(NI.to_string t.t_self)
+            (Printf.sprintf "route.path%d.rx_bytes" path)
+        in
+        rx.hists.(path) <- Some h;
+        Some h)
+
+(* -- topology bookkeeping ------------------------------------------ *)
+
+let graph t = Neighbor.graph t.nb
+
+let mark_dead t peer =
+  ignore (Neighbor.remove t.nb peer);
+  if not (List.exists (NI.equal peer) t.dead) then
+    t.dead <- List.sort NI.compare (peer :: t.dead);
+  Neighbor.bump_version t.nb;
+  t.topo_gen <- t.topo_gen + 1;
+  t.lsa_countdown <- 0 (* flood the updated row on the next tick *)
+
+let revive t peer =
+  if List.exists (NI.equal peer) t.dead then begin
+    t.dead <- List.filter (fun d -> not (NI.equal d peer)) t.dead;
+    t.topo_gen <- t.topo_gen + 1
+  end
+
+(* Heartbeats go to every peer the engine or the table knows about:
+   pre-connected links, discovered upstreams, seed hints. *)
+let hello_targets t (ctx : Alg.ctx) =
+  List.sort_uniq NI.compare
+    (t.seeds @ Neighbor.peers t.nb @ ctx.upstreams () @ ctx.downstreams ())
+  |> List.filter (fun p -> not (NI.equal p t.t_self))
+  |> List.filter (fun p -> not (List.exists (NI.equal p) t.dead))
+
+let flood_lsa t (ctx : Alg.ctx) =
+  let m = Neighbor.lsa t.nb in
+  List.iter (fun p -> ctx.send (Msg.share m) p) (hello_targets t ctx)
+
+(* -- path setup ---------------------------------------------------- *)
+
+let setup_msg t ~app ~path ~repair ~src ~dst remaining =
+  let w = Wire.W.create () in
+  Wire.W.int32 w (if repair then 1 else 0);
+  Wire.W.int32 w path;
+  Wire.W.node w src;
+  Wire.W.node w dst;
+  Wire.W.nodes w remaining;
+  Msg.control ~mtype:setup_kind ~origin:t.t_self ~app (Wire.W.contents w)
+
+let install_path t (ctx : Alg.ctx) ~app ~path ~repair ~dst hops =
+  match hops with
+  | [] -> ()
+  | first :: rest ->
+    ctx.send (setup_msg t ~app ~path ~repair ~src:t.t_self ~dst rest) first
+
+(* -- sessions (source side) ---------------------------------------- *)
+
+let frame ~path payload =
+  let n = Bytes.length payload in
+  let b = Bytes.create (n + 1) in
+  Bytes.set b 0 (Char.chr (path land 0xff));
+  Bytes.blit payload 0 b 1 n;
+  b
+
+let data_frame t s ~path ~seq payload =
+  Msg.make ~mtype:Mt.Data ~origin:t.t_self ~app:s.s_app ~seq
+    (frame ~path payload)
+
+let bp_open_msg t s =
+  let w = Wire.W.create () in
+  Wire.W.node w t.t_self;
+  Wire.W.node w s.s_dst;
+  Msg.control ~mtype:open_kind ~origin:t.t_self ~app:s.s_app
+    (Wire.W.contents w)
+
+let bp_state t ~app ~src ~dst =
+  match Hashtbl.find_opt t.bps app with
+  | Some b -> b
+  | None ->
+    let b =
+      { b_dst = dst; b_src = src; bq = Queue.create (); choice = None;
+        d_gen = -1; dists = [] }
+    in
+    Hashtbl.replace t.bps app b;
+    b
+
+let bp_backlog t =
+  Hashtbl.fold (fun _ b acc -> acc + Queue.length b.bq) t.bps 0
+
+(* Gradient next hop: among live neighbors strictly closer to the
+   destination, take the one with the smallest advertised backlog —
+   but only dethrone the incumbent when the challenger wins by more
+   than the hysteresis margin, so the choice doesn't flap on noise. *)
+let bp_choose t (ctx : Alg.ctx) b =
+  if b.d_gen <> t.topo_gen then begin
+    b.dists <- Path.distances (graph t) ~dst:b.b_dst;
+    b.d_gen <- t.topo_gen
+  end;
+  let dist n =
+    match List.assoc_opt n b.dists with Some d -> d | None -> max_int
+  in
+  let mine = dist t.t_self in
+  let candidates =
+    List.filter (fun p -> dist p < mine) (Neighbor.peers t.nb)
+  in
+  let best =
+    List.fold_left
+      (fun acc p ->
+        let bl = Neighbor.backlog_of t.nb p in
+        match acc with
+        | Some (_, bbl) when bbl <= bl -> acc
+        | _ -> Some (p, bl))
+      None candidates
+  in
+  match (best, b.choice) with
+  | None, _ -> b.choice <- None
+  | Some (p, _), None -> b.choice <- Some p
+  | Some (p, pbl), Some cur when not (NI.equal p cur) ->
+    let cur_alive = List.exists (NI.equal cur) candidates in
+    let cbl = Neighbor.backlog_of t.nb cur in
+    if (not cur_alive) || pbl + t.hysteresis < cbl then begin
+      b.choice <- Some p;
+      t.st_path_switches <- t.st_path_switches + 1;
+      tel_event t ctx Ev.Path_switch ~peer:p ~id:Ev.no_id ~app:0
+        ~mseq:(Queue.length b.bq) ~size:0
+    end
+  | Some _, Some _ -> ()
+
+let bp_drain t (ctx : Alg.ctx) =
+  Hashtbl.iter
+    (fun _ b ->
+      if not (Queue.is_empty b.bq) then begin
+        bp_choose t ctx b;
+        match b.choice with
+        | None -> ()
+        | Some nh ->
+          while (not (Queue.is_empty b.bq)) && ctx.can_send nh do
+            ctx.send (Queue.pop b.bq) nh
+          done
+      end)
+    t.bps;
+  Neighbor.set_backlog t.nb (bp_backlog t)
+
+let bp_enqueue t (ctx : Alg.ctx) b m =
+  (* bounded: shedding beats unbounded memory under a dead gradient *)
+  if Queue.length b.bq < 256 then Queue.push m b.bq
+  else t.st_unroutable <- t.st_unroutable + 1;
+  bp_drain t ctx
+
+let replay_store s ~seq payload =
+  s.replay.(seq mod replay_size) <- Some payload;
+  s.replay_tag.(seq mod replay_size) <- seq
+
+let emit_generation t (ctx : Alg.ctx) s =
+  let payload = Bytes.make s.s_size 'r' in
+  let seq = s.s_seq in
+  s.s_seq <- seq + 1;
+  replay_store s ~seq payload;
+  match t.t_mode with
+  | Backpressure ->
+    let b = bp_state t ~app:s.s_app ~src:t.t_self ~dst:s.s_dst in
+    bp_enqueue t ctx b (data_frame t s ~path:0 ~seq payload)
+  | Static | Multipath _ ->
+    List.iteri
+      (fun path hops ->
+        match hops with
+        | [] -> ()
+        | first :: _ -> ctx.send (data_frame t s ~path ~seq payload) first)
+      s.s_paths
+
+let rec arm_session_timer t (ctx : Alg.ctx) s =
+  if s.s_running && not s.s_timer then begin
+    s.s_timer <- true;
+    let interval = float_of_int s.s_size /. s.s_rate in
+    ctx.set_timer interval (fun () ->
+        s.s_timer <- false;
+        if s.s_running then begin
+          emit_generation t ctx s;
+          arm_session_timer t ctx s
+        end)
+  end
+
+(* (Re)establish the session's paths from the current snapshot. Run at
+   open and again from every tick until the gossip has reached far
+   enough to see the destination. *)
+let try_establish t (ctx : Alg.ctx) s =
+  if s.s_running && s.s_k > 0 && s.s_paths = [] then begin
+    let paths =
+      Path.k_disjoint (graph t) ~avoid:t.dead ~k:s.s_k ~src:t.t_self
+        ~dst:s.s_dst ()
+    in
+    if paths <> [] then begin
+      s.s_paths <- paths;
+      List.iteri
+        (fun path hops ->
+          install_path t ctx ~app:s.s_app ~path ~repair:false ~dst:s.s_dst
+            hops)
+        paths
+    end
+  end
+
+let open_session t (ctx : Alg.ctx) ~app ~dst ?(rate = 32. *. 1024.)
+    ?(payload_size = 1024) () =
+  if Hashtbl.mem t.sessions app then
+    invalid_arg "Router.open_session: app already open";
+  if rate <= 0. || payload_size < 1 then
+    invalid_arg "Router.open_session: bad rate or payload size";
+  let k =
+    match t.t_mode with
+    | Static -> 1
+    | Multipath k -> k
+    | Backpressure -> 0
+  in
+  let s =
+    {
+      s_app = app;
+      s_dst = dst;
+      s_k = k;
+      s_rate = rate;
+      s_size = payload_size;
+      s_paths = [];
+      s_seq = 0;
+      s_running = true;
+      s_timer = false;
+      replay = Array.make replay_size None;
+      replay_tag = Array.make replay_size (-1);
+    }
+  in
+  Hashtbl.replace t.sessions app s;
+  (match t.t_mode with
+  | Backpressure ->
+    ignore (bp_state t ~app ~src:t.t_self ~dst);
+    List.iter
+      (fun p -> ctx.send (Msg.share (bp_open_msg t s)) p)
+      (hello_targets t ctx)
+  | _ -> try_establish t ctx s);
+  arm_session_timer t ctx s
+
+let stop_session t ~app =
+  match Hashtbl.find_opt t.sessions app with
+  | Some s -> s.s_running <- false
+  | None -> ()
+
+(* -- reroute on failure -------------------------------------------- *)
+
+(* Local repair, run at the node immediately upstream of a failure:
+   re-point every forwarding entry that used the dead peer at a fresh
+   shortest path (computed against our own database, minus everything
+   we know to be dead) and re-install the tail downstream. The paper's
+   Domino-Effect teardown remains the backstop when no detour exists. *)
+let repair_entries t (ctx : Alg.ctx) peer =
+  Hashtbl.iter
+    (fun (app, path) f ->
+      match f.f_next with
+      | Some next when NI.equal next peer -> (
+        match
+          Path.shortest (graph t) ~avoid:t.dead ~src:t.t_self ~dst:f.f_dst ()
+        with
+        | Some (first :: _ as hops) ->
+          f.f_next <- Some first;
+          install_path t ctx ~app ~path ~repair:true ~dst:f.f_dst hops;
+          t.st_route_changes <- t.st_route_changes + 1;
+          tel_event t ctx Ev.Route_change ~peer:first ~id:Ev.no_id ~app
+            ~mseq:path ~size:0
+        | Some [] | None -> f.f_next <- None)
+      | _ -> ())
+    t.tbl
+
+(* Source-side repair: recompute any path that started at the dead
+   peer (deeper failures are repaired locally by the upstream node). *)
+let repair_sessions t (ctx : Alg.ctx) peer =
+  Hashtbl.iter
+    (fun _ s ->
+      if s.s_running && s.s_k > 0 then
+        s.s_paths <-
+          List.mapi
+            (fun path hops ->
+              match hops with
+              | first :: _ when NI.equal first peer -> (
+                let other_heads =
+                  List.concat_map
+                    (fun h -> match h with f :: _ -> [ f ] | [] -> [])
+                    (List.filteri (fun i _ -> i <> path) s.s_paths)
+                in
+                match
+                  Path.shortest (graph t)
+                    ~avoid:(t.dead @ other_heads)
+                    ~src:t.t_self ~dst:s.s_dst ()
+                with
+                | Some (nf :: _ as nhops) ->
+                  install_path t ctx ~app:s.s_app ~path ~repair:true
+                    ~dst:s.s_dst nhops;
+                  t.st_route_changes <- t.st_route_changes + 1;
+                  tel_event t ctx Ev.Route_change ~peer:nf ~id:Ev.no_id
+                    ~app:s.s_app ~mseq:path ~size:0;
+                  nhops
+                | _ -> (
+                  (* no head-disjoint detour; accept sharing a first
+                     hop rather than losing the path entirely *)
+                  match
+                    Path.shortest (graph t) ~avoid:t.dead ~src:t.t_self
+                      ~dst:s.s_dst ()
+                  with
+                  | Some (nf :: _ as nhops) ->
+                    install_path t ctx ~app:s.s_app ~path ~repair:true
+                      ~dst:s.s_dst nhops;
+                    t.st_route_changes <- t.st_route_changes + 1;
+                    tel_event t ctx Ev.Route_change ~peer:nf ~id:Ev.no_id
+                      ~app:s.s_app ~mseq:path ~size:0;
+                    nhops
+                  | _ -> hops))
+              | _ -> hops)
+            s.s_paths)
+    t.sessions
+
+let handle_dead t (ctx : Alg.ctx) peer =
+  mark_dead t peer;
+  match t.t_mode with
+  | Static -> () (* the baseline stays broken, by design *)
+  | Backpressure ->
+    (* the dead incumbent is dethroned inside [bp_choose] (it is no
+       longer a candidate), which also records the path switch *)
+    bp_drain t ctx
+  | Multipath _ ->
+    repair_entries t ctx peer;
+    repair_sessions t ctx peer
+
+(* -- receive side -------------------------------------------------- *)
+
+let rx_state t ~app ~src =
+  match Hashtbl.find_opt t.rxs app with
+  | Some rx -> rx
+  | None ->
+    let rx =
+      {
+        r_src = src;
+        dd = Dedup.create ~window:t.dedup_window ();
+        r_bytes = 0;
+        r_msgs = 0;
+        nack_armed = false;
+        hists = Array.make max_paths None;
+      }
+    in
+    Hashtbl.replace t.rxs app rx;
+    rx
+
+let nack_msg t ~app seqs =
+  let w = Wire.W.create () in
+  Wire.W.int32 w (List.length seqs);
+  List.iter (Wire.W.int32 w) seqs;
+  Msg.control ~mtype:nack_kind ~origin:t.t_self ~app (Wire.W.contents w)
+
+let maybe_nack t (ctx : Alg.ctx) ~app rx =
+  if (not rx.nack_armed) && Dedup.missing rx.dd <> [] then begin
+    rx.nack_armed <- true;
+    (* give straggler copies one hello period to close the gap first *)
+    ctx.set_timer (Neighbor.hello_period t.nb) (fun () ->
+        rx.nack_armed <- false;
+        let miss = Dedup.missing rx.dd in
+        if miss <> [] then begin
+          let miss = List.filteri (fun i _ -> i < nack_batch) miss in
+          ctx.send (nack_msg t ~app miss) rx.r_src;
+          t.st_nacks <- t.st_nacks + 1
+        end)
+  end
+
+let deliver t (ctx : Alg.ctx) (m : Msg.t) rx ~path =
+  (match rx_hist t rx path with
+  | Some h -> Metrics.observe h (Msg.payload_size m - 1)
+  | None -> ());
+  match Dedup.admit rx.dd m.Msg.seq with
+  | `Fresh ->
+    rx.r_msgs <- rx.r_msgs + 1;
+    rx.r_bytes <- rx.r_bytes + Msg.payload_size m - 1;
+    maybe_nack t ctx ~app:m.Msg.app rx
+  | `Dup ->
+    t.st_dups <- t.st_dups + 1;
+    tel_event t ctx Ev.Dup_suppressed ~peer:m.Msg.origin
+      ~id:(Ev.id_of_msg m) ~app:m.Msg.app ~mseq:m.Msg.seq
+      ~size:(Msg.size m)
+
+(* -- retransmission (source side) ---------------------------------- *)
+
+let retransmit t (ctx : Alg.ctx) s seqs =
+  List.iter
+    (fun seq ->
+      if seq >= 0 && s.replay_tag.(seq mod replay_size) = seq then begin
+        match s.replay.(seq mod replay_size) with
+        | None -> ()
+        | Some payload -> (
+          t.st_retransmits <- t.st_retransmits + 1;
+          match t.t_mode with
+          | Backpressure ->
+            let b = bp_state t ~app:s.s_app ~src:t.t_self ~dst:s.s_dst in
+            bp_enqueue t ctx b (data_frame t s ~path:0 ~seq payload)
+          | Static | Multipath _ -> (
+            match s.s_paths with
+            | (first :: _) :: _ ->
+              ctx.send (data_frame t s ~path:0 ~seq payload) first
+            | _ -> ()))
+      end)
+    seqs
+
+(* -- message handling ---------------------------------------------- *)
+
+let on_setup t (ctx : Alg.ctx) (m : Msg.t) =
+  try
+    let r = Wire.R.of_bytes m.Msg.payload in
+    let _repair = Wire.R.int32 r in
+    let path = Wire.R.int32 r in
+    let src = Wire.R.node r in
+    let dst = Wire.R.node r in
+    let remaining = Wire.R.nodes r in
+    let key = (m.Msg.app, path) in
+    match remaining with
+    | [] ->
+      ignore (rx_state t ~app:m.Msg.app ~src);
+      Hashtbl.replace t.tbl key { f_dst = dst; f_next = None }
+    | next :: rest ->
+      Hashtbl.replace t.tbl key { f_dst = dst; f_next = Some next };
+      ctx.send
+        (setup_msg t ~app:m.Msg.app ~path
+           ~repair:false (* propagation is plain installation *)
+           ~src ~dst rest)
+        next
+  with Wire.Truncated -> ()
+
+let on_bp_open t (ctx : Alg.ctx) (m : Msg.t) =
+  try
+    let r = Wire.R.of_bytes m.Msg.payload in
+    let src = Wire.R.node r in
+    let dst = Wire.R.node r in
+    if not (Hashtbl.mem t.bps m.Msg.app) then begin
+      ignore (bp_state t ~app:m.Msg.app ~src ~dst);
+      if NI.equal dst t.t_self then ignore (rx_state t ~app:m.Msg.app ~src);
+      (* flood on: version-free, the membership test stops the wave *)
+      List.iter
+        (fun p ->
+          if not (NI.equal p m.Msg.origin) then ctx.send (Msg.share m) p)
+        (hello_targets t ctx)
+    end
+  with Wire.Truncated -> ()
+
+let on_nack t (ctx : Alg.ctx) (m : Msg.t) =
+  match Hashtbl.find_opt t.sessions m.Msg.app with
+  | None -> ()
+  | Some s -> (
+    try
+      let r = Wire.R.of_bytes m.Msg.payload in
+      let n = Wire.R.int32 r in
+      let seqs = List.init (min n nack_batch) (fun _ -> Wire.R.int32 r) in
+      retransmit t ctx s seqs
+    with Wire.Truncated -> ())
+
+let on_data t (ctx : Alg.ctx) (m : Msg.t) =
+  if Msg.payload_size m < 1 then begin
+    t.st_unroutable <- t.st_unroutable + 1;
+    Alg.Consume
+  end
+  else begin
+    let path = Char.code (Bytes.get m.Msg.payload 0) in
+    match Hashtbl.find_opt t.tbl (m.Msg.app, path) with
+    | Some { f_next = Some next; _ } -> Alg.Forward [ next ]
+    | Some { f_next = None; _ } -> (
+      match Hashtbl.find_opt t.rxs m.Msg.app with
+      | Some rx ->
+        deliver t ctx m rx ~path;
+        Alg.Consume
+      | None ->
+        t.st_unroutable <- t.st_unroutable + 1;
+        Alg.Consume)
+    | None -> (
+      (* no pinned state: backpressure territory *)
+      match Hashtbl.find_opt t.bps m.Msg.app with
+      | Some b when NI.equal b.b_dst t.t_self ->
+        deliver t ctx m (rx_state t ~app:m.Msg.app ~src:b.b_src) ~path;
+        Alg.Consume
+      | Some b ->
+        bp_enqueue t ctx b m;
+        Alg.Hold
+      | None ->
+        t.st_unroutable <- t.st_unroutable + 1;
+        Alg.Consume)
+  end
+
+let on_link_failed t (ctx : Alg.ctx) (m : Msg.t) =
+  (* engine notification; origin names the failed peer *)
+  handle_dead t ctx m.Msg.origin
+
+let drop_app t app =
+  Hashtbl.remove t.rxs app;
+  Hashtbl.remove t.bps app;
+  let keys =
+    Hashtbl.fold
+      (fun ((a, _) as k) _ acc -> if a = app then k :: acc else acc)
+      t.tbl []
+  in
+  List.iter (Hashtbl.remove t.tbl) keys
+
+(* -- ticking ------------------------------------------------------- *)
+
+let lsa_refresh_ticks = 4
+
+let do_tick t (ctx : Alg.ctx) =
+  let now = ctx.now () in
+  let expired = Neighbor.expire t.nb ~now in
+  List.iter (fun p -> handle_dead t ctx p) expired;
+  let targets = hello_targets t ctx in
+  let h = Neighbor.hello t.nb ~now in
+  List.iter (fun p -> ctx.send (Msg.share h) p) targets;
+  if t.lsa_countdown <= 0 then begin
+    Neighbor.bump_version t.nb;
+    flood_lsa t ctx;
+    t.lsa_countdown <- lsa_refresh_ticks
+  end
+  else t.lsa_countdown <- t.lsa_countdown - 1;
+  Hashtbl.iter (fun _ s -> try_establish t ctx s) t.sessions;
+  if t.t_mode = Backpressure then bp_drain t ctx
+
+let rec tick_loop t (ctx : Alg.ctx) =
+  ctx.set_timer (Neighbor.hello_period t.nb) (fun () ->
+      do_tick t ctx;
+      tick_loop t ctx)
+
+(* -- the algorithm ------------------------------------------------- *)
+
+let handle t (ctx : Alg.ctx) (m : Msg.t) =
+  match m.Msg.mtype with
+  | Mt.Data -> Some (on_data t ctx m)
+  | k when k = Neighbor.hello_kind ->
+    (match Neighbor.on_hello t.nb ~now:(ctx.now ()) m with
+    | `New ->
+      revive t m.Msg.origin;
+      Neighbor.bump_version t.nb;
+      t.topo_gen <- t.topo_gen + 1;
+      t.lsa_countdown <- 0
+    | `Known -> ()
+    | exception Wire.Truncated -> ());
+    Some Alg.Consume
+  | k when k = Neighbor.lsa_kind ->
+    (match Neighbor.on_lsa t.nb m with
+    | `Fresh ->
+      t.topo_gen <- t.topo_gen + 1;
+      List.iter
+        (fun p ->
+          if not (NI.equal p m.Msg.origin) then ctx.send (Msg.share m) p)
+        (hello_targets t ctx)
+    | `Stale -> ()
+    | exception Wire.Truncated -> ());
+    Some Alg.Consume
+  | k when k = setup_kind ->
+    on_setup t ctx m;
+    Some Alg.Consume
+  | k when k = nack_kind ->
+    on_nack t ctx m;
+    Some Alg.Consume
+  | k when k = open_kind ->
+    on_bp_open t ctx m;
+    Some Alg.Consume
+  | Mt.Link_failed ->
+    on_link_failed t ctx m;
+    Some Alg.Consume
+  | Mt.Broken_source ->
+    drop_app t m.Msg.app;
+    Some Alg.Consume
+  | _ -> None
+
+let algorithm t =
+  Ialg.make ~name:"router"
+    ~on_start:(fun ctx ->
+      do_tick t ctx;
+      tick_loop t ctx)
+    ~on_ready:(fun ctx _peer ->
+      if t.t_mode = Backpressure then bp_drain t ctx)
+    (handle t)

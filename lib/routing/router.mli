@@ -1,0 +1,104 @@
+(** The adaptive multipath router: an {!Iov_core.Algorithm.t} that
+    turns the engine's static switch into an adaptive router, built
+    purely out of the [process]/[send] interface — no engine changes.
+
+    Every node of a routed overlay runs one router. On top of the
+    in-band {!Neighbor} machinery (heartbeats, link-state gossip) it
+    implements three forwarding disciplines:
+
+    - [Static] — the single-tree baseline: one shortest path pinned at
+      session open, never repaired. This is what the plain
+      switch-with-routing-table gives you, bottled for comparison.
+    - [Multipath k] — the source computes up to [k] edge-disjoint
+      paths from its topology snapshot ({!Path.k_disjoint}) and
+      disseminates every generation down all of them; receivers
+      suppress the redundant copies ({!Dedup}), nack sequence gaps,
+      and the source retransmits from a replay ring. On a failure
+      notification ({e LinkFailed} or heartbeat loss) the node just
+      upstream of the failure repairs its paths locally — against its
+      own database, before any observer or Domino-Effect teardown can
+      react — and re-installs the fixed tail with a setup message.
+    - [Backpressure] — hop-by-hop gradient forwarding: data is held
+      ({!Iov_core.Algorithm.verdict} [Hold]) in a per-session queue
+      and drained toward the neighbor with the smallest advertised
+      backlog among those strictly closer to the destination
+      (loop-free by construction), with hysteresis so the choice only
+      moves when another neighbor is decisively better.
+
+    Telemetry: routers emit [Route_change] (a repair re-pointed a
+    forwarding entry), [Path_switch] (the backpressure gradient moved)
+    and [Dup_suppressed] (a redundant multipath copy was absorbed)
+    into the same per-node flight recorders as the engine, plus
+    per-path delivery histograms — so chaos invariants can audit
+    recovery straight off the trace. *)
+
+type mode =
+  | Static  (** one pinned shortest path; no repair *)
+  | Multipath of int  (** k edge-disjoint paths, dedup, reroute *)
+  | Backpressure  (** queue-gradient next-hop selection *)
+
+type stats = {
+  delivered_msgs : int;  (** post-dedup data deliveries at this node *)
+  delivered_bytes : int;  (** post-dedup payload bytes *)
+  dups : int;  (** redundant copies suppressed *)
+  route_changes : int;  (** local repairs initiated here *)
+  path_switches : int;  (** backpressure next-hop moves *)
+  nacks : int;  (** gap reports sent (receiver side) *)
+  retransmits : int;  (** replay-ring resends (source side) *)
+  unroutable : int;  (** data with no forwarding state, consumed *)
+}
+
+type t
+
+val create :
+  ?telemetry:Iov_telemetry.Telemetry.t ->
+  ?hello_period:float ->
+  ?neighbors:Iov_msg.Node_id.t list ->
+  ?hysteresis:int ->
+  ?dedup_window:int ->
+  self:Iov_msg.Node_id.t ->
+  mode:mode ->
+  unit ->
+  t
+(** [neighbors] seeds the heartbeat target list (peers are otherwise
+    discovered from engine link state and incoming hellos);
+    [hysteresis] (messages, default 2) is the backlog margin a
+    backpressure challenger must win by. *)
+
+val algorithm : t -> Iov_core.Algorithm.t
+
+val open_session :
+  t ->
+  Iov_core.Algorithm.ctx ->
+  app:int ->
+  dst:Iov_msg.Node_id.t ->
+  ?rate:float ->
+  ?payload_size:int ->
+  unit ->
+  unit
+(** Makes this node the source of a routed constant-rate session
+    ([rate] bytes/second, default 32 KiB/s, [payload_size] default
+    1024). Paths are established as soon as the gossiped topology
+    reaches the destination — immediately if it already does. The
+    [ctx] is the node's own context ({!Iov_core.Network.ctx}). *)
+
+val stop_session : t -> app:int -> unit
+
+val stats : t -> stats
+
+val paths : t -> app:int -> Iov_msg.Node_id.t list list
+(** The hop lists currently pinned at this session's source (empty for
+    [Backpressure], which pins nothing). *)
+
+val established : t -> app:int -> int
+(** Paths currently installed for a session at its source (for
+    [Backpressure], 1 once the session announcement has flooded). *)
+
+val self : t -> Iov_msg.Node_id.t
+val mode : t -> mode
+
+val setup_kind : Iov_msg.Mtype.t
+val nack_kind : Iov_msg.Mtype.t
+val open_kind : Iov_msg.Mtype.t
+(** The router's control vocabulary (beyond {!Neighbor.hello_kind} and
+    {!Neighbor.lsa_kind}), exposed for tests and overhead accounting. *)

@@ -10,9 +10,24 @@ type kind =
   | Link_failure
   | Teardown
   | Respawn
+  | Route_change
+  | Path_switch
+  | Dup_suppressed
 
 let all =
-  [ Enqueue; Switch; Send; Deliver; Drop; Link_failure; Teardown; Respawn ]
+  [
+    Enqueue;
+    Switch;
+    Send;
+    Deliver;
+    Drop;
+    Link_failure;
+    Teardown;
+    Respawn;
+    Route_change;
+    Path_switch;
+    Dup_suppressed;
+  ]
 
 let to_int = function
   | Enqueue -> 0
@@ -23,6 +38,9 @@ let to_int = function
   | Link_failure -> 5
   | Teardown -> 6
   | Respawn -> 7
+  | Route_change -> 8
+  | Path_switch -> 9
+  | Dup_suppressed -> 10
 
 let of_int = function
   | 0 -> Enqueue
@@ -33,6 +51,9 @@ let of_int = function
   | 5 -> Link_failure
   | 6 -> Teardown
   | 7 -> Respawn
+  | 8 -> Route_change
+  | 9 -> Path_switch
+  | 10 -> Dup_suppressed
   | n -> invalid_arg ("Event.of_int: " ^ string_of_int n)
 
 let to_string = function
@@ -44,6 +65,9 @@ let to_string = function
   | Link_failure -> "link-failure"
   | Teardown -> "domino-teardown"
   | Respawn -> "respawn"
+  | Route_change -> "route-change"
+  | Path_switch -> "path-switch"
+  | Dup_suppressed -> "dup-suppressed"
 
 let pp fmt k = Format.pp_print_string fmt (to_string k)
 

@@ -21,6 +21,15 @@ type kind =
   | Teardown  (** node termination (the paper's domino teardown) *)
   | Respawn
       (** a terminated node's id came back to life (chaos churn) *)
+  | Route_change
+      (** a router repaired or re-pointed a forwarding entry (the peer
+          field is the {e new} next hop) *)
+  | Path_switch
+      (** a backpressure forwarder moved a commodity to another next
+          hop under the queue-gradient rule *)
+  | Dup_suppressed
+      (** a multipath receiver absorbed a redundant copy (the mseq
+          field is the duplicated sequence number) *)
 
 val all : kind list
 

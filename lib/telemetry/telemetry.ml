@@ -30,7 +30,7 @@ let tracer t ni =
     NI.Tbl.add t.tracers ni tr;
     tr
 
-let record t tr ~time ~kind ~peer ~id ~app ~mseq ~size =
+let[@inline always] record t tr ~time ~kind ~peer ~id ~app ~mseq ~size =
   if t.on then begin
     let g = t.gseq in
     t.gseq <- g + 1;

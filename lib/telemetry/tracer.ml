@@ -13,6 +13,7 @@ type t = {
   apps : int array;
   mseqs : int array;
   sizes : int array;
+  mutable idx : int; (* write cursor: t_total mod cap, kept incrementally *)
   mutable t_total : int;
 }
 
@@ -29,14 +30,18 @@ let create ~scope ~capacity =
     apps = Array.make capacity 0;
     mseqs = Array.make capacity 0;
     sizes = Array.make capacity 0;
+    idx = 0;
     t_total = 0;
   }
 
 let scope t = t.t_scope
 let capacity t = t.cap
 
-let record t ~gseq ~time ~kind ~peer ~id ~app ~mseq ~size =
-  let i = t.t_total mod t.cap in
+(* The event-rate hot path: plain array stores indexed by the
+   incrementally-wrapped cursor (no division), inlined into
+   [Telemetry.record] so one engine event site costs a single call. *)
+let[@inline always] record t ~gseq ~time ~kind ~peer ~id ~app ~mseq ~size =
+  let i = t.idx in
   Array.unsafe_set t.kinds i (Event.to_int kind);
   Array.unsafe_set t.times i time;
   Array.unsafe_set t.gseqs i gseq;
@@ -45,6 +50,8 @@ let record t ~gseq ~time ~kind ~peer ~id ~app ~mseq ~size =
   Array.unsafe_set t.apps i app;
   Array.unsafe_set t.mseqs i mseq;
   Array.unsafe_set t.sizes i size;
+  let i = i + 1 in
+  t.idx <- (if i = t.cap then 0 else i);
   t.t_total <- t.t_total + 1
 
 let length t = if t.t_total < t.cap then t.t_total else t.cap

@@ -82,6 +82,7 @@ let full_scenario =
         Scenario.Domino_completes { within = 2. };
         Scenario.Reconverge { within = 20. };
         Scenario.Throughput_recovers { tol = 0.3; settle = 10.; window = 5. };
+        Scenario.Reroute_recovers { ratio = 0.9; within = 5.; window = 2. };
         Scenario.Partition_silent;
         Scenario.Min_events 1000;
       ];

@@ -73,7 +73,43 @@ let test_mtype_roundtrip () =
       Alcotest.(check bool)
         (Mt.to_string t) true
         (Mt.of_int (Mt.to_int t) = t))
-    (Mt.all_builtin @ [ Mt.Custom 0; Mt.Custom 77; Mt.Custom (-2) ])
+    (Mt.all_builtin @ [ Mt.Custom 0; Mt.Custom 77; Mt.Custom 100000 ])
+
+(* the Custom boundary: tag 0 sits exactly at [custom_base]; negative
+   tags (codes below the base) are rejected at construction and on
+   encode, and the unassigned gap of codes refuses to decode *)
+let test_mtype_custom_boundary () =
+  Alcotest.(check int) "tag 0 encodes at the base" Mt.custom_base
+    (Mt.to_int (Mt.Custom 0));
+  Alcotest.(check bool) "base decodes to tag 0" true
+    (Mt.of_int Mt.custom_base = Mt.Custom 0);
+  Alcotest.(check bool) "custom constructor" true (Mt.custom 7 = Mt.Custom 7);
+  (match Mt.custom (-1) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "custom (-1) accepted");
+  (match Mt.to_int (Mt.Custom (-2)) with
+  | exception Invalid_argument _ -> ()
+  | code -> Alcotest.failf "Custom (-2) encoded as %d" code);
+  List.iter
+    (fun code ->
+      match Mt.of_int code with
+      | exception Invalid_argument _ -> ()
+      | t -> Alcotest.failf "gap code %d decoded as %s" code (Mt.to_string t))
+    [ 22; 500; Mt.custom_base - 1; -1 ]
+
+(* a wire header carrying a gap code must be a decode error, not a
+   fabricated Custom that cannot re-encode *)
+let test_codec_rejects_gap_mtype () =
+  let m =
+    Msg.control ~mtype:(Mt.Custom 0) ~origin:(NI.synthetic 1) Bytes.empty
+  in
+  let w = Codec.encode m in
+  Alcotest.(check bool) "boundary code round-trips" true
+    ((Codec.decode w).Msg.mtype = Mt.Custom 0);
+  Bytes.set_int32_be w 0 (Int32.of_int (Mt.custom_base - 1));
+  (match Codec.decode w with
+  | exception Codec.Malformed _ -> ()
+  | m' -> Alcotest.failf "gap code decoded as %s" (Mt.to_string m'.Msg.mtype))
 
 let test_mtype_classes () =
   Alcotest.(check bool) "data is data" true (Mt.is_data Mt.Data);
@@ -411,6 +447,10 @@ let () =
           Alcotest.test_case "int roundtrip" `Quick test_mtype_roundtrip;
           Alcotest.test_case "data/control classes" `Quick test_mtype_classes;
           Alcotest.test_case "distinct codes" `Quick test_mtype_distinct_codes;
+          Alcotest.test_case "custom boundary" `Quick
+            test_mtype_custom_boundary;
+          Alcotest.test_case "codec rejects gap codes" `Quick
+            test_codec_rejects_gap_mtype;
         ] );
       ( "message",
         [

@@ -1,0 +1,227 @@
+(* Tests for the adaptive multipath routing subsystem. *)
+
+module Network = Iov_core.Network
+module Sim = Iov_dsim.Sim
+module NI = Iov_msg.Node_id
+module Dedup = Iov_routing.Dedup
+module Path = Iov_routing.Path
+module Router = Iov_routing.Router
+module Neighbor = Iov_routing.Neighbor
+module Routelab = Iov_exp.Routelab
+
+let qtest ?(count = 300) name gen f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen f)
+
+(* ------------------------------------------------------------------ *)
+(* Dedup: the exactly-once window                                      *)
+
+(* an arbitrary delivery schedule: sequences from a span smaller than
+   the window, in any order, with any amount of duplication — exactly
+   the traffic a k-path disseminator plus a lossy network produces *)
+let schedule =
+  QCheck.(list_of_size Gen.(int_range 1 400) (int_range 0 900))
+
+let dedup_exactly_once copies =
+  let d = Dedup.create () in
+  let fresh_of = Hashtbl.create 64 in
+  List.iter
+    (fun seq ->
+      match Dedup.admit d seq with
+      | `Fresh ->
+        Hashtbl.replace fresh_of seq (1 + Option.value ~default:0
+                                            (Hashtbl.find_opt fresh_of seq))
+      | `Dup -> ())
+    copies;
+  let distinct = List.sort_uniq compare copies in
+  (* every distinct sequence is delivered exactly once, never twice *)
+  List.for_all
+    (fun seq -> Hashtbl.find_opt fresh_of seq = Some 1)
+    distinct
+  && Dedup.fresh_count d = List.length distinct
+  && Dedup.fresh_count d + Dedup.dup_count d = List.length copies
+
+let dedup_missing_is_complement copies =
+  let d = Dedup.create () in
+  List.iter (fun seq -> ignore (Dedup.admit d seq)) copies;
+  let seen = List.sort_uniq compare copies in
+  let expected =
+    match seen with
+    | [] -> []
+    | _ ->
+      let hi = Dedup.highest d in
+      List.filter
+        (fun s -> not (List.mem s seen))
+        (List.init hi (fun i -> i))
+  in
+  Dedup.missing d = expected
+
+let test_dedup_late_copy_suppressed () =
+  let d = Dedup.create ~window:16 () in
+  ignore (Dedup.admit d 0);
+  ignore (Dedup.admit d 100);
+  (* 0 slid out of the 16-wide window: a late second copy must land on
+     the safe side of exactly-once — suppressed, not re-delivered *)
+  Alcotest.(check bool) "late copy is a dup" true (Dedup.admit d 0 = `Dup);
+  Alcotest.(check int) "two fresh" 2 (Dedup.fresh_count d);
+  Alcotest.(check int) "one dup" 1 (Dedup.dup_count d)
+
+(* ------------------------------------------------------------------ *)
+(* Path: BFS and disjoint extraction                                   *)
+
+(* the routelab substrate: a ring of n nodes with i±2 chords *)
+let ring_chords n =
+  List.init n (fun i ->
+      ( NI.synthetic (i + 1),
+        List.map
+          (fun d -> NI.synthetic (((i + d) mod n) + 1))
+          [ 1; 2; n - 1; n - 2 ] ))
+
+let undirected_edges path ~src =
+  let rec walk prev acc = function
+    | [] -> acc
+    | hop :: rest ->
+      let e = if NI.compare prev hop <= 0 then (prev, hop) else (hop, prev) in
+      walk hop (e :: acc) rest
+  in
+  walk src [] path
+
+let test_shortest_basics () =
+  let g = ring_chords 8 in
+  let n i = NI.synthetic i in
+  Alcotest.(check bool) "src = dst is the empty path" true
+    (Path.shortest g ~src:(n 1) ~dst:(n 1) () = Some []);
+  (match Path.shortest g ~src:(n 1) ~dst:(n 5) () with
+  | Some hops ->
+    Alcotest.(check int) "antipodal distance via chords" 2 (List.length hops);
+    Alcotest.(check bool) "path ends at dst" true
+      (NI.equal (List.nth hops 1) (n 5))
+  | None -> Alcotest.fail "antipodal pair must be reachable");
+  Alcotest.(check bool) "unknown destination is unreachable" true
+    (Path.shortest g ~src:(n 1) ~dst:(n 99) () = None)
+
+let test_shortest_avoid () =
+  let n i = NI.synthetic i in
+  (* a line 1-2-3: avoiding the middle node disconnects the ends *)
+  let line = [ (n 1, [ n 2 ]); (n 2, [ n 1; n 3 ]); (n 3, [ n 2 ]) ] in
+  Alcotest.(check bool) "line is connected" true
+    (Path.shortest line ~src:(n 1) ~dst:(n 3) () <> None);
+  Alcotest.(check bool) "avoiding the cut vertex disconnects" true
+    (Path.shortest line ~avoid:[ n 2 ] ~src:(n 1) ~dst:(n 3) () = None)
+
+let test_k_disjoint_paths () =
+  let g = ring_chords 12 in
+  let n i = NI.synthetic i in
+  let paths = Path.k_disjoint g ~k:2 ~src:(n 1) ~dst:(n 7) () in
+  Alcotest.(check int) "two paths on a degree-4 substrate" 2
+    (List.length paths);
+  List.iter
+    (fun p ->
+      match List.rev p with
+      | last :: _ ->
+        Alcotest.(check bool) "path ends at dst" true (NI.equal last (n 7))
+      | [] -> Alcotest.fail "empty path")
+    paths;
+  (match paths with
+  | [ a; b ] ->
+    let ea = undirected_edges a ~src:(n 1)
+    and eb = undirected_edges b ~src:(n 1) in
+    Alcotest.(check bool) "edge-disjoint" true
+      (not (List.exists (fun e -> List.mem e eb) ea))
+  | _ -> assert false);
+  Alcotest.(check bool) "extraction is deterministic" true
+    (Path.k_disjoint g ~k:2 ~src:(n 1) ~dst:(n 7) () = paths)
+
+(* ------------------------------------------------------------------ *)
+(* End to end: multipath survives loss without double delivery         *)
+
+let rx_stats ~loss =
+  let nb = Routelab.build ~seed:7 ~mode:(Router.Multipath 2) ~n:10 () in
+  let sim = Network.sim nb.Routelab.r_net in
+  if loss then
+    (* once the paths are pinned, make the primary path's first link
+       drop 40% of everything crossing it *)
+    ignore
+      (Sim.schedule_at sim ~time:2.5 (fun () ->
+           match Routelab.(nb.r_routers.(nb.r_src)) |> fun r ->
+                 Router.paths r ~app:nb.Routelab.r_app
+           with
+           | (head :: _) :: _ ->
+             Network.set_link_loss nb.Routelab.r_net
+               ~src:nb.Routelab.r_ids.(nb.Routelab.r_src) ~dst:head 0.4
+           | _ -> Alcotest.fail "source pinned no paths"));
+  Network.run nb.Routelab.r_net ~until:10.;
+  Router.stats nb.Routelab.r_routers.(nb.Routelab.r_dst)
+
+let test_multipath_rides_through_loss () =
+  let clean = rx_stats ~loss:false in
+  let lossy = rx_stats ~loss:true in
+  Alcotest.(check bool) "clean run delivers" true
+    (clean.Router.delivered_msgs > 100);
+  Alcotest.(check bool) "redundant copies were absorbed" true
+    (lossy.Router.dups > 0);
+  (* the second disjoint path covers the lossy one: goodput holds *)
+  Alcotest.(check bool) "loss does not dent unique delivery" true
+    (float_of_int lossy.Router.delivered_msgs
+     >= 0.9 *. float_of_int clean.Router.delivered_msgs);
+  (* and dedup never inflates it: exactly-once, not at-least-once *)
+  Alcotest.(check bool) "no double delivery" true
+    (lossy.Router.delivered_msgs <= clean.Router.delivered_msgs)
+
+(* ------------------------------------------------------------------ *)
+(* End to end: the routelab comparison is deterministic and reroutes   *)
+
+let small_run () =
+  Routelab.run ~quiet:true ~seed:7 ~n:10 ~kill_at:5.0 ~settle:3.0
+    ~window:1.5
+    ~variants:[ Routelab.Static; Routelab.Multi 2 ]
+    ()
+
+let test_routelab_deterministic () =
+  let a = small_run () and b = small_run () in
+  Alcotest.(check bool) "same seed, identical rows" true
+    (a.Routelab.rows = b.Routelab.rows);
+  Alcotest.(check string) "same victim" a.Routelab.victim b.Routelab.victim
+
+let test_routelab_reroute_beats_static () =
+  let r = small_run () in
+  let find v = List.find (fun row -> row.Routelab.variant = v) r.Routelab.rows in
+  let st = find Routelab.Static and mp = find (Routelab.Multi 2) in
+  Alcotest.(check bool) "static delivered before the kill" true
+    (st.Routelab.pre_rate > 0.);
+  Alcotest.(check (float 1e-9)) "static never recovers" 0.
+    st.Routelab.post_rate;
+  Alcotest.(check bool) "multipath keeps >= 90% goodput" true
+    (mp.Routelab.recovery >= 0.9);
+  Alcotest.(check bool) "the repair was a reroute" true
+    (mp.Routelab.route_changes > 0)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "routing"
+    [
+      ( "dedup",
+        [
+          qtest "exactly-once under loss and duplication" schedule
+            dedup_exactly_once;
+          qtest "missing lists exactly the gaps" schedule
+            dedup_missing_is_complement;
+          Alcotest.test_case "late copy suppressed" `Quick
+            test_dedup_late_copy_suppressed;
+        ] );
+      ( "path",
+        [
+          Alcotest.test_case "shortest basics" `Quick test_shortest_basics;
+          Alcotest.test_case "shortest avoid" `Quick test_shortest_avoid;
+          Alcotest.test_case "k edge-disjoint" `Quick test_k_disjoint_paths;
+        ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "multipath rides through loss" `Quick
+            test_multipath_rides_through_loss;
+          Alcotest.test_case "routelab deterministic" `Quick
+            test_routelab_deterministic;
+          Alcotest.test_case "reroute beats static" `Quick
+            test_routelab_reroute_beats_static;
+        ] );
+    ]

@@ -152,6 +152,30 @@ let test_data_flows_down_tree () =
           (Network.app_bytes net (NI.synthetic (i + 1)) ~app > 0))
     members
 
+(* equal-stress ties must break on node id, not arrival order: the same
+   three-node overlay joined in either order redirects to the same
+   neighbour *)
+let test_ns_aware_tie_break_deterministic () =
+  let min_for ~join_order =
+    let _, _, members =
+      build ~strategy:Tree.Ns_aware ~caps:[ 200.; 100.; 100. ] ~join_order ()
+    in
+    Alcotest.(check bool) "all joined" true (all_joined members);
+    let source = List.hd members in
+    (* both joiners hang off the source with identical degree and
+       bandwidth, so their advertised stress is identical *)
+    Alcotest.(check int) "source has both children" 2
+      (List.length (Tree.children source));
+    match Tree.min_stress_neighbor source with
+    | Some (peer, _) -> peer
+    | None -> Alcotest.fail "source has no min-stress neighbour"
+  in
+  let a = min_for ~join_order:[ 1; 2 ] in
+  let b = min_for ~join_order:[ 2; 1 ] in
+  Alcotest.(check bool) "same pick under both join orders" true (NI.equal a b);
+  Alcotest.(check bool) "the tie goes to the lowest node id" true
+    (NI.equal a (NI.synthetic 2))
+
 let test_stress_definition () =
   let t = Tree.create ~strategy:Tree.Ns_aware ~last_mile:(kbps 200.) ~app () in
   Alcotest.(check (float 1e-9)) "no membership, zero stress" 0. (Tree.stress t);
@@ -301,6 +325,8 @@ let () =
       ( "membership",
         [
           Alcotest.test_case "stress definition" `Quick test_stress_definition;
+          Alcotest.test_case "ns-aware tie-break deterministic" `Quick
+            test_ns_aware_tie_break_deterministic;
           Alcotest.test_case "leave dissolves subtree" `Quick
             test_leave_dissolves_subtree;
           Alcotest.test_case "parent failure dissolves" `Quick
