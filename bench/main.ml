@@ -28,6 +28,8 @@ module Cqueue = Iov_core.Cqueue
 module Heap = Iov_dsim.Heap
 module Scn = Iov_chaos.Scenario
 module Inv = Iov_chaos.Invariant
+module Gsw = Iov_gossip.Swim
+module Gvw = Iov_gossip.View
 
 (* ------------------------------------------------------------------ *)
 (* Micro-benchmarks                                                    *)
@@ -262,6 +264,59 @@ let bench_route_kpaths =
            (Iov_routing.Path.k_disjoint route_graph ~k:2
               ~src:(NI.synthetic 1) ~dst:(NI.synthetic 9) ())))
 
+(* one peer-sampling shuffle round against a full 16-descriptor view:
+   age, assemble the outgoing sample, merge the partner's 8 descriptors
+   back with the swap-rule eviction *)
+let bench_gossip_view_merge =
+  Test.make ~name:"gossip/view-merge"
+    (Staged.stage
+       (let rng = Random.State.make [| 42 |] in
+        let vw = Gvw.create ~capacity:16 ~self:(NI.synthetic 1) () in
+        List.iter
+          (fun i -> Gvw.add vw ~rng (NI.synthetic i))
+          (List.init 32 (fun i -> i + 2));
+        let received = List.init 8 (fun i -> NI.synthetic (40 + i)) in
+        let partner = NI.synthetic 40 in
+        fun () ->
+          Gvw.age vw;
+          let out = Gvw.shuffle_out vw ~rng ~size:8 ~exclude:partner in
+          Gvw.merge vw ~rng ~sent:out received))
+
+(* the SWIM bookkeeping of one failure-detection round at n=64: the
+   expired-suspect scan, a suspicion verdict and its piggyback
+   assembly, the confirmation, and the refutation that resurrects the
+   victim (at a higher incarnation) for the next pass *)
+let bench_gossip_probe_round =
+  Test.make ~name:"gossip/probe-round"
+    (Staged.stage
+       (let sw = Gsw.create ~self:(NI.synthetic 1) () in
+        List.iter
+          (fun i ->
+            ignore
+              (Gsw.apply sw ~now:0.
+                 { Gsw.u_node = NI.synthetic i; u_status = Gsw.Alive;
+                   u_inc = 0 }))
+          (List.init 64 (fun i -> i + 2));
+        ignore (Gsw.piggyback sw ~limit:max_int);
+        let now = ref 0. in
+        let i = ref 0 in
+        fun () ->
+          now := !now +. 0.5;
+          incr i;
+          let victim = NI.synthetic (2 + (!i mod 64)) in
+          ignore (Gsw.expired_suspects sw ~now:!now ~timeout:2.0);
+          ignore (Gsw.suspect_local sw ~now:!now victim);
+          ignore (Gsw.piggyback sw ~limit:8);
+          ignore (Gsw.confirm_local sw ~now:(!now +. 2.1) victim);
+          ignore (Gsw.piggyback sw ~limit:8);
+          match Gsw.status_of sw victim with
+          | Some (_, inc) ->
+            ignore
+              (Gsw.apply sw ~now:!now
+                 { Gsw.u_node = victim; u_status = Gsw.Alive;
+                   u_inc = inc + 1 })
+          | None -> assert false))
+
 let micro_tests =
   [
     bench_codec_encode;
@@ -281,6 +336,8 @@ let micro_tests =
     bench_chaos_check;
     bench_route_dedup;
     bench_route_kpaths;
+    bench_gossip_view_merge;
+    bench_gossip_probe_round;
   ]
 
 let json_file = "BENCH_micro.json"

@@ -321,6 +321,59 @@ let route_cmd =
   Cmd.v info
     Term.(ret (const run $ n_arg $ seed_arg $ k_arg $ kill_arg $ smoke_arg))
 
+let gossip_cmd =
+  let sizes_arg =
+    let doc = "Comma-separated overlay sizes to compare." in
+    Arg.(value & opt string "32,128,512" & info [ "sizes" ] ~docv:"N,N,..." ~doc)
+  in
+  let seed_arg =
+    let doc = "Simulation seed (same seed => identical tables)." in
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let frac_arg =
+    let doc = "Fraction of the overlay killed at once." in
+    Arg.(value & opt float 0.1 & info [ "kill-frac" ] ~docv:"F" ~doc)
+  in
+  let kill_arg =
+    let doc = "Simulated time of the mass kill." in
+    Arg.(value & opt float 5.0 & info [ "kill-at" ] ~docv:"T" ~doc)
+  in
+  let smoke_arg =
+    let doc =
+      "Fast CI gate: a 128-node overlay under a seeded 10%-kill chaos \
+       scenario must converge (membership-converges invariant, exact \
+       surviving views), use zero observer bootstrap bytes, and be \
+       byte-deterministic under the seed; non-zero exit otherwise."
+    in
+    Arg.(value & flag & info [ "smoke" ] ~doc)
+  in
+  let run sizes_s seed frac kill_at smoke =
+    let module G = Iov_exp.Gossiplab in
+    if smoke then if G.smoke ~seed () then `Ok () else exit 1
+    else
+      let sizes =
+        String.split_on_char ',' sizes_s
+        |> List.filter_map (fun s -> int_of_string_opt (String.trim s))
+        |> List.filter (fun n -> n >= 2)
+      in
+      if sizes = [] then `Error (false, "no valid sizes in: " ^ sizes_s)
+      else if frac <= 0. || frac >= 1. then
+        `Error (false, "kill-frac must be in (0, 1)")
+      else begin
+        ignore (G.run ~seed ~sizes ~kill_frac:frac ~kill_at ());
+        `Ok ()
+      end
+  in
+  let info =
+    Cmd.info "gossip"
+      ~doc:
+        "Compare decentralized gossip membership (SWIM failure detection + \
+         peer sampling) against the observer-polling baseline: detection \
+         latency and control overhead vs overlay size."
+  in
+  Cmd.v info
+    Term.(ret (const run $ sizes_arg $ seed_arg $ frac_arg $ kill_arg $ smoke_arg))
+
 let list_cmd =
   let run () =
     List.iter
@@ -335,6 +388,7 @@ let main =
     Cmd.info "iover" ~version:"1.0.0"
       ~doc:"iOverlay (Middleware 2004) reproduction harness."
   in
-  Cmd.group info [ run_cmd; trace_cmd; chaos_cmd; route_cmd; list_cmd ]
+  Cmd.group info
+    [ run_cmd; trace_cmd; chaos_cmd; route_cmd; gossip_cmd; list_cmd ]
 
 let () = exit (Cmd.eval main)

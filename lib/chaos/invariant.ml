@@ -110,6 +110,9 @@ let is_activity = function
   (* routing-control events count as activity: a dead engine must not
      repair paths or absorb duplicates either *)
   | Ev.Route_change | Ev.Path_switch | Ev.Dup_suppressed -> true
+  (* so do gossip-membership events: a dead engine must not probe,
+     judge its peers, or shuffle views *)
+  | Ev.Suspect | Ev.Confirm | Ev.View_exchange -> true
   | Ev.Drop | Ev.Link_failure | Ev.Teardown | Ev.Respawn -> false
 
 let check_no_delivery_after_teardown ~grace cycles events =
@@ -415,6 +418,75 @@ let check_partition_silent ~resolve ~windows events =
     windows;
   List.rev !vs
 
+(* Gossip failure detection converges: after each kill whose victim
+   stays dead through the window, every node that survives the whole
+   window and demonstrably participates in gossip (it logged at least
+   one gossip event) must record its own [confirm] verdict for the
+   victim inside the window. Rumor-learned confirmations count — each
+   node logs one when it adopts the death, however it heard. *)
+let check_membership ~within ~resolve ~actions ~horizon cycles events =
+  let kills =
+    List.filter_map
+      (fun (t, a) ->
+        match a with Scenario.Kill_node n -> Some (t, n) | _ -> None)
+      actions
+  in
+  let is_gossip_kind k =
+    k = Ev.Suspect || k = Ev.Confirm || k = Ev.View_exchange
+  in
+  let gossipers = NI.Tbl.create 32 in
+  List.iter
+    (fun (e : Tel.event) ->
+      if is_gossip_kind e.Tel.kind then NI.Tbl.replace gossipers e.Tel.node ())
+    events;
+  List.concat_map
+    (fun (t_kill, victim_name) ->
+      match resolve victim_name with
+      | None -> []
+      | Some victim ->
+        let deadline = t_kill +. within in
+        if horizon < deadline then
+          [
+            mk ~time:horizon
+              (Printf.sprintf
+                 "horizon %g leaves no %gs detection window after the kill \
+                  at %g"
+                 horizon within t_kill);
+          ]
+        else if alive_at cycles victim deadline then
+          (* the victim respawned inside the window; nothing to prove *)
+          []
+        else
+          NI.Tbl.fold
+            (fun n () acc ->
+              if
+                NI.equal n victim
+                || dead_between cycles n ~t0:t_kill ~t1:deadline
+              then acc
+              else
+                let confirmed =
+                  List.exists
+                    (fun (e : Tel.event) ->
+                      e.Tel.kind = Ev.Confirm
+                      && NI.equal e.Tel.node n
+                      && (match e.Tel.peer with
+                         | Some p -> NI.equal p victim
+                         | None -> false)
+                      && e.Tel.time > t_kill
+                      && e.Tel.time <= deadline)
+                    events
+                in
+                if confirmed then acc
+                else
+                  mk ~node:n ~peer:victim ~time:deadline
+                    (Printf.sprintf
+                       "no confirm of %s within %gs of its kill at %g"
+                       victim_name within t_kill)
+                  :: acc)
+            gossipers []
+          |> List.rev)
+    kills
+
 (* ------------------------------------------------------------------ *)
 
 let check ~(scenario : Scenario.t) ?(resolve = fun _ -> None) ~actions
@@ -443,6 +515,9 @@ let check ~(scenario : Scenario.t) ?(resolve = fun _ -> None) ~actions
           | Scenario.Partition_silent ->
             check_partition_silent ~resolve
               ~windows:(Scenario.partition_windows scenario)
+              events
+          | Scenario.Membership_converges { within } ->
+            check_membership ~within ~resolve ~actions ~horizon cycles
               events
           | Scenario.Min_events n ->
             let seen = List.length events in

@@ -59,6 +59,7 @@ type expect =
   | Throughput_recovers of { tol : float; settle : float; window : float }
   | Reroute_recovers of { ratio : float; within : float; window : float }
   | Partition_silent
+  | Membership_converges of { within : float }
   | Min_events of int
 
 type t = {
@@ -238,6 +239,8 @@ let expect_str = function
     Printf.sprintf "expect reroute-recovers ratio=%s within=%s window=%s"
       (fstr ratio) (fstr within) (fstr window)
   | Partition_silent -> "expect partition-silent"
+  | Membership_converges { within } ->
+    Printf.sprintf "expect membership-converges within=%s" (fstr within)
   | Min_events n -> Printf.sprintf "expect min-events %d" n
 
 let to_string t =
@@ -477,6 +480,15 @@ let parse_line ln acc line =
                   | None -> 2.);
               }
           | "partition-silent" -> Partition_silent
+          | "membership-converges" ->
+            let kvs = kv_of_tokens ln args in
+            Membership_converges
+              {
+                within =
+                  (match get_opt kvs "within" with
+                  | Some s -> parse_float ln "within" s
+                  | None -> 10.);
+              }
           | "min-events" -> (
             match args with
             | [ n ] -> Min_events (parse_int ln "min-events" n)

@@ -109,6 +109,11 @@ type expect =
           in between *)
   | Partition_silent
       (** no delivery ever crosses an active partition cut *)
+  | Membership_converges of { within : float }
+      (** gossip failure detection: after each node kill whose victim
+          stays dead, every node that survives the full window and
+          participates in gossip must log a [confirm] for the victim
+          within [within] seconds (default 10) *)
   | Min_events of int
       (** the trace holds at least this many events — guards the other
           checks against passing vacuously on an idle run *)

@@ -1073,7 +1073,7 @@ let make_ctx n : Algorithm.ctx =
   }
 
 let add_node t ?host ?(bw = Bwspec.unconstrained) ?buffer_capacity ?observer
-    ~id:n_id algo =
+    ?(seeds = []) ~id:n_id algo =
   let revived =
     match NI.Tbl.find_opt t.nodes_tbl n_id with
     | Some old when old.n_state = `Terminated ->
@@ -1141,6 +1141,11 @@ let add_node t ?host ?(bw = Bwspec.unconstrained) ?buffer_capacity ?observer
     }
   in
   n.n_ctx <- Some (make_ctx n);
+  (* decentralized join hook: seed contacts are known before the
+     algorithm starts, no observer round-trip involved *)
+  List.iter
+    (fun s -> if not (NI.equal s n_id) then n.kh <- NI.Set.add s n.kh)
+    seeds;
   NI.Tbl.add t.nodes_tbl n_id n;
   if revived then tel_event n Ev.Respawn ~peer:Tracer.nil_peer;
   h.threads <- h.threads + 1 (* the engine thread *);

@@ -86,11 +86,16 @@ val add_node :
   ?bw:Bwspec.t ->
   ?buffer_capacity:int ->
   ?observer:Iov_msg.Node_id.t ->
+  ?seeds:Iov_msg.Node_id.t list ->
   id:Iov_msg.Node_id.t ->
   Algorithm.t ->
   node
 (** Starts a node. If [observer] is given, the engine sends a [boot]
-    request to it at start-up and reports status on demand.
+    request to it at start-up and reports status on demand. [seeds]
+    pre-populates the node's known-hosts record before the algorithm's
+    [on_start] runs — the decentralized join hook: a gossip node boots
+    off any seed member with no observer round-trip (self is
+    ignored).
 
     An id whose previous holder was terminated may be reused: the fresh
     node replaces the dead incarnation (recorded as a [respawn]

@@ -19,6 +19,7 @@ type workload =
   | Flood_random of int
   | Session of { n : int; strategy : Tree.strategy }
   | Route of { n : int; mode : Iov_routing.Router.mode }
+  | Gossip of { n : int }
 
 let workload_of_string ~n = function
   | "fig6" -> Some Flood_fig6
@@ -30,6 +31,7 @@ let workload_of_string ~n = function
   | "route" -> Some (Route { n; mode = Iov_routing.Router.Multipath 2 })
   | "route-bp" -> Some (Route { n; mode = Iov_routing.Router.Backpressure })
   | "route-static" -> Some (Route { n; mode = Iov_routing.Router.Static })
+  | "gossip" -> Some (Gossip { n })
   | _ -> None
 
 type outcome = {
@@ -257,7 +259,7 @@ let run ?(quiet = false) ?(seed = 42) ?(ring = 16384) ?until ~workload scenario
         | Flood_random n ->
           let t = dagify (Topo.random_graph ~seed ~n:(max 3 n) ~degree:3 ()) in
           (t, List.hd (Topo.names t))
-        | Session _ | Route _ -> assert false
+        | Session _ | Route _ | Gossip _ -> assert false
       in
       let net, spawn = build_flood ~seed ~telemetry:tel ~topo ~source () in
       let resolve name =
@@ -270,6 +272,11 @@ let run ?(quiet = false) ?(seed = 42) ?(ring = 16384) ?until ~workload scenario
       let s = build_session ~seed ~telemetry:tel ~strategy ~n () in
       (s.s_net, s.s_resolve, s.s_spawn, s.s_nodes)
     | Route { n; mode } -> build_route ~seed ~telemetry:tel ~mode ~n ()
+    | Gossip { n } ->
+      let b = Gossiplab.build ~seed ~telemetry:tel ~n () in
+      (b.Gossiplab.b_net, b.Gossiplab.b_resolve, b.Gossiplab.b_spawn,
+       (* node 0 is the join seed; scenarios churn the rest *)
+       List.tl b.Gossiplab.b_names)
   in
   let installed = Chaos.install ~net ~resolve ~spawn ~nodes scenario in
   let horizon =
@@ -358,6 +365,27 @@ let builtin_specs =
         "scenario reroute-broken seed=7\n" ^ "kill node=n2 at=8\n"
         ^ "expect reroute-recovers ratio=0.9 within=5 window=2\n"
         ^ "expect min-events 500\n",
+        14.,
+        true );
+      ( "membership",
+        "three members of a 24-node gossip overlay die; every survivor "
+        ^ "must confirm each death within the window",
+        Gossip { n = 24 },
+        "scenario membership seed=42\n" ^ "kill node=n5 at=4\n"
+        ^ "kill node=n11 at=5\n" ^ "kill node=n17 at=6\n"
+        ^ "expect membership-converges within=6\n"
+        ^ "expect no-delivery-after-teardown grace=0.5\n"
+        ^ "expect min-events 300\n",
+        14.,
+        false );
+      ( "membership-broken",
+        "the same deaths against an impossible detection window (50 ms, "
+        ^ "below one probe round): the checker must flag it",
+        Gossip { n = 24 },
+        "scenario membership-broken seed=42\n" ^ "kill node=n5 at=4\n"
+        ^ "kill node=n11 at=5\n" ^ "kill node=n17 at=6\n"
+        ^ "expect membership-converges within=0.05\n"
+        ^ "expect min-events 300\n",
         14.,
         true );
       ( broken_fixture,

@@ -22,11 +22,16 @@ type workload =
           per node and a constant-rate session across it. Routers have
           no respawn protocol, so the spawn callback is inert — aim
           kill faults at these, not churn. *)
+  | Gossip of { n : int }
+      (** the {!Gossiplab} overlay: [n] gossip members bootstrapping
+          off node 0 with no observer. The spawn callback rejoins a
+          churned node off the seed (at a fresh incarnation). Node 0
+          is excluded from [nodes=*]. *)
 
 val workload_of_string : n:int -> string -> workload option
 (** Parses ["fig6"], ["chain"], ["random"], ["session"],
     ["session-unicast"], ["session-random"], ["route"] (multipath
-    k=2), ["route-bp"], ["route-static"]. *)
+    k=2), ["route-bp"], ["route-static"], ["gossip"]. *)
 
 type outcome = {
   scenario : Scenario.t;

@@ -1,0 +1,358 @@
+module Network = Iov_core.Network
+module Sim = Iov_dsim.Sim
+module NI = Iov_msg.Node_id
+module Mt = Iov_msg.Mtype
+module Tel = Iov_telemetry.Telemetry
+module Gossip = Iov_gossip.Gossip
+module Listener = Iov_gossip.Listener
+module Observer = Iov_observer.Observer
+module Scenario = Iov_chaos.Scenario
+module Invariant = Iov_chaos.Invariant
+module Chaos = Iov_chaos.Chaos
+module Table = Iov_stats.Table
+
+(* -- overlay construction ------------------------------------------ *)
+
+type built = {
+  b_net : Network.t;
+  b_ids : NI.t array;
+  b_gossips : Gossip.t option array;  (** [None] while a node is down *)
+  b_names : string list;
+  b_resolve : string -> NI.t option;
+  b_spawn : string -> unit;
+}
+
+let name_of i = "n" ^ string_of_int i
+
+(* A gossip overlay of [n] nodes bootstrapping off node 0 — no
+   observer anywhere near the data path. Seeds travel through
+   [Network.add_node ~seeds], the engine-level join hook. *)
+let build ?(seed = 42) ?telemetry ?(probe_period = 0.5)
+    ?(probe_timeout = 0.15) ?(suspicion_timeout = 2.0) ~n () =
+  if n < 2 then invalid_arg "Gossiplab.build: n < 2";
+  let net = Network.create ~seed ?telemetry () in
+  let ids = Array.init n NI.synthetic in
+  let gossips = Array.make n None in
+  let mk_gossip i =
+    let g =
+      Gossip.create ?telemetry ~probe_period ~probe_timeout
+        ~suspicion_timeout ~self:ids.(i) ()
+    in
+    gossips.(i) <- Some g;
+    g
+  in
+  Array.iteri
+    (fun i _ ->
+      let g = mk_gossip i in
+      let seeds = if i = 0 then [] else [ ids.(0) ] in
+      ignore (Network.add_node net ~seeds ~id:ids.(i) (Gossip.algorithm g)))
+    ids;
+  let resolve nm =
+    let rec find i =
+      if i >= n then None
+      else if String.equal (name_of i) nm then Some ids.(i)
+      else find (i + 1)
+    in
+    find 0
+  in
+  let spawn nm =
+    match resolve nm with
+    | None -> ()
+    | Some id ->
+      let alive =
+        match Network.find_node net id with
+        | Some nd -> Network.is_alive nd
+        | None -> false
+      in
+      if not alive then begin
+        let idx = ref (-1) in
+        Array.iteri (fun j x -> if NI.equal x id then idx := j) ids;
+        let g = mk_gossip !idx in
+        ignore
+          (Network.add_node net ~seeds:[ ids.(0) ] ~id (Gossip.algorithm g))
+      end
+  in
+  {
+    b_net = net;
+    b_ids = ids;
+    b_gossips = gossips;
+    b_names = List.init n name_of;
+    b_resolve = resolve;
+    b_spawn = spawn;
+  }
+
+let gossip_mtypes =
+  [ Gossip.ping_kind; Gossip.ack_kind; Gossip.ping_req_kind;
+    Gossip.view_kind ]
+
+let gossip_bytes net =
+  List.fold_left (fun a mt -> a + Network.control_bytes_sent_all net mt) 0
+    gossip_mtypes
+
+let observer_mtypes =
+  [ Mt.Boot; Mt.Boot_reply; Mt.Request; Mt.Status ]
+
+let observer_bytes net =
+  List.fold_left (fun a mt -> a + Network.control_bytes_sent_all net mt) 0
+    observer_mtypes
+
+(* -- the experiment: detection latency and control overhead -------- *)
+
+type row = {
+  r_n : int;
+  r_variant : string;
+  r_detect : float;  (** seconds from kill to overlay-wide detection *)
+  r_bytes_per_node_s : float;  (** control overhead, bytes/node/second *)
+  r_boot_bytes : int;  (** observer bootstrap traffic *)
+}
+
+(* Kill [kills] seeded victims at [kill_at]; the detection time is when
+   every surviving member's view has dropped every victim. *)
+let run_gossip_variant ~seed ~n ~kill_at ~kills ~horizon () =
+  let b = build ~seed ~n () in
+  let sim = Network.sim b.b_net in
+  let rng = Random.State.make [| seed; n; 0x60551b |] in
+  let victims = Array.make kills (-1) in
+  let picked = Array.make n false in
+  (* never kill node 0: it is the join seed, and keeping it makes the
+     variants comparable across sizes *)
+  let k = ref 0 in
+  while !k < kills do
+    let c = 1 + Random.State.int rng (n - 1) in
+    if not picked.(c) then begin
+      picked.(c) <- true;
+      victims.(!k) <- c;
+      incr k
+    end
+  done;
+  let detect_at = ref nan in
+  ignore
+    (Sim.schedule_at sim ~time:kill_at (fun () ->
+         Array.iter
+           (fun v -> Network.kill_node b.b_net b.b_ids.(v))
+           victims));
+  ignore
+    (Sim.every sim ~period:0.05 (fun () ->
+         if Float.is_nan !detect_at && Sim.now sim > kill_at then begin
+           let all_dropped = ref true in
+           Array.iteri
+             (fun i g ->
+               match g with
+               | Some g when not picked.(i) ->
+                 Array.iter
+                   (fun v ->
+                     if Gossip.is_alive g b.b_ids.(v) then
+                       all_dropped := false)
+                   victims
+               | _ -> ())
+             b.b_gossips;
+           if !all_dropped then detect_at := Sim.now sim -. kill_at
+         end));
+  Network.run b.b_net ~until:horizon;
+  {
+    r_n = n;
+    r_variant = "gossip";
+    r_detect = !detect_at;
+    r_bytes_per_node_s =
+      float_of_int (gossip_bytes b.b_net) /. float_of_int n /. horizon;
+    r_boot_bytes = observer_bytes b.b_net;
+  }
+
+(* The baseline this subsystem retires: every node boots through the
+   observer and the observer polls for status. Detection is when a
+   poll cycle has dropped every victim from the alive set. *)
+let run_observer_variant ~seed ~n ~kill_at ~kills ~horizon
+    ?(poll_period = 1.0) () =
+  let net = Network.create ~seed () in
+  let obs = Observer.create ~poll_period net in
+  let ids = Array.init n NI.synthetic in
+  Array.iter
+    (fun id ->
+      ignore
+        (Network.add_node net ~observer:(Observer.id obs) ~id
+           Iov_core.Algorithm.null))
+    ids;
+  Observer.start_polling obs;
+  let sim = Network.sim net in
+  let rng = Random.State.make [| seed; n; 0x60551b |] in
+  let victims = Array.make kills (-1) in
+  let picked = Array.make n false in
+  let k = ref 0 in
+  while !k < kills do
+    let c = 1 + Random.State.int rng (n - 1) in
+    if not picked.(c) then begin
+      picked.(c) <- true;
+      victims.(!k) <- c;
+      incr k
+    end
+  done;
+  let detect_at = ref nan in
+  ignore
+    (Sim.schedule_at sim ~time:kill_at (fun () ->
+         Array.iter (fun v -> Network.kill_node net ids.(v)) victims));
+  ignore
+    (Sim.every sim ~period:0.05 (fun () ->
+         if Float.is_nan !detect_at && Sim.now sim > kill_at then begin
+           let alive = Observer.alive_nodes obs in
+           let any_victim =
+             Array.exists
+               (fun v -> List.exists (NI.equal ids.(v)) alive)
+               victims
+           in
+           if not any_victim then detect_at := Sim.now sim -. kill_at
+         end));
+  Network.run net ~until:horizon;
+  {
+    r_n = n;
+    r_variant = "observer-poll";
+    r_detect = !detect_at;
+    r_bytes_per_node_s =
+      float_of_int (observer_bytes net) /. float_of_int n /. horizon;
+    r_boot_bytes = Network.control_bytes_sent_all net Mt.Boot;
+  }
+
+type result = { rows : row list; seed : int; kill_frac : float }
+
+let default_sizes = [ 32; 128; 512 ]
+
+let run ?(quiet = false) ?(seed = 42) ?(sizes = default_sizes)
+    ?(kill_frac = 0.1) ?(kill_at = 5.0) ?(horizon = 20.0) () =
+  let rows =
+    List.concat_map
+      (fun n ->
+        let kills = max 1 (int_of_float (kill_frac *. float_of_int n)) in
+        [
+          run_gossip_variant ~seed ~n ~kill_at ~kills ~horizon ();
+          run_observer_variant ~seed ~n ~kill_at ~kills ~horizon ();
+        ])
+      sizes
+  in
+  if not quiet then begin
+    Printf.printf
+      "gossiplab: seed=%d, kill %.0f%% of the overlay at t=%.1fs\n" seed
+      (100. *. kill_frac) kill_at;
+    Table.print
+      ~header:
+        [ "n"; "variant"; "detect s"; "ctl B/node/s"; "boot bytes" ]
+      (List.map
+         (fun r ->
+           [
+             string_of_int r.r_n;
+             r.r_variant;
+             (if Float.is_nan r.r_detect then "never"
+              else Table.f1 r.r_detect);
+             Table.f1 r.r_bytes_per_node_s;
+             string_of_int r.r_boot_bytes;
+           ])
+         rows)
+  end;
+  { rows; seed; kill_frac }
+
+(* -- the smoke / acceptance run ------------------------------------ *)
+
+(* One seeded 128-node run: 10% killed through a chaos scenario, the
+   membership-converges invariant checked on the trace, surviving
+   views checked for exact convergence, observer bootstrap bytes
+   checked to be zero, and the telemetry digest returned for the
+   determinism comparison. *)
+let smoke_once ~seed ~n ~kill_frac ~kill_at ~within ~horizon =
+  let tel = Tel.create ~ring_capacity:8192 () in
+  let b = build ~seed ~telemetry:tel ~n () in
+  (* a passive listener rides along, fed purely by pushed digests *)
+  let listener = Listener.create ~contacts:[ b.b_ids.(0) ] b.b_net in
+  let kills = max 1 (int_of_float (kill_frac *. float_of_int n)) in
+  let rng = Random.State.make [| seed; n; 0xc4a05 |] in
+  let picked = Array.make n false in
+  let k = ref 0 in
+  while !k < kills do
+    let c = 1 + Random.State.int rng (n - 1) in
+    if not picked.(c) then begin
+      picked.(c) <- true;
+      incr k
+    end
+  done;
+  let victims =
+    List.filter (fun i -> picked.(i)) (List.init n Fun.id)
+  in
+  let text =
+    String.concat "\n"
+      (Printf.sprintf "scenario gossip-smoke seed=%d" seed
+       :: List.map
+            (fun v -> Printf.sprintf "kill node=%s at=%g" (name_of v) kill_at)
+            victims
+      @ [
+          Printf.sprintf "expect membership-converges within=%g" within;
+          "expect no-delivery-after-teardown grace=0.5";
+          "expect min-events 500";
+          "";
+        ])
+  in
+  let scenario = Scenario.parse text in
+  let installed =
+    Chaos.install ~net:b.b_net ~resolve:b.b_resolve ~nodes:b.b_names
+      scenario
+  in
+  Network.run b.b_net ~until:horizon;
+  let report = Chaos.check installed ~telemetry:tel ~horizon in
+  (* exact convergence of every surviving member's view *)
+  let survivors =
+    List.filter (fun i -> not picked.(i)) (List.init n Fun.id)
+  in
+  let expected =
+    List.sort NI.compare (List.map (fun i -> b.b_ids.(i)) survivors)
+  in
+  let diverged = ref [] in
+  List.iter
+    (fun i ->
+      match b.b_gossips.(i) with
+      | Some g ->
+        let got = Gossip.alive g in
+        if not (List.equal NI.equal got expected) then
+          diverged := name_of i :: !diverged
+      | None -> diverged := name_of i :: !diverged)
+    survivors;
+  let boot_bytes = observer_bytes b.b_net in
+  let listener_ok =
+    Listener.digest_count listener > 0
+    && List.equal NI.equal (Listener.alive_nodes listener) expected
+  in
+  ( report,
+    List.rev !diverged,
+    boot_bytes,
+    listener_ok,
+    Tel.digest tel )
+
+let smoke ?(quiet = false) ?(seed = 42) () =
+  let n = 128 and kill_frac = 0.1 and kill_at = 3.0 in
+  let within = 8.0 and horizon = 14.0 in
+  let run () = smoke_once ~seed ~n ~kill_frac ~kill_at ~within ~horizon in
+  let report, diverged, boot_bytes, listener_ok, digest1 = run () in
+  let _, _, _, _, digest2 = run () in
+  let ok_invariant = Invariant.ok report in
+  let ok_converged = diverged = [] in
+  let ok_boot = boot_bytes = 0 in
+  let ok_digest = String.equal digest1 digest2 in
+  let ok =
+    ok_invariant && ok_converged && ok_boot && listener_ok && ok_digest
+  in
+  if not quiet then begin
+    Printf.printf
+      "gossiplab smoke: n=%d, %.0f%% killed at t=%gs, convergence window \
+       %gs\n"
+      n (100. *. kill_frac) kill_at within;
+    Printf.printf "  membership-converges invariant  %s\n"
+      (if ok_invariant then "ok" else "FAIL");
+    if not ok_invariant then print_string (Invariant.to_string report);
+    Printf.printf "  surviving views exact           %s\n"
+      (if ok_converged then "ok"
+       else "FAIL: " ^ String.concat "," diverged);
+    Printf.printf "  observer bootstrap bytes        %s\n"
+      (if ok_boot then "ok (0)"
+       else Printf.sprintf "FAIL (%d)" boot_bytes);
+    Printf.printf "  listener digest feed            %s\n"
+      (if listener_ok then "ok" else "FAIL");
+    Printf.printf "  same-seed telemetry digest      %s\n"
+      (if ok_digest then "ok (" ^ String.sub digest1 0 8 ^ "...)"
+       else "FAIL: " ^ digest1 ^ " vs " ^ digest2)
+  end;
+  ok

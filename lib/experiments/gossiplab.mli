@@ -1,0 +1,63 @@
+(** Gossip membership experiment: failure-detection latency and
+    control-plane overhead of the SWIM/peer-sampling subsystem versus
+    the centralized observer-polling baseline, across overlay sizes.
+
+    Each variant boots an [n]-node overlay, kills a seeded fraction of
+    it at once, and measures (a) how long until every surviving
+    member's view has dropped every victim and (b) control bytes per
+    node per second. The gossip variant bootstraps off one seed member
+    with zero observer traffic; the baseline boots every node through
+    the observer and polls. *)
+
+type built = {
+  b_net : Iov_core.Network.t;
+  b_ids : Iov_msg.Node_id.t array;
+  b_gossips : Iov_gossip.Gossip.t option array;
+      (** [None] while a node is down *)
+  b_names : string list;  (** ["n0"; "n1"; ...] for chaos scenarios *)
+  b_resolve : string -> Iov_msg.Node_id.t option;
+  b_spawn : string -> unit;  (** respawn hook: rejoin off the seed *)
+}
+
+val build :
+  ?seed:int ->
+  ?telemetry:Iov_telemetry.Telemetry.t ->
+  ?probe_period:float ->
+  ?probe_timeout:float ->
+  ?suspicion_timeout:float ->
+  n:int ->
+  unit ->
+  built
+(** An [n]-node gossip overlay, every node bootstrapping off node 0
+    through the engine-level [~seeds] join hook — no observer. *)
+
+type row = {
+  r_n : int;
+  r_variant : string;
+  r_detect : float;
+      (** seconds from the kill to overlay-wide detection; [nan] if
+          never inside the horizon *)
+  r_bytes_per_node_s : float;  (** control overhead *)
+  r_boot_bytes : int;  (** observer bootstrap traffic (0 for gossip) *)
+}
+
+type result = { rows : row list; seed : int; kill_frac : float }
+
+val run :
+  ?quiet:bool ->
+  ?seed:int ->
+  ?sizes:int list ->
+  ?kill_frac:float ->
+  ?kill_at:float ->
+  ?horizon:float ->
+  unit ->
+  result
+(** The full comparison (default sizes 32, 128 and 512, 10% killed). *)
+
+val smoke : ?quiet:bool -> ?seed:int -> unit -> bool
+(** The acceptance run: a 128-node overlay under a seeded 10%-kill
+    chaos scenario must satisfy the [membership-converges] invariant;
+    every surviving view must equal the surviving membership exactly;
+    observer bootstrap bytes must be zero (a passive digest-fed
+    listener rides along); and two same-seed runs must produce
+    identical telemetry digests. *)

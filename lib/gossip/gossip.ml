@@ -1,0 +1,548 @@
+module NI = Iov_msg.Node_id
+module Msg = Iov_msg.Message
+module Mt = Iov_msg.Mtype
+module Wire = Iov_msg.Wire
+module Alg = Iov_core.Algorithm
+module Ialg = Iov_core.Ialgorithm
+module Tel = Iov_telemetry.Telemetry
+module Ev = Iov_telemetry.Event
+module Metrics = Iov_telemetry.Metrics
+
+let src = Logs.Src.create "iov.gossip" ~doc:"gossip membership"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+(* The subsystem's slice of the Custom tag space, claimed centrally. *)
+let ping_kind = Mt.Registry.register ~owner:"gossip" ~name:"ping" 112
+let ack_kind = Mt.Registry.register ~owner:"gossip" ~name:"ack" 113
+let ping_req_kind = Mt.Registry.register ~owner:"gossip" ~name:"ping-req" 114
+let view_kind = Mt.Registry.register ~owner:"gossip" ~name:"view" 115
+
+(* Sub-operations of the [view] type. *)
+let op_shuffle = 0
+let op_shuffle_reply = 1
+let op_join = 2
+let op_join_reply = 3
+let op_digest = 4
+let op_subscribe = 5
+
+type stats = {
+  mutable probes : int;
+  mutable acks : int;
+  mutable indirect : int;  (** probe-req fan-outs after a missed ack *)
+  mutable suspects : int;  (** local suspicion verdicts *)
+  mutable confirms : int;  (** peers this node declared dead *)
+  mutable shuffles : int;  (** view exchanges completed *)
+  mutable joins_served : int;
+  mutable digests_sent : int;
+}
+
+type pending = { p_target : NI.t; mutable p_acked : bool }
+
+type t = {
+  g_self : NI.t;
+  seeds : NI.t list;
+  period : float;
+  probe_timeout : float;
+  suspicion_timeout : float;
+  proxies : int;
+  piggyback_limit : int;
+  shuffle_size : int;
+  digest_every : int;
+  anti_entropy_every : int;
+  sw : Swim.t;
+  vw : View.t;
+  mutable seq : int;
+  pending : (int, pending) Hashtbl.t;
+  mutable rr : NI.t list;  (** randomized round-robin probe order *)
+  mutable listeners : NI.t list;
+  mutable round : int;
+  mutable joined : bool;
+  mutable on_change : (NI.t -> Swim.status -> unit) option;
+  tel : (Tel.t * Iov_telemetry.Tracer.t) option;
+  conv_ms : Metrics.histogram option;
+      (** suspicion age at confirmation, milliseconds *)
+  st : stats;
+}
+
+let create ?telemetry ?(probe_period = 0.5) ?(probe_timeout = 0.15)
+    ?(suspicion_timeout = 2.0) ?(proxies = 3) ?(view_capacity = 16)
+    ?(shuffle_size = 8) ?(piggyback_limit = 8) ?(digest_every = 2)
+    ?(anti_entropy_every = 8) ?(seeds = []) ~self () =
+  if probe_period <= 0. then invalid_arg "Gossip.create: probe_period";
+  if probe_timeout <= 0. || 2. *. probe_timeout >= probe_period then
+    invalid_arg "Gossip.create: probe_timeout";
+  if suspicion_timeout <= 0. then
+    invalid_arg "Gossip.create: suspicion_timeout";
+  if proxies < 1 then invalid_arg "Gossip.create: proxies";
+  if anti_entropy_every < 1 then
+    invalid_arg "Gossip.create: anti_entropy_every";
+  let tel =
+    match telemetry with
+    | Some tl -> Some (tl, Tel.tracer tl self)
+    | None -> None
+  in
+  let conv_ms =
+    match telemetry with
+    | Some tl ->
+      Some
+        (Metrics.histogram (Tel.metrics tl) ~scope:(NI.to_string self)
+           "gossip.confirm_ms")
+    | None -> None
+  in
+  {
+    g_self = self;
+    seeds = List.filter (fun s -> not (NI.equal s self)) seeds;
+    period = probe_period;
+    probe_timeout;
+    suspicion_timeout;
+    proxies;
+    piggyback_limit;
+    shuffle_size;
+    digest_every;
+    anti_entropy_every;
+    sw = Swim.create ~self ();
+    vw = View.create ~capacity:view_capacity ~self ();
+    seq = 0;
+    pending = Hashtbl.create 8;
+    rr = [];
+    listeners = [];
+    round = 0;
+    joined = false;
+    on_change = None;
+    tel;
+    conv_ms;
+    st =
+      {
+        probes = 0;
+        acks = 0;
+        indirect = 0;
+        suspects = 0;
+        confirms = 0;
+        shuffles = 0;
+        joins_served = 0;
+        digests_sent = 0;
+      };
+  }
+
+let self t = t.g_self
+let alive t = Swim.alive t.sw
+let members t = Swim.members t.sw
+let is_alive t n = Swim.is_alive t.sw n
+let liveness t n = NI.equal n t.g_self || Swim.is_alive t.sw n
+let view_peers t = View.peers t.vw
+let stats t = t.st
+let swim t = t.sw
+let set_on_change t f = t.on_change <- Some f
+
+let add_listener t l =
+  if not (List.exists (NI.equal l) t.listeners) then
+    t.listeners <- l :: t.listeners
+
+let tel_event t (ctx : Alg.ctx) kind ~peer ~mseq ~size =
+  match t.tel with
+  | None -> ()
+  | Some (tl, tr) ->
+    Tel.record tl tr ~time:(ctx.now ()) ~kind ~peer ~id:Ev.no_id ~app:0
+      ~mseq ~size
+
+(* -- wire forms ---------------------------------------------------- *)
+
+let w_updates w ups =
+  Wire.W.int32 w (List.length ups);
+  List.iter
+    (fun (u : Swim.update) ->
+      Wire.W.node w u.Swim.u_node;
+      Wire.W.int32 w (Swim.status_to_int u.Swim.u_status);
+      Wire.W.int32 w u.Swim.u_inc)
+    ups
+
+let r_updates r =
+  let n = Wire.R.int32 r in
+  List.init n (fun _ ->
+      let node = Wire.R.node r in
+      let status = Swim.status_of_int (Wire.R.int32 r) in
+      let inc = Wire.R.int32 r in
+      { Swim.u_node = node; u_status = status; u_inc = inc })
+
+let ping_msg t ~requester ~seq =
+  let w = Wire.W.create () in
+  Wire.W.int32 w seq;
+  Wire.W.node w requester;
+  w_updates w (Swim.piggyback t.sw ~limit:t.piggyback_limit);
+  Msg.control ~mtype:ping_kind ~origin:t.g_self (Wire.W.contents w)
+
+let ack_msg t ~seq =
+  let w = Wire.W.create () in
+  Wire.W.int32 w seq;
+  Wire.W.node w t.g_self;
+  Wire.W.int32 w (Swim.self_inc t.sw);
+  w_updates w (Swim.piggyback t.sw ~limit:t.piggyback_limit);
+  Msg.control ~mtype:ack_kind ~origin:t.g_self (Wire.W.contents w)
+
+let ping_req_msg t ~target ~seq ~requester =
+  let w = Wire.W.create () in
+  Wire.W.int32 w seq;
+  Wire.W.node w target;
+  Wire.W.node w requester;
+  w_updates w (Swim.piggyback t.sw ~limit:t.piggyback_limit);
+  Msg.control ~mtype:ping_req_kind ~origin:t.g_self (Wire.W.contents w)
+
+let view_msg t ~op ~entries ~updates =
+  let w = Wire.W.create () in
+  Wire.W.int32 w op;
+  Wire.W.nodes w entries;
+  w_updates w updates;
+  Msg.control ~mtype:view_kind ~origin:t.g_self (Wire.W.contents w)
+
+(* -- rumor ingestion ----------------------------------------------- *)
+
+(* Absorbing an update may be the first we hear of a peer (grow the
+   round-robin pool), a suspicion or a confirmation (telemetry + the
+   on_change hook), or defamation about ourselves (Swim already queued
+   the rebuttal). *)
+let absorb t (ctx : Alg.ctx) (u : Swim.update) =
+  match Swim.apply t.sw ~now:(ctx.now ()) u with
+  | Swim.Stale -> ()
+  | Swim.Refuted ->
+    Log.debug (fun m ->
+        m "%a: refuted %s rumor about self, now incarnation %d" NI.pp
+          t.g_self
+          (Swim.status_to_string u.Swim.u_status)
+          (Swim.self_inc t.sw))
+  | Swim.Fresh _prev -> (
+    match u.Swim.u_status with
+    | Swim.Alive ->
+      View.add t.vw ~rng:ctx.Alg.rng u.Swim.u_node;
+      (match t.on_change with
+      | Some f -> f u.Swim.u_node Swim.Alive
+      | None -> ())
+    | Swim.Suspect ->
+      tel_event t ctx Ev.Suspect ~peer:u.Swim.u_node ~mseq:u.Swim.u_inc
+        ~size:0;
+      (match t.on_change with
+      | Some f -> f u.Swim.u_node Swim.Suspect
+      | None -> ())
+    | Swim.Dead ->
+      tel_event t ctx Ev.Confirm ~peer:u.Swim.u_node ~mseq:u.Swim.u_inc
+        ~size:0;
+      View.remove t.vw u.Swim.u_node;
+      t.rr <- List.filter (fun n -> not (NI.equal n u.Swim.u_node)) t.rr;
+      (match t.on_change with
+      | Some f -> f u.Swim.u_node Swim.Dead
+      | None -> ()))
+
+let absorb_all t ctx ups = List.iter (absorb t ctx) ups
+
+(* View descriptors carry no incarnation, so they enter the membership
+   as [Alive] at incarnation 0 — a floor that can seed discovery of a
+   never-seen peer but can never resurrect a [Dead] entry or refute a
+   suspicion (both require a strictly higher incarnation). *)
+let absorb_hints t ctx entries =
+  List.iter
+    (fun n ->
+      absorb t ctx { Swim.u_node = n; u_status = Swim.Alive; u_inc = 0 })
+    entries
+
+(* -- failure detection --------------------------------------------- *)
+
+let sample_alive t (ctx : Alg.ctx) ~excluding n =
+  let cand =
+    Swim.alive_peers t.sw
+    |> List.filter (fun p -> not (List.exists (NI.equal p) excluding))
+  in
+  let arr = Array.of_list cand in
+  let len = Array.length arr in
+  let n = min n len in
+  for i = 0 to n - 1 do
+    let j = i + Random.State.int ctx.Alg.rng (len - i) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  Array.to_list (Array.sub arr 0 n)
+
+let next_probe_target t (ctx : Alg.ctx) =
+  let rec pick retried =
+    match t.rr with
+    | p :: rest ->
+      t.rr <- rest;
+      if Swim.is_alive t.sw p then Some p else pick retried
+    | [] ->
+      if retried then None
+      else begin
+        (* reshuffle the alive membership into a fresh round-robin
+           order — SWIM's bounded-completeness trick *)
+        t.rr <- sample_alive t ctx ~excluding:[] max_int;
+        pick true
+      end
+  in
+  pick false
+
+let suspect t (ctx : Alg.ctx) target =
+  if Swim.suspect_local t.sw ~now:(ctx.now ()) target then begin
+    t.st.suspects <- t.st.suspects + 1;
+    (match Swim.status_of t.sw target with
+    | Some (_, inc) ->
+      tel_event t ctx Ev.Suspect ~peer:target ~mseq:inc ~size:0
+    | None -> ());
+    match t.on_change with Some f -> f target Swim.Suspect | None -> ()
+  end
+
+let probe t (ctx : Alg.ctx) target =
+  t.seq <- t.seq + 1;
+  let seq = t.seq in
+  Hashtbl.replace t.pending seq { p_target = target; p_acked = false };
+  t.st.probes <- t.st.probes + 1;
+  ctx.Alg.send (ping_msg t ~requester:t.g_self ~seq) target;
+  ctx.Alg.set_timer t.probe_timeout (fun () ->
+      match Hashtbl.find_opt t.pending seq with
+      | None | Some { p_acked = true; _ } -> Hashtbl.remove t.pending seq
+      | Some _ ->
+        (* no direct ack: fan out through [proxies] intermediaries *)
+        let proxies =
+          sample_alive t ctx ~excluding:[ target ] t.proxies
+        in
+        if proxies <> [] then t.st.indirect <- t.st.indirect + 1;
+        List.iter
+          (fun px ->
+            ctx.Alg.send
+              (ping_req_msg t ~target ~seq ~requester:t.g_self)
+              px)
+          proxies;
+        ctx.Alg.set_timer t.probe_timeout (fun () ->
+            (match Hashtbl.find_opt t.pending seq with
+            | None | Some { p_acked = true; _ } -> ()
+            | Some _ -> suspect t ctx target);
+            Hashtbl.remove t.pending seq))
+
+let confirm_expired t (ctx : Alg.ctx) =
+  let now = ctx.Alg.now () in
+  Swim.expired_suspects t.sw ~now ~timeout:t.suspicion_timeout
+  |> List.iter (fun n ->
+         match Swim.confirm_local t.sw ~now n with
+         | None -> ()
+         | Some age ->
+           t.st.confirms <- t.st.confirms + 1;
+           (match t.conv_ms with
+           | Some h -> Metrics.observe h (int_of_float (age *. 1000.))
+           | None -> ());
+           (match Swim.status_of t.sw n with
+           | Some (_, inc) ->
+             tel_event t ctx Ev.Confirm ~peer:n ~mseq:inc ~size:0
+           | None -> ());
+           View.remove t.vw n;
+           t.rr <- List.filter (fun p -> not (NI.equal p n)) t.rr;
+           (match t.on_change with
+           | Some f -> f n Swim.Dead
+           | None -> ()))
+
+(* -- peer sampling ------------------------------------------------- *)
+
+let shuffle t (ctx : Alg.ctx) =
+  View.age t.vw;
+  let partner =
+    match View.oldest t.vw with
+    | Some p when Swim.is_alive t.sw p -> Some p
+    | _ -> ( match sample_alive t ctx ~excluding:[] 1 with
+      | [ p ] -> Some p
+      | _ -> None)
+  in
+  match partner with
+  | None -> ()
+  | Some p ->
+    let out =
+      View.shuffle_out t.vw ~rng:ctx.Alg.rng ~size:t.shuffle_size ~exclude:p
+    in
+    (* Every [anti_entropy_every]-th round the shuffle carries the full
+       membership digest instead of the piggyback queue: a pairwise
+       push-pull state sync that repairs whatever the bounded-ride
+       epidemic missed, guaranteeing convergence. A freshly-joined
+       node's first rounds all sync (the digest is small exactly while
+       its knowledge is), so a mass bootstrap converges in a couple of
+       rounds instead of one budgeted ride at a time. *)
+    let anti_entropy =
+      t.round <= 4 || t.round mod t.anti_entropy_every = 0
+    in
+    let updates =
+      if anti_entropy then Swim.full_digest t.sw
+      else Swim.piggyback t.sw ~limit:t.piggyback_limit
+    in
+    ctx.Alg.send (view_msg t ~op:op_shuffle ~entries:out ~updates) p
+
+(* -- listener digests ---------------------------------------------- *)
+
+let push_digests t (ctx : Alg.ctx) =
+  if t.listeners <> [] && t.round mod t.digest_every = 0 then
+    List.iter
+      (fun l ->
+        t.st.digests_sent <- t.st.digests_sent + 1;
+        ctx.Alg.send
+          (view_msg t ~op:op_digest ~entries:[]
+             ~updates:(Swim.full_digest t.sw))
+          l)
+      t.listeners
+
+(* -- the protocol loop --------------------------------------------- *)
+
+let tick t (ctx : Alg.ctx) =
+  t.round <- t.round + 1;
+  confirm_expired t ctx;
+  (match next_probe_target t ctx with
+  | Some target -> probe t ctx target
+  | None -> ());
+  shuffle t ctx;
+  push_digests t ctx
+
+let rec tick_loop t (ctx : Alg.ctx) =
+  ctx.Alg.set_timer t.period (fun () ->
+      tick t ctx;
+      tick_loop t ctx)
+
+let join t (ctx : Alg.ctx) =
+  let contacts =
+    match t.seeds with [] -> ctx.Alg.known_hosts () | s -> s
+  in
+  let contacts =
+    List.filter (fun c -> not (NI.equal c t.g_self)) contacts
+  in
+  (match contacts with
+  | [] -> ()  (* the first node IS the membership *)
+  | c :: _ ->
+    (* one seed contact carries the join; everything after spreads
+       epidemically *)
+    ctx.Alg.send
+      (view_msg t ~op:op_join ~entries:[]
+         ~updates:[ Swim.self_update t.sw ])
+      c);
+  t.joined <- true
+
+let handle_ping t (ctx : Alg.ctx) (m : Msg.t) =
+  let r = Wire.R.of_bytes m.Msg.payload in
+  let seq = Wire.R.int32 r in
+  let requester = Wire.R.node r in
+  absorb_all t ctx (r_updates r);
+  absorb t ctx
+    { Swim.u_node = m.Msg.origin; u_status = Swim.Alive; u_inc = 0 };
+  ctx.Alg.send (ack_msg t ~seq) requester
+
+let handle_ack t (ctx : Alg.ctx) (m : Msg.t) =
+  let r = Wire.R.of_bytes m.Msg.payload in
+  let seq = Wire.R.int32 r in
+  let subject = Wire.R.node r in
+  let inc = Wire.R.int32 r in
+  absorb t ctx { Swim.u_node = subject; u_status = Swim.Alive; u_inc = inc };
+  absorb_all t ctx (r_updates r);
+  match Hashtbl.find_opt t.pending seq with
+  | Some p when NI.equal p.p_target subject ->
+    p.p_acked <- true;
+    t.st.acks <- t.st.acks + 1
+  | _ -> ()
+
+let handle_ping_req t (ctx : Alg.ctx) (m : Msg.t) =
+  let r = Wire.R.of_bytes m.Msg.payload in
+  let seq = Wire.R.int32 r in
+  let target = Wire.R.node r in
+  let requester = Wire.R.node r in
+  absorb_all t ctx (r_updates r);
+  (* relay: the target acks the original requester directly *)
+  ctx.Alg.send (ping_msg t ~requester ~seq) target
+
+let handle_view t (ctx : Alg.ctx) (m : Msg.t) =
+  let r = Wire.R.of_bytes m.Msg.payload in
+  let op = Wire.R.int32 r in
+  let entries = Wire.R.nodes r in
+  let updates = r_updates r in
+  if op = op_shuffle || op = op_shuffle_reply || op = op_join then
+    absorb t ctx
+      { Swim.u_node = m.Msg.origin; u_status = Swim.Alive; u_inc = 0 };
+  absorb_all t ctx updates;
+  if op = op_shuffle then begin
+    absorb_hints t ctx entries;
+    let out =
+      View.shuffle_out t.vw ~rng:ctx.Alg.rng ~size:t.shuffle_size
+        ~exclude:m.Msg.origin
+    in
+    View.merge t.vw ~rng:ctx.Alg.rng ~sent:out entries;
+    t.st.shuffles <- t.st.shuffles + 1;
+    tel_event t ctx Ev.View_exchange ~peer:m.Msg.origin
+      ~mseq:(List.length entries) ~size:(Msg.payload_size m);
+    (* An anti-entropy shuffle (recognizable by its oversize update
+       list) is answered in kind: full digest back, completing the
+       pairwise push-pull sync. *)
+    let reply_updates =
+      if List.length updates > t.piggyback_limit then Swim.full_digest t.sw
+      else Swim.piggyback t.sw ~limit:t.piggyback_limit
+    in
+    ctx.Alg.send
+      (view_msg t ~op:op_shuffle_reply ~entries:out ~updates:reply_updates)
+      m.Msg.origin
+  end
+  else if op = op_shuffle_reply then begin
+    absorb_hints t ctx entries;
+    View.merge t.vw ~rng:ctx.Alg.rng ~sent:[] entries;
+    t.st.shuffles <- t.st.shuffles + 1;
+    tel_event t ctx Ev.View_exchange ~peer:m.Msg.origin
+      ~mseq:(List.length entries) ~size:(Msg.payload_size m)
+  end
+  else if op = op_join then begin
+    t.st.joins_served <- t.st.joins_served + 1;
+    let out =
+      View.shuffle_out t.vw ~rng:ctx.Alg.rng ~size:t.shuffle_size
+        ~exclude:m.Msg.origin
+    in
+    ctx.Alg.send
+      (view_msg t ~op:op_join_reply ~entries:out
+         ~updates:(Swim.full_digest t.sw))
+      m.Msg.origin
+  end
+  else if op = op_join_reply then begin
+    absorb_hints t ctx entries;
+    View.merge t.vw ~rng:ctx.Alg.rng ~sent:[] entries;
+    tel_event t ctx Ev.View_exchange ~peer:m.Msg.origin
+      ~mseq:(List.length entries) ~size:(Msg.payload_size m)
+  end
+  else if op = op_subscribe then add_listener t m.Msg.origin
+  (* op_digest is listener-bound; a node receiving one ignores it *)
+
+let algorithm t =
+  Ialg.make ~name:"gossip"
+    ~on_start:(fun ctx ->
+      join t ctx;
+      (* desynchronize the first round with a seeded phase *)
+      ctx.Alg.set_timer (Random.State.float ctx.Alg.rng t.period) (fun () ->
+          tick t ctx;
+          tick_loop t ctx))
+    (fun ctx m ->
+      let k = m.Msg.mtype in
+      if k = ping_kind then (handle_ping t ctx m; Some Alg.Consume)
+      else if k = ack_kind then (handle_ack t ctx m; Some Alg.Consume)
+      else if k = ping_req_kind then (handle_ping_req t ctx m; Some Alg.Consume)
+      else if k = view_kind then (handle_view t ctx m; Some Alg.Consume)
+      else None)
+
+(* Run the membership protocol alongside an application algorithm on
+   the same node: gossip consumes its four control types, everything
+   else reaches the inner algorithm untouched. *)
+let wrap t (inner : Alg.t) =
+  let g = algorithm t in
+  {
+    Alg.name = g.Alg.name ^ "+" ^ inner.Alg.name;
+    process =
+      (fun ctx m ->
+        let k = m.Msg.mtype in
+        if
+          k = ping_kind || k = ack_kind || k = ping_req_kind
+          || k = view_kind
+        then g.Alg.process ctx m
+        else inner.Alg.process ctx m);
+    on_ready = inner.Alg.on_ready;
+    on_tick =
+      (fun ctx ->
+        g.Alg.on_tick ctx;
+        inner.Alg.on_tick ctx);
+    on_start =
+      (fun ctx ->
+        g.Alg.on_start ctx;
+        inner.Alg.on_start ctx);
+  }

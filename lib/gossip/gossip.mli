@@ -1,0 +1,128 @@
+(** Decentralized gossip membership: SWIM-style failure detection with
+    epidemic dissemination, Cyclon-style peer sampling, and
+    observer-free bootstrap.
+
+    Each node runs one {!t} (as its whole algorithm via {!algorithm},
+    or composed with an application algorithm via {!wrap}). Every
+    [probe_period] the node: confirms suspicions older than
+    [suspicion_timeout]; probes the next member of a randomized
+    round-robin order (direct ping, then [proxies] indirect ping-reqs
+    after [probe_timeout], then a [Suspect] verdict); and runs one
+    peer-sampling shuffle with the oldest view descriptor. Every
+    control message piggybacks the least-travelled membership updates,
+    each riding [4 + 2 log2 n] times — the SWIM dissemination bound, so
+    a failure is known overlay-wide in O(log n) rounds.
+
+    Bootstrap needs no observer: a joining node sends one [join] to any
+    seed member and receives the full membership in reply; its own
+    [Alive] then spreads epidemically. A node that rejoins under its
+    previous id learns of its recorded death from the join reply and
+    refutes it at a higher incarnation. The observer survives only as
+    an optional passive {!Listener} subscribing to digests.
+
+    All randomness (probe order, proxy and shuffle samples, round
+    phase) draws from the algorithm context's seeded rng — a seeded
+    simulator run is byte-deterministic. *)
+
+(** {1 Wire types (registered Custom tags 112-115)} *)
+
+val ping_kind : Iov_msg.Mtype.t  (** 112 — direct probe *)
+
+val ack_kind : Iov_msg.Mtype.t
+(** 113 — probe answer, sent straight to the original requester *)
+
+val ping_req_kind : Iov_msg.Mtype.t  (** 114 — indirect probe request *)
+
+val view_kind : Iov_msg.Mtype.t
+(** 115 — shuffle / join / digest / subscribe, multiplexed by a
+    sub-operation code *)
+
+(** {1 Lifecycle} *)
+
+type t
+
+val create :
+  ?telemetry:Iov_telemetry.Telemetry.t ->
+  ?probe_period:float ->
+  ?probe_timeout:float ->
+  ?suspicion_timeout:float ->
+  ?proxies:int ->
+  ?view_capacity:int ->
+  ?shuffle_size:int ->
+  ?piggyback_limit:int ->
+  ?digest_every:int ->
+  ?anti_entropy_every:int ->
+  ?seeds:Iov_msg.Node_id.t list ->
+  self:Iov_msg.Node_id.t ->
+  unit ->
+  t
+(** Defaults: probe every 0.5 s with a 0.15 s ack timeout, 3 indirect
+    proxies, 2 s suspicion timeout, a 16-descriptor view shuffling 8
+    entries, at most 8 piggybacked updates per message, listener
+    digests every 2nd round, and a full-digest anti-entropy shuffle
+    (answered in kind by the partner — a pairwise push-pull state sync
+    that repairs whatever the bounded-ride epidemic missed) every 8th
+    round. [seeds] are the join contacts; when empty
+    the node falls back to its engine [known_hosts] (so pre-seeded
+    {!Iov_core.Network.add_node} hosts work unchanged), and a node with
+    neither IS the first member. With [telemetry], [Suspect]/[Confirm]/
+    [View_exchange] events are recorded and suspicion-to-confirmation
+    latency lands in the per-node [gossip.confirm_ms] histogram.
+    @raise Invalid_argument on non-positive periods, [probe_timeout]
+    not below half the period, or [proxies < 1]. *)
+
+val algorithm : t -> Iov_core.Algorithm.t
+(** The membership protocol as a standalone algorithm. *)
+
+val wrap : t -> Iov_core.Algorithm.t -> Iov_core.Algorithm.t
+(** Composes the protocol with an application algorithm on one node:
+    gossip consumes its four control types, everything else (data
+    included) reaches the inner algorithm untouched; [on_start] and
+    [on_tick] chain. *)
+
+(** {1 Membership queries} *)
+
+val self : t -> Iov_msg.Node_id.t
+
+val alive : t -> Iov_msg.Node_id.t list
+(** Members not confirmed dead (suspects included), self included,
+    ascending. *)
+
+val members : t -> (Iov_msg.Node_id.t * Swim.status * int) list
+(** Every peer ever heard of with status and incarnation. *)
+
+val is_alive : t -> Iov_msg.Node_id.t -> bool
+
+val liveness : t -> Iov_msg.Node_id.t -> bool
+(** {!is_alive}, with self always alive — the predicate shape consumed
+    by {!Iov_routing.Neighbor.set_liveness}. *)
+
+val view_peers : t -> Iov_msg.Node_id.t list
+(** The current partial view (peer-sampling cache). *)
+
+val swim : t -> Swim.t
+
+(** {1 Hooks} *)
+
+val set_on_change : t -> (Iov_msg.Node_id.t -> Swim.status -> unit) -> unit
+(** Fires on every fresh membership transition this node adopts
+    (locally detected or learned by rumor). *)
+
+val add_listener : t -> Iov_msg.Node_id.t -> unit
+(** Subscribes a passive endpoint to periodic full-membership digests;
+    also reachable over the wire via the [subscribe] sub-operation. *)
+
+(** {1 Statistics} *)
+
+type stats = {
+  mutable probes : int;
+  mutable acks : int;
+  mutable indirect : int;  (** probe-req fan-outs after a missed ack *)
+  mutable suspects : int;  (** local suspicion verdicts *)
+  mutable confirms : int;  (** peers this node declared dead *)
+  mutable shuffles : int;  (** view exchanges completed *)
+  mutable joins_served : int;
+  mutable digests_sent : int;
+}
+
+val stats : t -> stats

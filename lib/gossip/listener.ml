@@ -1,0 +1,64 @@
+module Network = Iov_core.Network
+module Observer = Iov_observer.Observer
+module NI = Iov_msg.Node_id
+module Msg = Iov_msg.Message
+module Wire = Iov_msg.Wire
+
+type t = {
+  ob : Observer.t;
+  mutable n_digests : int;
+  mutable n_updates : int;
+}
+
+let handle_digest t (m : Msg.t) =
+  match
+    let r = Wire.R.of_bytes m.Msg.payload in
+    let op = Wire.R.int32 r in
+    let _entries = Wire.R.nodes r in
+    let n = Wire.R.int32 r in
+    let ups =
+      List.init n (fun _ ->
+          let node = Wire.R.node r in
+          let status = Swim.status_of_int (Wire.R.int32 r) in
+          let _inc = Wire.R.int32 r in
+          (node, status))
+    in
+    (op, ups)
+  with
+  | exception (Wire.Truncated | Invalid_argument _) -> ()
+  | op, ups when op = 4 (* digest *) ->
+    t.n_digests <- t.n_digests + 1;
+    List.iter
+      (fun (node, status) ->
+        t.n_updates <- t.n_updates + 1;
+        match status with
+        | Swim.Alive | Swim.Suspect -> Observer.note_alive t.ob node
+        | Swim.Dead -> Observer.note_dead t.ob node)
+      ups
+  | _ -> ()
+
+let create ?id ?boot_subset ?(contacts = []) net =
+  let ob = Observer.create ?id ?boot_subset net in
+  let t = { ob; n_digests = 0; n_updates = 0 } in
+  Observer.set_fallback ob (fun m ->
+      if m.Msg.mtype = Gossip.view_kind then handle_digest t m);
+  (* subscribe: one control message per contact, then silence — every
+     later fact arrives as a pushed digest *)
+  List.iter
+    (fun c ->
+      let w = Wire.W.create () in
+      Wire.W.int32 w 5 (* subscribe *);
+      Wire.W.nodes w [];
+      Wire.W.int32 w 0;
+      Observer.control_message ob
+        (Msg.control ~mtype:Gossip.view_kind ~origin:(Observer.id ob)
+           (Wire.W.contents w))
+        c)
+    contacts;
+  t
+
+let observer t = t.ob
+let id t = Observer.id t.ob
+let alive_nodes t = Observer.alive_nodes t.ob
+let digest_count t = t.n_digests
+let update_count t = t.n_updates

@@ -1,0 +1,36 @@
+(** The observer demoted to a passive listener.
+
+    A listener is a plain {!Iov_observer.Observer.t} underneath — it
+    still answers [boot] requests and accepts status/trace reports, so
+    the boot/status wire protocol keeps working for mixed deployments —
+    but instead of polling it {e subscribes} to gossip digests: one
+    [subscribe] control message to each contact at creation, after
+    which member nodes push full-membership digests every few probe
+    rounds and the listener's alive set tracks the overlay with zero
+    outbound traffic. *)
+
+type t
+
+val create :
+  ?id:Iov_msg.Node_id.t ->
+  ?boot_subset:int ->
+  ?contacts:Iov_msg.Node_id.t list ->
+  Iov_core.Network.t ->
+  t
+(** Registers the observer endpoint and subscribes to digests from
+    each of [contacts] (gossip members). [id]/[boot_subset] as in
+    {!Iov_observer.Observer.create}. *)
+
+val observer : t -> Iov_observer.Observer.t
+(** The underlying observer (status queries, control panel, traces). *)
+
+val id : t -> Iov_msg.Node_id.t
+
+val alive_nodes : t -> Iov_msg.Node_id.t list
+(** The digest-fed view of the live membership. *)
+
+val digest_count : t -> int
+(** Digests absorbed so far. *)
+
+val update_count : t -> int
+(** Individual membership updates absorbed from digests. *)

@@ -1,0 +1,202 @@
+module NI = Iov_msg.Node_id
+
+type status = Alive | Suspect | Dead
+
+let status_to_int = function Alive -> 0 | Suspect -> 1 | Dead -> 2
+
+let status_of_int = function
+  | 0 -> Alive
+  | 1 -> Suspect
+  | 2 -> Dead
+  | n -> invalid_arg ("Swim.status_of_int: " ^ string_of_int n)
+
+let status_to_string = function
+  | Alive -> "alive"
+  | Suspect -> "suspect"
+  | Dead -> "dead"
+
+let pp_status fmt s = Format.pp_print_string fmt (status_to_string s)
+
+type update = { u_node : NI.t; u_status : status; u_inc : int }
+
+type entry = {
+  mutable e_status : status;
+  mutable e_inc : int;
+  mutable e_since : float;
+}
+
+(* A queued update carries the number of times it has already ridden on
+   outgoing traffic; the least-travelled updates go out first and an
+   update retires after the epidemic transmit budget. *)
+type queued = { q_update : update; mutable q_sent : int }
+
+type t = {
+  self : NI.t;
+  mutable self_inc : int;
+  tbl : entry NI.Tbl.t;
+  mutable queue : queued list;
+}
+
+let create ~self () =
+  { self; self_inc = 0; tbl = NI.Tbl.create 64; queue = [] }
+
+let self t = t.self
+let self_inc t = t.self_inc
+
+(* ~λ log2(n) transmissions spread an update to every member with high
+   probability (the SWIM dissemination bound); λ=2 plus a floor of 4
+   keeps the epidemic tail short even when many rumors compete for
+   piggyback slots. *)
+let transmit_budget t =
+  let n = max 1 (NI.Tbl.length t.tbl + 1) in
+  let rec lg acc n = if n <= 1 then acc else lg (acc + 1) (n lsr 1) in
+  4 + (2 * lg 0 n)
+
+let enqueue t u =
+  t.queue <-
+    { q_update = u; q_sent = 0 }
+    :: List.filter
+         (fun q -> not (NI.equal q.q_update.u_node u.u_node))
+         t.queue
+
+let self_update t = { u_node = t.self; u_status = Alive; u_inc = t.self_inc }
+
+let members t =
+  NI.Tbl.fold (fun n e acc -> (n, e.e_status, e.e_inc) :: acc) t.tbl []
+  |> List.sort (fun (a, _, _) (b, _, _) -> NI.compare a b)
+
+let status_of t node =
+  if NI.equal node t.self then Some (Alive, t.self_inc)
+  else
+    match NI.Tbl.find_opt t.tbl node with
+    | Some e -> Some (e.e_status, e.e_inc)
+    | None -> None
+
+let is_alive t node =
+  match status_of t node with
+  | Some ((Alive | Suspect), _) -> true
+  | Some (Dead, _) -> false
+  | None -> false
+
+let alive t =
+  t.self
+  :: NI.Tbl.fold
+       (fun n e acc -> if e.e_status <> Dead then n :: acc else acc)
+       t.tbl []
+  |> List.sort NI.compare
+
+let alive_peers t =
+  NI.Tbl.fold
+    (fun n e acc -> if e.e_status <> Dead then n :: acc else acc)
+    t.tbl []
+  |> List.sort NI.compare
+
+let size t = NI.Tbl.length t.tbl + 1
+
+(* Does (s, i) supersede the entry's current (os, oi)? The classic SWIM
+   precedence, except a confirmation never beats a strictly higher
+   incarnation — that is what lets a respawned node (which rejoins at
+   [dead_inc + 1]) survive stale [Dead] rumors about its previous
+   life. *)
+let supersedes ~s ~i ~os ~oi =
+  match (s, os) with
+  | Alive, Alive -> i > oi
+  | Alive, Suspect -> i > oi
+  | Alive, Dead -> i > oi
+  | Suspect, Alive -> i >= oi
+  | Suspect, Suspect -> i > oi
+  | Suspect, Dead -> false
+  | Dead, Dead -> false
+  | Dead, (Alive | Suspect) -> i >= oi
+
+type applied =
+  | Fresh of status option
+      (** adopted; the payload is the {e previous} status ([None] for a
+          first sighting) *)
+  | Stale  (** superseded by what we already believe *)
+  | Refuted
+      (** the update defamed us; our incarnation was bumped and an
+          [Alive] rebuttal queued *)
+
+let apply t ~now (u : update) =
+  if NI.equal u.u_node t.self then
+    match u.u_status with
+    | Alive -> Stale
+    | Suspect | Dead ->
+      if u.u_inc >= t.self_inc then begin
+        t.self_inc <- u.u_inc + 1;
+        enqueue t (self_update t);
+        Refuted
+      end
+      else Stale
+  else
+    match NI.Tbl.find_opt t.tbl u.u_node with
+    | None ->
+      NI.Tbl.replace t.tbl u.u_node
+        { e_status = u.u_status; e_inc = u.u_inc; e_since = now };
+      enqueue t u;
+      Fresh None
+    | Some e ->
+      if supersedes ~s:u.u_status ~i:u.u_inc ~os:e.e_status ~oi:e.e_inc
+      then begin
+        let prev = e.e_status in
+        e.e_status <- u.u_status;
+        e.e_inc <- u.u_inc;
+        e.e_since <- now;
+        enqueue t u;
+        Fresh (Some prev)
+      end
+      else Stale
+
+let suspect_local t ~now node =
+  match NI.Tbl.find_opt t.tbl node with
+  | Some e when e.e_status = Alive ->
+    apply t ~now { u_node = node; u_status = Suspect; u_inc = e.e_inc }
+    <> Stale
+  | _ -> false
+
+let confirm_local t ~now node =
+  match NI.Tbl.find_opt t.tbl node with
+  | Some e when e.e_status = Suspect ->
+    let age = now -. e.e_since in
+    (match apply t ~now { u_node = node; u_status = Dead; u_inc = e.e_inc }
+     with
+    | Fresh _ -> Some age
+    | Stale | Refuted -> None)
+  | _ -> None
+
+let expired_suspects t ~now ~timeout =
+  NI.Tbl.fold
+    (fun n e acc ->
+      if e.e_status = Suspect && now -. e.e_since >= timeout then n :: acc
+      else acc)
+    t.tbl []
+  |> List.sort NI.compare
+
+(* Piggyback selection: up to [limit] least-travelled queued updates;
+   each ride increments the count and exhausted updates retire. *)
+let piggyback t ~limit =
+  let budget = transmit_budget t in
+  let sorted =
+    List.stable_sort (fun a b -> compare a.q_sent b.q_sent) t.queue
+  in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | q :: rest ->
+      q.q_sent <- q.q_sent + 1;
+      q.q_update :: take (n - 1) rest
+  in
+  let out = take limit sorted in
+  t.queue <- List.filter (fun q -> q.q_sent < budget) t.queue;
+  out
+
+let queue_length t = List.length t.queue
+
+(* The full membership as updates — what a join reply (or a listener
+   digest) carries. Self rides first so a booting node learns its
+   contact's identity immediately. *)
+let full_digest t =
+  self_update t
+  :: (members t |> List.map (fun (n, s, i) ->
+          { u_node = n; u_status = s; u_inc = i }))

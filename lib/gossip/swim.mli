@@ -1,0 +1,100 @@
+(** SWIM membership state: per-peer status/incarnation records, the
+    refutation rules, and the epidemic piggyback queue.
+
+    This module is pure bookkeeping — no I/O, no timers. {!Gossip}
+    drives it from probe traffic; tests drive it directly. Status
+    precedence follows the SWIM paper: an [Alive] at incarnation [i]
+    overrides [Suspect]/[Alive] at [j < i]; a [Suspect] at [i]
+    overrides [Alive] at [j <= i]; a confirmation ([Dead]) overrides
+    both at [j <= i] but {e not} a strictly higher incarnation, so a
+    respawned node (rejoining at [dead_inc + 1]) survives stale rumors
+    about its previous life. Only the node itself raises its own
+    incarnation — by refuting a [Suspect]/[Dead] claim about itself. *)
+
+type status = Alive | Suspect | Dead
+
+val status_to_int : status -> int
+val status_of_int : int -> status
+(** @raise Invalid_argument on unknown codes. *)
+
+val status_to_string : status -> string
+val pp_status : Format.formatter -> status -> unit
+
+type update = { u_node : Iov_msg.Node_id.t; u_status : status; u_inc : int }
+(** One membership rumor as carried on the wire. *)
+
+type t
+
+val create : self:Iov_msg.Node_id.t -> unit -> t
+val self : t -> Iov_msg.Node_id.t
+
+val self_inc : t -> int
+(** Our own incarnation — bumped only by refutation. *)
+
+val self_update : t -> update
+(** [Alive (self, self_inc)] — what we piggyback about ourselves. *)
+
+val transmit_budget : t -> int
+(** How many times each queued update rides outgoing traffic before it
+    retires: [4 + 2 log2 (membership size)], the SWIM dissemination
+    bound. *)
+
+(** {1 Queries} *)
+
+val members : t -> (Iov_msg.Node_id.t * status * int) list
+(** Every peer ever heard of (including the dead), ascending by id.
+    Excludes self. *)
+
+val status_of : t -> Iov_msg.Node_id.t -> (status * int) option
+(** Self reports as [Alive] at {!self_inc}. *)
+
+val is_alive : t -> Iov_msg.Node_id.t -> bool
+(** [Suspect] still counts as alive — suspicion is a grace period, not
+    a verdict. Unknown nodes are not alive. *)
+
+val alive : t -> Iov_msg.Node_id.t list
+(** Members not confirmed dead, {e including} self, ascending. *)
+
+val alive_peers : t -> Iov_msg.Node_id.t list
+(** {!alive} without self. *)
+
+val size : t -> int
+(** Membership size including self. *)
+
+(** {1 Rumor ingestion} *)
+
+type applied =
+  | Fresh of status option
+      (** adopted; the payload is the {e previous} status ([None] for a
+          first sighting) *)
+  | Stale  (** superseded by what we already believe *)
+  | Refuted
+      (** the update defamed us; our incarnation was bumped and an
+          [Alive] rebuttal queued *)
+
+val apply : t -> now:float -> update -> applied
+
+(** {1 Local detector verdicts} *)
+
+val suspect_local : t -> now:float -> Iov_msg.Node_id.t -> bool
+(** Probe and indirect probes all failed: suspect the peer at its
+    current incarnation. True if this was fresh (peer was [Alive]). *)
+
+val confirm_local : t -> now:float -> Iov_msg.Node_id.t -> float option
+(** Suspicion timed out: declare the peer dead. Returns the suspicion
+    age (seconds spent in [Suspect]) if this was fresh. *)
+
+val expired_suspects : t -> now:float -> timeout:float -> Iov_msg.Node_id.t list
+(** Peers that have been [Suspect] for at least [timeout], ascending. *)
+
+(** {1 Epidemic dissemination} *)
+
+val piggyback : t -> limit:int -> update list
+(** Up to [limit] queued updates, least-travelled first; each call
+    counts as one ride and updates past {!transmit_budget} retire. *)
+
+val queue_length : t -> int
+
+val full_digest : t -> update list
+(** The entire membership as updates, self first — join replies and
+    listener digests. *)

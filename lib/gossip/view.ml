@@ -1,0 +1,82 @@
+module NI = Iov_msg.Node_id
+
+type entry = { v_peer : NI.t; mutable v_age : int }
+
+type t = { self : NI.t; cap : int; mutable entries : entry list }
+
+let create ?(capacity = 16) ~self () =
+  if capacity < 1 then invalid_arg "View.create: capacity";
+  { self; cap = capacity; entries = [] }
+
+let capacity t = t.cap
+let size t = List.length t.entries
+let peers t = List.map (fun e -> e.v_peer) t.entries
+let mem t p = List.exists (fun e -> NI.equal e.v_peer p) t.entries
+
+let remove t p =
+  t.entries <- List.filter (fun e -> not (NI.equal e.v_peer p)) t.entries
+
+let age t = List.iter (fun e -> e.v_age <- e.v_age + 1) t.entries
+
+let oldest t =
+  match t.entries with
+  | [] -> None
+  | e0 :: rest ->
+    let best =
+      List.fold_left (fun b e -> if e.v_age > b.v_age then e else b) e0 rest
+    in
+    Some best.v_peer
+
+(* Eviction prefers a victim from [prefer] (descriptors we just shipped
+   to the shuffle partner — Cyclon's swap rule keeps the union of the
+   two views constant); otherwise a seeded-random entry goes. *)
+let evict t ~rng ~prefer =
+  let preferred = List.filter (fun e -> List.exists (NI.equal e.v_peer) prefer)
+      t.entries in
+  let victim =
+    match preferred with
+    | e :: _ -> Some e.v_peer
+    | [] -> (
+      match t.entries with
+      | [] -> None
+      | es -> Some (List.nth es (Random.State.int rng (List.length es))).v_peer)
+  in
+  match victim with None -> () | Some p -> remove t p
+
+let add ?(prefer = []) t ~rng p =
+  if NI.equal p t.self || mem t p then ()
+  else begin
+    if size t >= t.cap then evict t ~rng ~prefer;
+    t.entries <- { v_peer = p; v_age = 0 } :: t.entries
+  end
+
+(* Seeded Fisher-Yates over a copy; the view itself keeps its order. *)
+let sample t ~rng n =
+  let arr = Array.of_list t.entries in
+  let len = Array.length arr in
+  let n = min n len in
+  for i = 0 to n - 1 do
+    let j = i + Random.State.int rng (len - i) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  Array.to_list (Array.sub arr 0 n) |> List.map (fun e -> e.v_peer)
+
+let shuffle_out t ~rng ~size:n ~exclude =
+  let cand =
+    List.filter (fun e -> not (NI.equal e.v_peer exclude)) t.entries
+  in
+  let arr = Array.of_list cand in
+  let len = Array.length arr in
+  let k = min (n - 1) len in
+  for i = 0 to k - 1 do
+    let j = i + Random.State.int rng (len - i) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  t.self :: (Array.to_list (Array.sub arr 0 k) |> List.map (fun e -> e.v_peer))
+
+let merge t ~rng ~sent received =
+  List.iter (fun p -> add ~prefer:sent t ~rng p) received

@@ -1,0 +1,47 @@
+(** The bounded partial view for epidemic peer sampling — a Cyclon-style
+    age-annotated cache of peer descriptors.
+
+    Each shuffle round ages every descriptor, picks the {e oldest} peer
+    as the exchange partner (so failed peers are retried and flushed
+    first), ships a seeded-random sample, and merges the partner's
+    sample back, evicting first among the descriptors just shipped (the
+    swap rule that keeps view unions stable). All randomness comes from
+    the caller's seeded [Random.State.t]. *)
+
+type t
+
+val create : ?capacity:int -> self:Iov_msg.Node_id.t -> unit -> t
+(** [capacity] defaults to 16. @raise Invalid_argument if below 1. *)
+
+val capacity : t -> int
+val size : t -> int
+val peers : t -> Iov_msg.Node_id.t list
+val mem : t -> Iov_msg.Node_id.t -> bool
+
+val add : ?prefer:Iov_msg.Node_id.t list -> t -> rng:Random.State.t ->
+  Iov_msg.Node_id.t -> unit
+(** Inserts a fresh (age-0) descriptor; self and duplicates are
+    ignored. A full view evicts first among [prefer], else a
+    seeded-random victim. *)
+
+val remove : t -> Iov_msg.Node_id.t -> unit
+
+val age : t -> unit
+(** One shuffle round passed: every descriptor ages by 1. *)
+
+val oldest : t -> Iov_msg.Node_id.t option
+(** The next shuffle partner. *)
+
+val sample : t -> rng:Random.State.t -> int -> Iov_msg.Node_id.t list
+(** A uniform seeded sample of at most [n] view peers. *)
+
+val shuffle_out : t -> rng:Random.State.t -> size:int ->
+  exclude:Iov_msg.Node_id.t -> Iov_msg.Node_id.t list
+(** The descriptor list shipped to a shuffle partner: self plus at most
+    [size - 1] sampled peers, never including [exclude] (the partner
+    itself). *)
+
+val merge : t -> rng:Random.State.t -> sent:Iov_msg.Node_id.t list ->
+  Iov_msg.Node_id.t list -> unit
+(** Absorbs a partner's descriptors, evicting preferentially among
+    [sent]. *)

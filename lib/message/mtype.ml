@@ -95,6 +95,29 @@ let of_int = function
       invalid_arg (Printf.sprintf "Mtype.of_int: unknown control code %d" n);
     Custom (n - custom_base)
 
+module Registry = struct
+  (* tag -> (owner, name) *)
+  let claims : (int, string * string) Hashtbl.t = Hashtbl.create 16
+
+  let claimed tag = Hashtbl.find_opt claims tag
+
+  let register ~owner ~name tag =
+    (match Hashtbl.find_opt claims tag with
+    | Some (o, n) when o = owner && n = name -> ()
+    | Some (o, n) ->
+      invalid_arg
+        (Printf.sprintf
+           "Mtype.Registry.register: Custom %d (%s/%s) already claimed by \
+            %s/%s"
+           tag owner name o n)
+    | None -> Hashtbl.replace claims tag (owner, name));
+    custom tag
+
+  let all () =
+    Hashtbl.fold (fun tag (o, n) acc -> (tag, o, n) :: acc) claims []
+    |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+end
+
 let is_data = function Data -> true | _ -> false
 let is_control t = not (is_data t)
 

@@ -50,6 +50,25 @@ val of_int : int -> t
     unassigned gap between the builtins and {!custom_base} come from no
     encoder. @raise Invalid_argument on such unknown codes. *)
 
+(** Central claim table for the [Custom] tag space, so independently
+    developed subsystems (routing, gossip, applications) cannot silently
+    reuse each other's control-message codes. Claims live for the
+    process: each subsystem claims its tags at module initialization. *)
+module Registry : sig
+  val register : owner:string -> name:string -> int -> t
+  (** [register ~owner ~name tag] claims [Custom tag] and returns it.
+      Re-registering the exact same [(owner, name, tag)] claim is
+      idempotent. @raise Invalid_argument if the tag is already claimed
+      under a different owner or name (a collision), or if the tag is
+      negative (via {!custom}). *)
+
+  val claimed : int -> (string * string) option
+  (** [(owner, name)] of a claimed tag. *)
+
+  val all : unit -> (int * string * string) list
+  (** Every claim, ascending by tag — the process-wide mtype table. *)
+end
+
 val is_data : t -> bool
 
 val is_control : t -> bool

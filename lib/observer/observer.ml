@@ -21,6 +21,7 @@ type t = {
   mutable trace_log : (float * NI.t * string) list;
   mutable n_traces : int;
   mutable poll_handle : Sim.handle option;
+  mutable fallback : (Msg.t -> unit) option;
 }
 
 let id t = t.obs_id
@@ -69,8 +70,10 @@ let handle t (m : Msg.t) =
     t.trace_log <-
       (Network.now t.net, m.origin, Msg.string_payload m) :: t.trace_log;
     t.n_traces <- t.n_traces + 1
-  | _ ->
-    Log.debug (fun f -> f "observer ignoring %a" Mt.pp m.mtype)
+  | _ -> (
+    match t.fallback with
+    | Some f -> f m
+    | None -> Log.debug (fun f -> f "observer ignoring %a" Mt.pp m.mtype))
 
 let create ?id:obs_id ?(boot_subset = 8) ?(poll_period = 1.0) net =
   let obs_id =
@@ -90,6 +93,7 @@ let create ?id:obs_id ?(boot_subset = 8) ?(poll_period = 1.0) net =
       trace_log = [];
       n_traces = 0;
       poll_handle = None;
+      fallback = None;
     }
   in
   Network.register_endpoint net obs_id (handle t);
@@ -118,6 +122,10 @@ let stop_polling t =
     Sim.cancel (Network.sim t.net) h;
     t.poll_handle <- None
   | None -> ()
+
+let set_fallback t f = t.fallback <- Some f
+let note_alive t ni = t.alive <- NI.Set.add ni t.alive
+let note_dead t ni = t.alive <- NI.Set.remove ni t.alive
 
 let alive_nodes t =
   NI.Set.elements

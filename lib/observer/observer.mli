@@ -32,6 +32,17 @@ val stop_polling : t -> unit
 val alive_nodes : t -> Iov_msg.Node_id.t list
 (** Nodes that have bootstrapped and are not known to have died. *)
 
+val note_alive : t -> Iov_msg.Node_id.t -> unit
+val note_dead : t -> Iov_msg.Node_id.t -> unit
+(** External liveness evidence (e.g. a gossip digest): mark a node
+    alive/dead in the observer's record without any observer traffic. *)
+
+val set_fallback : t -> (Iov_msg.Message.t -> unit) -> unit
+(** Installs a handler for control messages the observer itself does
+    not understand (anything outside boot/status/trace) — how a
+    passive listener splices gossip digests into the observer
+    endpoint. *)
+
 val latest_status : t -> Iov_msg.Node_id.t -> Iov_msg.Status.t option
 
 val latest_metrics :

@@ -15,6 +15,7 @@ module Log = (val Logs.src_log src_log)
 (* The first message on every fresh connection identifies the
    initiating node (its listening identity, not the ephemeral port). *)
 let hello_kind = 900
+let () = ignore (Mt.Registry.register ~owner:"onet" ~name:"sock-hello" hello_kind)
 
 type in_conn = {
   ic_peer : NI.t;
@@ -85,7 +86,7 @@ let tel_counter tl = function
   | Ev.Drop -> Metrics.incr tl.c_dropped
   | Ev.Link_failure -> Metrics.incr tl.c_link_failures
   | Ev.Teardown | Ev.Respawn | Ev.Route_change | Ev.Path_switch
-  | Ev.Dup_suppressed ->
+  | Ev.Dup_suppressed | Ev.Suspect | Ev.Confirm | Ev.View_exchange ->
     ()
 
 let tel_msg t kind ~peer (m : Msg.t) =

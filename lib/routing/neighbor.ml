@@ -3,8 +3,8 @@ module Msg = Iov_msg.Message
 module Mt = Iov_msg.Mtype
 module Wire = Iov_msg.Wire
 
-let hello_kind = Mt.custom 110
-let lsa_kind = Mt.custom 111
+let hello_kind = Mt.Registry.register ~owner:"routing" ~name:"hello" 110
+let lsa_kind = Mt.Registry.register ~owner:"routing" ~name:"lsa" 111
 
 type entry = {
   e_peer : NI.t;
@@ -22,6 +22,8 @@ type t = {
   lsdb : (int * NI.t list) NI.Tbl.t; (* origin -> (version, neighbors) *)
   mutable version : int;
   mutable backlog : int;
+  mutable liveness : (NI.t -> bool) option;
+      (** external liveness oracle (gossip membership) *)
 }
 
 let create ?(hello_period = 0.25) ?(dead_factor = 3.0) ?(alpha = 0.125) ~self
@@ -38,7 +40,10 @@ let create ?(hello_period = 0.25) ?(dead_factor = 3.0) ?(alpha = 0.125) ~self
     lsdb = NI.Tbl.create 16;
     version = 0;
     backlog = 0;
+    liveness = None;
   }
+
+let set_liveness t f = t.liveness <- Some f
 
 let hello_period t = t.period
 let peers t = List.map (fun e -> e.e_peer) t.entries
@@ -121,9 +126,13 @@ let on_lsa t (m : Msg.t) =
 (* -- liveness ------------------------------------------------------ *)
 
 let expire t ~now =
-  let dead, live =
-    List.partition (fun e -> now -. e.last_seen > t.dead_after) t.entries
+  (* a gossip-confirmed death expires the entry immediately — no need
+     to sit out the hello timeout *)
+  let condemned e =
+    now -. e.last_seen > t.dead_after
+    || (match t.liveness with Some f -> not (f e.e_peer) | None -> false)
   in
+  let dead, live = List.partition condemned t.entries in
   t.entries <- live;
   List.map (fun e -> e.e_peer) dead
 

@@ -70,9 +70,16 @@ val on_lsa : t -> Iov_msg.Message.t -> [ `Fresh | `Stale ]
 (** Fold a received advertisement into the database. [`Fresh] means it
     carried a new version and should be re-flooded to our peers. *)
 
+val set_liveness : t -> (Iov_msg.Node_id.t -> bool) -> unit
+(** Installs an external liveness oracle — typically
+    [Iov_gossip.Gossip.liveness] — consulted by {!expire}: a peer the
+    oracle declares dead is expired immediately, without waiting out
+    the hello timeout. *)
+
 val expire : t -> now:float -> Iov_msg.Node_id.t list
-(** Drop peers whose last hello is older than the dead interval;
-    returns them (callers bump the version when non-empty). *)
+(** Drop peers whose last hello is older than the dead interval — or
+    whom the {!set_liveness} oracle has condemned; returns them
+    (callers bump the version when non-empty). *)
 
 val remove : t -> Iov_msg.Node_id.t -> bool
 (** Immediate removal on an engine failure notification: drops the

@@ -9,9 +9,11 @@ module Ev = Iov_telemetry.Event
 module Metrics = Iov_telemetry.Metrics
 module Tracer = Iov_telemetry.Tracer
 
-let setup_kind = Mt.custom 112
-let nack_kind = Mt.custom 113
-let open_kind = Mt.custom 114
+(* 112-115 belong to the gossip membership subsystem; the router's
+   control types live above them, claimed through the central registry *)
+let setup_kind = Mt.Registry.register ~owner:"routing" ~name:"setup" 116
+let nack_kind = Mt.Registry.register ~owner:"routing" ~name:"nack" 117
+let open_kind = Mt.Registry.register ~owner:"routing" ~name:"open" 118
 
 (* Wire framing: routed data payloads carry a one-byte path tag in
    front of the application bytes, so interior nodes can key their
@@ -95,15 +97,17 @@ type stats = {
 }
 
 let create ?telemetry ?(hello_period = 0.25) ?(neighbors = []) ?(hysteresis = 2)
-    ?(dedup_window = 1024) ~self ~mode () =
+    ?(dedup_window = 1024) ?liveness ~self ~mode () =
   (match mode with
   | Multipath k when k < 1 || k > max_paths ->
     invalid_arg "Router.create: Multipath k out of range"
   | _ -> ());
+  let nb = Neighbor.create ~hello_period ~self () in
+  (match liveness with Some f -> Neighbor.set_liveness nb f | None -> ());
   {
     t_self = self;
     t_mode = mode;
-    nb = Neighbor.create ~hello_period ~self ();
+    nb;
     hysteresis;
     dedup_window;
     tbl = Hashtbl.create 8;

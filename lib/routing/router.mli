@@ -56,6 +56,7 @@ val create :
   ?neighbors:Iov_msg.Node_id.t list ->
   ?hysteresis:int ->
   ?dedup_window:int ->
+  ?liveness:(Iov_msg.Node_id.t -> bool) ->
   self:Iov_msg.Node_id.t ->
   mode:mode ->
   unit ->
@@ -63,7 +64,9 @@ val create :
 (** [neighbors] seeds the heartbeat target list (peers are otherwise
     discovered from engine link state and incoming hellos);
     [hysteresis] (messages, default 2) is the backlog margin a
-    backpressure challenger must win by. *)
+    backpressure challenger must win by. [liveness] plugs an external
+    membership oracle (gossip) into the neighbor table — see
+    {!Neighbor.set_liveness}. *)
 
 val algorithm : t -> Iov_core.Algorithm.t
 

@@ -13,6 +13,9 @@ type kind =
   | Route_change
   | Path_switch
   | Dup_suppressed
+  | Suspect
+  | Confirm
+  | View_exchange
 
 let all =
   [
@@ -27,6 +30,9 @@ let all =
     Route_change;
     Path_switch;
     Dup_suppressed;
+    Suspect;
+    Confirm;
+    View_exchange;
   ]
 
 let to_int = function
@@ -41,6 +47,9 @@ let to_int = function
   | Route_change -> 8
   | Path_switch -> 9
   | Dup_suppressed -> 10
+  | Suspect -> 11
+  | Confirm -> 12
+  | View_exchange -> 13
 
 let of_int = function
   | 0 -> Enqueue
@@ -54,6 +63,9 @@ let of_int = function
   | 8 -> Route_change
   | 9 -> Path_switch
   | 10 -> Dup_suppressed
+  | 11 -> Suspect
+  | 12 -> Confirm
+  | 13 -> View_exchange
   | n -> invalid_arg ("Event.of_int: " ^ string_of_int n)
 
 let to_string = function
@@ -68,6 +80,9 @@ let to_string = function
   | Route_change -> "route-change"
   | Path_switch -> "path-switch"
   | Dup_suppressed -> "dup-suppressed"
+  | Suspect -> "suspect"
+  | Confirm -> "confirm"
+  | View_exchange -> "view-exchange"
 
 let pp fmt k = Format.pp_print_string fmt (to_string k)
 

@@ -30,6 +30,15 @@ type kind =
   | Dup_suppressed
       (** a multipath receiver absorbed a redundant copy (the mseq
           field is the duplicated sequence number) *)
+  | Suspect
+      (** a gossip member began suspecting the peer (probe and indirect
+          probes all unanswered; mseq is the peer's incarnation) *)
+  | Confirm
+      (** a gossip member declared the peer dead (suspicion timed out
+          or a Dead update arrived; mseq is the peer's incarnation) *)
+  | View_exchange
+      (** a peer-sampling shuffle completed with the peer (size is the
+          number of membership updates absorbed from it) *)
 
 val all : kind list
 

@@ -326,6 +326,58 @@ let test_proxy_batches () =
   Alcotest.(check int) "single batch" 1 (Proxy.flushes proxy);
   Alcotest.(check int) "all traces arrived" 10 (Observer.trace_count obs)
 
+(* ------------------------------------------------------------------ *)
+(* Gossip-fed alive set vs ground truth *)
+
+module Listener = Iov_gossip.Listener
+module Gl = Iov_exp.Gossiplab
+
+let qtest ?(count = 100) name gen f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen f)
+
+(* An arbitrary schedule of kills and same-id respawns over nodes
+   1..n-1 (node 0 is the join seed and the listener's digest feed),
+   one second apart. [true] kills the node if it is up; [false]
+   respawns it (fresh gossip instance, same id) if it is down; the
+   rest are no-ops. After the schedule settles, the digest-fed
+   listener's alive set must equal the nodes actually up. *)
+let test_listener_tracks_ground_truth =
+  let n = 8 in
+  qtest ~count:12 "listener alive set tracks kills and same-id respawns"
+    QCheck.(small_list (pair bool (int_range 1 (n - 1))))
+    (fun ops ->
+      let b = Gl.build ~seed:17 ~n () in
+      let listener = Listener.create ~contacts:[ b.Gl.b_ids.(0) ] b.Gl.b_net in
+      Network.run b.Gl.b_net ~until:4.;
+      let down = Hashtbl.create 8 in
+      List.iteri
+        (fun k (kill, i) ->
+          Network.run b.Gl.b_net ~until:(4. +. float_of_int k);
+          if kill then begin
+            if not (Hashtbl.mem down i) then begin
+              Network.kill_node b.Gl.b_net b.Gl.b_ids.(i);
+              Hashtbl.replace down i ()
+            end
+          end
+          else if Hashtbl.mem down i then begin
+            b.Gl.b_spawn ("n" ^ string_of_int i);
+            Hashtbl.remove down i
+          end)
+        ops;
+      (* settle: detection, dissemination, and a digest push *)
+      Network.run b.Gl.b_net
+        ~until:(4. +. float_of_int (List.length ops) +. 14.);
+      let expected =
+        Array.to_list b.Gl.b_ids
+        |> List.filteri (fun i _ -> not (Hashtbl.mem down i))
+        |> List.sort NI.compare |> List.map NI.to_string
+      in
+      let got =
+        Listener.alive_nodes listener
+        |> List.sort NI.compare |> List.map NI.to_string
+      in
+      got = expected)
+
 let () =
   Alcotest.run "observer"
     [
@@ -371,4 +423,5 @@ let () =
           Alcotest.test_case "batches per flush period" `Quick
             test_proxy_batches;
         ] );
+      ("gossip-listener", [ test_listener_tracks_ground_truth ]);
     ]
