@@ -317,6 +317,36 @@ let bench_gossip_probe_round =
                    u_inc = inc + 1 })
           | None -> assert false))
 
+(* the per-message overload-guard decision on the switch's hot path:
+   one breaker check plus one token-bucket/shed-floor admission
+   verdict, with occasional failure and success evidence mixed in so
+   both state machines keep exercising their transitions *)
+let bench_guard_breaker_admit =
+  Test.make ~name:"guard/breaker-admit"
+    (Staged.stage
+       (let rng = Random.State.make [| 11; 0x6a4d |] in
+        let br = Iov_guard.Breaker.create ~rng () in
+        let adm =
+          Iov_guard.Admission.create
+            ~classes:
+              [ (1, Iov_guard.Admission.cls ~rate:65536. ~priority:1 ()) ]
+            ~default:(Iov_guard.Admission.cls ~priority:2 ())
+            ~now:0. ()
+        in
+        let now = ref 0. in
+        let i = ref 0 in
+        fun () ->
+          incr i;
+          now := !now +. 0.001;
+          ignore (Iov_guard.Breaker.allow br ~now:!now);
+          if !i land 1023 = 0 then
+            ignore (Iov_guard.Breaker.on_failure br ~now:!now)
+          else if !i land 255 = 0 then
+            ignore (Iov_guard.Breaker.on_success br ~now:!now);
+          ignore
+            (Iov_guard.Admission.admit adm ~now:!now ~app:1 ~size:512
+               ~backlog:(!i land 63))))
+
 let micro_tests =
   [
     bench_codec_encode;
@@ -338,6 +368,7 @@ let micro_tests =
     bench_route_kpaths;
     bench_gossip_view_merge;
     bench_gossip_probe_round;
+    bench_guard_breaker_admit;
   ]
 
 let json_file = "BENCH_micro.json"

@@ -374,6 +374,44 @@ let gossip_cmd =
   Cmd.v info
     Term.(ret (const run $ sizes_arg $ seed_arg $ frac_arg $ kill_arg $ smoke_arg))
 
+let guard_cmd =
+  let n_arg =
+    let doc = "Overlay size (ring-plus-chords)." in
+    Arg.(value & opt int 12 & info [ "n" ] ~docv:"N" ~doc)
+  in
+  let seed_arg =
+    let doc = "Simulation seed (same seed => identical tables)." in
+    Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let smoke_arg =
+    let doc =
+      "Fast CI gate: a seeded loss + first-hop-kill + source-squeeze run \
+       must keep retransmit bytes under budget, shed the low-priority \
+       stream strictly before the high one, open and re-close its circuit \
+       breakers inside the window, respawn the killed hop through the \
+       watchdog, and be byte-deterministic under the seed; non-zero exit \
+       otherwise."
+    in
+    Arg.(value & flag & info [ "smoke" ] ~doc)
+  in
+  let run n seed smoke =
+    let module G = Iov_exp.Guardlab in
+    if smoke then if G.smoke ~seed () then `Ok () else exit 1
+    else begin
+      ignore (G.run ~seed ~n ());
+      `Ok ()
+    end
+  in
+  let info =
+    Cmd.info "guard"
+      ~doc:
+        "Exercise the overload guard (circuit breakers, priority load \
+         shedding, bounded retransmits, watchdog supervision): compare a \
+         guarded overlay against the same overlay bare under identical \
+         seeded abuse."
+  in
+  Cmd.v info Term.(ret (const run $ n_arg $ seed_arg $ smoke_arg))
+
 let list_cmd =
   let run () =
     List.iter
@@ -389,6 +427,7 @@ let main =
       ~doc:"iOverlay (Middleware 2004) reproduction harness."
   in
   Cmd.group info
-    [ run_cmd; trace_cmd; chaos_cmd; route_cmd; gossip_cmd; list_cmd ]
+    [ run_cmd; trace_cmd; chaos_cmd; route_cmd; gossip_cmd; guard_cmd;
+      list_cmd ]
 
 let () = exit (Cmd.eval main)

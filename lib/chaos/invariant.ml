@@ -113,6 +113,12 @@ let is_activity = function
   (* so do gossip-membership events: a dead engine must not probe,
      judge its peers, or shuffle views *)
   | Ev.Suspect | Ev.Confirm | Ev.View_exchange -> true
+  (* and guard events: a dead engine must not shed traffic, trip or
+     recover breakers, or replay from its retransmit ring *)
+  | Ev.Shed | Ev.Breaker_open | Ev.Breaker_close | Ev.Retransmit -> true
+  (* a Wedge is recorded by the supervising watchdog *about* the stuck
+     node, not by the node itself *)
+  | Ev.Wedge -> false
   | Ev.Drop | Ev.Link_failure | Ev.Teardown | Ev.Respawn -> false
 
 let check_no_delivery_after_teardown ~grace cycles events =
@@ -487,6 +493,183 @@ let check_membership ~within ~resolve ~actions ~horizon cycles events =
           |> List.rev)
     kills
 
+(* An overload-guard breaker is keyed by who watched (node) and who
+   was watched (peer); Breaker_open/Breaker_close events carry both. *)
+let check_breaker_cycles ~within ~first_fault ~last_fault ~horizon events =
+  match (first_fault, last_fault) with
+  | None, _ | _, None -> []
+  | Some t0, Some t1 ->
+    let opens =
+      List.filter
+        (fun (e : Tel.event) -> e.Tel.kind = Ev.Breaker_open)
+        events
+    in
+    if opens = [] then
+      [
+        mk ~time:t0
+          (Printf.sprintf
+             "no breaker ever opened despite faults from %g to %g" t0 t1);
+      ]
+    else begin
+      let deadline = t1 +. within in
+      if horizon < deadline then
+        [
+          mk ~time:horizon
+            (Printf.sprintf
+               "horizon %g leaves no %gs close window after the last \
+                fault at %g"
+               horizon within t1);
+        ]
+      else
+        (* last open per (watcher, watched) pair must be answered by a
+           close no later than [deadline] *)
+        let key (e : Tel.event) = (e.Tel.node, e.Tel.peer) in
+        let last_open = Hashtbl.create 8 in
+        List.iter
+          (fun (e : Tel.event) ->
+            match Hashtbl.find_opt last_open (key e) with
+            | Some t when t >= e.Tel.time -> ()
+            | _ -> Hashtbl.replace last_open (key e) e.Tel.time)
+          opens;
+        Hashtbl.fold
+          (fun (node, peer) opened acc ->
+            let closed =
+              List.exists
+                (fun (e : Tel.event) ->
+                  e.Tel.kind = Ev.Breaker_close
+                  && NI.equal e.Tel.node node
+                  && (match (e.Tel.peer, peer) with
+                     | Some a, Some b -> NI.equal a b
+                     | None, None -> true
+                     | _ -> false)
+                  && e.Tel.time >= opened
+                  && e.Tel.time <= deadline)
+                events
+            in
+            if closed then acc
+            else
+              mk ~node ?peer ~time:deadline
+                (Printf.sprintf
+                   "breaker opened at %g never closed by %g" opened
+                   deadline)
+              :: acc)
+          last_open []
+        |> List.rev
+    end
+
+(* Sheds are recorded by the refusing node with [app] = priority class
+   of the refused message; degradation must hit [low] strictly before
+   [high] wherever [high] suffers at all. *)
+let check_shed_ordered ~low ~high events =
+  let sheds app =
+    List.filter
+      (fun (e : Tel.event) -> e.Tel.kind = Ev.Shed && e.Tel.app = app)
+      events
+  in
+  let lows = sheds low and highs = sheds high in
+  let by_node evs =
+    let tbl = NI.Tbl.create 8 in
+    List.iter
+      (fun (e : Tel.event) ->
+        let first, count =
+          match NI.Tbl.find_opt tbl e.Tel.node with
+          | Some (f, c) -> (min f e.Tel.time, c + 1)
+          | None -> (e.Tel.time, 1)
+        in
+        NI.Tbl.replace tbl e.Tel.node (first, count))
+      evs;
+    tbl
+  in
+  let low_tbl = by_node lows and high_tbl = by_node highs in
+  NI.Tbl.fold
+    (fun node (h_first, h_count) acc ->
+      match NI.Tbl.find_opt low_tbl node with
+      | None ->
+        mk ~node ~time:h_first
+          (Printf.sprintf
+             "shed priority-%d traffic without ever shedding \
+              priority-%d"
+             high low)
+        :: acc
+      | Some (l_first, l_count) ->
+        let acc =
+          if h_first <= l_first then
+            mk ~node ~time:h_first
+              (Printf.sprintf
+                 "first priority-%d shed at %g not strictly after \
+                  first priority-%d shed at %g"
+                 high h_first low l_first)
+            :: acc
+          else acc
+        in
+        if l_count < h_count then
+          mk ~node
+            (Printf.sprintf
+               "shed %d priority-%d messages but only %d priority-%d"
+               h_count high l_count low)
+          :: acc
+        else acc)
+    high_tbl []
+  |> List.rev
+
+(* Every replay-ring resend logs a [Retransmit] with [size] = payload
+   bytes, so the recovery-traffic bound is a pure fold over the trace. *)
+let check_retransmit_bounded ~budget events =
+  let total =
+    List.fold_left
+      (fun acc (e : Tel.event) ->
+        if e.Tel.kind = Ev.Retransmit then acc + e.Tel.size else acc)
+      0 events
+  in
+  if total > budget then
+    [
+      mk
+        (Printf.sprintf
+           "retransmitted %d payload bytes, over the %d-byte budget"
+           total budget);
+    ]
+  else []
+
+let check_recovers_after_heal ~margin ~last_fault ~horizon events =
+  match last_fault with
+  | None -> []
+  | Some t1 ->
+    let boundary = t1 +. margin in
+    if horizon <= boundary then
+      [
+        mk ~time:horizon
+          (Printf.sprintf
+             "horizon %g leaves nothing past the heal boundary %g"
+             horizon boundary);
+      ]
+    else
+      let delivered =
+        List.exists
+          (fun (e : Tel.event) ->
+            e.Tel.kind = Ev.Deliver && e.Tel.time > boundary)
+          events
+      in
+      let late_opens =
+        List.filter_map
+          (fun (e : Tel.event) ->
+            if e.Tel.kind = Ev.Breaker_open && e.Tel.time > boundary then
+              Some
+                (mk ~node:e.Tel.node ?peer:e.Tel.peer ~time:e.Tel.time
+                   (Printf.sprintf
+                      "breaker opened at %g, %gs after the last fault \
+                       healed"
+                      e.Tel.time (e.Tel.time -. t1)))
+            else None)
+          events
+      in
+      let acc = late_opens in
+      if delivered then acc
+      else
+        mk ~time:boundary
+          (Printf.sprintf "no delivery after the heal boundary %g"
+             boundary)
+        :: acc
+
 (* ------------------------------------------------------------------ *)
 
 let check ~(scenario : Scenario.t) ?(resolve = fun _ -> None) ~actions
@@ -519,6 +702,15 @@ let check ~(scenario : Scenario.t) ?(resolve = fun _ -> None) ~actions
           | Scenario.Membership_converges { within } ->
             check_membership ~within ~resolve ~actions ~horizon cycles
               events
+          | Scenario.Breaker_cycles { within } ->
+            check_breaker_cycles ~within ~first_fault ~last_fault ~horizon
+              events
+          | Scenario.Shed_ordered { low; high } ->
+            check_shed_ordered ~low ~high events
+          | Scenario.Retransmit_bounded { budget } ->
+            check_retransmit_bounded ~budget events
+          | Scenario.Recovers_after_heal { margin } ->
+            check_recovers_after_heal ~margin ~last_fault ~horizon events
           | Scenario.Min_events n ->
             let seen = List.length events in
             if seen < n then

@@ -60,6 +60,10 @@ type expect =
   | Reroute_recovers of { ratio : float; within : float; window : float }
   | Partition_silent
   | Membership_converges of { within : float }
+  | Breaker_cycles of { within : float }
+  | Shed_ordered of { low : int; high : int }
+  | Retransmit_bounded of { budget : int }
+  | Recovers_after_heal of { margin : float }
   | Min_events of int
 
 type t = {
@@ -241,6 +245,14 @@ let expect_str = function
   | Partition_silent -> "expect partition-silent"
   | Membership_converges { within } ->
     Printf.sprintf "expect membership-converges within=%s" (fstr within)
+  | Breaker_cycles { within } ->
+    Printf.sprintf "expect breaker-cycles within=%s" (fstr within)
+  | Shed_ordered { low; high } ->
+    Printf.sprintf "expect shed-ordered low=%d high=%d" low high
+  | Retransmit_bounded { budget } ->
+    Printf.sprintf "expect retransmit-bounded budget=%d" budget
+  | Recovers_after_heal { margin } ->
+    Printf.sprintf "expect recovers-after-heal margin=%s" (fstr margin)
   | Min_events n -> Printf.sprintf "expect min-events %d" n
 
 let to_string t =
@@ -488,6 +500,35 @@ let parse_line ln acc line =
                   (match get_opt kvs "within" with
                   | Some s -> parse_float ln "within" s
                   | None -> 10.);
+              }
+          | "breaker-cycles" ->
+            let kvs = kv_of_tokens ln args in
+            Breaker_cycles
+              {
+                within =
+                  (match get_opt kvs "within" with
+                  | Some s -> parse_float ln "within" s
+                  | None -> 10.);
+              }
+          | "shed-ordered" ->
+            let kvs = kv_of_tokens ln args in
+            Shed_ordered
+              {
+                low = parse_int ln "low" (get ln kvs "low");
+                high = parse_int ln "high" (get ln kvs "high");
+              }
+          | "retransmit-bounded" ->
+            let kvs = kv_of_tokens ln args in
+            Retransmit_bounded
+              { budget = parse_int ln "budget" (get ln kvs "budget") }
+          | "recovers-after-heal" ->
+            let kvs = kv_of_tokens ln args in
+            Recovers_after_heal
+              {
+                margin =
+                  (match get_opt kvs "margin" with
+                  | Some s -> parse_float ln "margin" s
+                  | None -> 5.);
               }
           | "min-events" -> (
             match args with

@@ -32,6 +32,10 @@
     expect throughput-recovers tol=0.3 settle=10 window=5
     expect reroute-recovers ratio=0.9 within=5 window=2
     expect partition-silent
+    expect breaker-cycles within=10
+    expect shed-ordered low=2 high=1
+    expect retransmit-bounded budget=65536
+    expect recovers-after-heal margin=5
     expect min-events 1000
     v} *)
 
@@ -114,6 +118,23 @@ type expect =
           stays dead, every node that survives the full window and
           participates in gossip must log a [confirm] for the victim
           within [within] seconds (default 10) *)
+  | Breaker_cycles of { within : float }
+      (** overload-guard breaker discipline: some circuit breaker must
+          open during the fault window (the faults were severe enough
+          to trip one), and every breaker that opened must close again
+          within [within] seconds of the last fault (default 10) *)
+  | Shed_ordered of { low : int; high : int }
+      (** graceful degradation order: if the [high]-priority
+          application is ever shed, the [low]-priority one was shed
+          strictly earlier, and [low] sheds at least as many messages
+          overall *)
+  | Retransmit_bounded of { budget : int }
+      (** recovery traffic stays bounded: payload bytes carried by all
+          [Retransmit] events sum to at most [budget] *)
+  | Recovers_after_heal of { margin : float }
+      (** the system is healthy again once faults have healed: data is
+          still delivered after [last fault + margin], and no breaker
+          opens past that point *)
   | Min_events of int
       (** the trace holds at least this many events — guards the other
           checks against passing vacuously on an idle run *)

@@ -34,6 +34,7 @@ type ntel = {
   c_sent : Metrics.counter;
   c_delivered : Metrics.counter;
   c_dropped : Metrics.counter;
+  c_shed : Metrics.counter; (* admission refusals (guard.shed_total) *)
   c_link_failures : Metrics.counter;
   h_xmit_us : Metrics.histogram; (* transmit time of outgoing msgs, µs *)
   h_switch_bytes : Metrics.histogram; (* switched message sizes *)
@@ -94,6 +95,11 @@ and node = {
   mutable n_ctx : Algorithm.ctx option;
   n_observer : NI.t option;
   mutable tick_handle : Sim.handle option;
+  mutable n_admission :
+    (now:float -> app:int -> size:int -> backlog:int -> bool) option;
+      (* overload-guard hook consulted before data enters the switch;
+         [backlog] is the count of messages staged across this node's
+         sender buffers and overflow queues *)
   n_tel : ntel option;
 }
 
@@ -230,6 +236,15 @@ let tel_drop n ~peer m =
     if Tel.enabled tl.tl then begin
       Metrics.incr tl.c_dropped;
       tel_msg n tl Ev.Drop ~peer m
+    end
+
+let tel_shed n ~peer m =
+  match n.n_tel with
+  | None -> ()
+  | Some tl ->
+    if Tel.enabled tl.tl then begin
+      Metrics.incr tl.c_shed;
+      tel_msg n tl Ev.Shed ~peer m
     end
 
 let tel_deliver n ~peer m =
@@ -381,7 +396,10 @@ and pump_link l =
         while
           (not (Queue.is_empty l.overflow)) && not (Cqueue.is_full l.send_buf)
         do
-          ignore (Cqueue.push l.send_buf (Queue.pop l.overflow))
+          (* cannot refuse: the loop guard just checked for space, and
+             the engine is single-threaded — keep the audit explicit *)
+          let ok = Cqueue.push l.send_buf (Queue.pop l.overflow) in
+          assert ok
         done;
         match Cqueue.pop l.send_buf with
         | None -> continue := false
@@ -460,7 +478,28 @@ and retry_fanout n in_l =
    [dst_id]; creates the connection on demand. Returns false when the
    buffer is full (caller retries later). Dead destinations swallow the
    message (the failure notification travels separately). *)
+and out_backlog n =
+  NI.Tbl.fold
+    (fun _ l acc -> acc + Cqueue.length l.send_buf + Queue.length l.overflow)
+    n.out_links 0
+
+(* The overload-guard admission gate: consulted (when installed) before
+   any data message enters this node's switch. A refusal is final — the
+   message is shed with a [Shed] event, never retried. *)
+and admitted n m =
+  match n.n_admission with
+  | None -> true
+  | Some admit ->
+    admit
+      ~now:(Sim.now n.n_net.sim)
+      ~app:m.Msg.app ~size:(Msg.size m) ~backlog:(out_backlog n)
+
 and try_enqueue_data n m dst_id =
+  if not (admitted n m) then begin
+    tel_shed n ~peer:dst_id m;
+    true
+  end
+  else
   match ensure_link n dst_id with
   | None ->
     tel_drop n ~peer:dst_id m;
@@ -480,6 +519,8 @@ and try_enqueue_data n m dst_id =
 (* Algorithm-originated data send: never fails; excess beyond the
    sender buffer stages in the overflow queue. *)
 and send_data n m dst_id =
+  if not (admitted n m) then tel_shed n ~peer:dst_id m
+  else
   match ensure_link n dst_id with
   | None -> tel_drop n ~peer:dst_id m
   | Some l ->
@@ -1118,6 +1159,7 @@ let add_node t ?host ?(bw = Bwspec.unconstrained) ?buffer_capacity ?observer
       n_ctx = None;
       n_observer = observer;
       tick_handle = None;
+      n_admission = None;
       n_tel =
         (match t.tele with
         | None -> None
@@ -1133,6 +1175,7 @@ let add_node t ?host ?(bw = Bwspec.unconstrained) ?buffer_capacity ?observer
               c_sent = Metrics.counter m ~scope "sent";
               c_delivered = Metrics.counter m ~scope "delivered";
               c_dropped = Metrics.counter m ~scope "dropped";
+              c_shed = Metrics.counter m ~scope "guard.shed_total";
               c_link_failures = Metrics.counter m ~scope "link_failures";
               h_xmit_us = Metrics.histogram m ~scope "xmit_us";
               h_switch_bytes = Metrics.histogram m ~scope "switch_bytes";
@@ -1320,6 +1363,22 @@ let stall_link t ~src ~dst v =
   match find_link t ~src ~dst with
   | Some l -> l.stalled <- v
   | None -> invalid_arg "Network.stall_link: no such link"
+
+(* ------------------------------------------------------------------ *)
+(* Overload guard                                                      *)
+
+let set_admission t ni hook =
+  match find_node t ni with
+  | Some n -> n.n_admission <- hook
+  | None -> invalid_arg "Network.set_admission: no such node"
+
+let node_switched t ni =
+  match find_node t ni with
+  | Some { n_tel = Some tl; _ } -> Metrics.value tl.c_switched
+  | Some _ | None -> 0
+
+let node_backlog t ni =
+  match find_node t ni with Some n -> out_backlog n | None -> 0
 
 (* ------------------------------------------------------------------ *)
 (* Fault injection (chaos)                                             *)

@@ -204,6 +204,36 @@ val lost : t -> Iov_msg.Node_id.t -> int * int
 val make_status : t -> Iov_msg.Node_id.t -> Iov_msg.Status.t option
 (** The engine-composed status snapshot (as sent to the observer). *)
 
+(** {1 Overload guard}
+
+    The engine's admission mechanism; the policy (priority token
+    buckets, queue-gradient degradation) lives in {!module:Iov_guard}
+    and is installed per node by guard-aware deployments. *)
+
+val set_admission :
+  t ->
+  Iov_msg.Node_id.t ->
+  (now:float -> app:int -> size:int -> backlog:int -> bool) option ->
+  unit
+(** Installs (or, with [None], removes) the node's admission hook. The
+    engine consults it before any data message — algorithm-originated
+    or forwarded by the switch — enters a sender buffer; [backlog] is
+    the number of messages currently staged across the node's sender
+    buffers and overflow queues. A [false] verdict sheds the message:
+    it is dropped with a [Shed] telemetry event (and a bump of the
+    per-node [guard.shed_total] counter) instead of a [Drop], and is
+    never retried. @raise Invalid_argument for unknown nodes. *)
+
+val node_switched : t -> Iov_msg.Node_id.t -> int
+(** The node's [switched] telemetry counter (0 without telemetry) —
+    the progress signal {!Iov_guard.Watchdog} supervises. *)
+
+val node_backlog : t -> Iov_msg.Node_id.t -> int
+(** Messages currently staged across the node's sender buffers and
+    overflow queues — the congestion measure the admission hook is
+    handed, readable here for experiments and tests. 0 for unknown
+    nodes. *)
+
 (** {1 Failure injection}
 
     The fault-injection surface of the engine. These entry points are

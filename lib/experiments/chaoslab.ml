@@ -20,6 +20,7 @@ type workload =
   | Session of { n : int; strategy : Tree.strategy }
   | Route of { n : int; mode : Iov_routing.Router.mode }
   | Gossip of { n : int }
+  | Guard of { n : int }
 
 let workload_of_string ~n = function
   | "fig6" -> Some Flood_fig6
@@ -32,6 +33,7 @@ let workload_of_string ~n = function
   | "route-bp" -> Some (Route { n; mode = Iov_routing.Router.Backpressure })
   | "route-static" -> Some (Route { n; mode = Iov_routing.Router.Static })
   | "gossip" -> Some (Gossip { n })
+  | "guard" -> Some (Guard { n })
   | _ -> None
 
 type outcome = {
@@ -259,7 +261,7 @@ let run ?(quiet = false) ?(seed = 42) ?(ring = 16384) ?until ~workload scenario
         | Flood_random n ->
           let t = dagify (Topo.random_graph ~seed ~n:(max 3 n) ~degree:3 ()) in
           (t, List.hd (Topo.names t))
-        | Session _ | Route _ | Gossip _ -> assert false
+        | Session _ | Route _ | Gossip _ | Guard _ -> assert false
       in
       let net, spawn = build_flood ~seed ~telemetry:tel ~topo ~source () in
       let resolve name =
@@ -277,6 +279,10 @@ let run ?(quiet = false) ?(seed = 42) ?(ring = 16384) ?until ~workload scenario
       (b.Gossiplab.b_net, b.Gossiplab.b_resolve, b.Gossiplab.b_spawn,
        (* node 0 is the join seed; scenarios churn the rest *)
        List.tl b.Gossiplab.b_names)
+    | Guard { n } ->
+      let b = Guardlab.build ~seed ~telemetry:tel ~n () in
+      (b.Guardlab.g_net, b.Guardlab.g_resolve, b.Guardlab.g_spawn,
+       b.Guardlab.g_nodes)
   in
   let installed = Chaos.install ~net ~resolve ~spawn ~nodes scenario in
   let horizon =
@@ -387,6 +393,36 @@ let builtin_specs =
         ^ "expect membership-converges within=0.05\n"
         ^ "expect min-events 300\n",
         14.,
+        true );
+      ( "guard",
+        "loss, a first-hop kill and a source squeeze against the guarded "
+        ^ "overlay: breakers cycle, sheds follow priority, replay stays "
+        ^ "in budget",
+        Guard { n = 12 },
+        "scenario guard seed=7\n"
+        ^ "loss link=n0->n1 p=0.25 at=2 clear=5\n" ^ "kill node=n2 at=3\n"
+        ^ "degrade link=n0->n1 rate=4096 at=6 restore=10\n"
+        ^ "degrade link=n0->n2 rate=4096 at=6 restore=10\n"
+        ^ "degrade link=n0->n11 rate=4096 at=6 restore=10\n"
+        ^ "degrade link=n0->n10 rate=4096 at=6 restore=10\n"
+        ^ "expect breaker-cycles within=8\n"
+        ^ "expect shed-ordered low=2 high=1\n"
+        ^ "expect retransmit-bounded budget=262144\n"
+        ^ "expect recovers-after-heal margin=4\n" ^ "expect min-events 500\n",
+        20.,
+        false );
+      ( "guard-broken",
+        "the same abuse claiming the shed priorities the other way "
+        ^ "around: the checker must flag it",
+        Guard { n = 12 },
+        "scenario guard-broken seed=7\n"
+        ^ "loss link=n0->n1 p=0.25 at=2 clear=5\n" ^ "kill node=n2 at=3\n"
+        ^ "degrade link=n0->n1 rate=4096 at=6 restore=10\n"
+        ^ "degrade link=n0->n2 rate=4096 at=6 restore=10\n"
+        ^ "degrade link=n0->n11 rate=4096 at=6 restore=10\n"
+        ^ "degrade link=n0->n10 rate=4096 at=6 restore=10\n"
+        ^ "expect shed-ordered low=1 high=2\n" ^ "expect min-events 500\n",
+        20.,
         true );
       ( broken_fixture,
         "kills both of D's upstreams yet expects recovery: the checker "

@@ -27,11 +27,17 @@ type workload =
           off node 0 with no observer. The spawn callback rejoins a
           churned node off the seed (at a fresh incarnation). Node 0
           is excluded from [nodes=*]. *)
+  | Guard of { n : int }
+      (** the {!Guardlab} overlay: multipath routers under admission
+          control, per-neighbor breakers, a replay byte budget and
+          watchdog supervision, carrying a high- and a low-priority
+          stream. The spawn callback rebuilds a dead node's router and
+          edges; source and sink are excluded from [nodes=*]. *)
 
 val workload_of_string : n:int -> string -> workload option
 (** Parses ["fig6"], ["chain"], ["random"], ["session"],
     ["session-unicast"], ["session-random"], ["route"] (multipath
-    k=2), ["route-bp"], ["route-static"], ["gossip"]. *)
+    k=2), ["route-bp"], ["route-static"], ["gossip"], ["guard"]. *)
 
 type outcome = {
   scenario : Scenario.t;

@@ -1,0 +1,396 @@
+module Network = Iov_core.Network
+module Bwspec = Iov_core.Bwspec
+module Sim = Iov_dsim.Sim
+module NI = Iov_msg.Node_id
+module Tel = Iov_telemetry.Telemetry
+module Ev = Iov_telemetry.Event
+module Tracer = Iov_telemetry.Tracer
+module Router = Iov_routing.Router
+module Admission = Iov_guard.Admission
+module Watchdog = Iov_guard.Watchdog
+module Planetlab = Iov_topo.Planetlab
+module Scenario = Iov_chaos.Scenario
+module Invariant = Iov_chaos.Invariant
+module Chaos = Iov_chaos.Chaos
+module Table = Iov_stats.Table
+
+(* Two application classes share one guarded overlay: an interactive
+   stream that must survive overload and a bulk stream that is the
+   designated sacrifice. Engine control traffic is unclassified and
+   maps to the default class, parked above both so degradation can
+   never starve it. *)
+let app_hi = 1
+let app_lo = 2
+let hi_priority = 2
+let lo_priority = 1
+let ctl_priority = 3
+
+let name_of i = "n" ^ string_of_int i
+
+type built = {
+  g_net : Network.t;
+  g_ids : NI.t array;
+  g_routers : Router.t ref array;
+  g_dog : Watchdog.t option;  (** [None] when built unguarded *)
+  g_src : int;
+  g_dst : int;
+  g_names : string list;  (** every node *)
+  g_nodes : string list;  (** chaos-eligible: everyone but src and dst *)
+  g_resolve : string -> NI.t option;
+  g_spawn : string -> unit;
+}
+
+(* Ring plus chords, degree 4 — the same shape routelab measures, so
+   two edge-disjoint paths exist between any pair and a first-hop kill
+   is survivable. *)
+let edges n =
+  List.concat_map
+    (fun i -> [ (i, (i + 1) mod n); (i, (i + 2) mod n) ])
+    (List.init n Fun.id)
+
+let build ?(seed = 7) ?telemetry ?(rate = 24. *. 1024.)
+    ?(retransmit_budget = 262144) ?(guarded = true) ?(wedge_after = 1.5)
+    ?(open_at = 0.5) ~n () =
+  if n < 5 then invalid_arg "Guardlab.build: n < 5";
+  let pl = Planetlab.generate ~seed ~n () in
+  let net = Network.create ~seed ~buffer_capacity:64 ?telemetry () in
+  Network.set_latency_fn net (Planetlab.latency pl);
+  let sim = Network.sim net in
+  let nds = Array.of_list (Planetlab.nodes pl) in
+  let ids = Array.map (fun nd -> nd.Planetlab.nid) nds in
+  let src = 0 and dst = n / 2 in
+  let neighbor_idx i =
+    List.sort_uniq compare
+      [ (i + 1) mod n; (i + 2) mod n; (i + n - 1) mod n; (i + n - 2) mod n ]
+  in
+  let bw_of i =
+    (* the source pushes k path copies of two streams; headroom *)
+    if i = src then Bwspec.total_only (200. *. 1024.)
+    else nds.(i).Planetlab.bw
+  in
+  let mk_router i =
+    Router.create ?telemetry ~self:ids.(i) ~mode:(Router.Multipath 2)
+      ~neighbors:(List.map (fun j -> ids.(j)) (neighbor_idx i))
+      ~retransmit_budget ()
+  in
+  let install_admission i =
+    if guarded then
+      let adm =
+        Admission.create ~gradient_threshold:8.
+          ~classes:
+            [
+              (app_hi, Admission.cls ~priority:hi_priority ());
+              (app_lo, Admission.cls ~priority:lo_priority ());
+            ]
+          ~default:(Admission.cls ~priority:ctl_priority ())
+          ~now:(Sim.now sim) ()
+      in
+      Network.set_admission net ids.(i)
+        (Some
+           (fun ~now ~app ~size ~backlog ->
+             Admission.admit adm ~now ~app ~size ~backlog))
+  in
+  let routers =
+    Array.init n (fun i ->
+        let r = mk_router i in
+        ignore (Network.add_node net ~bw:(bw_of i) ~id:ids.(i) (Router.algorithm r));
+        ref r)
+  in
+  List.iter
+    (fun (a, b) ->
+      Network.connect net ids.(a) ids.(b);
+      Network.connect net ids.(b) ids.(a))
+    (edges n);
+  Array.iteri (fun i _ -> install_admission i) ids;
+  let alive i =
+    match Network.find_node net ids.(i) with
+    | Some nd -> Network.is_alive nd
+    | None -> false
+  in
+  let resolve nm =
+    let rec find i =
+      if i >= n then None
+      else if String.equal (name_of i) nm then Some ids.(i)
+      else find (i + 1)
+    in
+    find 0
+  in
+  (* Respawn a dead node: fresh router, same id (the engine records the
+     rebirth), live edges re-opened, admission re-armed — the fresh
+     hellos are what close the neighbors' breakers. *)
+  let spawn nm =
+    match resolve nm with
+    | None -> ()
+    | Some id ->
+      let i = ref (-1) in
+      Array.iteri (fun j x -> if NI.equal x id then i := j) ids;
+      let i = !i in
+      if not (alive i) then begin
+        let r = mk_router i in
+        routers.(i) := r;
+        ignore
+          (Network.add_node net ~bw:(bw_of i) ~id:ids.(i) (Router.algorithm r));
+        List.iter
+          (fun (a, b) ->
+            if (a = i || b = i) && alive a && alive b then begin
+              Network.connect net ids.(a) ids.(b);
+              Network.connect net ids.(b) ids.(a)
+            end)
+          (edges n);
+        install_admission i
+      end
+  in
+  let dog =
+    if not guarded then None
+    else begin
+      let dog =
+        Watchdog.create ~wedge_after ~respawn_base:1.0
+          ~rng:(Random.State.make [| seed; n; 0x9a7d1 |])
+          ~now:(Sim.now sim) ()
+      in
+      let emit_wedge i =
+        match telemetry with
+        | None -> ()
+        | Some tl ->
+          Tel.record tl (Tel.tracer tl ids.(i)) ~time:(Sim.now sim)
+            ~kind:Ev.Wedge ~peer:Tracer.nil_peer ~id:Ev.no_id ~app:0 ~mseq:0
+            ~size:0
+      in
+      Array.iteri
+        (fun i _ ->
+          Watchdog.watch dog ~id:(name_of i)
+            ~progress:(fun () -> Network.node_switched net ids.(i))
+            ~respawn:(fun () ->
+              emit_wedge i;
+              (* a wedged-but-alive node is torn down first; a dead one
+                 goes straight to the rebirth *)
+              if alive i then Network.kill_node net ids.(i);
+              spawn (name_of i)))
+        ids;
+      ignore
+        (Sim.every sim ~period:0.5 (fun () ->
+             ignore (Watchdog.scan dog ~now:(Sim.now sim))));
+      Some dog
+    end
+  in
+  ignore
+    (Sim.schedule_at sim ~time:open_at (fun () ->
+         let ctx = Network.ctx (Network.node net ids.(src)) in
+         Router.open_session !(routers.(src)) ctx ~app:app_hi ~dst:ids.(dst)
+           ~rate ~payload_size:1024 ();
+         Router.open_session !(routers.(src)) ctx ~app:app_lo ~dst:ids.(dst)
+           ~rate ~payload_size:1024 ()));
+  {
+    g_net = net;
+    g_ids = ids;
+    g_routers = routers;
+    g_dog = dog;
+    g_src = src;
+    g_dst = dst;
+    g_names = List.init n name_of;
+    g_nodes =
+      List.filter_map
+        (fun i -> if i = src || i = dst then None else Some (name_of i))
+        (List.init n Fun.id);
+    g_resolve = resolve;
+    g_spawn = spawn;
+  }
+
+(* -- the experiment: guarded vs bare under the same abuse ----------- *)
+
+type row = {
+  r_variant : string;
+  r_hi_rate : float;  (** interactive goodput through the overload, B/s *)
+  r_lo_rate : float;
+  r_shed_lo : int;
+  r_shed_hi : int;
+  r_peak_backlog : int;  (** worst source sender backlog, messages *)
+  r_retx_bytes : int;
+  r_suppressed : int;
+  r_wedged : int;
+}
+
+type result = { rows : row list; n : int; seed : int }
+
+(* One run: kill the primary first hop at [kill_at], squeeze every
+   surviving source uplink to [squeeze] B/s over [t0,t1], measure the
+   two streams' delivery at the sink across the overload window. *)
+let run_variant ~seed ~n ~guarded () =
+  let kill_at = 3.0 and t0 = 6.0 and t1 = 10.0 and horizon = 14.0 in
+  let squeeze = 4096. in
+  let tel = Tel.create ~ring_capacity:16384 () in
+  let b = build ~seed ~telemetry:tel ~guarded ~n () in
+  let sim = Network.sim b.g_net in
+  let at time f = ignore (Sim.schedule_at sim ~time f) in
+  let victim = 2 in
+  at kill_at (fun () -> Network.kill_node b.g_net b.g_ids.(victim));
+  let hi0 = ref 0 and hi1 = ref 0 and lo0 = ref 0 and lo1 = ref 0 in
+  let sample c_hi c_lo () =
+    c_hi := Network.app_bytes b.g_net b.g_ids.(b.g_dst) ~app:app_hi;
+    c_lo := Network.app_bytes b.g_net b.g_ids.(b.g_dst) ~app:app_lo
+  in
+  let peak = ref 0 in
+  ignore
+    (Sim.every sim ~period:0.2 (fun () ->
+         peak := max !peak (Network.node_backlog b.g_net b.g_ids.(b.g_src))));
+  at t0 (fun () ->
+      sample hi0 lo0 ();
+      List.iter
+        (fun j ->
+          try
+            Network.set_link_bandwidth b.g_net ~src:b.g_ids.(b.g_src)
+              ~dst:b.g_ids.(j) squeeze
+          with Invalid_argument _ | Not_found -> ())
+        [ 1; 2; n - 1; n - 2 ]);
+  at t1 (fun () ->
+      sample hi1 lo1 ();
+      List.iter
+        (fun j ->
+          try
+            Network.set_link_bandwidth b.g_net ~src:b.g_ids.(b.g_src)
+              ~dst:b.g_ids.(j) infinity
+          with Invalid_argument _ | Not_found -> ())
+        [ 1; 2; n - 1; n - 2 ]);
+  Network.run b.g_net ~until:horizon;
+  let window = t1 -. t0 in
+  let sheds app =
+    List.length
+      (List.filter
+         (fun (e : Tel.event) -> e.Tel.kind = Ev.Shed && e.Tel.app = app)
+         (Tel.events tel))
+  in
+  let src_stats = Router.stats !(b.g_routers.(b.g_src)) in
+  {
+    r_variant = (if guarded then "guarded" else "bare");
+    r_hi_rate = float_of_int (!hi1 - !hi0) /. window;
+    r_lo_rate = float_of_int (!lo1 - !lo0) /. window;
+    r_shed_lo = sheds app_lo;
+    r_shed_hi = sheds app_hi;
+    r_peak_backlog = !peak;
+    r_retx_bytes = src_stats.Router.retransmit_bytes;
+    r_suppressed = src_stats.Router.suppressed;
+    r_wedged =
+      (match b.g_dog with Some d -> Watchdog.wedged_total d | None -> 0);
+  }
+
+let run ?(quiet = false) ?(seed = 7) ?(n = 12) () =
+  let rows =
+    [
+      run_variant ~seed ~n ~guarded:true ();
+      run_variant ~seed ~n ~guarded:false ();
+    ]
+  in
+  if not quiet then begin
+    Printf.printf
+      "guardlab: n=%d seed=%d — first hop killed at t=3, source uplinks \
+       squeezed to 4 KB/s over t=6..10\n"
+      n seed;
+    Table.print
+      ~header:
+        [ "variant"; "hi KB/s"; "lo KB/s"; "shed lo"; "shed hi"; "peak blog";
+          "rexmit B"; "suppressed"; "wedges" ]
+      (List.map
+         (fun r ->
+           [
+             r.r_variant;
+             Table.f1 (r.r_hi_rate /. 1024.);
+             Table.f1 (r.r_lo_rate /. 1024.);
+             string_of_int r.r_shed_lo;
+             string_of_int r.r_shed_hi;
+             string_of_int r.r_peak_backlog;
+             string_of_int r.r_retx_bytes;
+             string_of_int r.r_suppressed;
+             string_of_int r.r_wedged;
+           ])
+         rows)
+  end;
+  { rows; n; seed }
+
+(* -- the smoke / acceptance run ------------------------------------ *)
+
+let smoke_budget = 262144
+
+let smoke_scenario ~seed ~n =
+  String.concat "\n"
+    [
+      Printf.sprintf "scenario guard-smoke seed=%d" seed;
+      "loss link=n0->n1 p=0.25 at=2 clear=5";
+      "kill node=n2 at=3";
+      "degrade link=n0->n1 rate=4096 at=6 restore=10";
+      "degrade link=n0->n2 rate=4096 at=6 restore=10";
+      Printf.sprintf "degrade link=n0->n%d rate=4096 at=6 restore=10" (n - 1);
+      Printf.sprintf "degrade link=n0->n%d rate=4096 at=6 restore=10" (n - 2);
+      "expect breaker-cycles within=8";
+      Printf.sprintf "expect shed-ordered low=%d high=%d" app_lo app_hi;
+      Printf.sprintf "expect retransmit-bounded budget=%d" smoke_budget;
+      "expect recovers-after-heal margin=4";
+      "expect min-events 500";
+      "";
+    ]
+
+let smoke_once ~seed ~n ~horizon =
+  let tel = Tel.create ~ring_capacity:16384 () in
+  let b = build ~seed ~telemetry:tel ~retransmit_budget:smoke_budget ~n () in
+  let scenario = Scenario.parse (smoke_scenario ~seed ~n) in
+  let installed =
+    Chaos.install ~net:b.g_net ~resolve:b.g_resolve ~spawn:b.g_spawn
+      ~nodes:b.g_nodes scenario
+  in
+  Network.run b.g_net ~until:horizon;
+  let report = Chaos.check installed ~telemetry:tel ~horizon in
+  let count k =
+    List.length
+      (List.filter (fun (e : Tel.event) -> e.Tel.kind = k) (Tel.events tel))
+  in
+  let shed_lo =
+    List.length
+      (List.filter
+         (fun (e : Tel.event) -> e.Tel.kind = Ev.Shed && e.Tel.app = app_lo)
+         (Tel.events tel))
+  in
+  let src_stats = Router.stats !(b.g_routers.(b.g_src)) in
+  ( report,
+    count Ev.Breaker_open,
+    count Ev.Breaker_close,
+    shed_lo,
+    (match b.g_dog with Some d -> Watchdog.wedged_total d | None -> 0),
+    src_stats.Router.retransmit_bytes,
+    Tel.digest tel )
+
+let smoke ?(quiet = false) ?(seed = 7) () =
+  let n = 12 and horizon = 20.0 in
+  let run () = smoke_once ~seed ~n ~horizon in
+  let report, opens, closes, shed_lo, wedged, retx, digest1 = run () in
+  let _, _, _, _, _, _, digest2 = run () in
+  let ok_invariant = Invariant.ok report in
+  let ok_breaker = opens > 0 && closes > 0 in
+  let ok_shed = shed_lo > 0 in
+  let ok_dog = wedged >= 1 in
+  let ok_budget = retx <= smoke_budget in
+  let ok_digest = String.equal digest1 digest2 in
+  let ok =
+    ok_invariant && ok_breaker && ok_shed && ok_dog && ok_budget && ok_digest
+  in
+  if not quiet then begin
+    Printf.printf
+      "guardlab smoke: n=%d seed=%d — loss then first-hop kill then a 4 s \
+       source squeeze\n"
+      n seed;
+    Printf.printf "  chaos invariants                %s\n"
+      (if ok_invariant then "ok" else "FAIL");
+    if not ok_invariant then print_string (Invariant.to_string report);
+    Printf.printf "  breakers cycled                 %s\n"
+      (if ok_breaker then Printf.sprintf "ok (%d open, %d close)" opens closes
+       else Printf.sprintf "FAIL (%d open, %d close)" opens closes);
+    Printf.printf "  low priority shed               %s\n"
+      (if ok_shed then Printf.sprintf "ok (%d)" shed_lo else "FAIL (0)");
+    Printf.printf "  watchdog respawned the victim   %s\n"
+      (if ok_dog then Printf.sprintf "ok (%d)" wedged else "FAIL (0)");
+    Printf.printf "  retransmit bytes under budget   %s\n"
+      (if ok_budget then Printf.sprintf "ok (%d <= %d)" retx smoke_budget
+       else Printf.sprintf "FAIL (%d > %d)" retx smoke_budget);
+    Printf.printf "  same-seed telemetry digest      %s\n"
+      (if ok_digest then "ok (" ^ String.sub digest1 0 8 ^ "...)"
+       else "FAIL: " ^ digest1 ^ " vs " ^ digest2)
+  end;
+  ok

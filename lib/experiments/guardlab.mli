@@ -1,0 +1,85 @@
+(** The overload-guard lab: one guarded routed overlay under seeded
+    abuse — a first-hop kill, transient loss and a hard squeeze of
+    every source uplink — exercising all four {!Iov_guard} pieces at
+    once. Circuit breakers trip on the dead hop and close when the
+    watchdog's respawn brings its heartbeats back; admission sheds the
+    bulk stream strictly before the interactive one while the squeeze
+    lasts; the replay ring stays under its byte budget throughout.
+
+    {!run} compares the guarded overlay against the same overlay bare
+    (no admission, no watchdog, unlimited replay); {!smoke} is the
+    seeded acceptance gate behind [iover guard --smoke]. *)
+
+val app_hi : int
+(** Application id of the interactive (high-priority) stream. *)
+
+val app_lo : int
+(** Application id of the bulk (low-priority, first-shed) stream. *)
+
+type built = {
+  g_net : Iov_core.Network.t;
+  g_ids : Iov_msg.Node_id.t array;
+  g_routers : Iov_routing.Router.t ref array;
+      (** replaced in place when the watchdog respawns a node *)
+  g_dog : Iov_guard.Watchdog.t option;  (** [None] when built unguarded *)
+  g_src : int;
+  g_dst : int;
+  g_names : string list;  (** every node, as [n0..n(n-1)] *)
+  g_nodes : string list;  (** chaos-eligible: everyone but src and dst *)
+  g_resolve : string -> Iov_msg.Node_id.t option;
+  g_spawn : string -> unit;
+}
+
+val build :
+  ?seed:int ->
+  ?telemetry:Iov_telemetry.Telemetry.t ->
+  ?rate:float ->
+  ?retransmit_budget:int ->
+  ?guarded:bool ->
+  ?wedge_after:float ->
+  ?open_at:float ->
+  n:int ->
+  unit ->
+  built
+(** A degree-4 ring-plus-chords overlay of [n >= 5] multipath (k=2)
+    routers with a [retransmit_budget]-byte replay ceiling (default
+    256 KiB), carrying two constant-rate sessions ([rate] B/s each,
+    default 24 KiB/s) from node 0 to node [n/2]: {!app_hi} at priority
+    2 and {!app_lo} at priority 1, with unclassified (control) traffic
+    defaulted above both. When [guarded] (default), every node gets an
+    {!Iov_guard.Admission} hook and a shared {!Iov_guard.Watchdog}
+    supervises all switch counters, respawning any node whose counter
+    freezes for [wedge_after] seconds (default 1.5) while a sibling's
+    advances. *)
+
+type row = {
+  r_variant : string;
+  r_hi_rate : float;  (** interactive goodput through the overload, B/s *)
+  r_lo_rate : float;
+  r_shed_lo : int;
+  r_shed_hi : int;
+  r_peak_backlog : int;  (** worst source sender backlog, messages *)
+  r_retx_bytes : int;
+  r_suppressed : int;
+  r_wedged : int;
+}
+
+type result = { rows : row list; n : int; seed : int }
+
+val run : ?quiet:bool -> ?seed:int -> ?n:int -> unit -> result
+(** Runs the guarded and bare variants through the same seeded abuse
+    and prints the comparison: what each stream kept delivering, who
+    was shed, what the replay ring spent, and how many respawns the
+    watchdog fired. *)
+
+val smoke_budget : int
+(** The replay-ring byte budget the smoke run is held to. *)
+
+val smoke : ?quiet:bool -> ?seed:int -> unit -> bool
+(** The CI gate. Two identical seeded runs of the full abuse scenario;
+    passes iff the chaos invariants hold (breakers cycle, sheds in
+    priority order, retransmit bytes bounded, recovery after heal),
+    breakers demonstrably opened and closed, the bulk stream was shed,
+    the watchdog respawned the killed hop, the replay ring stayed
+    under {!smoke_budget}, and the two runs' telemetry digests are
+    byte-identical. *)

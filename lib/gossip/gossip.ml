@@ -7,6 +7,7 @@ module Ialg = Iov_core.Ialgorithm
 module Tel = Iov_telemetry.Telemetry
 module Ev = Iov_telemetry.Event
 module Metrics = Iov_telemetry.Metrics
+module Backoff = Iov_guard.Backoff
 
 let src = Logs.Src.create "iov.gossip" ~doc:"gossip membership"
 
@@ -55,6 +56,9 @@ type t = {
   mutable seq : int;
   pending : (int, pending) Hashtbl.t;
   mutable rr : NI.t list;  (** randomized round-robin probe order *)
+  reprobe : (NI.t, Backoff.t * float ref) Hashtbl.t;
+      (** peers whose last probe went fully unanswered: the backoff
+          schedule spacing further probes, and the next eligible time *)
   mutable listeners : NI.t list;
   mutable round : int;
   mutable joined : bool;
@@ -106,6 +110,7 @@ let create ?telemetry ?(probe_period = 0.5) ?(probe_timeout = 0.15)
     seq = 0;
     pending = Hashtbl.create 8;
     rr = [];
+    reprobe = Hashtbl.create 8;
     listeners = [];
     round = 0;
     joined = false;
@@ -262,12 +267,43 @@ let sample_alive t (ctx : Alg.ctx) ~excluding n =
   done;
   Array.to_list (Array.sub arr 0 n)
 
+(* -- re-probe backoff (overload guard) ----------------------------- *)
+
+(* A peer whose probe went fully unanswered (no direct ack, no
+   indirect one) is not probed again immediately: further probes ride
+   the shared backoff schedule, so a long-dead peer costs O(log)
+   probes instead of one per round. Any answer clears the slate. *)
+
+let reprobe_eligible t ~now peer =
+  match Hashtbl.find_opt t.reprobe peer with
+  | None -> true
+  | Some (_, until) -> now >= !until
+
+let reprobe_defer t (ctx : Alg.ctx) peer =
+  let bo, until =
+    match Hashtbl.find_opt t.reprobe peer with
+    | Some e -> e
+    | None ->
+      let e =
+        ( Backoff.create ~base:t.period ~cap:(8. *. t.period) ~rng:ctx.Alg.rng
+            (),
+          ref 0. )
+      in
+      Hashtbl.add t.reprobe peer e;
+      e
+  in
+  until := ctx.Alg.now () +. Backoff.next bo
+
+let reprobe_clear t peer = Hashtbl.remove t.reprobe peer
+
 let next_probe_target t (ctx : Alg.ctx) =
+  let now = ctx.Alg.now () in
   let rec pick retried =
     match t.rr with
     | p :: rest ->
       t.rr <- rest;
-      if Swim.is_alive t.sw p then Some p else pick retried
+      if Swim.is_alive t.sw p && reprobe_eligible t ~now p then Some p
+      else pick retried
     | [] ->
       if retried then None
       else begin
@@ -313,7 +349,10 @@ let probe t (ctx : Alg.ctx) target =
         ctx.Alg.set_timer t.probe_timeout (fun () ->
             (match Hashtbl.find_opt t.pending seq with
             | None | Some { p_acked = true; _ } -> ()
-            | Some _ -> suspect t ctx target);
+            | Some _ ->
+              (* fully unanswered: space further probes of this peer *)
+              reprobe_defer t ctx target;
+              suspect t ctx target);
             Hashtbl.remove t.pending seq))
 
 let confirm_expired t (ctx : Alg.ctx) =
@@ -433,6 +472,7 @@ let handle_ack t (ctx : Alg.ctx) (m : Msg.t) =
   let inc = Wire.R.int32 r in
   absorb t ctx { Swim.u_node = subject; u_status = Swim.Alive; u_inc = inc };
   absorb_all t ctx (r_updates r);
+  reprobe_clear t subject;
   match Hashtbl.find_opt t.pending seq with
   | Some p when NI.equal p.p_target subject ->
     p.p_acked <- true;

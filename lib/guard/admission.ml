@@ -1,0 +1,134 @@
+type cls = { rate : float; burst : int; priority : int }
+
+let cls ?(rate = infinity) ?(burst = 65536) ~priority () =
+  if priority < 0 then invalid_arg "Admission.cls: priority < 0";
+  { rate; burst; priority }
+
+type bucket = {
+  bk_cls : cls;
+  mutable tokens : float;
+  mutable refilled : float;
+}
+
+type t = {
+  gradient_threshold : float;
+  relief : float;
+  classes : (int, bucket) Hashtbl.t;
+  default : cls;
+  mutable max_priority : int;
+  (* gradient tracking *)
+  mutable last_backlog : int;
+  mutable last_seen : float;
+  mutable gradient : float;  (** EWMA of d(backlog)/dt, bytes/s *)
+  mutable floor : int;  (** priorities below this are shed *)
+  mutable floor_changed : float;
+  (* accounting *)
+  mutable shed_total : int;
+  shed_by_app : (int, int ref) Hashtbl.t;
+}
+
+let bucket_of cls ~now =
+  { bk_cls = cls; tokens = float_of_int cls.burst; refilled = now }
+
+let create ?(gradient_threshold = 256.) ?(relief = 0.25) ?(classes = [])
+    ~default ~now () =
+  let tbl = Hashtbl.create 8 in
+  List.iter (fun (app, c) -> Hashtbl.replace tbl app (bucket_of c ~now)) classes;
+  let max_priority =
+    List.fold_left (fun m (_, c) -> max m c.priority) default.priority classes
+  in
+  {
+    gradient_threshold;
+    relief;
+    classes = tbl;
+    default;
+    max_priority;
+    last_backlog = 0;
+    last_seen = now;
+    gradient = 0.;
+    floor = 0;
+    floor_changed = now;
+    shed_total = 0;
+    shed_by_app = Hashtbl.create 8;
+  }
+
+let bucket t ~now ~app =
+  match Hashtbl.find_opt t.classes app with
+  | Some b -> b
+  | None ->
+    let b = bucket_of t.default ~now in
+    Hashtbl.add t.classes app b;
+    b
+
+let priority_of t ~app =
+  match Hashtbl.find_opt t.classes app with
+  | Some b -> b.bk_cls.priority
+  | None -> t.default.priority
+
+(* EWMA over irregular samples: blend with weight 1 - exp(-dt/tau),
+   tau fixed at 1s — recent growth dominates, single bursts decay. *)
+let tau = 1.0
+
+let observe_backlog t ~now ~backlog =
+  let dt = now -. t.last_seen in
+  if dt > 0. then begin
+    let d = float_of_int (backlog - t.last_backlog) /. dt in
+    let w = 1. -. exp (-.dt /. tau) in
+    t.gradient <- t.gradient +. (w *. (d -. t.gradient));
+    t.last_seen <- now;
+    t.last_backlog <- backlog;
+    (* walk the shed floor one level per relief period *)
+    if now -. t.floor_changed >= t.relief then
+      if t.gradient > t.gradient_threshold then begin
+        if t.floor < t.max_priority then begin
+          t.floor <- t.floor + 1;
+          t.floor_changed <- now
+        end
+      end
+      else if t.floor > 0 then begin
+        t.floor <- t.floor - 1;
+        t.floor_changed <- now
+      end
+  end
+  else t.last_backlog <- backlog
+
+let charge_shed t ~app =
+  t.shed_total <- t.shed_total + 1;
+  match Hashtbl.find_opt t.shed_by_app app with
+  | Some r -> incr r
+  | None -> Hashtbl.add t.shed_by_app app (ref 1)
+
+let admit t ~now ~app ~size ~backlog =
+  observe_backlog t ~now ~backlog;
+  let b = bucket t ~now ~app in
+  if b.bk_cls.priority < t.floor then begin
+    charge_shed t ~app;
+    false
+  end
+  else begin
+    (* refill, then try to pay *)
+    (if b.bk_cls.rate < infinity then
+       let dt = now -. b.refilled in
+       if dt > 0. then begin
+         b.tokens <-
+           Float.min
+             (float_of_int b.bk_cls.burst)
+             (b.tokens +. (dt *. b.bk_cls.rate));
+         b.refilled <- now
+       end);
+    let cost = float_of_int size in
+    if b.bk_cls.rate = infinity || b.tokens >= cost then begin
+      if b.bk_cls.rate < infinity then b.tokens <- b.tokens -. cost;
+      true
+    end
+    else begin
+      charge_shed t ~app;
+      false
+    end
+  end
+
+let shed_floor t = t.floor
+let shed_total t = t.shed_total
+
+let shed_of t ~app =
+  match Hashtbl.find_opt t.shed_by_app app with Some r -> !r | None -> 0

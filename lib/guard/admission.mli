@@ -1,0 +1,71 @@
+(** Priority-classed admission control for the switch: token buckets
+    per application class, plus graceful degradation that sheds the
+    {e lowest}-priority traffic first when the sender backlog keeps
+    growing.
+
+    Two independent gates, both allocation-free per decision:
+
+    - {e rate}: each class refills a byte-denominated token bucket;
+      a message that cannot pay its size in tokens is shed.
+    - {e gradient}: the admission point tracks an EWMA of the backlog
+      derivative. While it exceeds [gradient_threshold] (the queue is
+      growing faster than it drains), a shed floor climbs one priority
+      level at a time — classes strictly below the floor are refused
+      outright — and decays back to zero once the backlog shrinks
+      again. Higher [priority] numbers survive longer.
+
+    Decisions are pure functions of [(now, app, size, backlog)] and
+    the configuration, so the simulator's seeded runs replay the same
+    shed pattern byte for byte. The caller records a [Shed] telemetry
+    event per refusal; {!shed_total} aggregates them for the
+    [guard.shed_total] metric. *)
+
+type t
+
+type cls = {
+  rate : float;  (** sustained budget, bytes/second *)
+  burst : int;  (** bucket depth, bytes *)
+  priority : int;  (** bigger survives longer; must be >= 0 *)
+}
+
+val cls : ?rate:float -> ?burst:int -> priority:int -> unit -> cls
+(** Class constructor; [rate] defaults to unlimited
+    ([infinity]), [burst] to 64 KiB. *)
+
+val create :
+  ?gradient_threshold:float ->
+  ?relief:float ->
+  ?classes:(int * cls) list ->
+  default:cls ->
+  now:float ->
+  unit ->
+  t
+(** [classes] maps application ids to their class; unlisted apps get
+    [default]. [gradient_threshold] (default 256., in backlog units
+    per second of smoothed growth) arms degradation; the shed floor
+    climbs after each [relief] (default 0.25s) spent above the
+    threshold and steps back down after each [relief] below it. The
+    floor never exceeds the largest configured priority, so to make a
+    class sheddable under degradation give some other class (often
+    [default], standing in for control-critical traffic) a higher
+    priority. *)
+
+val admit : t -> now:float -> app:int -> size:int -> backlog:int -> bool
+(** Should this [size]-byte message from [app] enter the switch, given
+    [backlog] already queued ahead of it? [backlog] is any monotone
+    congestion measure in a unit of the caller's choice — the engine
+    passes messages staged across its sender buffers — as long as the
+    unit matches [gradient_threshold]. [false] means shed. *)
+
+val shed_floor : t -> int
+(** The current degradation level: classes with [priority <] this are
+    being refused. 0 when the system is healthy. *)
+
+val shed_total : t -> int
+(** Messages refused since [create], across both gates. *)
+
+val shed_of : t -> app:int -> int
+(** Refusals charged to one application id. *)
+
+val priority_of : t -> app:int -> int
+(** The priority the configuration assigns to [app]. *)

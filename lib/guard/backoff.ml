@@ -1,0 +1,33 @@
+type t = {
+  base : float;
+  cap : float;
+  rng : Random.State.t;
+  mutable prev : float;
+  mutable attempt : int;
+}
+
+let create ?(base = 0.1) ?(cap = 30.) ~rng () =
+  if not (base > 0. && base <= cap) then
+    invalid_arg "Backoff.create: need 0 < base <= cap";
+  { base; cap; rng; prev = 0.; attempt = 0 }
+
+let envelope ~base ~cap k =
+  (* 3^k overflows a float only far past any realistic attempt count;
+     short-circuit once the envelope pins at the cap *)
+  let rec grow v k = if k <= 0 || v >= cap then v else grow (v *. 3.) (k - 1) in
+  Float.min cap (grow base k)
+
+let next t =
+  let hi = Float.max t.base (3. *. t.prev) in
+  let d = t.base +. Random.State.float t.rng (hi -. t.base) in
+  let d = Float.min d (envelope ~base:t.base ~cap:t.cap t.attempt) in
+  let d = Float.max t.base d in
+  t.prev <- d;
+  t.attempt <- t.attempt + 1;
+  d
+
+let reset t =
+  t.prev <- 0.;
+  t.attempt <- 0
+
+let attempt t = t.attempt

@@ -1,0 +1,41 @@
+(** The one retry schedule every subsystem shares: exponential backoff
+    with decorrelated jitter (the AWS "decorrelated" variant), clamped
+    to a monotone-bounded envelope.
+
+    Three properties make it safe to adopt everywhere:
+
+    - {e bounded}: every delay lies in [[base, cap]];
+    - {e monotone envelope}: the [k]-th delay never exceeds
+      [min cap (base * 3^k)], so the schedule cannot jump to the cap
+      on the first retry and the envelope only grows until it pins at
+      the cap;
+    - {e deterministic}: all randomness comes from the caller's
+      [Random.State], so under the simulator's seeded RNG the same run
+      replays the same delays byte for byte.
+
+    A schedule is cheap (three floats and a counter); make one per
+    retry loop (per peer, per connection) and [reset] it on success. *)
+
+type t
+
+val create : ?base:float -> ?cap:float -> rng:Random.State.t -> unit -> t
+(** [create ~rng ()] is a fresh schedule. [base] (default [0.1]s) is
+    both the first delay's upper bound and the floor of every delay;
+    [cap] (default [30.]s) the ceiling. @raise Invalid_argument unless
+    [0 < base <= cap]. *)
+
+val next : t -> float
+(** The next delay: drawn uniformly from
+    [[base, max base (3 * previous)]], then clamped to the envelope
+    [min cap (base * 3^attempt)]. Advances the attempt counter. *)
+
+val reset : t -> unit
+(** Back to the first-attempt state (after a success). *)
+
+val attempt : t -> int
+(** Delays handed out since the last [reset]. *)
+
+val envelope : base:float -> cap:float -> int -> float
+(** [envelope ~base ~cap k] = [min cap (base * 3^k)], the bound the
+    [k]-th (0-based) delay of any same-parameter schedule respects —
+    exposed so property tests can state the invariant exactly. *)

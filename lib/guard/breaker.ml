@@ -1,0 +1,114 @@
+type state = Closed | Open | Half_open
+
+type phase =
+  | P_closed
+  | P_open of { until : float }  (** refuse until [until], then probe *)
+  | P_probing  (** the half-open probe is in flight *)
+
+type t = {
+  failure_threshold : int;
+  window : float;
+  backoff : Backoff.t;
+  mutable phase : phase;
+  mutable failures : int;  (** in-window failures while closed *)
+  mutable first_failure : float;
+  mutable opened_at : float;  (** start of the current away-from-Closed span *)
+  mutable trips : int;
+}
+
+let create ?(failure_threshold = 3) ?(window = 10.) ?(open_base = 1.)
+    ?(open_cap = 30.) ~rng () =
+  if failure_threshold < 1 then
+    invalid_arg "Breaker.create: failure_threshold < 1";
+  {
+    failure_threshold;
+    window;
+    backoff = Backoff.create ~base:open_base ~cap:open_cap ~rng ();
+    phase = P_closed;
+    failures = 0;
+    first_failure = 0.;
+    opened_at = 0.;
+    trips = 0;
+  }
+
+let state t ~now =
+  match t.phase with
+  | P_closed -> Closed
+  | P_probing -> Half_open
+  | P_open { until } -> if now >= until then Half_open else Open
+
+let trip t ~now =
+  if t.trips = 0 then t.opened_at <- now;
+  t.trips <- t.trips + 1;
+  t.failures <- 0;
+  t.phase <- P_open { until = now +. Backoff.next t.backoff }
+
+let allow t ~now =
+  match t.phase with
+  | P_closed -> true
+  | P_probing -> false
+  | P_open { until } ->
+    if now >= until then begin
+      (* hand out the single half-open probe *)
+      t.phase <- P_probing;
+      true
+    end
+    else false
+
+let on_failure t ~now =
+  match t.phase with
+  | P_closed ->
+    if t.failures = 0 || now -. t.first_failure > t.window then begin
+      t.failures <- 1;
+      t.first_failure <- now
+    end
+    else t.failures <- t.failures + 1;
+    if t.failures >= t.failure_threshold then begin
+      trip t ~now;
+      true
+    end
+    else false
+  | P_probing ->
+    (* the probe itself failed: re-trip, longer interval *)
+    trip t ~now;
+    true
+  | P_open _ ->
+    (* already open; extra failure reports (e.g. straggler timeouts)
+       neither extend nor re-announce the open interval *)
+    false
+
+let on_success t ~now =
+  match t.phase with
+  | P_closed ->
+    t.failures <- 0;
+    None
+  | P_probing ->
+    let span = now -. t.opened_at in
+    t.phase <- P_closed;
+    t.failures <- 0;
+    t.trips <- 0;
+    Backoff.reset t.backoff;
+    Some (Float.max 0. span)
+  | P_open { until } when now >= until ->
+    (* the open interval has elapsed, so the breaker is half-open by
+       time even if nobody asked [allow] for the probe yet; an organic
+       success (a heartbeat got through) is just as good as a probe *)
+    let span = now -. t.opened_at in
+    t.phase <- P_closed;
+    t.failures <- 0;
+    t.trips <- 0;
+    Backoff.reset t.backoff;
+    Some (Float.max 0. span)
+  | P_open _ ->
+    (* a late success while open: evidence, but not a probe — wait for
+       the half-open window before trusting the peer again *)
+    None
+
+let trips t = t.trips
+
+let pp_state fmt s =
+  Format.pp_print_string fmt
+    (match s with
+    | Closed -> "closed"
+    | Open -> "open"
+    | Half_open -> "half-open")

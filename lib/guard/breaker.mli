@@ -1,0 +1,65 @@
+(** A per-neighbor circuit breaker: stop hammering a peer that keeps
+    timing out, probe it occasionally, resume when it answers.
+
+    The classic three-state machine, driven entirely by the caller's
+    clock (pass [~now] everywhere — the simulator passes virtual time,
+    the sockets runtime wall time), with its open intervals drawn from
+    a seeded {!Backoff} schedule so consecutive trips hold the door
+    shut for (boundedly) longer and same-seed runs replay identically.
+
+    - [Closed] — traffic flows; failures within [window] accumulate,
+      and the [failure_threshold]-th trips the breaker.
+    - [Open] — {!allow} refuses until the scheduled probe time.
+    - [Half_open] — exactly one probe is allowed through; its outcome
+      ({!on_success} / {!on_failure}) closes or re-trips the breaker.
+
+    The machine {e never} re-enters [Open] without a fresh
+    {!on_failure}: successes and the mere passage of time only ever
+    move it toward [Closed] (the property test in [test_guard.ml]
+    pins this). *)
+
+type t
+
+type state = Closed | Open | Half_open
+
+val create :
+  ?failure_threshold:int ->
+  ?window:float ->
+  ?open_base:float ->
+  ?open_cap:float ->
+  rng:Random.State.t ->
+  unit ->
+  t
+(** [failure_threshold] (default 3) failures within [window] (default
+    10.s) trip the breaker; the open interval starts around
+    [open_base] (default 1.s) and backs off toward [open_cap] (default
+    30.s) on consecutive re-trips. *)
+
+val state : t -> now:float -> state
+(** Current state; an elapsed [Open] reads as [Half_open]. *)
+
+val allow : t -> now:float -> bool
+(** May the caller send (or retry) toward this peer now? [Closed]:
+    yes. [Open]: no, until the probe time arrives. [Half_open]: yes
+    once — the probe; further calls before the probe's outcome is
+    reported answer no. *)
+
+val on_failure : t -> now:float -> bool
+(** Report a send timeout / failed probe / [Link_failed]. Returns
+    [true] exactly when this failure tripped the breaker from
+    [Closed] or [Half_open] into [Open] — the caller's cue to emit a
+    [Breaker_open] telemetry event. *)
+
+val on_success : t -> now:float -> float option
+(** Report a successful delivery or probe answer. Returns
+    [Some open_seconds] exactly when this success closed a half-open
+    breaker — probed or merely elapsed past its open interval — (the
+    cue for [Breaker_close]; the payload is the total time spent away
+    from [Closed], for the [breaker.open_ms] histogram). In [Closed]
+    it clears the failure count and returns [None]; while the open
+    interval is still running a stray success is ignored. *)
+
+val trips : t -> int
+(** Consecutive trips since the breaker last fully closed. *)
+
+val pp_state : Format.formatter -> state -> unit

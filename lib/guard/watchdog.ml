@@ -1,0 +1,79 @@
+type entry = {
+  e_id : string;
+  e_progress : unit -> int;
+  e_respawn : unit -> unit;
+  e_backoff : Backoff.t;
+  mutable e_last_value : int;
+  mutable e_last_advance : float;  (** when the counter last moved *)
+  mutable e_eligible : float;  (** no respawn before this time *)
+  mutable e_worked : bool;  (** has the counter ever advanced? *)
+}
+
+type t = {
+  wedge_after : float;
+  rng : Random.State.t;
+  respawn_base : float;
+  respawn_cap : float;
+  mutable entries : entry list;  (** registration order, stable scans *)
+  mutable wedged_total : int;
+}
+
+let create ?(wedge_after = 5.) ?(respawn_base = 1.) ?(respawn_cap = 30.) ~rng
+    ~now:_ () =
+  { wedge_after; rng; respawn_base; respawn_cap; entries = []; wedged_total = 0 }
+
+let watch t ~id ~progress ~respawn =
+  let e =
+    {
+      e_id = id;
+      e_progress = progress;
+      e_respawn = respawn;
+      e_backoff =
+        Backoff.create ~base:t.respawn_base ~cap:t.respawn_cap ~rng:t.rng ();
+      e_last_value = progress ();
+      e_last_advance = neg_infinity;
+      e_eligible = neg_infinity;
+      e_worked = false;
+    }
+  in
+  t.entries <- List.filter (fun e' -> e'.e_id <> id) t.entries @ [ e ]
+
+let forget t ~id = t.entries <- List.filter (fun e -> e.e_id <> id) t.entries
+
+let scan t ~now =
+  (* pass 1: refresh counters, note whether anybody advanced *)
+  let advanced = ref false in
+  List.iter
+    (fun e ->
+      let v = e.e_progress () in
+      if v <> e.e_last_value || e.e_last_advance = neg_infinity then begin
+        if v <> e.e_last_value then begin
+          advanced := true;
+          e.e_worked <- true
+        end;
+        e.e_last_value <- v;
+        e.e_last_advance <- now
+      end)
+    t.entries;
+  (* pass 2: a wedge needs a counter that once moved and went stale,
+     AND a moving sibling — a node that never worked is merely idle
+     (off the data path, say), and a fully idle system is not wedged *)
+  if not !advanced then []
+  else
+    List.filter_map
+      (fun e ->
+        if
+          e.e_worked
+          && now -. e.e_last_advance >= t.wedge_after
+          && now >= e.e_eligible
+        then begin
+          e.e_eligible <- now +. Backoff.next e.e_backoff;
+          e.e_last_advance <- now;
+          t.wedged_total <- t.wedged_total + 1;
+          e.e_respawn ();
+          Some e.e_id
+        end
+        else None)
+      t.entries
+
+let wedged_total t = t.wedged_total

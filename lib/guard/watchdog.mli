@@ -1,0 +1,44 @@
+(** Wedge detection by progress, not liveness: SWIM notices a node
+    that stopped {e answering}; the watchdog notices one that still
+    answers but stopped {e working} — its switch counter frozen while
+    its peers' counters advance.
+
+    The watchdog is runtime-agnostic. Each supervised node registers a
+    [progress] thunk (any monotone activity counter — the engines use
+    the per-node [switched] metric) and a [respawn] callback (the
+    simulator wires [Network.add_node ~seeds], which re-adds the id
+    incarnation-bumped so SWIM accepts the rebirth). {!scan} is called
+    from any timer loop; a node is declared wedged — and its [respawn]
+    fired — when its counter, {e having advanced at least once}, has
+    not moved for [wedge_after] seconds {e while at least one
+    sibling's has}. The two clauses keep the honest idlers safe: a
+    node that never worked (it sits off the data path) is merely idle,
+    and a globally quiet system (nothing to do is not a wedge) is
+    never respawned to death; a per-node seeded {!Backoff} spaces
+    repeated respawns of a node that wedges again. *)
+
+type t
+
+val create :
+  ?wedge_after:float -> ?respawn_base:float -> ?respawn_cap:float ->
+  rng:Random.State.t -> now:float -> unit -> t
+(** [wedge_after] defaults to 5.s; [respawn_base]/[respawn_cap]
+    (default 1.s / 30.s) bound the backoff between repeated respawns
+    of the same node. *)
+
+val watch :
+  t -> id:string -> progress:(unit -> int) -> respawn:(unit -> unit) -> unit
+(** Register (or re-register, resetting history) a node. *)
+
+val forget : t -> id:string -> unit
+(** Stop supervising a node (e.g. one chaos deliberately killed — its
+    frozen counter is not a wedge). *)
+
+val scan : t -> now:float -> string list
+(** One supervision pass: fires [respawn] for every node newly judged
+    wedged and returns their ids (the caller's cue to emit [Wedge]
+    telemetry events). Nodes remain watched after a respawn; their
+    progress history restarts. *)
+
+val wedged_total : t -> int
+(** Respawns triggered since [create]. *)

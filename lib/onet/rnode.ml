@@ -7,6 +7,7 @@ module Tel = Iov_telemetry.Telemetry
 module Tracer = Iov_telemetry.Tracer
 module Ev = Iov_telemetry.Event
 module Metrics = Iov_telemetry.Metrics
+module Backoff = Iov_guard.Backoff
 
 let src_log = Logs.Src.create "iov.onet" ~doc:"iOverlay real-sockets runtime"
 
@@ -30,13 +31,22 @@ type out_conn = {
   oc_peer : NI.t;
   oc_fd : Unix.file_descr;
   oc_buf : Msg.t Squeue.t;
-  oc_thread : Thread.t;
+  mutable oc_thread : Thread.t;
   mutable oc_dead : bool;
   oc_bytes : int Atomic.t;
   oc_since : float;
 }
 
 type timer = { due : float; fn : unit -> unit }
+
+(* Reconnection discipline for a peer whose link failed: connect
+   attempts ride a capped backoff schedule instead of hammering (or
+   abandoning) the address. An entry exists only while the peer is
+   unreachable; the first successful connect clears it. *)
+type rstate = { rc_bo : Backoff.t; mutable rc_due : float }
+
+let reconnect_base = 0.05
+let reconnect_cap = 2.0
 
 (* Telemetry handles, resolved once at start. Unlike the simulator's
    single-threaded engine, events here originate on receiver, sender
@@ -64,6 +74,7 @@ type t = {
   mutable outs : out_conn list;
   mutable pending_ins : (NI.t * in_conn) list; (* registered by receivers *)
   engine_inbox : Msg.t Queue.t; (* synthetic notifications, under lock *)
+  reconn : (NI.t, rstate) Hashtbl.t; (* under lock *)
   mutable timers : timer list;
   mutable known : NI.Set.t;
   mutable stopping : bool;
@@ -86,7 +97,9 @@ let tel_counter tl = function
   | Ev.Drop -> Metrics.incr tl.c_dropped
   | Ev.Link_failure -> Metrics.incr tl.c_link_failures
   | Ev.Teardown | Ev.Respawn | Ev.Route_change | Ev.Path_switch
-  | Ev.Dup_suppressed | Ev.Suspect | Ev.Confirm | Ev.View_exchange ->
+  | Ev.Dup_suppressed | Ev.Suspect | Ev.Confirm | Ev.View_exchange
+  | Ev.Shed | Ev.Breaker_open | Ev.Breaker_close | Ev.Wedge
+  | Ev.Retransmit ->
     ()
 
 let tel_msg t kind ~peer (m : Msg.t) =
@@ -176,7 +189,12 @@ let receiver_loop t ?bytes ?stream peer fd buf =
   (* messages already complete in the handed-over stream *)
   let ingest m =
     if Squeue.push buf m then tel_msg t Ev.Deliver ~peer m
-    else running := false
+    else begin
+      (* the buffer was closed under us (teardown): the message is
+         lost — account for it rather than discarding silently *)
+      tel_msg t Ev.Drop ~peer m;
+      running := false
+    end
   in
   (try List.iter ingest (Codec.Stream.drain stream)
    with Codec.Malformed _ -> running := false);
@@ -192,9 +210,12 @@ let receiver_loop t ?bytes ?stream peer fd buf =
     | exception Unix.Unix_error _ -> running := false
     | exception Codec.Malformed _ -> running := false)
   done;
-  (* surface the failure to the engine, then drain-close *)
-  ignore
-    (Squeue.try_push buf (Msg.with_params ~mtype:Mt.Link_failed ~origin:peer 0 0));
+  (* surface the failure to the engine, then drain-close; a full buffer
+     must not swallow the notification — fall back to the (unbounded)
+     engine inbox so the algorithm always learns of the death *)
+  let failed = Msg.with_params ~mtype:Mt.Link_failed ~origin:peer 0 0 in
+  if not (Squeue.try_push buf failed) then
+    with_lock t (fun () -> Queue.push failed t.engine_inbox);
   Squeue.close buf;
   (try Unix.close fd with Unix.Unix_error _ -> ())
 
@@ -221,6 +242,27 @@ let sender_loop t oc =
 (* ------------------------------------------------------------------ *)
 (* Connections                                                         *)
 
+(* Next connect attempt toward the peer no earlier than its backoff
+   schedule allows. *)
+let reconnect_later t peer =
+  with_lock t (fun () ->
+      let r =
+        match Hashtbl.find_opt t.reconn peer with
+        | Some r -> r
+        | None ->
+          let r =
+            {
+              rc_bo =
+                Backoff.create ~base:reconnect_base ~cap:reconnect_cap
+                  ~rng:t.rng ();
+              rc_due = 0.;
+            }
+          in
+          Hashtbl.add t.reconn peer r;
+          r
+      in
+      r.rc_due <- Unix.gettimeofday () +. Backoff.next r.rc_bo)
+
 (* Engine-side or driver-side: ensure a persistent outgoing
    connection. Must be called with care — creation takes the lock. *)
 let ensure_out t peer =
@@ -231,10 +273,18 @@ let ensure_out t peer =
   match existing with
   | Some o -> o
   | None ->
+    (* inside a backoff window from earlier failed attempts: refuse
+       without touching the network (callers treat it as any other
+       connect failure) *)
+    (match with_lock t (fun () -> Hashtbl.find_opt t.reconn peer) with
+    | Some r when Unix.gettimeofday () < r.rc_due ->
+      raise (Unix.Unix_error (Unix.ECONNREFUSED, "connect", "backoff"))
+    | Some _ | None -> ());
     let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
     (try Unix.connect fd (addr_of peer)
      with e ->
        (try Unix.close fd with Unix.Unix_error _ -> ());
+       reconnect_later t peer;
        raise e);
     Unix.setsockopt fd Unix.TCP_NODELAY true;
     (* introduce ourselves so the peer registers the right identity *)
@@ -252,8 +302,13 @@ let ensure_out t peer =
         oc_since = Unix.gettimeofday ();
       }
     in
-    let oc = { oc with oc_thread = Thread.create (fun () -> sender_loop t oc) () } in
-    with_lock t (fun () -> t.outs <- oc :: t.outs);
+    (* the sender closes over [oc] itself — a [{ oc with ... }] copy
+       here would give the thread a private [oc_dead] the reaper never
+       reads *)
+    oc.oc_thread <- Thread.create (fun () -> sender_loop t oc) ();
+    with_lock t (fun () ->
+        Hashtbl.remove t.reconn peer;
+        t.outs <- oc :: t.outs);
     oc
 
 let connect t peer = ignore (ensure_out t peer)
@@ -476,6 +531,32 @@ let engine_loop t =
         (fun ic ->
           not (Squeue.closed ic.ic_buf && Squeue.length ic.ic_buf = 0))
         t.ins;
+    (* 4b. reap dead senders (their threads have exited) and put the
+       peer on the reconnect schedule instead of abandoning it *)
+    let reaped =
+      with_lock t (fun () ->
+          let dead, live = List.partition (fun o -> o.oc_dead) t.outs in
+          t.outs <- live;
+          dead)
+    in
+    List.iter
+      (fun oc ->
+        Squeue.close oc.oc_buf;
+        reconnect_later t oc.oc_peer)
+      reaped;
+    (* 4c. proactively re-establish links whose backoff window has
+       elapsed — a peer that came back starts receiving again even
+       before the next application send *)
+    let now = Unix.gettimeofday () in
+    let due =
+      with_lock t (fun () ->
+          Hashtbl.fold
+            (fun p r acc -> if now >= r.rc_due then p :: acc else acc)
+            t.reconn [])
+    in
+    List.iter
+      (fun p -> try connect t p with Unix.Unix_error _ -> ())
+      due;
     (* 5. timers *)
     run_timers t ctx;
     if not !worked then Thread.yield ()
@@ -486,6 +567,10 @@ let engine_loop t =
 let start ?(host = "127.0.0.1") ?(port = 0) ?(buffer_capacity = 16) ?telemetry
     algo =
   if buffer_capacity <= 0 then invalid_arg "Rnode.start: buffer_capacity";
+  (* writes to a peer that died abruptly must surface as EPIPE for the
+     failure path to run, not kill the process *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
   let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
   Unix.bind listen_fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
@@ -507,6 +592,7 @@ let start ?(host = "127.0.0.1") ?(port = 0) ?(buffer_capacity = 16) ?telemetry
       outs = [];
       pending_ins = [];
       engine_inbox = Queue.create ();
+      reconn = Hashtbl.create 4;
       timers = [];
       known = NI.Set.empty;
       stopping = false;
@@ -548,7 +634,8 @@ let shutdown t =
     List.iter
       (fun oc ->
         Squeue.close oc.oc_buf;
-        Thread.join oc.oc_thread)
+        Thread.join oc.oc_thread;
+        try Unix.close oc.oc_fd with Unix.Unix_error _ -> ())
       outs;
     let ins = with_lock t (fun () -> t.ins @ List.map snd t.pending_ins) in
     List.iter
@@ -556,7 +643,12 @@ let shutdown t =
         (try Unix.shutdown ic.ic_fd Unix.SHUTDOWN_ALL
          with Unix.Unix_error _ -> ());
         Squeue.close ic.ic_buf;
-        Thread.join ic.ic_thread)
+        Thread.join ic.ic_thread;
+        (* actually release the fd: a merely-shutdown socket would keep
+           ACKing (and discarding) the peer's writes forever, so the
+           peer would never observe the death; a closed one answers RST
+           like a dead process does *)
+        try Unix.close ic.ic_fd with Unix.Unix_error _ -> ())
       ins;
     List.iter Thread.join (with_lock t (fun () -> t.accept_threads))
   end

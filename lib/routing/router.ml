@@ -8,6 +8,8 @@ module Tel = Iov_telemetry.Telemetry
 module Ev = Iov_telemetry.Event
 module Metrics = Iov_telemetry.Metrics
 module Tracer = Iov_telemetry.Tracer
+module Breaker = Iov_guard.Breaker
+module Backoff = Iov_guard.Backoff
 
 (* 112-115 belong to the gossip membership subsystem; the router's
    control types live above them, claimed through the central registry *)
@@ -39,6 +41,7 @@ type session = {
   mutable s_seq : int;
   mutable s_running : bool;
   mutable s_timer : bool;
+  mutable s_nacked : float; (* last nack arrival, for breaker evidence *)
   replay : Bytes.t option array; (* app payloads by seq mod replay_size *)
   replay_tag : int array;
 }
@@ -49,6 +52,7 @@ type rx = {
   mutable r_bytes : int;
   mutable r_msgs : int;
   mutable nack_armed : bool;
+  mutable nack_bo : Backoff.t option; (* re-arm schedule for a stuck gap *)
   hists : Metrics.histogram option array; (* per-path rx histograms *)
 }
 
@@ -81,8 +85,15 @@ type t = {
   mutable st_path_switches : int;
   mutable st_nacks : int;
   mutable st_retransmits : int;
+  mutable st_retransmit_bytes : int;
+  mutable st_suppressed : int;
   mutable st_unroutable : int;
   seeds : NI.t list;
+  (* overload guard: per-next-hop circuit breakers gate the replay
+     ring, and a total byte budget bounds recovery traffic outright *)
+  breakers : (NI.t, Breaker.t) Hashtbl.t;
+  retx_budget : int;
+  h_open_ms : Metrics.histogram option;
 }
 
 type stats = {
@@ -93,11 +104,16 @@ type stats = {
   path_switches : int;
   nacks : int;
   retransmits : int;
+  retransmit_bytes : int;
+  suppressed : int;
   unroutable : int;
 }
 
 let create ?telemetry ?(hello_period = 0.25) ?(neighbors = []) ?(hysteresis = 2)
-    ?(dedup_window = 1024) ?liveness ~self ~mode () =
+    ?(dedup_window = 1024) ?liveness ?(retransmit_budget = max_int) ~self ~mode
+    () =
+  if retransmit_budget < 0 then
+    invalid_arg "Router.create: retransmit_budget < 0";
   (match mode with
   | Multipath k when k < 1 || k > max_paths ->
     invalid_arg "Router.create: Multipath k out of range"
@@ -123,8 +139,18 @@ let create ?telemetry ?(hello_period = 0.25) ?(neighbors = []) ?(hysteresis = 2)
     st_path_switches = 0;
     st_nacks = 0;
     st_retransmits = 0;
+    st_retransmit_bytes = 0;
+    st_suppressed = 0;
     st_unroutable = 0;
     seeds = List.sort_uniq NI.compare neighbors;
+    breakers = Hashtbl.create 8;
+    retx_budget = retransmit_budget;
+    h_open_ms =
+      Option.map
+        (fun tl ->
+          Metrics.histogram (Tel.metrics tl) ~scope:(NI.to_string self)
+            "breaker.open_ms")
+        telemetry;
   }
 
 let self t = t.t_self
@@ -144,6 +170,8 @@ let stats t =
     path_switches = t.st_path_switches;
     nacks = t.st_nacks;
     retransmits = t.st_retransmits;
+    retransmit_bytes = t.st_retransmit_bytes;
+    suppressed = t.st_suppressed;
     unroutable = t.st_unroutable;
   }
 
@@ -167,6 +195,45 @@ let tel_event t (ctx : Alg.ctx) kind ~peer ~id ~app ~mseq ~size =
   | None -> ()
   | Some (tl, tr) ->
     Tel.record tl tr ~time:(ctx.now ()) ~kind ~peer ~id ~app ~mseq ~size
+
+(* -- circuit breakers (overload guard) ----------------------------- *)
+
+let breaker t (ctx : Alg.ctx) peer =
+  match Hashtbl.find_opt t.breakers peer with
+  | Some b -> b
+  | None ->
+    let b = Breaker.create ~rng:ctx.rng () in
+    Hashtbl.add t.breakers peer b;
+    b
+
+(* Failure evidence toward a next hop: a Link_failed / expired
+   heartbeat, or a nack storm that keeps coming back for the same
+   session. A trip is announced once, as a [Breaker_open] event. *)
+let breaker_failure t (ctx : Alg.ctx) peer =
+  let b = breaker t ctx peer in
+  if Breaker.on_failure b ~now:(ctx.now ()) then
+    tel_event t ctx Ev.Breaker_open ~peer ~id:Ev.no_id ~app:0
+      ~mseq:(Breaker.trips b) ~size:0
+
+(* Any message received from a peer is proof of life: it closes a
+   half-open breaker (announced as [Breaker_close], with the open span
+   observed into the [breaker.open_ms] histogram) and clears pending
+   failure counts on a closed one. Only peers that already have a
+   breaker pay anything here. *)
+let breaker_success t (ctx : Alg.ctx) peer =
+  match Hashtbl.find_opt t.breakers peer with
+  | None -> ()
+  | Some b -> (
+    match Breaker.on_success b ~now:(ctx.now ()) with
+    | None -> ()
+    | Some span ->
+      let ms = int_of_float (span *. 1e3) in
+      (match t.h_open_ms with Some h -> Metrics.observe h ms | None -> ());
+      tel_event t ctx Ev.Breaker_close ~peer ~id:Ev.no_id ~app:0 ~mseq:0
+        ~size:ms)
+
+let breaker_allows t (ctx : Alg.ctx) peer =
+  Breaker.allow (breaker t ctx peer) ~now:(ctx.now ())
 
 let rx_hist t rx path =
   match t.tel with
@@ -401,6 +468,7 @@ let open_session t (ctx : Alg.ctx) ~app ~dst ?(rate = 32. *. 1024.)
       s_seq = 0;
       s_running = true;
       s_timer = false;
+      s_nacked = neg_infinity;
       replay = Array.make replay_size None;
       replay_tag = Array.make replay_size (-1);
     }
@@ -493,6 +561,7 @@ let repair_sessions t (ctx : Alg.ctx) peer =
     t.sessions
 
 let handle_dead t (ctx : Alg.ctx) peer =
+  breaker_failure t ctx peer;
   mark_dead t peer;
   match t.t_mode with
   | Static -> () (* the baseline stays broken, by design *)
@@ -517,6 +586,7 @@ let rx_state t ~app ~src =
         r_bytes = 0;
         r_msgs = 0;
         nack_armed = false;
+        nack_bo = None;
         hists = Array.make max_paths None;
       }
     in
@@ -532,11 +602,24 @@ let nack_msg t ~app seqs =
 let maybe_nack t (ctx : Alg.ctx) ~app rx =
   if (not rx.nack_armed) && Dedup.missing rx.dd <> [] then begin
     rx.nack_armed <- true;
-    (* give straggler copies one hello period to close the gap first *)
-    ctx.set_timer (Neighbor.hello_period t.nb) (fun () ->
+    (* the re-arm delay rides the shared backoff schedule: the first
+       wait is one hello period (giving straggler copies a chance to
+       close the gap), and a gap that keeps surviving nacks is re-asked
+       about less and less often, bounded at 4 hello periods *)
+    let hp = Neighbor.hello_period t.nb in
+    let bo =
+      match rx.nack_bo with
+      | Some b -> b
+      | None ->
+        let b = Backoff.create ~base:hp ~cap:(4. *. hp) ~rng:ctx.rng () in
+        rx.nack_bo <- Some b;
+        b
+    in
+    ctx.set_timer (Backoff.next bo) (fun () ->
         rx.nack_armed <- false;
         let miss = Dedup.missing rx.dd in
-        if miss <> [] then begin
+        if miss = [] then Backoff.reset bo
+        else begin
           let miss = List.filteri (fun i _ -> i < nack_batch) miss in
           ctx.send (nack_msg t ~app miss) rx.r_src;
           t.st_nacks <- t.st_nacks + 1
@@ -561,22 +644,44 @@ let deliver t (ctx : Alg.ctx) (m : Msg.t) rx ~path =
 (* -- retransmission (source side) ---------------------------------- *)
 
 let retransmit t (ctx : Alg.ctx) s seqs =
+  (* the replay next hop of the pinned modes, gated by its circuit
+     breaker; the backpressure drain routes (and is paced) on its own *)
+  let next_hop =
+    match t.t_mode with
+    | Backpressure -> None
+    | Static | Multipath _ -> (
+      match s.s_paths with (first :: _) :: _ -> Some first | _ -> None)
+  in
   List.iter
     (fun seq ->
       if seq >= 0 && s.replay_tag.(seq mod replay_size) = seq then begin
         match s.replay.(seq mod replay_size) with
         | None -> ()
-        | Some payload -> (
-          t.st_retransmits <- t.st_retransmits + 1;
-          match t.t_mode with
-          | Backpressure ->
-            let b = bp_state t ~app:s.s_app ~src:t.t_self ~dst:s.s_dst in
-            bp_enqueue t ctx b (data_frame t s ~path:0 ~seq payload)
-          | Static | Multipath _ -> (
-            match s.s_paths with
-            | (first :: _) :: _ ->
-              ctx.send (data_frame t s ~path:0 ~seq payload) first
-            | _ -> ()))
+        | Some payload ->
+          let bytes = Bytes.length payload in
+          (* hard budget first: recovery traffic never exceeds it *)
+          if t.st_retransmit_bytes + bytes > t.retx_budget then
+            t.st_suppressed <- t.st_suppressed + 1
+          else begin
+            match t.t_mode with
+            | Backpressure ->
+              t.st_retransmits <- t.st_retransmits + 1;
+              t.st_retransmit_bytes <- t.st_retransmit_bytes + bytes;
+              tel_event t ctx Ev.Retransmit ~peer:s.s_dst ~id:Ev.no_id
+                ~app:s.s_app ~mseq:seq ~size:bytes;
+              let b = bp_state t ~app:s.s_app ~src:t.t_self ~dst:s.s_dst in
+              bp_enqueue t ctx b (data_frame t s ~path:0 ~seq payload)
+            | Static | Multipath _ -> (
+              match next_hop with
+              | Some first when breaker_allows t ctx first ->
+                t.st_retransmits <- t.st_retransmits + 1;
+                t.st_retransmit_bytes <- t.st_retransmit_bytes + bytes;
+                tel_event t ctx Ev.Retransmit ~peer:first ~id:Ev.no_id
+                  ~app:s.s_app ~mseq:seq ~size:bytes;
+                ctx.send (data_frame t s ~path:0 ~seq payload) first
+              | Some _ -> t.st_suppressed <- t.st_suppressed + 1
+              | None -> ())
+          end
       end)
     seqs
 
@@ -628,6 +733,15 @@ let on_nack t (ctx : Alg.ctx) (m : Msg.t) =
       let r = Wire.R.of_bytes m.Msg.payload in
       let n = Wire.R.int32 r in
       let seqs = List.init (min n nack_batch) (fun _ -> Wire.R.int32 r) in
+      (* a nack soon after the previous one means the retransmission
+         did not take: failure evidence toward the replay next hop *)
+      let now = ctx.now () in
+      (match s.s_paths with
+      | (first :: _) :: _
+        when now -. s.s_nacked < 8. *. Neighbor.hello_period t.nb ->
+        breaker_failure t ctx first
+      | _ -> ());
+      s.s_nacked <- now;
       retransmit t ctx s seqs
     with Wire.Truncated -> ())
 
@@ -707,6 +821,8 @@ let handle t (ctx : Alg.ctx) (m : Msg.t) =
   match m.Msg.mtype with
   | Mt.Data -> Some (on_data t ctx m)
   | k when k = Neighbor.hello_kind ->
+    (* a heartbeat travels hop-to-hop: direct proof the peer is back *)
+    breaker_success t ctx m.Msg.origin;
     (match Neighbor.on_hello t.nb ~now:(ctx.now ()) m with
     | `New ->
       revive t m.Msg.origin;

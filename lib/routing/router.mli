@@ -45,6 +45,10 @@ type stats = {
   path_switches : int;  (** backpressure next-hop moves *)
   nacks : int;  (** gap reports sent (receiver side) *)
   retransmits : int;  (** replay-ring resends (source side) *)
+  retransmit_bytes : int;  (** payload bytes those resends carried *)
+  suppressed : int;
+      (** resends refused by the overload guard — an open breaker
+          toward the replay next hop, or the byte budget running out *)
   unroutable : int;  (** data with no forwarding state, consumed *)
 }
 
@@ -57,6 +61,7 @@ val create :
   ?hysteresis:int ->
   ?dedup_window:int ->
   ?liveness:(Iov_msg.Node_id.t -> bool) ->
+  ?retransmit_budget:int ->
   self:Iov_msg.Node_id.t ->
   mode:mode ->
   unit ->
@@ -66,7 +71,13 @@ val create :
     [hysteresis] (messages, default 2) is the backlog margin a
     backpressure challenger must win by. [liveness] plugs an external
     membership oracle (gossip) into the neighbor table — see
-    {!Neighbor.set_liveness}. *)
+    {!Neighbor.set_liveness}. [retransmit_budget] (payload bytes,
+    default unlimited) is the hard ceiling on what the replay ring may
+    ever resend; beyond it — or while the circuit breaker toward the
+    replay next hop is open — nacked sequences are counted as
+    [suppressed] instead of replayed ([Retransmit] telemetry events
+    account every replayed payload, so the bound is auditable straight
+    off the trace). *)
 
 val algorithm : t -> Iov_core.Algorithm.t
 

@@ -16,6 +16,11 @@ type kind =
   | Suspect
   | Confirm
   | View_exchange
+  | Shed
+  | Breaker_open
+  | Breaker_close
+  | Wedge
+  | Retransmit
 
 let all =
   [
@@ -33,6 +38,11 @@ let all =
     Suspect;
     Confirm;
     View_exchange;
+    Shed;
+    Breaker_open;
+    Breaker_close;
+    Wedge;
+    Retransmit;
   ]
 
 let to_int = function
@@ -50,6 +60,11 @@ let to_int = function
   | Suspect -> 11
   | Confirm -> 12
   | View_exchange -> 13
+  | Shed -> 14
+  | Breaker_open -> 15
+  | Breaker_close -> 16
+  | Wedge -> 17
+  | Retransmit -> 18
 
 let of_int = function
   | 0 -> Enqueue
@@ -66,6 +81,11 @@ let of_int = function
   | 11 -> Suspect
   | 12 -> Confirm
   | 13 -> View_exchange
+  | 14 -> Shed
+  | 15 -> Breaker_open
+  | 16 -> Breaker_close
+  | 17 -> Wedge
+  | 18 -> Retransmit
   | n -> invalid_arg ("Event.of_int: " ^ string_of_int n)
 
 let to_string = function
@@ -83,6 +103,11 @@ let to_string = function
   | Suspect -> "suspect"
   | Confirm -> "confirm"
   | View_exchange -> "view-exchange"
+  | Shed -> "shed"
+  | Breaker_open -> "breaker-open"
+  | Breaker_close -> "breaker-close"
+  | Wedge -> "wedge"
+  | Retransmit -> "retransmit"
 
 let pp fmt k = Format.pp_print_string fmt (to_string k)
 

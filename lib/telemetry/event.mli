@@ -39,6 +39,23 @@ type kind =
   | View_exchange
       (** a peer-sampling shuffle completed with the peer (size is the
           number of membership updates absorbed from it) *)
+  | Shed
+      (** admission control refused an application message under
+          overload (app identifies the application whose class was
+          shed, size the refused bytes) *)
+  | Breaker_open
+      (** a circuit breaker toward the peer tripped open after repeated
+          send failures (mseq is the consecutive-trip count) *)
+  | Breaker_close
+      (** a circuit breaker toward the peer closed again after a
+          successful half-open probe (size is the whole-milliseconds
+          the breaker spent open) *)
+  | Wedge
+      (** a watchdog declared the node wedged — its progress counter
+          stalled while peers advanced — and triggered a respawn *)
+  | Retransmit
+      (** a router replayed a packet from its replay ring after a nack
+          (size is the replayed payload bytes) *)
 
 val all : kind list
 

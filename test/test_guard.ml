@@ -1,0 +1,368 @@
+(* Tests for the overload guard: the shared backoff schedule, the
+   per-neighbor circuit breaker, priority-classed admission and the
+   progress watchdog. The qcheck properties pin the three invariants
+   the rest of the stack leans on: backoff delays are bounded by the
+   monotone envelope, same-seed schedules replay identically, and a
+   breaker never re-enters Open without a fresh failure. *)
+
+module Backoff = Iov_guard.Backoff
+module Breaker = Iov_guard.Breaker
+module Admission = Iov_guard.Admission
+module Watchdog = Iov_guard.Watchdog
+
+let qtest ?(count = 300) name gen f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen f)
+
+let rng_of seed = Random.State.make [| seed; 0xb0ff |]
+
+(* ------------------------------------------------------------------ *)
+(* Backoff *)
+
+(* the first delay of any schedule is exactly [base]: the draw range
+   [base, max base (3 * 0)] is degenerate and the envelope at k=0 is
+   base itself *)
+let test_backoff_first_delay () =
+  let b = Backoff.create ~base:0.5 ~cap:30. ~rng:(rng_of 1) () in
+  Alcotest.(check (float 1e-9)) "first delay" 0.5 (Backoff.next b);
+  Alcotest.(check int) "attempt advanced" 1 (Backoff.attempt b);
+  ignore (Backoff.next b);
+  Backoff.reset b;
+  Alcotest.(check int) "reset attempt" 0 (Backoff.attempt b);
+  Alcotest.(check (float 1e-9)) "reset restarts at base" 0.5 (Backoff.next b)
+
+let test_backoff_rejects_bad_params () =
+  Alcotest.check_raises "base 0" (Invalid_argument "Backoff.create: need 0 < base <= cap")
+    (fun () -> ignore (Backoff.create ~base:0. ~cap:1. ~rng:(rng_of 2) ()));
+  Alcotest.check_raises "base > cap" (Invalid_argument "Backoff.create: need 0 < base <= cap")
+    (fun () -> ignore (Backoff.create ~base:2. ~cap:1. ~rng:(rng_of 2) ()))
+
+let backoff_params =
+  QCheck.(
+    quad small_nat
+      (float_range 0.01 2.0)
+      (float_range 1.0 50.0)
+      (int_range 1 40))
+
+(* every delay lies in [base, envelope k] (hence in [base, cap]), and
+   the envelope itself is monotone until it pins at the cap *)
+let prop_backoff_bounded (seed, base, capmul, attempts) =
+  let cap = base *. capmul in
+  let b = Backoff.create ~base ~cap ~rng:(rng_of seed) () in
+  let ok = ref true in
+  for k = 0 to attempts - 1 do
+    let d = Backoff.next b in
+    let env = Backoff.envelope ~base ~cap k in
+    if d < base -. 1e-9 || d > env +. 1e-9 || d > cap +. 1e-9 then ok := false;
+    if k > 0 && env +. 1e-9 < Backoff.envelope ~base ~cap (k - 1) then
+      ok := false
+  done;
+  !ok
+
+(* all randomness comes from the caller's seed: two schedules built
+   from equal seeds hand out byte-identical delay sequences *)
+let prop_backoff_deterministic (seed, base, capmul, attempts) =
+  let cap = base *. capmul in
+  let run () =
+    let b = Backoff.create ~base ~cap ~rng:(rng_of seed) () in
+    List.init attempts (fun _ -> Backoff.next b)
+  in
+  run () = run ()
+
+(* ------------------------------------------------------------------ *)
+(* Breaker *)
+
+let mk_breaker ?(seed = 5) () =
+  Breaker.create ~failure_threshold:3 ~window:10. ~open_base:1. ~open_cap:30.
+    ~rng:(rng_of seed) ()
+
+let check_state msg expected b ~now =
+  Alcotest.(check string) msg
+    (Format.asprintf "%a" Breaker.pp_state expected)
+    (Format.asprintf "%a" Breaker.pp_state (Breaker.state b ~now))
+
+let test_breaker_trip_and_probe () =
+  let b = mk_breaker () in
+  check_state "starts closed" Breaker.Closed b ~now:0.;
+  Alcotest.(check bool) "1st failure" false (Breaker.on_failure b ~now:0.1);
+  Alcotest.(check bool) "2nd failure" false (Breaker.on_failure b ~now:0.2);
+  Alcotest.(check bool) "3rd failure trips" true (Breaker.on_failure b ~now:0.3);
+  check_state "open" Breaker.Open b ~now:0.4;
+  Alcotest.(check bool) "refuses while open" false (Breaker.allow b ~now:0.5);
+  Alcotest.(check int) "one trip" 1 (Breaker.trips b);
+  (* the first open interval is exactly open_base = 1s *)
+  check_state "half-open after interval" Breaker.Half_open b ~now:1.35;
+  Alcotest.(check bool) "probe allowed" true (Breaker.allow b ~now:1.35);
+  Alcotest.(check bool) "only one probe" false (Breaker.allow b ~now:1.36);
+  (match Breaker.on_success b ~now:1.4 with
+  | Some span ->
+    Alcotest.(check (float 1e-6)) "open span reported" (1.4 -. 0.3) span
+  | None -> Alcotest.fail "probe success did not close");
+  check_state "closed again" Breaker.Closed b ~now:1.5;
+  Alcotest.(check int) "trips reset" 0 (Breaker.trips b)
+
+let test_breaker_failed_probe_retrips () =
+  let b = mk_breaker () in
+  for i = 1 to 3 do
+    ignore (Breaker.on_failure b ~now:(0.1 *. float_of_int i))
+  done;
+  Alcotest.(check bool) "probe handed out" true (Breaker.allow b ~now:1.31);
+  Alcotest.(check bool) "failed probe re-trips" true
+    (Breaker.on_failure b ~now:1.4);
+  check_state "open again" Breaker.Open b ~now:1.41;
+  Alcotest.(check int) "two trips" 2 (Breaker.trips b)
+
+(* an organic success after the open interval elapsed (a heartbeat got
+   through before anyone asked for the probe) closes the breaker *)
+let test_breaker_elapsed_open_closes_on_success () =
+  let b = mk_breaker () in
+  for i = 1 to 3 do
+    ignore (Breaker.on_failure b ~now:(0.1 *. float_of_int i))
+  done;
+  Alcotest.(check bool) "stray success while open ignored" true
+    (Breaker.on_success b ~now:0.5 = None);
+  check_state "still open" Breaker.Open b ~now:0.5;
+  (match Breaker.on_success b ~now:1.5 with
+  | Some _ -> ()
+  | None -> Alcotest.fail "elapsed-open success did not close");
+  check_state "closed" Breaker.Closed b ~now:1.5;
+  Alcotest.(check int) "trips reset" 0 (Breaker.trips b)
+
+let test_breaker_window_expires_failures () =
+  let b = mk_breaker () in
+  ignore (Breaker.on_failure b ~now:0.);
+  ignore (Breaker.on_failure b ~now:1.);
+  (* outside the 10s window: the count restarts, no trip *)
+  Alcotest.(check bool) "stale failures forgotten" false
+    (Breaker.on_failure b ~now:12.);
+  check_state "still closed" Breaker.Closed b ~now:12.
+
+(* random op walks: the breaker transitions into Open only on the
+   exact step that reported a failure — successes and time passage
+   only ever move it toward Closed *)
+let breaker_ops =
+  QCheck.(pair small_nat (small_list (pair (int_bound 2) (int_bound 12))))
+
+let prop_breaker_open_needs_failure (seed, ops) =
+  let b = Breaker.create ~failure_threshold:2 ~window:5. ~open_base:0.5
+      ~open_cap:8. ~rng:(rng_of seed) ()
+  in
+  let now = ref 0. in
+  List.for_all
+    (fun (kind, dt) ->
+      now := !now +. (0.25 *. float_of_int dt);
+      let before = Breaker.state b ~now:!now in
+      (match kind with
+      | 0 -> ignore (Breaker.on_failure b ~now:!now)
+      | 1 -> ignore (Breaker.on_success b ~now:!now)
+      | _ -> ignore (Breaker.allow b ~now:!now));
+      let after = Breaker.state b ~now:!now in
+      (* entering Open requires this very op to be an on_failure *)
+      after <> Breaker.Open || before = Breaker.Open || kind = 0)
+    ops
+
+(* ------------------------------------------------------------------ *)
+(* Admission *)
+
+let test_admission_token_bucket () =
+  let adm =
+    Admission.create ~gradient_threshold:1e9
+      ~classes:[ (7, Admission.cls ~rate:1000. ~burst:1000 ~priority:1 ()) ]
+      ~default:(Admission.cls ~priority:2 ())
+      ~now:0. ()
+  in
+  Alcotest.(check bool) "within burst" true
+    (Admission.admit adm ~now:0. ~app:7 ~size:600 ~backlog:0);
+  Alcotest.(check bool) "bucket exhausted" false
+    (Admission.admit adm ~now:0. ~app:7 ~size:600 ~backlog:0);
+  Alcotest.(check int) "refusal charged" 1 (Admission.shed_of adm ~app:7);
+  Alcotest.(check bool) "refilled after a second" true
+    (Admission.admit adm ~now:1. ~app:7 ~size:600 ~backlog:0);
+  (* the default class is unlimited: never rate-shed *)
+  Alcotest.(check bool) "default unlimited" true
+    (Admission.admit adm ~now:1. ~app:9 ~size:1_000_000 ~backlog:0);
+  Alcotest.(check int) "total refusals" 1 (Admission.shed_total adm)
+
+(* under a sustained backlog gradient the shed floor climbs one
+   priority level at a time, so the bulk class is refused strictly
+   before the interactive one; once the backlog stops growing the
+   floor decays and both flow again *)
+let test_admission_sheds_low_before_high () =
+  let hi = 1 and lo = 2 in
+  let adm =
+    Admission.create ~gradient_threshold:10. ~relief:0.25
+      ~classes:
+        [
+          (hi, Admission.cls ~priority:2 ());
+          (lo, Admission.cls ~priority:1 ());
+        ]
+      ~default:(Admission.cls ~priority:3 ())
+      ~now:0. ()
+  in
+  let lo_first = ref None and hi_first = ref None in
+  let step t backlog =
+    let note r ok = if (not ok) && !r = None then r := Some t in
+    note lo_first (Admission.admit adm ~now:t ~app:lo ~size:100 ~backlog);
+    note hi_first (Admission.admit adm ~now:t ~app:hi ~size:100 ~backlog)
+  in
+  (* 3 seconds of backlog growing 1000 units/s *)
+  let t = ref 0. in
+  while !t < 3.0 do
+    step !t (int_of_float (!t *. 1000.));
+    t := !t +. 0.05
+  done;
+  (match (!lo_first, !hi_first) with
+  | Some l, Some h ->
+    Alcotest.(check bool) "low shed strictly first" true (l < h)
+  | None, _ -> Alcotest.fail "bulk class never shed"
+  | _, None -> Alcotest.fail "interactive class never shed");
+  Alcotest.(check bool) "low shed more" true
+    (Admission.shed_of adm ~app:lo > Admission.shed_of adm ~app:hi);
+  Alcotest.(check bool) "floor capped at max priority" true
+    (Admission.shed_floor adm <= 3);
+  (* hold the backlog flat: the gradient EWMA decays, the floor steps
+     back down and both classes are admitted again *)
+  while !t < 11.0 do
+    ignore (Admission.admit adm ~now:!t ~app:hi ~size:100 ~backlog:3000);
+    t := !t +. 0.05
+  done;
+  Alcotest.(check int) "floor decayed" 0 (Admission.shed_floor adm);
+  Alcotest.(check bool) "bulk flows again" true
+    (Admission.admit adm ~now:!t ~app:lo ~size:100 ~backlog:3000)
+
+(* ------------------------------------------------------------------ *)
+(* Watchdog *)
+
+let test_watchdog_respawns_frozen_worker () =
+  let dog = Watchdog.create ~wedge_after:1.0 ~rng:(rng_of 3) ~now:0. () in
+  let a = ref 0 and b = ref 0 in
+  let respawned = ref 0 in
+  Watchdog.watch dog ~id:"a" ~progress:(fun () -> !a) ~respawn:ignore;
+  Watchdog.watch dog ~id:"b" ~progress:(fun () -> !b)
+    ~respawn:(fun () -> incr respawned);
+  let wedged = ref [] in
+  let t = ref 0. in
+  while !t < 2.01 do
+    incr a;
+    if !t < 1.0 then incr b;
+    (* b freezes after 1s *)
+    wedged := !wedged @ Watchdog.scan dog ~now:!t;
+    t := !t +. 0.5
+  done;
+  Alcotest.(check (list string)) "b declared wedged once" [ "b" ] !wedged;
+  Alcotest.(check int) "respawn fired" 1 !respawned;
+  Alcotest.(check int) "wedged_total" 1 (Watchdog.wedged_total dog)
+
+(* a node whose counter never advanced is merely idle — off the data
+   path — and must never be respawned, however long its siblings work
+   (this pins the e_worked guard) *)
+let test_watchdog_spares_never_worked () =
+  let dog = Watchdog.create ~wedge_after:1.0 ~rng:(rng_of 4) ~now:0. () in
+  let a = ref 0 in
+  let respawned = ref 0 in
+  Watchdog.watch dog ~id:"a" ~progress:(fun () -> !a) ~respawn:ignore;
+  Watchdog.watch dog ~id:"idle" ~progress:(fun () -> 0)
+    ~respawn:(fun () -> incr respawned);
+  let t = ref 0. in
+  while !t < 6.01 do
+    incr a;
+    Alcotest.(check (list string)) "nothing wedged" [] (Watchdog.scan dog ~now:!t);
+    t := !t +. 0.5
+  done;
+  Alcotest.(check int) "idle node untouched" 0 !respawned
+
+(* a globally quiet system is not a wedge: when no sibling advances,
+   even a worked-then-frozen node is left alone *)
+let test_watchdog_spares_quiet_system () =
+  let dog = Watchdog.create ~wedge_after:1.0 ~rng:(rng_of 5) ~now:0. () in
+  let a = ref 0 and b = ref 0 in
+  let respawned = ref 0 in
+  let spawn () = incr respawned in
+  Watchdog.watch dog ~id:"a" ~progress:(fun () -> !a) ~respawn:spawn;
+  Watchdog.watch dog ~id:"b" ~progress:(fun () -> !b) ~respawn:spawn;
+  let t = ref 0. in
+  while !t < 1.01 do
+    incr a;
+    incr b;
+    ignore (Watchdog.scan dog ~now:!t);
+    t := !t +. 0.5
+  done;
+  (* both freeze: nothing advances, nothing is respawned *)
+  while !t < 8.01 do
+    Alcotest.(check (list string)) "quiet, not wedged" []
+      (Watchdog.scan dog ~now:!t);
+    t := !t +. 0.5
+  done;
+  Alcotest.(check int) "no respawns" 0 !respawned
+
+(* repeated respawns of the same still-stuck node are spaced by the
+   per-node backoff, not fired on every scan *)
+let test_watchdog_backoff_spaces_respawns () =
+  let dog =
+    Watchdog.create ~wedge_after:0.5 ~respawn_base:5. ~respawn_cap:30.
+      ~rng:(rng_of 6) ~now:0. ()
+  in
+  let a = ref 0 and b = ref 0 in
+  let times = ref [] in
+  let t = ref 0. in
+  Watchdog.watch dog ~id:"a" ~progress:(fun () -> !a) ~respawn:ignore;
+  Watchdog.watch dog ~id:"b" ~progress:(fun () -> !b)
+    ~respawn:(fun () -> times := !t :: !times);
+  while !t < 12.01 do
+    incr a;
+    if !t < 0.5 then incr b;
+    ignore (Watchdog.scan dog ~now:!t);
+    t := !t +. 0.25
+  done;
+  match List.rev !times with
+  | t1 :: t2 :: _ ->
+    Alcotest.(check bool) "second respawn backed off" true (t2 -. t1 >= 5.)
+  | [ _ ] -> Alcotest.fail "second respawn never fired"
+  | [] -> Alcotest.fail "no respawn fired"
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "guard"
+    [
+      ( "backoff",
+        [
+          Alcotest.test_case "first delay and reset" `Quick
+            test_backoff_first_delay;
+          Alcotest.test_case "rejects bad params" `Quick
+            test_backoff_rejects_bad_params;
+          qtest "delays bounded by monotone envelope" backoff_params
+            prop_backoff_bounded;
+          qtest "same seed, same schedule" backoff_params
+            prop_backoff_deterministic;
+        ] );
+      ( "breaker",
+        [
+          Alcotest.test_case "trip, probe, close" `Quick
+            test_breaker_trip_and_probe;
+          Alcotest.test_case "failed probe re-trips" `Quick
+            test_breaker_failed_probe_retrips;
+          Alcotest.test_case "elapsed open closes on success" `Quick
+            test_breaker_elapsed_open_closes_on_success;
+          Alcotest.test_case "failure window expires" `Quick
+            test_breaker_window_expires_failures;
+          qtest "never opens without a fresh failure" breaker_ops
+            prop_breaker_open_needs_failure;
+        ] );
+      ( "admission",
+        [
+          Alcotest.test_case "token bucket" `Quick test_admission_token_bucket;
+          Alcotest.test_case "sheds low before high, then recovers" `Quick
+            test_admission_sheds_low_before_high;
+        ] );
+      ( "watchdog",
+        [
+          Alcotest.test_case "respawns a frozen worker" `Quick
+            test_watchdog_respawns_frozen_worker;
+          Alcotest.test_case "spares a node that never worked" `Quick
+            test_watchdog_spares_never_worked;
+          Alcotest.test_case "spares a globally quiet system" `Quick
+            test_watchdog_spares_quiet_system;
+          Alcotest.test_case "backoff spaces repeated respawns" `Quick
+            test_watchdog_backoff_spaces_respawns;
+        ] );
+    ]

@@ -235,6 +235,61 @@ let test_rnode_abrupt_close_telemetry () =
     Alcotest.(check bool) "delivered counter" true (n >= 1)
   | _ -> Alcotest.fail "no delivered counter"
 
+(* a peer that dies and later comes back at the same address must be
+   re-adopted automatically: failed connect attempts ride the capped
+   backoff schedule (refused locally inside the window, not hammered),
+   and the engine's proactive pass re-establishes the link so traffic
+   flows again without driver intervention *)
+let test_rnode_reconnect_after_peer_restart () =
+  let app = 7 in
+  let driver = Rnode.start Alg.null in
+  let sink1 = Rnode.start Alg.null in
+  let peer = Rnode.id sink1 in
+  let send seq =
+    try
+      Rnode.send driver
+        (Msg.data ~origin:(Rnode.id driver) ~app ~seq (Bytes.make 32 'r'))
+        peer;
+      true
+    with Unix.Unix_error _ -> false
+  in
+  ignore (send 0);
+  Alcotest.(check bool) "delivered before the crash" true
+    (wait_for (fun () -> Rnode.app_bytes sink1 ~app >= 32));
+  Rnode.kill sink1;
+  (* poke the dead link until the failure is noticed; once it is, the
+     backoff window refuses further attempts without touching the
+     network *)
+  let backoff_refusals = ref 0 in
+  for seq = 1 to 12 do
+    (try
+       Rnode.send driver
+         (Msg.data ~origin:(Rnode.id driver) ~app ~seq (Bytes.make 32 'r'))
+         peer
+     with
+    | Unix.Unix_error (Unix.ECONNREFUSED, _, "backoff") ->
+      incr backoff_refusals
+    | Unix.Unix_error _ -> ());
+    Thread.delay 0.02
+  done;
+  Alcotest.(check bool) "attempts ride the backoff window" true
+    (!backoff_refusals >= 1);
+  (* resurrect the peer at the same address: the proactive reconnect
+     pass must re-adopt it and deliveries resume *)
+  let sink2 = Rnode.start ~port:peer.NI.port Alg.null in
+  let flowed =
+    wait_for (fun () ->
+        if Rnode.app_bytes sink2 ~app > 0 then true
+        else begin
+          ignore (send 100);
+          false
+        end)
+  in
+  Alcotest.(check bool) "delivery after the peer returned" true flowed;
+  Alcotest.(check bool) "link re-established" true
+    (List.exists (NI.equal peer) (Rnode.peers driver));
+  List.iter Rnode.shutdown [ driver; sink2 ]
+
 let test_rnode_observer_bootstrap () =
   (* the portable observer algorithm served over real TCP: two nodes
      boot against it; the second learns about the first *)
@@ -302,6 +357,8 @@ let () =
             test_rnode_peer_death_notifies;
           Alcotest.test_case "abrupt close emits link-failure telemetry"
             `Quick test_rnode_abrupt_close_telemetry;
+          Alcotest.test_case "reconnect after peer restart" `Quick
+            test_rnode_reconnect_after_peer_restart;
           Alcotest.test_case "observer bootstrap over TCP" `Quick
             test_rnode_observer_bootstrap;
         ] );
