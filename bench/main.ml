@@ -347,6 +347,28 @@ let bench_guard_breaker_admit =
             (Iov_guard.Admission.admit adm ~now:!now ~app:1 ~size:512
                ~backlog:(!i land 63))))
 
+(* the batched sender's staging cycle: 64 small frames encoded in place
+   into a pooled 256 KB buffer and flushed through a sink that consumes
+   the whole run at once — the per-batch cost the syscall saving has to
+   beat *)
+let batch_flush_msgs =
+  List.init 64 (fun i ->
+      Msg.data ~origin:(NI.synthetic (1 + (i mod 7))) ~app:1 ~seq:i
+        (Bytes.make 256 'f'))
+
+let bench_batch_flush =
+  Test.make ~name:"onet/batch-flush"
+    (Staged.stage
+       (let pool = Iov_onet.Batcher.pool () in
+        fun () ->
+          let batch = Iov_onet.Batcher.acquire pool in
+          List.iter
+            (fun m -> ignore (Iov_onet.Batcher.add batch m))
+            batch_flush_msgs;
+          ignore
+            (Iov_onet.Batcher.flush batch ~write:(fun _ _ len -> len));
+          Iov_onet.Batcher.release batch))
+
 let micro_tests =
   [
     bench_codec_encode;
@@ -369,6 +391,7 @@ let micro_tests =
     bench_gossip_view_merge;
     bench_gossip_probe_round;
     bench_guard_breaker_admit;
+    bench_batch_flush;
   ]
 
 let json_file = "BENCH_micro.json"

@@ -412,6 +412,58 @@ let guard_cmd =
   in
   Cmd.v info Term.(ret (const run $ n_arg $ seed_arg $ smoke_arg))
 
+let net_cmd =
+  let payloads_arg =
+    let doc = "Comma-separated payload sizes (bytes) to sweep." in
+    Arg.(
+      value & opt string "64,1024,16384"
+      & info [ "payloads" ] ~docv:"B,B,..." ~doc)
+  in
+  let msgs_arg =
+    let doc = "Messages per mode per payload." in
+    Arg.(value & opt int 8000 & info [ "msgs" ] ~docv:"N" ~doc)
+  in
+  let trials_arg =
+    let doc = "Trials per mode (the best rate is kept)." in
+    Arg.(value & opt int 2 & info [ "trials" ] ~docv:"K" ~doc)
+  in
+  let smoke_arg =
+    let doc =
+      "Fast CI gate: 20000 64-byte messages over loopback TCP must move at \
+       least 1.5x faster through the batched sender than through the \
+       per-message sender, with fewer than one write syscall per message; \
+       non-zero exit otherwise."
+    in
+    Arg.(value & flag & info [ "smoke" ] ~doc)
+  in
+  let run payloads_s msgs trials smoke =
+    let module N = Iov_exp.Netlab in
+    if smoke then if N.smoke () then `Ok () else exit 1
+    else
+      let payloads =
+        String.split_on_char ',' payloads_s
+        |> List.filter_map (fun s -> int_of_string_opt (String.trim s))
+        |> List.filter (fun p -> p >= 0)
+      in
+      if payloads = [] then
+        `Error (false, "no valid payload sizes in: " ^ payloads_s)
+      else if msgs <= 0 || trials <= 0 then
+        `Error (false, "msgs and trials must be positive")
+      else begin
+        ignore (N.run ~payloads ~msgs ~trials ());
+        `Ok ()
+      end
+  in
+  let info =
+    Cmd.info "net"
+      ~doc:
+        "Benchmark the sockets runtime over loopback TCP: the batched \
+         coalescing sender against the one-write-per-message baseline, \
+         rates and write syscalls per message across payload sizes."
+  in
+  Cmd.v info
+    Term.(ret (const run $ payloads_arg $ msgs_arg $ trials_arg $ smoke_arg))
+
 let list_cmd =
   let run () =
     List.iter
@@ -428,6 +480,6 @@ let main =
   in
   Cmd.group info
     [ run_cmd; trace_cmd; chaos_cmd; route_cmd; gossip_cmd; guard_cmd;
-      list_cmd ]
+      net_cmd; list_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -38,6 +38,16 @@ let pop t =
 
 let drop t = ignore (pop t)
 
+let pop_upto t n =
+  let rec go k acc =
+    if k <= 0 then List.rev acc
+    else
+      match pop t with
+      | Some x -> go (k - 1) (x :: acc)
+      | None -> List.rev acc
+  in
+  go n []
+
 let iter f t =
   for i = 0 to t.len - 1 do
     match t.arr.((t.head + i) mod t.cap) with

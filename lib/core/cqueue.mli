@@ -25,6 +25,12 @@ val peek : 'a t -> 'a option
 val drop : 'a t -> unit
 (** Removes the head; no-op when empty. *)
 
+val pop_upto : 'a t -> int -> 'a list
+(** [pop_upto t n] removes and returns up to [n] elements from the
+    head, in queue order; fewer (possibly none) when the queue holds
+    fewer. The drain primitive behind batched switching: one call
+    empties a buffer instead of one pop per engine iteration. *)
+
 val iter : ('a -> unit) -> 'a t -> unit
 (** Front-to-back, without consuming. *)
 

@@ -1,0 +1,69 @@
+(** The sockets-runtime loopback macro-benchmark: batched, coalesced
+    sender writes ({!Iov_onet.Batcher}) against the historical
+    one-write-per-message sender, on real TCP connections between real
+    {!Iov_onet.Rnode} instances.
+
+    Each trial pushes a fixed message count from a driver node to a
+    sink node and measures delivered messages per wall-clock second,
+    plus the driver's [onet.syscalls_total] and [onet.batched_msgs]
+    counters — syscalls per message is the direct evidence that
+    coalescing happened. {!run} sweeps payload sizes and prints the
+    comparison; {!smoke} is the seeded-free acceptance gate behind
+    [iover net --smoke]. *)
+
+type mode_stats = {
+  ms_rate : float;  (** delivered messages per wall-clock second *)
+  ms_syscalls : int;  (** [onet.syscalls_total] at the driver *)
+  ms_batched : int;  (** [onet.batched_msgs] at the driver *)
+}
+
+type trial = {
+  t_payload : int;
+  t_msgs : int;
+  t_permsg : mode_stats;
+  t_batched : mode_stats;
+}
+
+val speedup : trial -> float
+(** Batched rate over per-message rate. *)
+
+val syscalls_per_msg : mode_stats -> msgs:int -> float
+(** Write syscalls per message sent — [>= 1] for the per-message
+    sender by construction, [< 1] when batching coalesces. *)
+
+val measure :
+  ?deadline:float ->
+  batching:bool ->
+  payload:int ->
+  msgs:int ->
+  unit ->
+  mode_stats option
+(** One timed loopback run: [msgs] data messages of [payload] bytes,
+    clocked from first send to full delivery at the sink. [None] if
+    delivery did not complete within [deadline] (default 60 s) — a
+    wedged run must not become a bogus rate. *)
+
+val default_payloads : int list
+(** 64 B, 1 KiB, 16 KiB. *)
+
+val run :
+  ?quiet:bool ->
+  ?payloads:int list ->
+  ?msgs:int ->
+  ?trials:int ->
+  unit ->
+  trial list
+(** Sweeps [payloads] (default {!default_payloads}), [msgs] messages
+    per mode (default 8000), best of [trials] runs each (default 2),
+    and prints the rate/syscall comparison table. Payloads whose runs
+    fail to complete are reported and skipped. *)
+
+val smoke_speedup : float
+(** The minimum batched-over-per-message rate ratio the smoke gate
+    demands: 1.5. *)
+
+val smoke : ?quiet:bool -> unit -> bool
+(** The CI gate: 20000 x 64 B messages over loopback, best of three
+    trials per mode. Passes iff the batched sender beats the
+    per-message sender by {!smoke_speedup} and issued fewer than one
+    write syscall per message (with a non-zero coalesced count). *)

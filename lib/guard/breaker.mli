@@ -63,3 +63,4 @@ val trips : t -> int
 (** Consecutive trips since the breaker last fully closed. *)
 
 val pp_state : Format.formatter -> state -> unit
+(** Lower-case state name, for logs and test failure messages. *)

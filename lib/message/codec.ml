@@ -96,6 +96,36 @@ module Stream = struct
     Bytes.blit chunk off t.buf t.len n;
     t.len <- t.len + n
 
+  (* Zero-copy fill: hand the caller the stream's own free tail so a
+     socket read can land directly in the decode buffer, skipping the
+     bounce through a per-read chunk. Same compaction/growth discipline
+     as [feed]. The returned region is only valid until the next
+     stream operation. *)
+  let reserve t n =
+    if n <= 0 then invalid_arg "Codec.Stream.reserve";
+    let live = buffered t in
+    if t.len + n > Bytes.length t.buf then begin
+      let needed = live + n in
+      if needed > Bytes.length t.buf then begin
+        let cap = ref (Bytes.length t.buf) in
+        while !cap < needed do
+          cap := !cap * 2
+        done;
+        let fresh = Bytes.create !cap in
+        Bytes.blit t.buf t.pos fresh 0 live;
+        t.buf <- fresh
+      end
+      else Bytes.blit t.buf t.pos t.buf 0 live;
+      t.pos <- 0;
+      t.len <- live
+    end;
+    (t.buf, t.len)
+
+  let commit t n =
+    if n < 0 || t.len + n > Bytes.length t.buf then
+      invalid_arg "Codec.Stream.commit";
+    t.len <- t.len + n
+
   (* Peek at a complete message at the cursor without copying the tail. *)
   let head_message t =
     if buffered t < header_size then None

@@ -41,6 +41,22 @@ module Stream : sig
   val feed : t -> ?off:int -> ?len:int -> Bytes.t -> unit
   (** Appends a chunk (copied). *)
 
+  val reserve : t -> int -> Bytes.t * int
+  (** [reserve t n] returns [(buf, off)] such that [n] bytes may be
+      written at [buf.(off)] — the stream's own free tail, compacted or
+      grown as needed. A socket read can therefore land directly in the
+      decode buffer, with no intermediate chunk copy. The region is
+      invalidated by any other stream operation; follow the write with
+      {!commit}. Decoded message payloads are copied out by {!next}, so
+      they never alias this buffer across reuses.
+      @raise Invalid_argument if [n <= 0]. *)
+
+  val commit : t -> int -> unit
+  (** [commit t n] declares that [n] bytes were written into the region
+      returned by the matching {!reserve}, making them available to
+      {!next}. @raise Invalid_argument if [n] is negative or overruns
+      the reserved space. *)
+
   val next : t -> Message.t option
   (** Pops the next complete message, if buffered. Consumption advances
       a read cursor; the consumed prefix is compacted away lazily, so

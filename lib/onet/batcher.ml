@@ -1,0 +1,101 @@
+module Msg = Iov_msg.Message
+module Codec = Iov_msg.Codec
+
+let default_cap = 256 * 1024
+
+type pool = {
+  p_cap : int;
+  p_max_idle : int;
+  p_lock : Mutex.t;
+  mutable p_free : Bytes.t list;
+  mutable p_idle : int;
+}
+
+type t = {
+  b_pool : pool option;
+  buf : Bytes.t;
+  mutable len : int;
+  mutable msgs : int;
+}
+
+let pool ?(cap = default_cap) ?(max_idle = 8) () =
+  if cap < Msg.header_size then invalid_arg "Batcher.pool: cap";
+  if max_idle < 0 then invalid_arg "Batcher.pool: max_idle";
+  { p_cap = cap; p_max_idle = max_idle; p_lock = Mutex.create ();
+    p_free = []; p_idle = 0 }
+
+let acquire p =
+  Mutex.lock p.p_lock;
+  let buf =
+    match p.p_free with
+    | b :: rest ->
+      p.p_free <- rest;
+      p.p_idle <- p.p_idle - 1;
+      b
+    | [] -> Bytes.create p.p_cap
+  in
+  Mutex.unlock p.p_lock;
+  { b_pool = Some p; buf; len = 0; msgs = 0 }
+
+let release t =
+  t.len <- 0;
+  t.msgs <- 0;
+  match t.b_pool with
+  | None -> ()
+  | Some p ->
+    Mutex.lock p.p_lock;
+    (* retire rather than hoard: a node that briefly fanned out to many
+       peers must not pin their buffers forever *)
+    if p.p_idle < p.p_max_idle then begin
+      p.p_free <- t.buf :: p.p_free;
+      p.p_idle <- p.p_idle + 1
+    end;
+    Mutex.unlock p.p_lock
+
+let standalone ?(cap = default_cap) () =
+  if cap < Msg.header_size then invalid_arg "Batcher.standalone: cap";
+  { b_pool = None; buf = Bytes.create cap; len = 0; msgs = 0 }
+
+let buffer t = t.buf
+let capacity t = Bytes.length t.buf
+let length t = t.len
+let staged t = t.msgs
+let is_empty t = t.len = 0
+
+let add t m =
+  let sz = Msg.size m in
+  if t.len + sz > Bytes.length t.buf then false
+  else begin
+    let n = Codec.encode_into m t.buf t.len in
+    t.len <- t.len + n;
+    t.msgs <- t.msgs + 1;
+    true
+  end
+
+let flush t ~write =
+  let total = t.len in
+  if total = 0 then 0
+  else begin
+    let syscalls = ref 0 in
+    let off = ref 0 in
+    (* Partial writes advance the cursor; EINTR retries in place. Any
+       other error propagates with the batch reset — the connection is
+       dead and the staged bytes are lost either way. *)
+    (try
+       while !off < total do
+         match write t.buf !off (total - !off) with
+         | w ->
+           incr syscalls;
+           if w < 0 || w > total - !off then
+             invalid_arg "Batcher.flush: writer returned a bad count";
+           off := !off + w
+         | exception Unix.Unix_error (Unix.EINTR, _, _) -> incr syscalls
+       done
+     with e ->
+       t.len <- 0;
+       t.msgs <- 0;
+       raise e);
+    t.len <- 0;
+    t.msgs <- 0;
+    !syscalls
+  end

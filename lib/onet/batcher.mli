@@ -1,0 +1,86 @@
+(** Coalescing write batches for the sockets runtime's sender threads.
+
+    A batcher is a reusable staging buffer: the sender drains its queue
+    ({!Squeue.pop_batch}), encodes each message in place with
+    [Codec.encode_into], and ships the whole run of frames with as few
+    [write] system calls as the kernel allows — one, absent partial
+    writes. The byte stream produced is identical to writing each
+    message's own encoding back to back, so receivers cannot tell the
+    difference; only the syscall count changes.
+
+    Buffers come from a per-node {!pool} so a node with many outgoing
+    links reuses a bounded set of staging areas instead of holding one
+    256 KB slab per link forever. Reuse never aliases live data: {!add}
+    copies the message's encoding into the staging buffer and {!flush}
+    hands bytes to the kernel (or to the caller's [write] function,
+    which must consume them before returning), so by the time a buffer
+    returns to the pool nothing live points into it. *)
+
+type t
+
+(** {1 Pooling} *)
+
+type pool
+(** A bounded free list of staging buffers, shared by a node's sender
+    threads. Thread-safe. *)
+
+val default_cap : int
+(** Staging-buffer size — also the largest batch one flush writes:
+    256 KiB. *)
+
+val pool : ?cap:int -> ?max_idle:int -> unit -> pool
+(** [cap] (default {!default_cap}) sizes each buffer; [max_idle]
+    (default 8) bounds how many released buffers the pool retains —
+    beyond that they are dropped for the GC.
+    @raise Invalid_argument if [cap] is smaller than a message header
+    or [max_idle] is negative. *)
+
+val acquire : pool -> t
+(** An empty batcher over a pooled (or, if the free list is empty,
+    fresh) buffer. *)
+
+val release : t -> unit
+(** Resets the batcher and returns its buffer to the pool (dropped if
+    the pool already holds [max_idle] buffers). The caller must not use
+    [t] afterwards. *)
+
+val standalone : ?cap:int -> unit -> t
+(** A pool-less batcher (tests, benchmarks). *)
+
+(** {1 Staging} *)
+
+val add : t -> Iov_msg.Message.t -> bool
+(** Encodes the message at the staging cursor. [false] — and no state
+    change — if the encoding does not fit in the remaining space: the
+    caller flushes and retries, or writes an oversized message's own
+    encoding directly. *)
+
+val length : t -> int
+(** Bytes staged and not yet flushed. *)
+
+val staged : t -> int
+(** Messages staged and not yet flushed. *)
+
+val is_empty : t -> bool
+(** No staged bytes — {!flush} would be a no-op. *)
+
+val capacity : t -> int
+(** Total staging-buffer size in bytes (fixed at creation). *)
+
+val buffer : t -> Bytes.t
+(** The underlying staging buffer (exposed so tests can check pool
+    identity); treat as opaque. *)
+
+(** {1 Flushing} *)
+
+val flush : t -> write:(Bytes.t -> int -> int -> int) -> int
+(** [flush t ~write] pushes every staged byte through [write buf off
+    len] (which returns the bytes it consumed — a partial count keeps
+    the cursor mid-batch and the loop continues) and resets the
+    batcher. [Unix.EINTR] from [write] is retried in place; any other
+    exception propagates after the batch is reset, since the staged
+    bytes are unrecoverable once the link is dead. Returns the number
+    of [write] calls made (the syscall count when [write] is
+    [Unix.write]); 0 when nothing was staged.
+    @raise Invalid_argument if [write] returns a negative count or
+    more than it was offered. *)

@@ -61,7 +61,15 @@ type ntel = {
   c_sent : Metrics.counter;
   c_delivered : Metrics.counter;
   c_dropped : Metrics.counter;
+  c_shed : Metrics.counter;
   c_link_failures : Metrics.counter;
+  (* batched-I/O observability: write syscalls issued by sender
+     threads, messages that rode a coalesced flush, and the size
+     distribution of those flushes — batch efficiency is
+     syscalls_total / batched_msgs *)
+  c_syscalls : Metrics.counter;
+  c_batched : Metrics.counter;
+  h_batch : Metrics.histogram;
 }
 
 type t = {
@@ -84,6 +92,14 @@ type t = {
   mutable accept_threads : Thread.t list;
   rng : Random.State.t;
   n_tel : ntel option;
+  batching : bool;
+  pool : Batcher.pool; (* sender staging buffers, shared per node *)
+  (* wire bytes accepted into the send pipeline (sender queues plus
+     staging buffers) and not yet handed to the kernel — the true-byte
+     backlog the admission hook judges against *)
+  staged_bytes : int Atomic.t;
+  mutable admission :
+    (now:float -> app:int -> size:int -> backlog:int -> bool) option;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -95,11 +111,11 @@ let tel_counter tl = function
   | Ev.Send -> Metrics.incr tl.c_sent
   | Ev.Deliver -> Metrics.incr tl.c_delivered
   | Ev.Drop -> Metrics.incr tl.c_dropped
+  | Ev.Shed -> Metrics.incr tl.c_shed
   | Ev.Link_failure -> Metrics.incr tl.c_link_failures
   | Ev.Teardown | Ev.Respawn | Ev.Route_change | Ev.Path_switch
   | Ev.Dup_suppressed | Ev.Suspect | Ev.Confirm | Ev.View_exchange
-  | Ev.Shed | Ev.Breaker_open | Ev.Breaker_close | Ev.Wedge
-  | Ev.Retransmit ->
+  | Ev.Breaker_open | Ev.Breaker_close | Ev.Wedge | Ev.Retransmit ->
     ()
 
 let tel_msg t kind ~peer (m : Msg.t) =
@@ -129,8 +145,36 @@ let tel_event t kind ~peer =
       Mutex.unlock tl.tel_lock
     end
 
+(* Per-flush accounting for the batched sender path. *)
+let tel_flush t ~bytes ~msgs ~syscalls =
+  match t.n_tel with
+  | None -> ()
+  | Some tl ->
+    if Tel.enabled tl.tl then begin
+      Mutex.lock tl.tel_lock;
+      Metrics.add tl.c_syscalls syscalls;
+      Metrics.add tl.c_batched msgs;
+      Metrics.observe tl.h_batch bytes;
+      Mutex.unlock tl.tel_lock
+    end
+
+(* Syscall accounting for unbatched writes (per-message mode, oversized
+   messages): counted against the same onet.syscalls_total key so the
+   two paths are directly comparable. *)
+let tel_syscalls t n =
+  match t.n_tel with
+  | None -> ()
+  | Some tl ->
+    if Tel.enabled tl.tl then begin
+      Mutex.lock tl.tel_lock;
+      Metrics.add tl.c_syscalls n;
+      Mutex.unlock tl.tel_lock
+    end
+
 let id t = t.nid
 let messages_processed t = t.processed
+let staged_bytes t = Atomic.get t.staged_bytes
+let set_admission t hook = t.admission <- hook
 
 let app_bytes t ~app =
   match Hashtbl.find_opt t.app_bytes_tbl app with Some b -> b | None -> 0
@@ -164,18 +208,23 @@ let link_bytes t dir peer =
 let addr_of (ni : NI.t) =
   Unix.ADDR_INET (Unix.inet_addr_of_string (NI.ip_string ni), ni.port)
 
+(* Writes the whole buffer, retrying partial writes and EINTR; returns
+   the number of write syscalls issued. *)
 let write_all fd buf =
   let len = Bytes.length buf in
-  let rec go off =
-    if off < len then begin
-      let n = Unix.write fd buf off (len - off) in
-      go (off + n)
-    end
+  let rec go off calls =
+    if off >= len then calls
+    else
+      match Unix.write fd buf off (len - off) with
+      | n -> go (off + n) (calls + 1)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off (calls + 1)
   in
-  go 0
+  go 0 0
 
 (* ------------------------------------------------------------------ *)
 (* Receiver and sender threads                                         *)
+
+let recv_reserve = 65536
 
 let receiver_loop t ?bytes ?stream peer fd buf =
   (* a connection accepted by the engine hands over the handshake
@@ -184,32 +233,47 @@ let receiver_loop t ?bytes ?stream peer fd buf =
   let stream =
     match stream with Some s -> s | None -> Codec.Stream.create ()
   in
-  let chunk = Bytes.create 65536 in
   let running = ref true in
-  (* messages already complete in the handed-over stream *)
-  let ingest m =
-    if Squeue.push buf m then tel_msg t Ev.Deliver ~peer m
-    else begin
-      (* the buffer was closed under us (teardown): the message is
-         lost — account for it rather than discarding silently *)
-      tel_msg t Ev.Drop ~peer m;
-      running := false
-    end
+  (* a whole drained run goes in under one lock acquisition — the
+     ingest half of the batching story: the engine's batch pop is only
+     worth anything if the receiver is not paying a mutex and a
+     condition signal per message *)
+  let ingest = function
+    | [] -> ()
+    | ms ->
+      let accepted = Squeue.push_list buf ms in
+      List.iteri
+        (fun i m ->
+          if i < accepted then tel_msg t Ev.Deliver ~peer m
+          else
+            (* the buffer was closed under us (teardown): the message
+               is lost — account for it rather than discarding
+               silently *)
+            tel_msg t Ev.Drop ~peer m)
+        ms;
+      if accepted < List.length ms then running := false
   in
-  (try List.iter ingest (Codec.Stream.drain stream)
-   with Codec.Malformed _ -> running := false);
-  while !running do
-    (match Unix.read fd chunk 0 (Bytes.length chunk) with
-    | 0 -> running := false
-    | n ->
-      (match bytes with
-      | Some c -> Atomic.set c (Atomic.get c + n)
-      | None -> ());
-      Codec.Stream.feed stream ~len:n chunk;
-      List.iter ingest (Codec.Stream.drain stream)
-    | exception Unix.Unix_error _ -> running := false
-    | exception Codec.Malformed _ -> running := false)
-  done;
+  (* The stream is the connection's persistent carry buffer: each read
+     lands directly in its free tail ([reserve]/[commit]), so partial
+     frames carry over with no per-read chunk and no re-allocation;
+     [drain] copies payloads out, so delivered messages never alias
+     the reused buffer. The try also covers Malformed raised while
+     draining mid-connection, which previously escaped the thread. *)
+  (try
+     ingest (Codec.Stream.drain stream);
+     while !running do
+       let rbuf, roff = Codec.Stream.reserve stream recv_reserve in
+       match Unix.read fd rbuf roff recv_reserve with
+       | 0 -> running := false
+       | n ->
+         (match bytes with
+         | Some c -> Atomic.set c (Atomic.get c + n)
+         | None -> ());
+         Codec.Stream.commit stream n;
+         ingest (Codec.Stream.drain stream)
+     done
+   with
+  | Unix.Unix_error _ | Codec.Malformed _ -> ());
   (* surface the failure to the engine, then drain-close; a full buffer
      must not swallow the notification — fall back to the (unbounded)
      engine inbox so the algorithm always learns of the death *)
@@ -219,7 +283,12 @@ let receiver_loop t ?bytes ?stream peer fd buf =
   Squeue.close buf;
   (try Unix.close fd with Unix.Unix_error _ -> ())
 
-let sender_loop t oc =
+let unstage t n = ignore (Atomic.fetch_and_add t.staged_bytes (-n))
+
+(* The per-message sender: one write syscall per message (the
+   pre-batching behaviour, kept for the [~batching:false] baseline the
+   netlab experiment measures against). *)
+let sender_loop_permsg t oc =
   let running = ref true in
   while !running do
     match Squeue.pop oc.oc_buf with
@@ -229,15 +298,90 @@ let sender_loop t oc =
         (* memoized: a message fanned out to n peers is encoded once
            and the same buffer is written on every link *)
         let wire = Codec.wire m in
-        write_all oc.oc_fd wire;
+        let calls = write_all oc.oc_fd wire in
+        tel_syscalls t calls;
+        unstage t (Bytes.length wire);
         Atomic.set oc.oc_bytes (Atomic.get oc.oc_bytes + Bytes.length wire);
         tel_msg t Ev.Send ~peer:oc.oc_peer m
       with Unix.Unix_error _ ->
         oc.oc_dead <- true;
+        unstage t (Msg.size m);
         tel_msg t Ev.Drop ~peer:oc.oc_peer m;
         running := false)
   done;
   (try Unix.close oc.oc_fd with Unix.Unix_error _ -> ())
+
+(* The batched sender: drain whatever the queue holds in one lock
+   acquisition, coalesce the run of frames into a pooled staging
+   buffer, and flush it with (ideally) a single write. The flush is
+   adaptive — it happens as soon as the drained run is staged, so an
+   idle connection still sends each message immediately; batches only
+   form when a backlog exists, which is exactly when syscall overhead
+   would otherwise dominate. *)
+let sender_loop_batched t oc =
+  let batch = Batcher.acquire t.pool in
+  let write b off len = Unix.write oc.oc_fd b off len in
+  let running = ref true in
+  (* messages staged in [batch], newest first, awaiting their Send
+     events until the bytes actually reach the kernel *)
+  let staged = ref [] in
+  let flush () =
+    let bytes = Batcher.length batch and msgs = Batcher.staged batch in
+    if bytes > 0 then begin
+      let syscalls = Batcher.flush batch ~write in
+      unstage t bytes;
+      Atomic.set oc.oc_bytes (Atomic.get oc.oc_bytes + bytes);
+      tel_flush t ~bytes ~msgs ~syscalls;
+      List.iter (fun m -> tel_msg t Ev.Send ~peer:oc.oc_peer m)
+        (List.rev !staged);
+      staged := []
+    end
+  in
+  while !running do
+    match Squeue.pop_batch oc.oc_buf ~max:t.bufcap with
+    | [] -> running := false
+    | ms -> (
+      let rest = ref ms in
+      try
+        while !rest <> [] do
+          let m = List.hd !rest in
+          if Batcher.add batch m then staged := m :: !staged
+          else begin
+            flush ();
+            if Batcher.add batch m then staged := m :: !staged
+            else begin
+              (* larger than the whole staging buffer: its own
+                 (memoized) encoding goes out directly, order
+                 preserved by the flush above *)
+              let wire = Codec.wire m in
+              let calls = write_all oc.oc_fd wire in
+              tel_syscalls t calls;
+              unstage t (Bytes.length wire);
+              Atomic.set oc.oc_bytes
+                (Atomic.get oc.oc_bytes + Bytes.length wire);
+              tel_msg t Ev.Send ~peer:oc.oc_peer m
+            end
+          end;
+          rest := List.tl !rest
+        done;
+        flush ()
+      with Unix.Unix_error _ ->
+        oc.oc_dead <- true;
+        (* everything staged or still unprocessed in this run is lost
+           with the connection; account each message exactly once *)
+        List.iter
+          (fun m ->
+            unstage t (Msg.size m);
+            tel_msg t Ev.Drop ~peer:oc.oc_peer m)
+          (List.rev_append !staged !rest);
+        staged := [];
+        running := false)
+  done;
+  Batcher.release batch;
+  (try Unix.close oc.oc_fd with Unix.Unix_error _ -> ())
+
+let sender_loop t oc =
+  if t.batching then sender_loop_batched t oc else sender_loop_permsg t oc
 
 (* ------------------------------------------------------------------ *)
 (* Connections                                                         *)
@@ -288,8 +432,10 @@ let ensure_out t peer =
        raise e);
     Unix.setsockopt fd Unix.TCP_NODELAY true;
     (* introduce ourselves so the peer registers the right identity *)
-    write_all fd
-      (Codec.encode (Msg.with_params ~mtype:(Mt.Custom hello_kind) ~origin:t.nid 0 0));
+    ignore
+      (write_all fd
+         (Codec.encode
+            (Msg.with_params ~mtype:(Mt.Custom hello_kind) ~origin:t.nid 0 0)));
     let buf = Squeue.create ~capacity:t.bufcap in
     let oc =
       {
@@ -314,9 +460,27 @@ let ensure_out t peer =
 let connect t peer = ignore (ensure_out t peer)
 
 let send t m peer =
-  let oc = ensure_out t peer in
-  if Squeue.push oc.oc_buf m then tel_msg t Ev.Enqueue ~peer m
-  else tel_msg t Ev.Drop ~peer m
+  let size = Msg.size m in
+  let admitted =
+    match t.admission with
+    | Some adm when Mt.is_data m.Msg.mtype ->
+      (* the backlog is true pipeline bytes: queued messages plus
+         whatever sits in sender staging buffers awaiting a flush, so
+         batching cannot hide load from the shed decision *)
+      adm ~now:(Unix.gettimeofday ()) ~app:m.Msg.app ~size
+        ~backlog:(Atomic.get t.staged_bytes)
+    | _ -> true
+  in
+  if not admitted then tel_msg t Ev.Shed ~peer m
+  else begin
+    let oc = ensure_out t peer in
+    ignore (Atomic.fetch_and_add t.staged_bytes size);
+    if Squeue.push oc.oc_buf m then tel_msg t Ev.Enqueue ~peer m
+    else begin
+      unstage t size;
+      tel_msg t Ev.Drop ~peer m
+    end
+  end
 
 (* ------------------------------------------------------------------ *)
 (* The algorithm context                                               *)
@@ -438,9 +602,15 @@ let run_timers t ctx =
 let engine_loop t =
   let ctx = make_ctx t in
   t.algo.Alg.on_start ctx;
+  (* Loop pacing doubles as the accept poll: when the previous
+     iteration switched messages the engine spins right back (another
+     backlog is likely), otherwise it parks in select for up to 10 ms.
+     Idle nodes burn no CPU; loaded nodes are not throttled to one
+     iteration per select tick. *)
+  let wait = ref 0.01 in
   while not t.stopping do
     (* 1. accept new incoming connections (non-blocking select) *)
-    (match Unix.select [ t.listen_fd ] [] [] 0.01 with
+    (match Unix.select [ t.listen_fd ] [] [] !wait with
     | [ _ ], _, _ -> (
       match Unix.accept t.listen_fd with
       | fd, _ ->
@@ -507,6 +677,7 @@ let engine_loop t =
         Log.debug (fun f -> f "%a: connection from %a" NI.pp t.nid NI.pp peer);
         t.ins <- t.ins @ [ ic ])
       fresh;
+    let worked = ref false in
     (* 3. engine-inbox notifications *)
     let inbox =
       with_lock t (fun () ->
@@ -514,16 +685,18 @@ let engine_loop t =
           Queue.clear t.engine_inbox;
           l)
     in
+    if inbox <> [] then worked := true;
     List.iter (dispatch t ctx) inbox;
-    (* 4. switch messages from receiver buffers, round-robin *)
-    let worked = ref false in
+    (* 4. switch messages from receiver buffers, round-robin across
+       connections but draining each buffer's whole backlog in one lock
+       acquisition — the switching analogue of the senders' batch pop *)
     List.iter
       (fun ic ->
-        match Squeue.try_pop ic.ic_buf with
-        | Some m ->
+        match Squeue.try_pop_batch ic.ic_buf ~max:t.bufcap with
+        | [] -> ()
+        | ms ->
           worked := true;
-          dispatch t ctx m
-        | None -> ())
+          List.iter (dispatch t ctx) ms)
       t.ins;
     (* drop fully drained, closed connections *)
     t.ins <-
@@ -559,13 +732,17 @@ let engine_loop t =
       due;
     (* 5. timers *)
     run_timers t ctx;
-    if not !worked then Thread.yield ()
+    if !worked then wait := 0.
+    else begin
+      wait := 0.01;
+      Thread.yield ()
+    end
   done
 
 (* ------------------------------------------------------------------ *)
 
-let start ?(host = "127.0.0.1") ?(port = 0) ?(buffer_capacity = 16) ?telemetry
-    algo =
+let start ?(host = "127.0.0.1") ?(port = 0) ?(buffer_capacity = 16)
+    ?(batching = true) ?telemetry algo =
   if buffer_capacity <= 0 then invalid_arg "Rnode.start: buffer_capacity";
   (* writes to a peer that died abruptly must surface as EPIPE for the
      failure path to run, not kill the process *)
@@ -617,8 +794,16 @@ let start ?(host = "127.0.0.1") ?(port = 0) ?(buffer_capacity = 16) ?telemetry
               c_sent = Metrics.counter m ~scope "sent";
               c_delivered = Metrics.counter m ~scope "delivered";
               c_dropped = Metrics.counter m ~scope "dropped";
+              c_shed = Metrics.counter m ~scope "guard.shed_total";
               c_link_failures = Metrics.counter m ~scope "link_failures";
+              c_syscalls = Metrics.counter m ~scope "onet.syscalls_total";
+              c_batched = Metrics.counter m ~scope "onet.batched_msgs";
+              h_batch = Metrics.histogram m ~scope "onet.batch_bytes";
             });
+      batching;
+      pool = Batcher.pool ();
+      staged_bytes = Atomic.make 0;
+      admission = None;
     }
   in
   t.engine_thread <- Some (Thread.create (fun () -> engine_loop t) ());

@@ -4,8 +4,10 @@
     - one receiver thread per incoming connection, blocking on the
       socket and pushing framed messages into its bounded circular
       buffer;
-    - one sender thread per outgoing connection, popping from its
-      buffer and writing to the socket;
+    - one sender thread per outgoing connection, draining its buffer
+      in batches, coalescing the run of frames into a pooled staging
+      buffer ({!Batcher}) and flushing it with as few [write] syscalls
+      as possible;
     - one engine thread owning the algorithm, which accepts new
       connections on the publicized port ([select] with timeout),
       drains receiver buffers round-robin, consults
@@ -25,17 +27,25 @@ val start :
   ?host:string ->
   ?port:int ->
   ?buffer_capacity:int ->
+  ?batching:bool ->
   ?telemetry:Iov_telemetry.Telemetry.t ->
   Iov_core.Algorithm.t ->
   t
 (** Binds (default [127.0.0.1], ephemeral port), spawns the engine
     thread and returns. [buffer_capacity] (messages, default 16) sizes
-    each receiver/sender buffer. [telemetry] attaches a telemetry
+    each receiver/sender buffer. [batching] (default [true]) selects
+    the coalescing sender path: each sender drains its whole backlog
+    per lock acquisition and ships it with (ideally) one [write];
+    [~batching:false] restores one write syscall per message — the
+    baseline the netlab experiment measures against. The byte stream on
+    the wire is identical either way. [telemetry] attaches a telemetry
     deployment sharing the simulator's event vocabulary: the node
-    records enqueue/switch/send/deliver/drop/link-failure/teardown
+    records enqueue/switch/send/deliver/drop/shed/link-failure/teardown
     events into its flight recorder (guarded by a dedicated mutex — the
     runtime is multi-threaded, unlike the simulator) and keeps counters
-    scoped by its [ip:port].
+    scoped by its [ip:port], including the batched-I/O triple
+    [onet.syscalls_total], [onet.batched_msgs] and the
+    [onet.batch_bytes] histogram.
     @raise Unix.Unix_error on bind failure. *)
 
 val id : t -> Iov_msg.Node_id.t
@@ -48,12 +58,34 @@ val connect : t -> Iov_msg.Node_id.t -> unit
 val send : t -> Iov_msg.Message.t -> Iov_msg.Node_id.t -> unit
 (** Thread-safe external send (the driver-side equivalent of the
     algorithm's [ctx.send]); blocks while the sender buffer is full —
-    natural TCP-like pacing for driver loops. *)
+    natural TCP-like pacing for driver loops. Data messages first pass
+    the {!set_admission} hook, if any; refused messages are shed
+    silently (a [Shed] telemetry event, no enqueue). *)
+
+val set_admission :
+  t ->
+  (now:float -> app:int -> size:int -> backlog:int -> bool) option ->
+  unit
+(** Installs (or clears) an admission hook over outbound data messages
+    — the sockets-runtime twin of the simulator's
+    [Network.set_admission], sharing the [Iov_guard.Admission]
+    signature. [backlog] is {!staged_bytes}: wire bytes accepted into
+    the send pipeline and not yet handed to the kernel, so shedding
+    decisions see the true staged load even when the batched path is
+    holding bytes in a staging buffer. Control-plane messages bypass
+    the hook. Not synchronized with in-flight sends; install before
+    load, or tolerate a raced message. *)
+
+val staged_bytes : t -> int
+(** Wire bytes currently inside the send pipeline (sender queues plus
+    staging buffers), i.e. accepted by {!send} but not yet written to
+    the kernel. *)
 
 val app_bytes : t -> app:int -> int
 (** Data payload bytes delivered to this node's algorithm for [app]. *)
 
 val messages_processed : t -> int
+(** Messages the engine thread has dispatched to the algorithm. *)
 
 val peers : t -> Iov_msg.Node_id.t list
 (** Current outgoing connections. *)

@@ -40,6 +40,29 @@ let push t x =
         true
       end)
 
+let push_list t xs =
+  with_lock t (fun () ->
+      let accepted = ref 0 in
+      let rec go = function
+        | [] -> ()
+        | x :: rest ->
+          while Cq.is_full t.q && not t.is_closed do
+            (* wake the consumer for what is already in before parking:
+               it is the pop that makes room *)
+            Condition.signal t.not_empty;
+            Condition.wait t.not_full t.mutex
+          done;
+          if not t.is_closed then begin
+            let ok = Cq.push t.q x in
+            assert ok;
+            incr accepted;
+            go rest
+          end
+      in
+      go xs;
+      if !accepted > 0 then Condition.signal t.not_empty;
+      !accepted)
+
 let try_push t x =
   with_lock t (fun () ->
       if t.is_closed || Cq.is_full t.q then false
@@ -60,6 +83,21 @@ let pop t =
         Condition.signal t.not_full;
         Some x
       | None -> None)
+
+let pop_batch t ~max =
+  with_lock t (fun () ->
+      while Cq.is_empty t.q && not t.is_closed do
+        Condition.wait t.not_empty t.mutex
+      done;
+      let xs = Cq.pop_upto t.q max in
+      if xs <> [] then Condition.signal t.not_full;
+      xs)
+
+let try_pop_batch t ~max =
+  with_lock t (fun () ->
+      let xs = Cq.pop_upto t.q max in
+      if xs <> [] then Condition.signal t.not_full;
+      xs)
 
 let try_pop t =
   with_lock t (fun () ->

@@ -14,11 +14,24 @@ val create : capacity:int -> 'a t
 (** @raise Invalid_argument if [capacity <= 0]. *)
 
 val capacity : 'a t -> int
+(** The fixed capacity passed to {!create}. *)
+
 val length : 'a t -> int
+(** Elements currently queued (a racy snapshot, exact under the lock). *)
+
 val is_full : 'a t -> bool
+(** [length t = capacity t], same snapshot semantics as {!length}. *)
 
 val push : 'a t -> 'a -> bool
 (** Blocks while full; [false] if the queue was closed meanwhile. *)
+
+val push_list : 'a t -> 'a list -> int
+(** Pushes the elements in order under one lock acquisition, blocking
+    while full; returns how many were accepted — short only if the
+    queue was closed meanwhile. The consumer is signalled once per
+    wait/fill cycle rather than once per element, which assumes the
+    single-consumer discipline this module already states. The receiver
+    thread's ingest primitive for a run of decoded messages. *)
 
 val try_push : 'a t -> 'a -> bool
 (** Non-blocking; [false] when full or closed. *)
@@ -29,7 +42,21 @@ val pop : 'a t -> 'a option
 val try_pop : 'a t -> 'a option
 (** Non-blocking; [None] when empty (even if open). *)
 
+val pop_batch : 'a t -> max:int -> 'a list
+(** Blocks like {!pop} for the first element, then takes whatever else
+    is already queued — up to [max] elements total, in queue order,
+    without blocking again. [[]] once closed and drained. The sender
+    thread's drain primitive: when the queue holds a backlog the whole
+    backlog comes out under one lock acquisition, ready to be coalesced
+    into a single [write]; when the queue is idle the first message
+    returns alone, so batching adds no latency. *)
+
+val try_pop_batch : 'a t -> max:int -> 'a list
+(** Non-blocking {!pop_batch}: up to [max] queued elements, [[]] when
+    empty. The engine thread's receiver-buffer drain. *)
+
 val close : 'a t -> unit
 (** Idempotent; wakes all blocked threads. *)
 
 val closed : 'a t -> bool
+(** Whether {!close} has been called (elements may still be draining). *)

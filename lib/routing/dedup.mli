@@ -35,4 +35,7 @@ val highest : t -> int
 (** Highest sequence admitted so far; -1 initially. *)
 
 val fresh_count : t -> int
+(** Total [`Fresh] verdicts issued — exactly-once deliveries. *)
+
 val dup_count : t -> int
+(** Total [`Dup] verdicts issued — redundant copies suppressed. *)

@@ -23,7 +23,11 @@
 type t
 
 val hello_kind : Iov_msg.Mtype.t
+(** The heartbeat message type ([Custom 110], claimed in
+    {!Iov_msg.Mtype.Registry}; see [docs/WIRE.md]). *)
+
 val lsa_kind : Iov_msg.Mtype.t
+(** The link-state advertisement type ([Custom 111]). *)
 
 val create :
   ?hello_period:float -> ?dead_factor:float -> ?alpha:float ->
@@ -33,11 +37,15 @@ val create :
     [alpha] (default 0.125, RFC 6298's gain) smooths the per-link cost. *)
 
 val hello_period : t -> float
+(** The heartbeat period fixed at {!create} — the caller's timer
+    interval for {!hello} and {!expire}. *)
 
 val peers : t -> Iov_msg.Node_id.t list
 (** Live neighbors, ascending by id. *)
 
 val is_peer : t -> Iov_msg.Node_id.t -> bool
+(** Whether the node is currently in the live-neighbor table. *)
+
 val cost : t -> Iov_msg.Node_id.t -> float
 (** Smoothed one-way delay to a live neighbor (seconds); +inf for
     unknown peers. *)
@@ -61,6 +69,8 @@ val lsa : t -> Iov_msg.Message.t
     {!bump_version} when the neighbor set changed. *)
 
 val bump_version : t -> unit
+(** Advance the own-row advertisement version so the next {!lsa} is
+    re-flooded as fresh — call after the neighbor set changes. *)
 
 val on_hello : t -> now:float -> Iov_msg.Message.t -> [ `Known | `New ]
 (** Fold a received heartbeat in; [`New] means a first-contact peer

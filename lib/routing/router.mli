@@ -80,6 +80,8 @@ val create :
     off the trace). *)
 
 val algorithm : t -> Iov_core.Algorithm.t
+(** The router as a pluggable algorithm — what
+    [Network.add_node]/[Rnode.start] are handed. *)
 
 val open_session :
   t ->
@@ -97,8 +99,10 @@ val open_session :
     [ctx] is the node's own context ({!Iov_core.Network.ctx}). *)
 
 val stop_session : t -> app:int -> unit
+(** Stops generating data for the session (forwarding state remains). *)
 
 val stats : t -> stats
+(** This node's counters so far — see the {!stats} field docs. *)
 
 val paths : t -> app:int -> Iov_msg.Node_id.t list list
 (** The hop lists currently pinned at this session's source (empty for
@@ -109,7 +113,10 @@ val established : t -> app:int -> int
     [Backpressure], 1 once the session announcement has flooded). *)
 
 val self : t -> Iov_msg.Node_id.t
+(** The node this router runs on. *)
+
 val mode : t -> mode
+(** The forwarding discipline fixed at {!create}. *)
 
 val setup_kind : Iov_msg.Mtype.t
 val nack_kind : Iov_msg.Mtype.t

@@ -217,7 +217,90 @@ let codec_props =
       (fun n ->
         let m = Msg.data ~origin:(NI.synthetic 1) ~app:2 ~seq:n (Bytes.make n '\042') in
         msg_equal m (Codec.decode (Codec.encode m)));
+    qtest "reserve/commit fills reassemble like feed"
+      QCheck.(pair (small_list msg_gen) (int_range 1 17))
+      (fun (msgs, chunk) ->
+        (* the zero-copy fill path: writes land in the stream's own
+           free tail, in arbitrary slice sizes, instead of bouncing
+           through a per-read chunk *)
+        let wire = Buffer.create 256 in
+        List.iter (fun m -> Buffer.add_bytes wire (Codec.encode m)) msgs;
+        let wire = Buffer.to_bytes wire in
+        let s = Codec.Stream.create () in
+        let n = Bytes.length wire in
+        let rec fill off =
+          if off < n then begin
+            let len = Stdlib.min chunk (n - off) in
+            let buf, at = Codec.Stream.reserve s len in
+            Bytes.blit wire off buf at len;
+            Codec.Stream.commit s len;
+            fill (off + len)
+          end
+        in
+        fill 0;
+        let out = Codec.Stream.drain s in
+        List.length out = List.length msgs
+        && List.for_all2 msg_equal msgs out
+        && Codec.Stream.buffered s = 0);
   ]
+
+let test_stream_reserve_no_alias () =
+  (* payloads decoded before a reserve must survive the buffer being
+     compacted, grown and overwritten by later fills *)
+  let mk i = Msg.data ~origin:(NI.synthetic i) ~app:1 ~seq:i
+      (Bytes.make 64 (Char.chr (65 + (i mod 26))))
+  in
+  let s = Codec.Stream.create () in
+  let put m =
+    let w = Codec.encode m in
+    let buf, at = Codec.Stream.reserve s (Bytes.length w) in
+    Bytes.blit w 0 buf at (Bytes.length w);
+    Codec.Stream.commit s (Bytes.length w)
+  in
+  put (mk 0);
+  let first =
+    match Codec.Stream.next s with
+    | Some m -> m
+    | None -> Alcotest.fail "first message missing"
+  in
+  (* churn the stream hard: enough traffic to recycle and grow the
+     underlying buffer many times over *)
+  for round = 1 to 200 do
+    put (mk round);
+    match Codec.Stream.next s with
+    | Some m ->
+      Alcotest.(check bool)
+        (Printf.sprintf "round %d intact" round)
+        true (msg_equal (mk round) m)
+    | None -> Alcotest.fail "message missing mid-churn"
+  done;
+  Alcotest.(check bool) "first payload never aliased the buffer" true
+    (msg_equal (mk 0) first)
+
+let test_stream_reserve_partial_commit () =
+  (* a read may return fewer bytes than were reserved; only the
+     committed prefix becomes visible *)
+  let m = Msg.data ~origin:(NI.synthetic 3) ~app:1 ~seq:9 (Bytes.of_string "abcdef") in
+  let w = Codec.encode m in
+  let s = Codec.Stream.create () in
+  let buf, at = Codec.Stream.reserve s 4096 in
+  let half = Bytes.length w / 2 in
+  Bytes.blit w 0 buf at half;
+  Codec.Stream.commit s half;
+  Alcotest.(check bool) "incomplete" true (Codec.Stream.next s = None);
+  Alcotest.(check int) "only committed bytes count" half
+    (Codec.Stream.buffered s);
+  let buf, at = Codec.Stream.reserve s 4096 in
+  Bytes.blit w half buf at (Bytes.length w - half);
+  Codec.Stream.commit s (Bytes.length w - half);
+  (match Codec.Stream.next s with
+  | Some out -> Alcotest.(check bool) "complete" true (msg_equal m out)
+  | None -> Alcotest.fail "stream did not produce the message");
+  Alcotest.check_raises "bad reserve" (Invalid_argument "Codec.Stream.reserve")
+    (fun () -> ignore (Codec.Stream.reserve s 0));
+  ignore (Codec.Stream.reserve s 8);
+  Alcotest.check_raises "overcommit" (Invalid_argument "Codec.Stream.commit")
+    (fun () -> Codec.Stream.commit s (1 lsl 40))
 
 let test_payload_boundaries () =
   List.iter
@@ -466,6 +549,10 @@ let () =
             Alcotest.test_case "encode_into at offset" `Quick
               test_encode_into_offset;
             Alcotest.test_case "partial stream" `Quick test_codec_stream_partial;
+            Alcotest.test_case "reserve/commit never aliases payloads"
+              `Quick test_stream_reserve_no_alias;
+            Alcotest.test_case "reserve/commit partial fills" `Quick
+              test_stream_reserve_partial_commit;
             Alcotest.test_case "payload size boundaries" `Quick
               test_payload_boundaries;
             Alcotest.test_case "drain 1000 queued messages" `Quick
